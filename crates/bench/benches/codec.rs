@@ -1,0 +1,79 @@
+//! Criterion micro-benchmarks of the wire codec: per-datagram encode and
+//! decode cost for data messages (small and jumbo) and tokens with various
+//! rtr-list sizes.
+
+use accelring_core::{wire, DataMessage, ParticipantId, RingId, Round, Seq, Service, Token};
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+fn data_msg(payload_len: usize) -> DataMessage {
+    DataMessage {
+        ring_id: RingId::new(ParticipantId::new(0), 3),
+        seq: Seq::new(123_456),
+        pid: ParticipantId::new(5),
+        round: Round::new(42),
+        service: Service::Safe,
+        post_token: true,
+        retransmission: false,
+        payload: Bytes::from(vec![9u8; payload_len]),
+    }
+}
+
+fn token_with_rtr(n: usize) -> Token {
+    Token {
+        ring_id: RingId::new(ParticipantId::new(0), 3),
+        token_id: 999,
+        round: Round::new(40),
+        seq: Seq::new(5000),
+        aru: Seq::new(4000),
+        aru_id: Some(ParticipantId::new(2)),
+        fcc: 120,
+        rtr: (0..n as u64).map(|i| Seq::new(4000 + i)).collect(),
+    }
+}
+
+fn bench_data_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec_data");
+    for len in [1350usize, 8850] {
+        let msg = data_msg(len);
+        group.throughput(Throughput::Bytes(msg.wire_len() as u64));
+        group.bench_function(format!("encode_{len}B"), |b| {
+            b.iter(|| wire::encode_data(std::hint::black_box(&msg)));
+        });
+        let encoded = wire::encode_data(&msg);
+        group.bench_function(format!("decode_{len}B"), |b| {
+            b.iter_batched(
+                || encoded.clone(),
+                |mut buf| wire::decode_data(&mut buf).unwrap(),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_token_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec_token");
+    for rtr in [0usize, 16, 256] {
+        let token = token_with_rtr(rtr);
+        group.bench_function(format!("encode_rtr{rtr}"), |b| {
+            b.iter(|| wire::encode_token(std::hint::black_box(&token)));
+        });
+        let encoded = wire::encode_token(&token);
+        group.bench_function(format!("decode_rtr{rtr}"), |b| {
+            b.iter_batched(
+                || encoded.clone(),
+                |mut buf| wire::decode_token(&mut buf).unwrap(),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(50);
+    targets = bench_data_codec, bench_token_codec
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion benchmark of the simulator itself: how much wall time one
+//! simulated millisecond of a busy 8-node ring costs. Useful to keep the
+//! figure harness fast as the simulator evolves.
+
+use accelring_core::{ProtocolConfig, Service};
+use accelring_sim::{
+    ImplProfile, LossSpec, NetworkProfile, SimDuration, Simulator, Workload,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn run_short_sim(rate_mbps: u64, loss: LossSpec) -> u64 {
+    let outcome = Simulator::new(
+        8,
+        ProtocolConfig::accelerated(20, 15),
+        NetworkProfile::gigabit(),
+        ImplProfile::daemon(),
+        loss,
+        Workload::FixedRate {
+            aggregate_bps: rate_mbps * 1_000_000,
+        },
+        1350,
+        Service::Agreed,
+        SimDuration::from_millis(2),
+        SimDuration::from_millis(8),
+        7,
+    )
+    .run();
+    outcome.counters.delivered_total
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator_10ms_window");
+    group.sample_size(10);
+    group.bench_function("idle_ring", |b| {
+        b.iter(|| run_short_sim(std::hint::black_box(1), LossSpec::None));
+    });
+    group.bench_function("busy_500mbps", |b| {
+        b.iter(|| run_short_sim(std::hint::black_box(500), LossSpec::None));
+    });
+    group.bench_function("busy_500mbps_10pct_loss", |b| {
+        b.iter(|| run_short_sim(std::hint::black_box(500), LossSpec::bernoulli(0.10)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

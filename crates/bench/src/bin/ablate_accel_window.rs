@@ -1,0 +1,9 @@
+//! Ablation: the effect of the Accelerated-window size (0 = original
+//! behaviour .. personal window) on latency at 700 Mbps, 1 Gb.
+use accelring_bench::{ablate_accelerated_window, Quality};
+use accelring_sim::harness::format_table;
+
+fn main() {
+    let curves = ablate_accelerated_window(Quality::from_env());
+    print!("{}", format_table("Ablation: accelerated window size", "accel window", &curves));
+}

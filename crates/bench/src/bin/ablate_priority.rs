@@ -1,0 +1,9 @@
+//! Ablation: token-priority method 1 (aggressive, used by the prototypes)
+//! vs method 2 (conservative, used by Spread) — Section III-D/III-E.
+use accelring_bench::{ablate_priority_method, Quality};
+use accelring_sim::harness::format_table;
+
+fn main() {
+    let curves = ablate_priority_method(Quality::from_env());
+    print!("{}", format_table("Ablation: token priority policies (10Gb, spread profile, accel window 4)", "offered Mbps", &curves));
+}

@@ -1,0 +1,11 @@
+//! Ablation: the one-round retransmission-request delay vs requesting
+//! immediately under the accelerated protocol.
+use accelring_bench::{ablate_rtr_delay, Quality};
+
+fn main() {
+    println!("# Ablation: retransmission request delay (accelerated, 350 Mbps, 1Gb)");
+    println!("{:>28} {:>16} {:>12}", "policy", "retrans/msg", "mean us");
+    for (label, rate, latency) in ablate_rtr_delay(Quality::from_env()) {
+        println!("{label:>28} {rate:>16.4} {latency:>12.1}");
+    }
+}

@@ -1,0 +1,13 @@
+//! Ablation: switch egress-buffer depth sensitivity at 850 Mbps on 1 Gb.
+use accelring_bench::{ablate_switch_buffer, Quality};
+
+fn main() {
+    println!("# Ablation: switch buffer depth (accelerated, saturating, 1Gb)");
+    println!(
+        "{:>12} {:>14} {:>12} {:>14}",
+        "buffer KiB", "goodput Mbps", "mean us", "switch drops"
+    );
+    for (kib, goodput, latency, drops) in ablate_switch_buffer(Quality::from_env()) {
+        println!("{kib:>12} {goodput:>14.1} {latency:>12.1} {drops:>14}");
+    }
+}

@@ -1,0 +1,9 @@
+//! Figure 2: Agreed delivery latency vs throughput, 1 Gb network,
+//! 1350-byte payloads, both protocols, all three implementations.
+use accelring_bench::{figure_02, Quality};
+use accelring_sim::harness::format_table;
+
+fn main() {
+    let curves = figure_02(Quality::from_env());
+    print!("{}", format_table("Figure 2: Agreed latency vs throughput, 1Gb", "offered Mbps", &curves));
+}

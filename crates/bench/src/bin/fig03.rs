@@ -1,0 +1,8 @@
+//! Figure 3: Safe delivery latency vs throughput, 1 Gb network.
+use accelring_bench::{figure_03, Quality};
+use accelring_sim::harness::format_table;
+
+fn main() {
+    let curves = figure_03(Quality::from_env());
+    print!("{}", format_table("Figure 3: Safe latency vs throughput, 1Gb", "offered Mbps", &curves));
+}

@@ -1,0 +1,8 @@
+//! Figure 4: Agreed delivery latency vs throughput, 10 Gb network.
+use accelring_bench::{figure_04, Quality};
+use accelring_sim::harness::format_table;
+
+fn main() {
+    let curves = figure_04(Quality::from_env());
+    print!("{}", format_table("Figure 4: Agreed latency vs throughput, 10Gb", "offered Mbps", &curves));
+}

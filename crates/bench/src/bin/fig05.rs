@@ -1,0 +1,10 @@
+//! Figure 5: Agreed latency vs throughput for 1350-byte vs 8850-byte
+//! payloads, 10 Gb network, accelerated protocol.
+use accelring_bench::{figure_payload_sizes, Quality};
+use accelring_core::Service;
+use accelring_sim::harness::format_table;
+
+fn main() {
+    let curves = figure_payload_sizes(Quality::from_env(), Service::Agreed);
+    print!("{}", format_table("Figure 5: Agreed, 1350B vs 8850B payloads, 10Gb", "offered Mbps", &curves));
+}

@@ -1,0 +1,8 @@
+//! Figure 6: Safe delivery latency vs throughput, 10 Gb network.
+use accelring_bench::{figure_06, Quality};
+use accelring_sim::harness::format_table;
+
+fn main() {
+    let curves = figure_06(Quality::from_env());
+    print!("{}", format_table("Figure 6: Safe latency vs throughput, 10Gb", "offered Mbps", &curves));
+}

@@ -1,0 +1,9 @@
+//! Figure 8: Safe delivery latency at low throughputs, 10 Gb network — the
+//! regime where the original protocol beats the accelerated protocol.
+use accelring_bench::{figure_08, Quality};
+use accelring_sim::harness::format_table;
+
+fn main() {
+    let curves = figure_08(Quality::from_env());
+    print!("{}", format_table("Figure 8: Safe latency at low throughput, 10Gb (crossover)", "offered Mbps", &curves));
+}

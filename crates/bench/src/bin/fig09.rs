@@ -1,0 +1,10 @@
+//! Figure 9: latency vs per-daemon loss rate at 480 Mbps goodput on the
+//! 10 Gb network (mean and worst-5% columns).
+use accelring_bench::{figure_loss, Quality};
+use accelring_sim::harness::format_table;
+use accelring_sim::NetworkProfile;
+
+fn main() {
+    let curves = figure_loss(Quality::from_env(), NetworkProfile::ten_gigabit(), 480);
+    print!("{}", format_table("Figure 9: latency vs loss, 480 Mbps goodput, 10Gb", "loss %", &curves));
+}

@@ -1,0 +1,9 @@
+//! Figure 10: latency vs per-daemon loss rate at 1200 Mbps goodput, 10 Gb.
+use accelring_bench::{figure_loss, Quality};
+use accelring_sim::harness::format_table;
+use accelring_sim::NetworkProfile;
+
+fn main() {
+    let curves = figure_loss(Quality::from_env(), NetworkProfile::ten_gigabit(), 1200);
+    print!("{}", format_table("Figure 10: latency vs loss, 1200 Mbps goodput, 10Gb", "loss %", &curves));
+}

@@ -1,0 +1,9 @@
+//! Figure 11: latency vs per-daemon loss rate at 140 Mbps goodput, 1 Gb.
+use accelring_bench::{figure_loss, Quality};
+use accelring_sim::harness::format_table;
+use accelring_sim::NetworkProfile;
+
+fn main() {
+    let curves = figure_loss(Quality::from_env(), NetworkProfile::gigabit(), 140);
+    print!("{}", format_table("Figure 11: latency vs loss, 140 Mbps goodput, 1Gb", "loss %", &curves));
+}

@@ -1,0 +1,9 @@
+//! Figure 12: latency vs per-daemon loss rate at 350 Mbps goodput, 1 Gb.
+use accelring_bench::{figure_loss, Quality};
+use accelring_sim::harness::format_table;
+use accelring_sim::NetworkProfile;
+
+fn main() {
+    let curves = figure_loss(Quality::from_env(), NetworkProfile::gigabit(), 350);
+    print!("{}", format_table("Figure 12: latency vs loss, 350 Mbps goodput, 1Gb", "loss %", &curves));
+}

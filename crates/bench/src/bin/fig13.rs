@@ -1,0 +1,10 @@
+//! Figure 13: the effect of the ring distance between a daemon losing
+//! messages and the daemon it loses from (20% loss from the daemon k
+//! positions before).
+use accelring_bench::{figure_13, Quality};
+use accelring_sim::harness::format_table;
+
+fn main() {
+    let curves = figure_13(Quality::from_env());
+    print!("{}", format_table("Figure 13: latency vs ring distance of the lossy pair", "distance", &curves));
+}

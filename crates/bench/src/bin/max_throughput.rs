@@ -1,0 +1,8 @@
+//! The headline maximum-throughput numbers of Section IV: saturating
+//! senders, both networks, all three implementations, both protocols.
+use accelring_bench::{format_max_throughput, max_throughput_table, Quality};
+
+fn main() {
+    let rows = max_throughput_table(Quality::from_env());
+    print!("{}", format_max_throughput(&rows));
+}

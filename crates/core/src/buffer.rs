@@ -1,0 +1,395 @@
+//! The receive buffer: ordered message storage, local aru tracking, and the
+//! delivery engine for Agreed and Safe services (Sections III-B4 and III-C
+//! of the paper).
+
+use std::collections::BTreeMap;
+
+use bytes::Bytes;
+
+use crate::message::DataMessage;
+use crate::types::{ParticipantId, Round, Seq, Service};
+
+/// A message handed to the application, in total order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivery {
+    /// Position in the total order.
+    pub seq: Seq,
+    /// Original sender.
+    pub sender: ParticipantId,
+    /// Round the message was initiated in.
+    pub round: Round,
+    /// Service level the sender requested.
+    pub service: Service,
+    /// Application payload.
+    pub payload: Bytes,
+}
+
+impl Delivery {
+    fn from_message(msg: &DataMessage) -> Delivery {
+        Delivery {
+            seq: msg.seq,
+            sender: msg.pid,
+            round: msg.round,
+            service: msg.service,
+            payload: msg.payload.clone(),
+        }
+    }
+}
+
+/// Buffer of received-but-not-yet-discarded messages, ordered by sequence
+/// number.
+///
+/// The buffer tracks three monotone lines through the sequence space:
+///
+/// * `local_aru` — every message at or below it has been *received*;
+/// * the delivery prefix — every message at or below it has been *delivered*
+///   to the application (Agreed messages as soon as they are in order, Safe
+///   messages once the safe line passes them);
+/// * `discarded_up_to` — messages at or below it have been garbage-collected
+///   because the token proved that every participant has them.
+///
+/// # Examples
+///
+/// ```
+/// use accelring_core::buffer::RecvBuffer;
+/// use accelring_core::{Seq};
+///
+/// let buf = RecvBuffer::new(Seq::ZERO);
+/// assert_eq!(buf.local_aru(), Seq::ZERO);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RecvBuffer {
+    messages: BTreeMap<Seq, DataMessage>,
+    local_aru: Seq,
+    next_delivery: Seq,
+    safe_line: Seq,
+    discarded_up_to: Seq,
+}
+
+impl RecvBuffer {
+    /// Creates a buffer whose total order starts just above `start` (the
+    /// membership algorithm passes a nonzero `start` when a new ring
+    /// continues an existing order).
+    pub fn new(start: Seq) -> RecvBuffer {
+        RecvBuffer {
+            messages: BTreeMap::new(),
+            local_aru: start,
+            next_delivery: start.next(),
+            safe_line: start,
+            discarded_up_to: start,
+        }
+    }
+
+    /// Highest sequence number such that every message at or below it has
+    /// been received.
+    pub fn local_aru(&self) -> Seq {
+        self.local_aru
+    }
+
+    /// The highest sequence number currently cleared for Safe delivery.
+    pub fn safe_line(&self) -> Seq {
+        self.safe_line
+    }
+
+    /// Everything at or below this has been garbage-collected.
+    pub fn discarded_up_to(&self) -> Seq {
+        self.discarded_up_to
+    }
+
+    /// Sequence number of the next message to deliver.
+    pub fn next_delivery(&self) -> Seq {
+        self.next_delivery
+    }
+
+    /// Whether the message with sequence number `seq` is held (received and
+    /// not yet discarded).
+    pub fn contains(&self, seq: Seq) -> bool {
+        self.messages.contains_key(&seq)
+    }
+
+    /// Returns the held message with sequence number `seq`, if any.
+    /// Used to answer retransmission requests.
+    pub fn get(&self, seq: Seq) -> Option<&DataMessage> {
+        self.messages.get(&seq)
+    }
+
+    /// Number of messages currently held.
+    pub fn len(&self) -> usize {
+        self.messages.len()
+    }
+
+    /// Whether the buffer holds no messages.
+    pub fn is_empty(&self) -> bool {
+        self.messages.is_empty()
+    }
+
+    /// Inserts a received (or self-sent) message. Returns `true` if the
+    /// message was new, `false` if it was a duplicate or already discarded.
+    ///
+    /// Advances `local_aru` across any contiguous run the insertion
+    /// completes.
+    pub fn insert(&mut self, msg: DataMessage) -> bool {
+        if msg.seq <= self.discarded_up_to || self.messages.contains_key(&msg.seq) {
+            return false;
+        }
+        let seq = msg.seq;
+        self.messages.insert(seq, msg);
+        if seq == self.local_aru.next() {
+            let mut aru = seq;
+            while self.messages.contains_key(&aru.next()) {
+                aru = aru.next();
+            }
+            self.local_aru = aru;
+        }
+        true
+    }
+
+    /// Raises the safe line to `line` (it never moves backwards). Messages
+    /// requiring Safe delivery at or below the line become deliverable.
+    pub fn raise_safe_line(&mut self, line: Seq) {
+        if line > self.safe_line {
+            self.safe_line = line;
+        }
+    }
+
+    /// Drains every message that is now deliverable, in total order:
+    /// messages are delivered while they are contiguous (at or below
+    /// `local_aru`), stopping early at an undelivered Safe message above the
+    /// safe line, because a Safe message blocks everything behind it to
+    /// preserve the single total order (Section III-C).
+    pub fn pop_deliverable(&mut self, out: &mut Vec<Delivery>) {
+        while self.next_delivery <= self.local_aru {
+            let msg = self
+                .messages
+                .get(&self.next_delivery)
+                .expect("messages at or below local_aru are held");
+            if msg.service.requires_stability() && self.next_delivery > self.safe_line {
+                break;
+            }
+            out.push(Delivery::from_message(msg));
+            self.next_delivery = self.next_delivery.next();
+        }
+    }
+
+    /// Garbage-collects every message at or below `line`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if asked to discard messages that have not been
+    /// delivered yet — the protocol only discards below the safe line, and
+    /// delivery always precedes discarding in token handling.
+    pub fn discard_up_to(&mut self, line: Seq) {
+        if line <= self.discarded_up_to {
+            return;
+        }
+        debug_assert!(
+            line < self.next_delivery,
+            "discarding undelivered messages: line {line}, next delivery {}",
+            self.next_delivery
+        );
+        self.messages = self.messages.split_off(&line.next());
+        self.discarded_up_to = line;
+    }
+
+    /// Iterates over the held (received, not yet discarded) messages in
+    /// sequence order. Used by the membership algorithm to snapshot the
+    /// buffer when a configuration change begins.
+    pub fn iter_held(&self) -> impl Iterator<Item = &DataMessage> {
+        self.messages.values()
+    }
+
+    /// The highest sequence number currently held, or the discard line if
+    /// the buffer is empty.
+    pub fn highest_held(&self) -> Seq {
+        self.messages
+            .keys()
+            .next_back()
+            .copied()
+            .unwrap_or(self.discarded_up_to)
+            .max(self.local_aru)
+    }
+
+    /// Collects the sequence numbers in `(local_aru, limit]` that have not
+    /// been received — the retransmission requests this participant should
+    /// place on the token, capped at `max` entries to bound the token size.
+    pub fn missing_up_to(&self, limit: Seq, max: usize) -> Vec<Seq> {
+        let mut missing = Vec::new();
+        let mut s = self.local_aru.next();
+        while s <= limit && missing.len() < max {
+            if !self.messages.contains_key(&s) {
+                missing.push(s);
+            }
+            s = s.next();
+        }
+        missing
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::RingId;
+
+    fn msg(seq: u64, service: Service) -> DataMessage {
+        DataMessage {
+            ring_id: RingId::new(ParticipantId::new(0), 1),
+            seq: Seq::new(seq),
+            pid: ParticipantId::new((seq % 3) as u16),
+            round: Round::new(1),
+            service,
+            post_token: false,
+            retransmission: false,
+            payload: Bytes::from(seq.to_le_bytes().to_vec()),
+        }
+    }
+
+    #[test]
+    fn aru_advances_over_contiguous_prefix() {
+        let mut b = RecvBuffer::new(Seq::ZERO);
+        assert!(b.insert(msg(1, Service::Agreed)));
+        assert_eq!(b.local_aru(), Seq::new(1));
+        assert!(b.insert(msg(3, Service::Agreed)));
+        assert_eq!(b.local_aru(), Seq::new(1));
+        assert!(b.insert(msg(2, Service::Agreed)));
+        assert_eq!(b.local_aru(), Seq::new(3));
+    }
+
+    #[test]
+    fn duplicate_insert_rejected() {
+        let mut b = RecvBuffer::new(Seq::ZERO);
+        assert!(b.insert(msg(1, Service::Agreed)));
+        assert!(!b.insert(msg(1, Service::Agreed)));
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn agreed_messages_deliver_in_order() {
+        let mut b = RecvBuffer::new(Seq::ZERO);
+        b.insert(msg(2, Service::Agreed));
+        let mut out = Vec::new();
+        b.pop_deliverable(&mut out);
+        assert!(out.is_empty(), "gap at 1 blocks delivery");
+        b.insert(msg(1, Service::Agreed));
+        b.pop_deliverable(&mut out);
+        assert_eq!(
+            out.iter().map(|d| d.seq.as_u64()).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
+    }
+
+    #[test]
+    fn safe_message_blocks_until_safe_line() {
+        let mut b = RecvBuffer::new(Seq::ZERO);
+        b.insert(msg(1, Service::Safe));
+        b.insert(msg(2, Service::Agreed));
+        let mut out = Vec::new();
+        b.pop_deliverable(&mut out);
+        assert!(out.is_empty(), "safe msg at 1 blocks everything");
+        b.raise_safe_line(Seq::new(1));
+        b.pop_deliverable(&mut out);
+        assert_eq!(
+            out.iter().map(|d| d.seq.as_u64()).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
+    }
+
+    #[test]
+    fn safe_line_never_regresses() {
+        let mut b = RecvBuffer::new(Seq::ZERO);
+        b.raise_safe_line(Seq::new(10));
+        b.raise_safe_line(Seq::new(5));
+        assert_eq!(b.safe_line(), Seq::new(10));
+    }
+
+    #[test]
+    fn discard_drops_prefix_and_blocks_reinsertion() {
+        let mut b = RecvBuffer::new(Seq::ZERO);
+        for s in 1..=5 {
+            b.insert(msg(s, Service::Agreed));
+        }
+        let mut out = Vec::new();
+        b.pop_deliverable(&mut out);
+        b.discard_up_to(Seq::new(3));
+        assert_eq!(b.len(), 2);
+        assert!(!b.contains(Seq::new(3)));
+        assert!(b.contains(Seq::new(4)));
+        assert!(!b.insert(msg(2, Service::Agreed)), "discarded seqs rejected");
+        assert_eq!(b.discarded_up_to(), Seq::new(3));
+    }
+
+    #[test]
+    fn discard_is_idempotent_and_monotone() {
+        let mut b = RecvBuffer::new(Seq::ZERO);
+        b.insert(msg(1, Service::Agreed));
+        let mut out = Vec::new();
+        b.pop_deliverable(&mut out);
+        b.discard_up_to(Seq::new(1));
+        b.discard_up_to(Seq::new(1));
+        b.discard_up_to(Seq::ZERO);
+        assert_eq!(b.discarded_up_to(), Seq::new(1));
+    }
+
+    #[test]
+    fn missing_up_to_reports_gaps() {
+        let mut b = RecvBuffer::new(Seq::ZERO);
+        b.insert(msg(1, Service::Agreed));
+        b.insert(msg(3, Service::Agreed));
+        b.insert(msg(6, Service::Agreed));
+        let missing = b.missing_up_to(Seq::new(7), 100);
+        assert_eq!(
+            missing.iter().map(|s| s.as_u64()).collect::<Vec<_>>(),
+            vec![2, 4, 5, 7]
+        );
+    }
+
+    #[test]
+    fn missing_up_to_respects_cap() {
+        let b = RecvBuffer::new(Seq::ZERO);
+        let missing = b.missing_up_to(Seq::new(1000), 3);
+        assert_eq!(missing.len(), 3);
+        assert_eq!(missing[0], Seq::new(1));
+    }
+
+    #[test]
+    fn missing_up_to_empty_when_limit_below_aru() {
+        let mut b = RecvBuffer::new(Seq::ZERO);
+        b.insert(msg(1, Service::Agreed));
+        assert!(b.missing_up_to(Seq::new(1), 100).is_empty());
+        assert!(b.missing_up_to(Seq::ZERO, 100).is_empty());
+    }
+
+    #[test]
+    fn nonzero_start_offsets_everything() {
+        let mut b = RecvBuffer::new(Seq::new(100));
+        assert_eq!(b.local_aru(), Seq::new(100));
+        assert!(!b.insert(msg(100, Service::Agreed)), "at start is discarded");
+        assert!(b.insert(msg(101, Service::Agreed)));
+        assert_eq!(b.local_aru(), Seq::new(101));
+        let mut out = Vec::new();
+        b.pop_deliverable(&mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].seq, Seq::new(101));
+    }
+
+    #[test]
+    fn get_serves_held_messages() {
+        let mut b = RecvBuffer::new(Seq::ZERO);
+        b.insert(msg(4, Service::Agreed));
+        assert!(b.get(Seq::new(4)).is_some());
+        assert!(b.get(Seq::new(5)).is_none());
+    }
+
+    #[test]
+    fn delivery_preserves_message_fields() {
+        let mut b = RecvBuffer::new(Seq::ZERO);
+        let m = msg(1, Service::Agreed);
+        b.insert(m.clone());
+        let mut out = Vec::new();
+        b.pop_deliverable(&mut out);
+        let d = &out[0];
+        assert_eq!(d.sender, m.pid);
+        assert_eq!(d.round, m.round);
+        assert_eq!(d.service, m.service);
+        assert_eq!(d.payload, m.payload);
+    }
+}

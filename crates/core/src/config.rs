@@ -1,0 +1,509 @@
+//! Protocol configuration: which variant runs and the flow-control windows.
+
+use std::fmt;
+
+/// Which ordering protocol a participant runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Variant {
+    /// The original Totem Ring protocol: all multicasts for a round complete
+    /// before the token is passed, and missing messages are requested as
+    /// soon as the token shows their sequence numbers were assigned.
+    Original,
+    /// The Accelerated Ring protocol: up to `accelerated_window` messages
+    /// are sent *after* the token, and missing messages are requested one
+    /// round after first being noticed.
+    #[default]
+    Accelerated,
+}
+
+impl fmt::Display for Variant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Variant::Original => "original",
+            Variant::Accelerated => "accelerated",
+        })
+    }
+}
+
+/// How a node runtime decides whether to process a waiting token before
+/// waiting data messages (Section III-D of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PriorityMethod {
+    /// Original protocol behaviour: process every available data message
+    /// before the token.
+    Original,
+    /// Method 1 (aggressive): raise the token's priority as soon as any
+    /// data message from the ring predecessor stamped with the next round
+    /// is processed. Used by the prototypes.
+    #[default]
+    Aggressive,
+    /// Method 2 (conservative): raise the token's priority only after
+    /// processing a next-round message that the predecessor sent *after*
+    /// passing the token. Used by Spread because it degrades gracefully to
+    /// the original behaviour when the accelerated window is zero.
+    Conservative,
+}
+
+impl fmt::Display for PriorityMethod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PriorityMethod::Original => "original",
+            PriorityMethod::Aggressive => "method-1-aggressive",
+            PriorityMethod::Conservative => "method-2-conservative",
+        })
+    }
+}
+
+/// When a participant may place retransmission requests for missing
+/// messages on the token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RtrPolicy {
+    /// The variant's natural rule: the original protocol requests
+    /// immediately, the accelerated protocol waits one round (Section
+    /// III-B2 of the paper).
+    #[default]
+    VariantDefault,
+    /// Request as soon as the token shows a gap (the original protocol's
+    /// rule), even under the accelerated variant. Used by the
+    /// `ablate_rtr_delay` benchmark to quantify how many unnecessary
+    /// retransmissions the one-round delay avoids.
+    Immediate,
+    /// Always wait one round before requesting.
+    Delayed,
+}
+
+/// Errors produced while validating a [`ProtocolConfig`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `personal_window` must be at least 1.
+    ZeroPersonalWindow,
+    /// `accelerated_window` may not exceed `personal_window`.
+    AcceleratedExceedsPersonal {
+        /// The offending accelerated window.
+        accelerated: u32,
+        /// The personal window it exceeds.
+        personal: u32,
+    },
+    /// `global_window` must be at least `personal_window`.
+    GlobalBelowPersonal {
+        /// The offending global window.
+        global: u32,
+        /// The personal window it must reach.
+        personal: u32,
+    },
+    /// The original variant requires a zero accelerated window.
+    OriginalWithAcceleratedWindow(u32),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroPersonalWindow => {
+                write!(f, "personal window must be at least 1")
+            }
+            ConfigError::AcceleratedExceedsPersonal {
+                accelerated,
+                personal,
+            } => write!(
+                f,
+                "accelerated window {accelerated} exceeds personal window {personal}"
+            ),
+            ConfigError::GlobalBelowPersonal { global, personal } => write!(
+                f,
+                "global window {global} is below personal window {personal}"
+            ),
+            ConfigError::OriginalWithAcceleratedWindow(w) => write!(
+                f,
+                "original protocol requires accelerated window 0, got {w}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Validated configuration of the ordering protocol.
+///
+/// Use [`ProtocolConfig::builder`] to construct one; the builder checks the
+/// window invariants discussed in Section III-A of the paper (the
+/// accelerated window is a portion of the personal window, and the global
+/// window caps the whole ring).
+///
+/// # Examples
+///
+/// ```
+/// use accelring_core::{ProtocolConfig, Variant};
+///
+/// let cfg = ProtocolConfig::builder()
+///     .variant(Variant::Accelerated)
+///     .personal_window(20)
+///     .accelerated_window(15)
+///     .global_window(160)
+///     .build()?;
+/// assert_eq!(cfg.personal_window(), 20);
+/// # Ok::<(), accelring_core::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProtocolConfig {
+    variant: Variant,
+    personal_window: u32,
+    accelerated_window: u32,
+    global_window: u32,
+    priority: PriorityMethod,
+    rtr_policy: RtrPolicy,
+    max_send_queue: usize,
+}
+
+impl ProtocolConfig {
+    /// Starts building a configuration. Defaults: accelerated variant,
+    /// personal window 20, accelerated window 15, global window 160,
+    /// aggressive priority, send queue 4096 — the "broad range of parameter
+    /// settings" the paper reports working well (personal windows of a few
+    /// tens with accelerated windows of half to all of the personal window).
+    pub fn builder() -> ProtocolConfigBuilder {
+        ProtocolConfigBuilder::new()
+    }
+
+    /// A ready-made configuration for the original Totem Ring protocol with
+    /// the given personal window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `personal_window` is zero.
+    pub fn original(personal_window: u32) -> ProtocolConfig {
+        ProtocolConfig::builder()
+            .variant(Variant::Original)
+            .personal_window(personal_window)
+            .accelerated_window(0)
+            .global_window(personal_window.saturating_mul(8).max(personal_window))
+            .priority(PriorityMethod::Original)
+            .build()
+            .expect("original config with nonzero personal window is valid")
+    }
+
+    /// A ready-made configuration for the Accelerated Ring protocol with the
+    /// given personal and accelerated windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the windows violate the invariants (see [`ConfigError`]).
+    pub fn accelerated(personal_window: u32, accelerated_window: u32) -> ProtocolConfig {
+        ProtocolConfig::builder()
+            .variant(Variant::Accelerated)
+            .personal_window(personal_window)
+            .accelerated_window(accelerated_window)
+            .global_window(personal_window.saturating_mul(8).max(personal_window))
+            .build()
+            .expect("accelerated config within windows is valid")
+    }
+
+    /// The protocol variant.
+    pub fn variant(&self) -> Variant {
+        self.variant
+    }
+
+    /// Maximum new data messages one participant may send per token round.
+    pub fn personal_window(&self) -> u32 {
+        self.personal_window
+    }
+
+    /// Maximum messages a participant may send after passing the token.
+    pub fn accelerated_window(&self) -> u32 {
+        self.accelerated_window
+    }
+
+    /// Maximum data messages the whole ring may send in one token round.
+    pub fn global_window(&self) -> u32 {
+        self.global_window
+    }
+
+    /// The token/data priority policy for the node runtime.
+    pub fn priority(&self) -> PriorityMethod {
+        self.priority
+    }
+
+    /// When missing messages may be requested for retransmission.
+    pub fn rtr_policy(&self) -> RtrPolicy {
+        self.rtr_policy
+    }
+
+    /// Whether retransmission requests wait one round, resolving
+    /// [`RtrPolicy::VariantDefault`] against the variant.
+    pub fn rtr_delayed(&self) -> bool {
+        match self.rtr_policy {
+            RtrPolicy::VariantDefault => self.variant == Variant::Accelerated,
+            RtrPolicy::Immediate => false,
+            RtrPolicy::Delayed => true,
+        }
+    }
+
+    /// Maximum messages that may wait in the send queue before
+    /// [`crate::Participant::submit`] reports backpressure.
+    pub fn max_send_queue(&self) -> usize {
+        self.max_send_queue
+    }
+}
+
+impl Default for ProtocolConfig {
+    fn default() -> Self {
+        ProtocolConfig::builder()
+            .build()
+            .expect("default config is valid")
+    }
+}
+
+/// Builder for [`ProtocolConfig`] (see [C-BUILDER]).
+///
+/// [C-BUILDER]: https://rust-lang.github.io/api-guidelines/type-safety.html
+#[derive(Debug, Clone)]
+pub struct ProtocolConfigBuilder {
+    variant: Variant,
+    personal_window: u32,
+    accelerated_window: u32,
+    global_window: u32,
+    priority: Option<PriorityMethod>,
+    rtr_policy: RtrPolicy,
+    max_send_queue: usize,
+}
+
+impl ProtocolConfigBuilder {
+    fn new() -> Self {
+        ProtocolConfigBuilder {
+            variant: Variant::Accelerated,
+            personal_window: 20,
+            accelerated_window: 15,
+            global_window: 160,
+            priority: None,
+            rtr_policy: RtrPolicy::VariantDefault,
+            max_send_queue: 4096,
+        }
+    }
+
+    /// Sets the protocol variant.
+    pub fn variant(&mut self, variant: Variant) -> &mut Self {
+        self.variant = variant;
+        self
+    }
+
+    /// Sets the personal window.
+    pub fn personal_window(&mut self, window: u32) -> &mut Self {
+        self.personal_window = window;
+        self
+    }
+
+    /// Sets the accelerated window.
+    pub fn accelerated_window(&mut self, window: u32) -> &mut Self {
+        self.accelerated_window = window;
+        self
+    }
+
+    /// Sets the global window.
+    pub fn global_window(&mut self, window: u32) -> &mut Self {
+        self.global_window = window;
+        self
+    }
+
+    /// Sets the token/data priority policy. Defaults to
+    /// [`PriorityMethod::Original`] for the original variant and
+    /// [`PriorityMethod::Aggressive`] for the accelerated variant.
+    pub fn priority(&mut self, priority: PriorityMethod) -> &mut Self {
+        self.priority = Some(priority);
+        self
+    }
+
+    /// Sets the send-queue capacity.
+    pub fn max_send_queue(&mut self, capacity: usize) -> &mut Self {
+        self.max_send_queue = capacity;
+        self
+    }
+
+    /// Sets the retransmission-request policy (ablation support).
+    pub fn rtr_policy(&mut self, policy: RtrPolicy) -> &mut Self {
+        self.rtr_policy = policy;
+        self
+    }
+
+    /// Validates the invariants and produces the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] when the windows are inconsistent.
+    pub fn build(&self) -> Result<ProtocolConfig, ConfigError> {
+        if self.personal_window == 0 {
+            return Err(ConfigError::ZeroPersonalWindow);
+        }
+        if self.accelerated_window > self.personal_window {
+            return Err(ConfigError::AcceleratedExceedsPersonal {
+                accelerated: self.accelerated_window,
+                personal: self.personal_window,
+            });
+        }
+        if self.global_window < self.personal_window {
+            return Err(ConfigError::GlobalBelowPersonal {
+                global: self.global_window,
+                personal: self.personal_window,
+            });
+        }
+        if self.variant == Variant::Original && self.accelerated_window != 0 {
+            return Err(ConfigError::OriginalWithAcceleratedWindow(
+                self.accelerated_window,
+            ));
+        }
+        let priority = self.priority.unwrap_or(match self.variant {
+            Variant::Original => PriorityMethod::Original,
+            Variant::Accelerated => PriorityMethod::Aggressive,
+        });
+        Ok(ProtocolConfig {
+            variant: self.variant,
+            personal_window: self.personal_window,
+            accelerated_window: self.accelerated_window,
+            global_window: self.global_window,
+            priority,
+            rtr_policy: self.rtr_policy,
+            max_send_queue: self.max_send_queue,
+        })
+    }
+}
+
+impl Default for ProtocolConfigBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_accelerated() {
+        let cfg = ProtocolConfig::default();
+        assert_eq!(cfg.variant(), Variant::Accelerated);
+        assert!(cfg.accelerated_window() <= cfg.personal_window());
+        assert!(cfg.global_window() >= cfg.personal_window());
+        assert_eq!(cfg.priority(), PriorityMethod::Aggressive);
+    }
+
+    #[test]
+    fn original_shortcut() {
+        let cfg = ProtocolConfig::original(30);
+        assert_eq!(cfg.variant(), Variant::Original);
+        assert_eq!(cfg.accelerated_window(), 0);
+        assert_eq!(cfg.personal_window(), 30);
+        assert_eq!(cfg.priority(), PriorityMethod::Original);
+    }
+
+    #[test]
+    fn accelerated_shortcut() {
+        let cfg = ProtocolConfig::accelerated(20, 10);
+        assert_eq!(cfg.variant(), Variant::Accelerated);
+        assert_eq!(cfg.accelerated_window(), 10);
+    }
+
+    #[test]
+    fn rejects_zero_personal_window() {
+        let err = ProtocolConfig::builder()
+            .personal_window(0)
+            .accelerated_window(0)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::ZeroPersonalWindow);
+    }
+
+    #[test]
+    fn rejects_accelerated_above_personal() {
+        let err = ProtocolConfig::builder()
+            .personal_window(5)
+            .accelerated_window(6)
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ConfigError::AcceleratedExceedsPersonal { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_global_below_personal() {
+        let err = ProtocolConfig::builder()
+            .personal_window(20)
+            .accelerated_window(10)
+            .global_window(10)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::GlobalBelowPersonal { .. }));
+    }
+
+    #[test]
+    fn rejects_original_with_accelerated_window() {
+        let err = ProtocolConfig::builder()
+            .variant(Variant::Original)
+            .personal_window(20)
+            .accelerated_window(5)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::OriginalWithAcceleratedWindow(5));
+    }
+
+    #[test]
+    fn original_defaults_to_original_priority() {
+        let cfg = ProtocolConfig::builder()
+            .variant(Variant::Original)
+            .accelerated_window(0)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.priority(), PriorityMethod::Original);
+    }
+
+    #[test]
+    fn priority_override_respected() {
+        let cfg = ProtocolConfig::builder()
+            .priority(PriorityMethod::Conservative)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.priority(), PriorityMethod::Conservative);
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        for err in [
+            ConfigError::ZeroPersonalWindow,
+            ConfigError::AcceleratedExceedsPersonal {
+                accelerated: 2,
+                personal: 1,
+            },
+            ConfigError::GlobalBelowPersonal {
+                global: 1,
+                personal: 2,
+            },
+            ConfigError::OriginalWithAcceleratedWindow(3),
+        ] {
+            assert!(!err.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn rtr_policy_resolution() {
+        assert!(ProtocolConfig::accelerated(20, 10).rtr_delayed());
+        assert!(!ProtocolConfig::original(20).rtr_delayed());
+        let immediate = ProtocolConfig::builder()
+            .rtr_policy(RtrPolicy::Immediate)
+            .build()
+            .unwrap();
+        assert!(!immediate.rtr_delayed());
+        let delayed = ProtocolConfig::builder()
+            .variant(Variant::Original)
+            .accelerated_window(0)
+            .rtr_policy(RtrPolicy::Delayed)
+            .build()
+            .unwrap();
+        assert!(delayed.rtr_delayed());
+    }
+
+    #[test]
+    fn variant_display() {
+        assert_eq!(Variant::Original.to_string(), "original");
+        assert_eq!(Variant::Accelerated.to_string(), "accelerated");
+        assert_eq!(PriorityMethod::Aggressive.to_string(), "method-1-aggressive");
+    }
+}

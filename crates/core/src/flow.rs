@@ -1,0 +1,217 @@
+//! Flow-control arithmetic (Section III-B1 and III-B2 of the paper).
+//!
+//! A single mechanism — the token's `fcc` field plus the personal and global
+//! windows — provides flow control for the whole ring. This module keeps the
+//! arithmetic in pure functions so it can be unit- and property-tested in
+//! isolation from the state machine.
+
+use crate::config::ProtocolConfig;
+
+/// How many multicasts a participant contributed to the ring during one
+/// token round. Tracked per participant, fed into the token's `fcc`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RoundSendRecord {
+    /// New data messages sent in the round.
+    pub new_messages: u32,
+    /// Retransmissions answered in the round.
+    pub retransmissions: u32,
+}
+
+impl RoundSendRecord {
+    /// Total multicasts in the round.
+    pub fn total(self) -> u32 {
+        self.new_messages + self.retransmissions
+    }
+}
+
+/// Computes `Num_to_send`: the number of *new* data messages a participant
+/// may multicast this round (Section III-B1).
+///
+/// It is the minimum of:
+/// * the number of messages waiting in the send queue,
+/// * the personal window,
+/// * the global allowance `global_window - received_fcc - num_retrans`
+///   (saturating at zero).
+///
+/// # Examples
+///
+/// ```
+/// use accelring_core::flow::num_to_send;
+/// use accelring_core::ProtocolConfig;
+///
+/// let cfg = ProtocolConfig::accelerated(20, 10);
+/// // Plenty queued, idle ring: limited by the personal window.
+/// assert_eq!(num_to_send(&cfg, 1000, 0, 0), 20);
+/// // Busy ring: limited by the global allowance.
+/// assert_eq!(num_to_send(&cfg, 1000, 155, 0), 5);
+/// ```
+pub fn num_to_send(
+    cfg: &ProtocolConfig,
+    queued: usize,
+    received_fcc: u32,
+    num_retrans: u32,
+) -> u32 {
+    let global_allowance = cfg
+        .global_window()
+        .saturating_sub(received_fcc)
+        .saturating_sub(num_retrans);
+    let queued = u32::try_from(queued).unwrap_or(u32::MAX);
+    queued.min(cfg.personal_window()).min(global_allowance)
+}
+
+/// Splits `num_to_send` into the pre-token and post-token portions
+/// (Sections III-B1 and III-B3).
+///
+/// The participant sends `num_to_send - accelerated_window` messages before
+/// passing the token (zero if `num_to_send` is not larger than the
+/// accelerated window) and the remainder after. A participant with fewer
+/// messages than the accelerated window sends *all* of them after the token,
+/// exactly as the paper's example describes.
+///
+/// # Examples
+///
+/// ```
+/// use accelring_core::flow::split_pre_post;
+///
+/// // Personal window 5, accelerated window 3 (the Figure 1 example):
+/// assert_eq!(split_pre_post(5, 3), (2, 3));
+/// // Only two messages to send: both go after the token.
+/// assert_eq!(split_pre_post(2, 3), (0, 2));
+/// ```
+pub fn split_pre_post(num_to_send: u32, accelerated_window: u32) -> (u32, u32) {
+    let pre = num_to_send.saturating_sub(accelerated_window);
+    (pre, num_to_send - pre)
+}
+
+/// Updates the token's `fcc` field (Section III-B2): subtract what this
+/// participant sent last round, add what it sends this round.
+pub fn update_fcc(received_fcc: u32, last_round: RoundSendRecord, this_round: RoundSendRecord) -> u32 {
+    received_fcc
+        .saturating_sub(last_round.total())
+        .saturating_add(this_round.total())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Variant;
+
+    fn cfg(personal: u32, accel: u32, global: u32) -> ProtocolConfig {
+        ProtocolConfig::builder()
+            .variant(Variant::Accelerated)
+            .personal_window(personal)
+            .accelerated_window(accel)
+            .global_window(global)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn limited_by_queue() {
+        let c = cfg(20, 10, 160);
+        assert_eq!(num_to_send(&c, 3, 0, 0), 3);
+    }
+
+    #[test]
+    fn limited_by_personal_window() {
+        let c = cfg(20, 10, 160);
+        assert_eq!(num_to_send(&c, 100, 0, 0), 20);
+    }
+
+    #[test]
+    fn limited_by_global_allowance() {
+        let c = cfg(20, 10, 160);
+        assert_eq!(num_to_send(&c, 100, 150, 0), 10);
+    }
+
+    #[test]
+    fn retransmissions_consume_global_allowance() {
+        let c = cfg(20, 10, 160);
+        assert_eq!(num_to_send(&c, 100, 150, 4), 6);
+    }
+
+    #[test]
+    fn global_allowance_saturates_at_zero() {
+        let c = cfg(20, 10, 160);
+        assert_eq!(num_to_send(&c, 100, 200, 0), 0);
+        assert_eq!(num_to_send(&c, 100, 158, 10), 0);
+    }
+
+    #[test]
+    fn empty_queue_sends_nothing() {
+        let c = cfg(20, 10, 160);
+        assert_eq!(num_to_send(&c, 0, 0, 0), 0);
+    }
+
+    #[test]
+    fn split_matches_figure_1() {
+        // Figure 1b: personal window 5, accelerated window 3 => 2 pre, 3 post.
+        assert_eq!(split_pre_post(5, 3), (2, 3));
+    }
+
+    #[test]
+    fn split_all_post_when_few_messages() {
+        assert_eq!(split_pre_post(2, 3), (0, 2));
+        assert_eq!(split_pre_post(3, 3), (0, 3));
+        assert_eq!(split_pre_post(0, 3), (0, 0));
+    }
+
+    #[test]
+    fn split_all_pre_when_accel_zero() {
+        // Original protocol: everything before the token.
+        assert_eq!(split_pre_post(5, 0), (5, 0));
+    }
+
+    #[test]
+    fn split_parts_sum() {
+        for n in 0..50 {
+            for a in 0..50 {
+                let (pre, post) = split_pre_post(n, a);
+                assert_eq!(pre + post, n);
+                assert!(post <= a || pre == 0);
+            }
+        }
+    }
+
+    #[test]
+    fn fcc_update_steady_state() {
+        let last = RoundSendRecord {
+            new_messages: 5,
+            retransmissions: 1,
+        };
+        let this = RoundSendRecord {
+            new_messages: 5,
+            retransmissions: 1,
+        };
+        assert_eq!(update_fcc(48, last, this), 48);
+    }
+
+    #[test]
+    fn fcc_update_growth_and_shrink() {
+        let none = RoundSendRecord::default();
+        let five = RoundSendRecord {
+            new_messages: 5,
+            retransmissions: 0,
+        };
+        assert_eq!(update_fcc(0, none, five), 5);
+        assert_eq!(update_fcc(5, five, none), 0);
+    }
+
+    #[test]
+    fn fcc_update_never_underflows() {
+        let huge = RoundSendRecord {
+            new_messages: 100,
+            retransmissions: 100,
+        };
+        assert_eq!(update_fcc(10, huge, RoundSendRecord::default()), 0);
+    }
+
+    #[test]
+    fn round_record_total() {
+        let r = RoundSendRecord {
+            new_messages: 3,
+            retransmissions: 4,
+        };
+        assert_eq!(r.total(), 7);
+    }
+}

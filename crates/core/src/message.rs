@@ -1,0 +1,220 @@
+//! The two message kinds of the ordering protocol: data messages and the
+//! token.
+//!
+//! Field names deliberately follow Section III-B/III-C of the paper so the
+//! implementation can be checked against the text line by line.
+
+use bytes::Bytes;
+
+use crate::types::{ParticipantId, RingId, Round, Seq, Service};
+
+/// A data message carrying application payload plus the metadata used for
+/// ordering (Section III-C of the paper).
+///
+/// # Examples
+///
+/// ```
+/// use accelring_core::{DataMessage, ParticipantId, RingId, Round, Seq, Service};
+/// use bytes::Bytes;
+///
+/// let msg = DataMessage {
+///     ring_id: RingId::new(ParticipantId::new(0), 1),
+///     seq: Seq::new(6),
+///     pid: ParticipantId::new(1),
+///     round: Round::new(2),
+///     service: Service::Agreed,
+///     post_token: true,
+///     retransmission: false,
+///     payload: Bytes::from_static(b"state update"),
+/// };
+/// assert_eq!(msg.wire_len(), accelring_core::wire::DATA_HEADER_LEN + 12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataMessage {
+    /// Configuration this message belongs to.
+    pub ring_id: RingId,
+    /// Position of the message in the total order. Assigned by the sender
+    /// at send time from the token's `seq` field — this is what makes the
+    /// protocol order messages "at the time they are sent".
+    pub seq: Seq,
+    /// Id of the participant that initiated the message.
+    pub pid: ParticipantId,
+    /// Token round in which the message was initiated.
+    pub round: Round,
+    /// Requested delivery service.
+    pub service: Service,
+    /// True if the sender transmitted this message *after* passing the
+    /// token for `round` (only the Accelerated Ring protocol produces such
+    /// messages). Used by the conservative token-priority policy.
+    pub post_token: bool,
+    /// True if this transmission is a retransmission answering an `rtr`
+    /// request. Retransmissions keep the original `seq`/`round` stamps.
+    pub retransmission: bool,
+    /// Application payload; never inspected by the protocol.
+    pub payload: Bytes,
+}
+
+impl DataMessage {
+    /// Number of bytes this message occupies on the wire (header plus
+    /// payload), used by the flow-control statistics and by the simulator's
+    /// serialization model.
+    pub fn wire_len(&self) -> usize {
+        crate::wire::DATA_HEADER_LEN + self.payload.len()
+    }
+
+    /// Returns a copy marked as a retransmission.
+    pub fn as_retransmission(&self) -> DataMessage {
+        DataMessage {
+            retransmission: true,
+            ..self.clone()
+        }
+    }
+}
+
+/// The circulating token (Section III-B of the paper).
+///
+/// A single token exists per ring in normal operation. It provides ordering
+/// (`seq`), stability notification (`aru`), flow control (`fcc`), and
+/// retransmission requests (`rtr`).
+///
+/// # Examples
+///
+/// ```
+/// use accelring_core::{ParticipantId, RingId, Token};
+///
+/// let token = Token::initial(RingId::new(ParticipantId::new(0), 1));
+/// assert_eq!(token.seq.as_u64(), 0);
+/// assert!(token.rtr.is_empty());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Configuration this token belongs to.
+    pub ring_id: RingId,
+    /// Hop counter, incremented on every send. Used to recognize duplicate
+    /// tokens retransmitted by the membership layer's token-loss recovery.
+    pub token_id: u64,
+    /// Rotation counter, incremented by the participant at ring position 0.
+    pub round: Round,
+    /// Last sequence number assigned to any message.
+    pub seq: Seq,
+    /// All-received-up-to: running minimum used to determine the highest
+    /// sequence number that every participant has received.
+    pub aru: Seq,
+    /// The participant that last lowered `aru`, if any. Needed by the aru
+    /// update rules to know when the lowerer may raise it again.
+    pub aru_id: Option<ParticipantId>,
+    /// Flow-control count: total multicasts (new + retransmissions) sent
+    /// during the last rotation.
+    pub fcc: u32,
+    /// Sequence numbers that some participant is missing and requests for
+    /// retransmission.
+    pub rtr: Vec<Seq>,
+}
+
+impl Token {
+    /// The token that the membership algorithm injects when a ring forms:
+    /// nothing sent, nothing to recover.
+    pub fn initial(ring_id: RingId) -> Token {
+        Token {
+            ring_id,
+            token_id: 0,
+            round: Round::ZERO,
+            seq: Seq::ZERO,
+            aru: Seq::ZERO,
+            aru_id: None,
+            fcc: 0,
+            rtr: Vec::new(),
+        }
+    }
+
+    /// A token for a freshly formed ring whose total order continues at
+    /// `start`, used after recovery installs messages from old rings.
+    pub fn starting_at(ring_id: RingId, start: Seq) -> Token {
+        Token {
+            ring_id,
+            token_id: 0,
+            round: Round::ZERO,
+            seq: start,
+            aru: start,
+            aru_id: None,
+            fcc: 0,
+            rtr: Vec::new(),
+        }
+    }
+
+    /// Number of bytes the token occupies on the wire.
+    pub fn wire_len(&self) -> usize {
+        crate::wire::token_wire_len(self.rtr.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring() -> RingId {
+        RingId::new(ParticipantId::new(0), 7)
+    }
+
+    #[test]
+    fn initial_token_is_empty() {
+        let t = Token::initial(ring());
+        assert_eq!(t.seq, Seq::ZERO);
+        assert_eq!(t.aru, Seq::ZERO);
+        assert_eq!(t.aru_id, None);
+        assert_eq!(t.fcc, 0);
+        assert_eq!(t.round, Round::ZERO);
+        assert!(t.rtr.is_empty());
+    }
+
+    #[test]
+    fn starting_at_aligns_seq_and_aru() {
+        let t = Token::starting_at(ring(), Seq::new(100));
+        assert_eq!(t.seq, Seq::new(100));
+        assert_eq!(t.aru, Seq::new(100));
+    }
+
+    #[test]
+    fn retransmission_copy_keeps_stamps() {
+        let m = DataMessage {
+            ring_id: ring(),
+            seq: Seq::new(9),
+            pid: ParticipantId::new(3),
+            round: Round::new(4),
+            service: Service::Safe,
+            post_token: true,
+            retransmission: false,
+            payload: Bytes::from_static(b"x"),
+        };
+        let r = m.as_retransmission();
+        assert!(r.retransmission);
+        assert_eq!(r.seq, m.seq);
+        assert_eq!(r.round, m.round);
+        assert_eq!(r.post_token, m.post_token);
+        assert_eq!(r.payload, m.payload);
+    }
+
+    #[test]
+    fn wire_len_counts_payload() {
+        let m = DataMessage {
+            ring_id: ring(),
+            seq: Seq::new(1),
+            pid: ParticipantId::new(0),
+            round: Round::ZERO,
+            service: Service::Agreed,
+            post_token: false,
+            retransmission: false,
+            payload: Bytes::from(vec![0u8; 1350]),
+        };
+        assert_eq!(m.wire_len(), crate::wire::DATA_HEADER_LEN + 1350);
+    }
+
+    #[test]
+    fn token_wire_len_grows_with_rtr() {
+        let mut t = Token::initial(ring());
+        let base = t.wire_len();
+        t.rtr.push(Seq::new(5));
+        t.rtr.push(Seq::new(6));
+        assert_eq!(t.wire_len(), base + 16);
+    }
+}

@@ -1,0 +1,202 @@
+//! Token/data processing-priority policies (Section III-D of the paper).
+//!
+//! When a token and data messages are waiting at the same time, the node
+//! runtime must decide which to process first. The decision affects
+//! performance but never correctness. In real deployments the two message
+//! types arrive on different sockets; the runtime reads from the
+//! high-priority socket until it is empty. The simulator models the same
+//! two-queue structure, and both consult this tracker.
+
+use crate::config::PriorityMethod;
+use crate::message::DataMessage;
+use crate::types::{ParticipantId, Round};
+
+/// Tracks whether the waiting token currently outranks waiting data
+/// messages.
+///
+/// Lifecycle: after a token is processed, data has high priority
+/// ([`PriorityTracker::on_token_processed`]). Each processed data message is
+/// then shown to the tracker ([`PriorityTracker::on_data_processed`]); when
+/// the policy's trigger fires the token regains high priority until it is
+/// next processed.
+///
+/// # Examples
+///
+/// ```
+/// use accelring_core::priority::PriorityTracker;
+/// use accelring_core::{ParticipantId, PriorityMethod, Round};
+///
+/// let mut tracker = PriorityTracker::new(PriorityMethod::Aggressive, ParticipantId::new(2));
+/// tracker.on_token_processed(Round::new(5));
+/// assert!(!tracker.token_has_priority());
+/// ```
+#[derive(Debug, Clone)]
+pub struct PriorityTracker {
+    method: PriorityMethod,
+    predecessor: ParticipantId,
+    current_round: Round,
+    token_high: bool,
+}
+
+impl PriorityTracker {
+    /// Creates a tracker for the given policy. `predecessor` is this
+    /// participant's immediate predecessor on the ring, whose next-round
+    /// messages signal that the token is on its way.
+    pub fn new(method: PriorityMethod, predecessor: ParticipantId) -> PriorityTracker {
+        PriorityTracker {
+            method,
+            predecessor,
+            current_round: Round::ZERO,
+            // Before the first token arrives there is nothing else to do,
+            // so the token may be processed immediately.
+            token_high: true,
+        }
+    }
+
+    /// The policy in force.
+    pub fn method(&self) -> PriorityMethod {
+        self.method
+    }
+
+    /// Updates the ring predecessor after a membership change.
+    pub fn set_predecessor(&mut self, predecessor: ParticipantId) {
+        self.predecessor = predecessor;
+    }
+
+    /// Records that the token for `round` was processed: data messages now
+    /// have high priority.
+    pub fn on_token_processed(&mut self, round: Round) {
+        self.current_round = round;
+        self.token_high = false;
+    }
+
+    /// Shows a processed data message to the tracker; raises the token's
+    /// priority if the policy's trigger fires.
+    pub fn on_data_processed(&mut self, msg: &DataMessage) {
+        if self.token_high {
+            return;
+        }
+        let next_round = msg.pid == self.predecessor && msg.round > self.current_round;
+        let fires = match self.method {
+            // The original protocol never prioritizes the token over data.
+            PriorityMethod::Original => false,
+            // Method 1: any next-round message from the predecessor proves
+            // the predecessor already received and passed this round's
+            // token, so our token is in flight (or queued) — grab it.
+            PriorityMethod::Aggressive => next_round,
+            // Method 2: wait until the predecessor is known to have already
+            // *sent* the token for the new round, i.e. the message was sent
+            // post-token. Degrades to the original behaviour when the
+            // accelerated window is zero (no post-token messages exist).
+            PriorityMethod::Conservative => next_round && msg.post_token,
+        };
+        if fires {
+            self.token_high = true;
+        }
+    }
+
+    /// Whether a waiting token should be processed before waiting data.
+    /// (A token is always processed when no data is waiting, regardless of
+    /// this flag.)
+    pub fn token_has_priority(&self) -> bool {
+        self.token_high
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{RingId, Seq, Service};
+    use bytes::Bytes;
+
+    fn data(pid: u16, round: u64, post_token: bool) -> DataMessage {
+        DataMessage {
+            ring_id: RingId::new(ParticipantId::new(0), 1),
+            seq: Seq::new(1),
+            pid: ParticipantId::new(pid),
+            round: Round::new(round),
+            service: Service::Agreed,
+            post_token,
+            retransmission: false,
+            payload: Bytes::new(),
+        }
+    }
+
+    #[test]
+    fn token_high_before_first_round() {
+        let t = PriorityTracker::new(PriorityMethod::Aggressive, ParticipantId::new(2));
+        assert!(t.token_has_priority());
+    }
+
+    #[test]
+    fn data_high_after_token() {
+        let mut t = PriorityTracker::new(PriorityMethod::Aggressive, ParticipantId::new(2));
+        t.on_token_processed(Round::new(1));
+        assert!(!t.token_has_priority());
+    }
+
+    #[test]
+    fn original_never_raises_token() {
+        let mut t = PriorityTracker::new(PriorityMethod::Original, ParticipantId::new(2));
+        t.on_token_processed(Round::new(1));
+        t.on_data_processed(&data(2, 2, true));
+        assert!(!t.token_has_priority());
+    }
+
+    #[test]
+    fn aggressive_fires_on_next_round_from_predecessor() {
+        let mut t = PriorityTracker::new(PriorityMethod::Aggressive, ParticipantId::new(2));
+        t.on_token_processed(Round::new(1));
+        t.on_data_processed(&data(2, 1, false));
+        assert!(!t.token_has_priority(), "same round does not fire");
+        t.on_data_processed(&data(3, 2, false));
+        assert!(!t.token_has_priority(), "non-predecessor does not fire");
+        t.on_data_processed(&data(2, 2, false));
+        assert!(t.token_has_priority(), "next round from predecessor fires");
+    }
+
+    #[test]
+    fn conservative_requires_post_token_flag() {
+        let mut t = PriorityTracker::new(PriorityMethod::Conservative, ParticipantId::new(2));
+        t.on_token_processed(Round::new(1));
+        t.on_data_processed(&data(2, 2, false));
+        assert!(!t.token_has_priority(), "pre-token message does not fire");
+        t.on_data_processed(&data(2, 2, true));
+        assert!(t.token_has_priority());
+    }
+
+    #[test]
+    fn trigger_resets_each_round() {
+        let mut t = PriorityTracker::new(PriorityMethod::Aggressive, ParticipantId::new(2));
+        t.on_token_processed(Round::new(1));
+        t.on_data_processed(&data(2, 2, false));
+        assert!(t.token_has_priority());
+        t.on_token_processed(Round::new(2));
+        assert!(!t.token_has_priority());
+        // A stale message from the (now) current round does not fire.
+        t.on_data_processed(&data(2, 2, true));
+        assert!(!t.token_has_priority());
+        t.on_data_processed(&data(2, 3, false));
+        assert!(t.token_has_priority());
+    }
+
+    #[test]
+    fn rounds_further_ahead_also_fire() {
+        // Loss can skip a whole round; any strictly newer round fires.
+        let mut t = PriorityTracker::new(PriorityMethod::Aggressive, ParticipantId::new(2));
+        t.on_token_processed(Round::new(1));
+        t.on_data_processed(&data(2, 5, false));
+        assert!(t.token_has_priority());
+    }
+
+    #[test]
+    fn predecessor_update() {
+        let mut t = PriorityTracker::new(PriorityMethod::Aggressive, ParticipantId::new(2));
+        t.on_token_processed(Round::new(1));
+        t.set_predecessor(ParticipantId::new(7));
+        t.on_data_processed(&data(2, 2, false));
+        assert!(!t.token_has_priority());
+        t.on_data_processed(&data(7, 2, false));
+        assert!(t.token_has_priority());
+    }
+}

@@ -1,0 +1,223 @@
+//! Ring membership view used by the ordering protocol.
+//!
+//! The membership algorithm (crate `accelring-membership`) produces these
+//! views; in static deployments or tests they are built directly.
+
+use crate::types::{ParticipantId, RingId};
+
+/// Errors produced while constructing a [`Ring`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RingError {
+    /// A ring needs at least one member.
+    Empty,
+    /// A participant id appears twice in the member list.
+    DuplicateMember(ParticipantId),
+    /// The local participant is not in the member list.
+    NotAMember(ParticipantId),
+}
+
+impl std::fmt::Display for RingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RingError::Empty => write!(f, "ring must have at least one member"),
+            RingError::DuplicateMember(p) => write!(f, "duplicate member {p}"),
+            RingError::NotAMember(p) => write!(f, "participant {p} is not a ring member"),
+        }
+    }
+}
+
+impl std::error::Error for RingError {}
+
+/// An established ring configuration: an id and an ordered member list.
+///
+/// The member at index 0 is the ring leader for round counting (it
+/// increments the token's round field), and the token travels in index
+/// order, wrapping from the last member back to index 0.
+///
+/// # Examples
+///
+/// ```
+/// use accelring_core::{ParticipantId, Ring, RingId};
+///
+/// let ids: Vec<_> = (0..3).map(ParticipantId::new).collect();
+/// let ring = Ring::new(RingId::new(ids[0], 1), ids.clone())?;
+/// assert_eq!(ring.successor_of(ids[2]), ids[0]);
+/// assert_eq!(ring.predecessor_of(ids[0]), ids[2]);
+/// # Ok::<(), accelring_core::RingError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ring {
+    id: RingId,
+    members: Vec<ParticipantId>,
+}
+
+impl Ring {
+    /// Creates a ring from an id and an ordered member list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RingError`] if the list is empty or contains duplicates.
+    pub fn new(id: RingId, members: Vec<ParticipantId>) -> Result<Ring, RingError> {
+        if members.is_empty() {
+            return Err(RingError::Empty);
+        }
+        for (i, m) in members.iter().enumerate() {
+            if members[..i].contains(m) {
+                return Err(RingError::DuplicateMember(*m));
+            }
+        }
+        Ok(Ring { id, members })
+    }
+
+    /// Convenience constructor: members `0..n` in ascending order, ring
+    /// counter 1, representative 0. Used pervasively by tests and examples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn of_size(n: u16) -> Ring {
+        assert!(n > 0, "ring must have at least one member");
+        let members: Vec<_> = (0..n).map(ParticipantId::new).collect();
+        Ring::new(RingId::new(members[0], 1), members).expect("distinct ids")
+    }
+
+    /// The configuration id.
+    pub fn id(&self) -> RingId {
+        self.id
+    }
+
+    /// The members in ring order.
+    pub fn members(&self) -> &[ParticipantId] {
+        &self.members
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the ring has no members. Always false: [`Ring::new`]
+    /// rejects empty member lists, but the method exists for the standard
+    /// `len`/`is_empty` pairing.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Whether the ring has exactly one member.
+    pub fn is_singleton(&self) -> bool {
+        self.members.len() == 1
+    }
+
+    /// Ring position of `member`, if present.
+    pub fn index_of(&self, member: ParticipantId) -> Option<usize> {
+        self.members.iter().position(|m| *m == member)
+    }
+
+    /// Whether `member` belongs to this ring.
+    pub fn contains(&self, member: ParticipantId) -> bool {
+        self.members.contains(&member)
+    }
+
+    /// The member the token is passed to after `member`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `member` is not in the ring.
+    pub fn successor_of(&self, member: ParticipantId) -> ParticipantId {
+        let idx = self.index_of(member).expect("member must be in the ring");
+        self.members[(idx + 1) % self.members.len()]
+    }
+
+    /// The member the token arrives from before `member`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `member` is not in the ring.
+    pub fn predecessor_of(&self, member: ParticipantId) -> ParticipantId {
+        let idx = self.index_of(member).expect("member must be in the ring");
+        self.members[(idx + self.members.len() - 1) % self.members.len()]
+    }
+
+    /// The member `k` positions before `member` on the ring (used by the
+    /// positional-loss experiment of Figure 13).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `member` is not in the ring.
+    pub fn member_positions_before(&self, member: ParticipantId, k: usize) -> ParticipantId {
+        let idx = self.index_of(member).expect("member must be in the ring");
+        let n = self.members.len();
+        self.members[(idx + n - (k % n)) % n]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn of_size_builds_ascending_ring() {
+        let r = Ring::of_size(4);
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.members()[0], ParticipantId::new(0));
+        assert!(!r.is_singleton());
+        assert!(Ring::of_size(1).is_singleton());
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(
+            Ring::new(RingId::default(), vec![]).unwrap_err(),
+            RingError::Empty
+        );
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        let dup = ParticipantId::new(1);
+        let err = Ring::new(RingId::default(), vec![ParticipantId::new(0), dup, dup]).unwrap_err();
+        assert_eq!(err, RingError::DuplicateMember(dup));
+    }
+
+    #[test]
+    fn successor_and_predecessor_wrap() {
+        let r = Ring::of_size(3);
+        let p = |i: u16| ParticipantId::new(i);
+        assert_eq!(r.successor_of(p(0)), p(1));
+        assert_eq!(r.successor_of(p(2)), p(0));
+        assert_eq!(r.predecessor_of(p(0)), p(2));
+        assert_eq!(r.predecessor_of(p(1)), p(0));
+    }
+
+    #[test]
+    fn singleton_ring_is_its_own_neighbor() {
+        let r = Ring::of_size(1);
+        let p = ParticipantId::new(0);
+        assert_eq!(r.successor_of(p), p);
+        assert_eq!(r.predecessor_of(p), p);
+    }
+
+    #[test]
+    fn positions_before() {
+        let r = Ring::of_size(8);
+        let p = |i: u16| ParticipantId::new(i);
+        assert_eq!(r.member_positions_before(p(5), 1), p(4));
+        assert_eq!(r.member_positions_before(p(0), 1), p(7));
+        assert_eq!(r.member_positions_before(p(3), 7), p(4));
+        assert_eq!(r.member_positions_before(p(3), 8), p(3));
+    }
+
+    #[test]
+    fn index_and_contains() {
+        let r = Ring::of_size(3);
+        assert_eq!(r.index_of(ParticipantId::new(2)), Some(2));
+        assert_eq!(r.index_of(ParticipantId::new(9)), None);
+        assert!(r.contains(ParticipantId::new(1)));
+        assert!(!r.contains(ParticipantId::new(9)));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(!RingError::Empty.to_string().is_empty());
+    }
+}

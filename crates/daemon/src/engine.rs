@@ -1,0 +1,807 @@
+//! The group engine: translates client operations into ordered multicasts
+//! and routes ordered deliveries back to local clients.
+//!
+//! The engine is pure (no sockets, no threads): runtimes feed it client
+//! commands, ordered deliveries, and configuration changes, and carry out
+//! the [`EngineOutput`]s it returns. This is the layer that gives the
+//! daemon prototype (and Spread) their client–daemon architecture: one
+//! engine per daemon serves many clients, and open-group semantics fall
+//! out naturally because any client's message is routed by the *receiving*
+//! daemons based on the replicated group table.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use accelring_core::{Delivery, ParticipantId, Service};
+use accelring_membership::ConfigChange;
+use bytes::Bytes;
+
+use crate::groups::{GroupTable, GroupView};
+use crate::packing::{self, Fragmenter, Packer, Reassembler, TAG_FRAGMENT};
+use crate::proto::{
+    decode_group_message, encode_group_message, validate_name, ClientId, GroupAction,
+    GroupMessage, GroupProtoError, MAX_GROUPS,
+};
+
+/// Packing and fragmentation settings for a [`GroupEngine`] (Section
+/// IV-A3 of the paper: Spread packs small messages into one protocol
+/// packet and fragments large ones across several).
+#[derive(Debug, Clone, Copy)]
+pub struct EngineOptions {
+    /// When set, client messages whose encoding fits are coalesced into
+    /// ring payloads of at most this many bytes; the runtime must call
+    /// [`GroupEngine::flush`] after each batch of client commands.
+    pub packing_budget: Option<usize>,
+    /// Ring payloads are capped at this many bytes; larger client messages
+    /// are fragmented and reassembled transparently. Keeps every ring
+    /// message within a single UDP datagram.
+    pub fragment_budget: usize,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            packing_budget: None,
+            // Leaves ample room for ring and UDP headers under the 64 KiB
+            // datagram limit.
+            fragment_budget: 48 * 1024,
+        }
+    }
+}
+
+/// An event delivered to one local client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientEvent {
+    /// A group message, in total order.
+    Message {
+        /// The sending client.
+        sender: ClientId,
+        /// The groups it was addressed to.
+        groups: Vec<String>,
+        /// Application payload.
+        payload: Bytes,
+        /// Service level it was sent with.
+        service: Service,
+    },
+    /// A membership view for a group this client belongs to.
+    View {
+        /// The group.
+        group: String,
+        /// The members after the change.
+        members: Vec<ClientId>,
+    },
+    /// The daemon's ring configuration changed (EVS notification,
+    /// forwarded to every local client).
+    Config {
+        /// Daemons in the new configuration.
+        daemons: Vec<ParticipantId>,
+        /// Whether this is a transitional configuration.
+        transitional: bool,
+    },
+}
+
+/// An effect the runtime must carry out for the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineOutput {
+    /// Submit this payload for totally ordered multicast.
+    Submit {
+        /// Encoded group message.
+        payload: Bytes,
+        /// Requested service.
+        service: Service,
+    },
+    /// Hand an event to a local client.
+    Local {
+        /// The local client's name.
+        client: String,
+        /// The event.
+        event: ClientEvent,
+    },
+}
+
+/// Errors from client operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// Invalid client or group name, or bad group count.
+    Proto(GroupProtoError),
+    /// The named client is not connected to this daemon.
+    UnknownClient(String),
+    /// A client with this name is already connected.
+    DuplicateClient(String),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Proto(e) => write!(f, "{e}"),
+            EngineError::UnknownClient(c) => write!(f, "unknown client {c:?}"),
+            EngineError::DuplicateClient(c) => write!(f, "client {c:?} already connected"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<GroupProtoError> for EngineError {
+    fn from(e: GroupProtoError) -> Self {
+        EngineError::Proto(e)
+    }
+}
+
+/// The per-daemon group engine.
+///
+/// # Examples
+///
+/// ```
+/// use accelring_core::ParticipantId;
+/// use accelring_daemon::engine::GroupEngine;
+///
+/// let mut engine = GroupEngine::new(ParticipantId::new(0));
+/// engine.client_connect("alice")?;
+/// let outputs = engine.client_join("alice", "chat")?;
+/// assert_eq!(outputs.len(), 1, "join becomes one ordered submission");
+/// # Ok::<(), accelring_daemon::engine::EngineError>(())
+/// ```
+#[derive(Debug)]
+pub struct GroupEngine {
+    pid: ParticipantId,
+    groups: GroupTable,
+    local_clients: BTreeSet<String>,
+    options: EngineOptions,
+    /// One packer per service level (messages of different service levels
+    /// must not share a ring payload).
+    packers: BTreeMap<Service, Packer>,
+    fragmenter: Fragmenter,
+    next_fragment_id: u64,
+    /// One reassembler per sending daemon (fragment ids are per-sender).
+    reassemblers: BTreeMap<ParticipantId, Reassembler>,
+}
+
+impl GroupEngine {
+    /// Creates the engine for the daemon with id `pid`, with default
+    /// options (fragmentation on, packing off).
+    pub fn new(pid: ParticipantId) -> GroupEngine {
+        GroupEngine::with_options(pid, EngineOptions::default())
+    }
+
+    /// Creates the engine with explicit packing/fragmentation options.
+    pub fn with_options(pid: ParticipantId, options: EngineOptions) -> GroupEngine {
+        GroupEngine {
+            pid,
+            groups: GroupTable::new(),
+            local_clients: BTreeSet::new(),
+            options,
+            packers: BTreeMap::new(),
+            fragmenter: Fragmenter::new(options.fragment_budget),
+            next_fragment_id: 0,
+            reassemblers: BTreeMap::new(),
+        }
+    }
+
+    /// Wraps one encoded group message for the ring: fragmenting when too
+    /// large, packing when enabled, bare otherwise.
+    fn wrap_submit(&mut self, encoded: Bytes, service: Service) -> Vec<EngineOutput> {
+        if self.fragmenter.needs_split(encoded.len()) {
+            self.next_fragment_id += 1;
+            return self
+                .fragmenter
+                .split(self.next_fragment_id, encoded)
+                .into_iter()
+                .map(|payload| EngineOutput::Submit { payload, service })
+                .collect();
+        }
+        if let Some(budget) = self.options.packing_budget {
+            let packer = self
+                .packers
+                .entry(service)
+                .or_insert_with(|| Packer::new(budget));
+            return packer
+                .push(encoded)
+                .into_iter()
+                .map(|payload| EngineOutput::Submit { payload, service })
+                .collect();
+        }
+        vec![EngineOutput::Submit {
+            payload: packing::bare(encoded),
+            service,
+        }]
+    }
+
+    /// Closes any partially filled packed payloads. Runtimes with packing
+    /// enabled must call this after each batch of client commands (and on
+    /// an idle tick), or buffered messages would wait indefinitely.
+    pub fn flush(&mut self) -> Vec<EngineOutput> {
+        let mut out = Vec::new();
+        for (&service, packer) in self.packers.iter_mut() {
+            if let Some(payload) = packer.flush() {
+                out.push(EngineOutput::Submit { payload, service });
+            }
+        }
+        out
+    }
+
+    /// The daemon id this engine serves.
+    pub fn pid(&self) -> ParticipantId {
+        self.pid
+    }
+
+    /// Read access to the replicated group table.
+    pub fn groups(&self) -> &GroupTable {
+        &self.groups
+    }
+
+    /// Names of locally connected clients.
+    pub fn local_clients(&self) -> Vec<String> {
+        self.local_clients.iter().cloned().collect()
+    }
+
+    fn require_client(&self, name: &str) -> Result<ClientId, EngineError> {
+        if !self.local_clients.contains(name) {
+            return Err(EngineError::UnknownClient(name.to_string()));
+        }
+        Ok(ClientId {
+            daemon: self.pid,
+            name: name.to_string(),
+        })
+    }
+
+    /// Registers a local client.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid or duplicate names.
+    pub fn client_connect(&mut self, name: &str) -> Result<(), EngineError> {
+        validate_name(name)?;
+        if !self.local_clients.insert(name.to_string()) {
+            return Err(EngineError::DuplicateClient(name.to_string()));
+        }
+        Ok(())
+    }
+
+    /// Unregisters a local client; its group departures are multicast so
+    /// every daemon prunes it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::UnknownClient`] if not connected.
+    pub fn client_disconnect(&mut self, name: &str) -> Result<Vec<EngineOutput>, EngineError> {
+        let id = self.require_client(name)?;
+        self.local_clients.remove(name);
+        let encoded = encode_group_message(&GroupMessage {
+            sender: id,
+            action: GroupAction::Disconnect,
+        });
+        Ok(self.wrap_submit(encoded, Service::Agreed))
+    }
+
+    /// The named client joins `group` (takes effect when the join comes
+    /// back through the total order).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown clients or invalid group names.
+    pub fn client_join(&mut self, name: &str, group: &str) -> Result<Vec<EngineOutput>, EngineError> {
+        validate_name(group)?;
+        let id = self.require_client(name)?;
+        let encoded = encode_group_message(&GroupMessage {
+            sender: id,
+            action: GroupAction::Join {
+                group: group.to_string(),
+            },
+        });
+        Ok(self.wrap_submit(encoded, Service::Agreed))
+    }
+
+    /// The named client leaves `group`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown clients or invalid group names.
+    pub fn client_leave(&mut self, name: &str, group: &str) -> Result<Vec<EngineOutput>, EngineError> {
+        validate_name(group)?;
+        let id = self.require_client(name)?;
+        let encoded = encode_group_message(&GroupMessage {
+            sender: id,
+            action: GroupAction::Leave {
+                group: group.to_string(),
+            },
+        });
+        Ok(self.wrap_submit(encoded, Service::Agreed))
+    }
+
+    /// Multicasts `payload` to one or more groups with cross-group total
+    /// ordering (Spread's multi-group multicast). The sender need not be a
+    /// member of any target group (open-group semantics).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown clients, invalid names, or a bad group
+    /// count.
+    pub fn client_multicast(
+        &mut self,
+        name: &str,
+        groups: &[&str],
+        payload: Bytes,
+        service: Service,
+    ) -> Result<Vec<EngineOutput>, EngineError> {
+        if groups.is_empty() || groups.len() > MAX_GROUPS {
+            return Err(EngineError::Proto(GroupProtoError::BadGroupCount(
+                groups.len(),
+            )));
+        }
+        for g in groups {
+            validate_name(g)?;
+        }
+        let id = self.require_client(name)?;
+        let encoded = encode_group_message(&GroupMessage {
+            sender: id,
+            action: GroupAction::Data {
+                groups: groups.iter().map(|g| g.to_string()).collect(),
+                payload,
+            },
+        });
+        Ok(self.wrap_submit(encoded, service))
+    }
+
+    /// Processes one ordered delivery from the ring, producing local client
+    /// events. Undecodable payloads are dropped (a daemon must survive a
+    /// misbehaving peer). Packed payloads are unpacked and fragments are
+    /// reassembled transparently.
+    pub fn on_delivery(&mut self, delivery: &Delivery) -> Vec<EngineOutput> {
+        let payload = delivery.payload.clone();
+        if payload.first() == Some(&TAG_FRAGMENT) {
+            let reassembler = self
+                .reassemblers
+                .entry(delivery.sender)
+                .or_insert_with(|| Reassembler::new(64));
+            return match reassembler.push(payload) {
+                Ok(Some(whole)) => self.process_group_bytes(whole, delivery.service),
+                _ => Vec::new(),
+            };
+        }
+        let Ok(messages) = packing::unpack(payload) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for m in messages {
+            out.extend(self.process_group_bytes(m, delivery.service));
+        }
+        out
+    }
+
+    fn process_group_bytes(&mut self, mut payload: Bytes, service: Service) -> Vec<EngineOutput> {
+        let Ok(msg) = decode_group_message(&mut payload) else {
+            return Vec::new();
+        };
+        match msg.action {
+            GroupAction::Data { groups, payload } => {
+                // Route to local members of the union of the target groups,
+                // once per client even when groups overlap.
+                let mut targets: BTreeSet<String> = BTreeSet::new();
+                for g in &groups {
+                    for member in self.groups.members(g) {
+                        if member.daemon == self.pid && self.local_clients.contains(&member.name) {
+                            targets.insert(member.name);
+                        }
+                    }
+                }
+                targets
+                    .into_iter()
+                    .map(|client| EngineOutput::Local {
+                        client,
+                        event: ClientEvent::Message {
+                            sender: msg.sender.clone(),
+                            groups: groups.clone(),
+                            payload: payload.clone(),
+                            service,
+                        },
+                    })
+                    .collect()
+            }
+            GroupAction::Join { group } => {
+                let view = self.groups.join(&group, msg.sender);
+                self.views_to_outputs(view.into_iter().collect())
+            }
+            GroupAction::Leave { group } => {
+                let view = self.groups.leave(&group, &msg.sender);
+                self.views_to_outputs(view.into_iter().collect())
+            }
+            GroupAction::Disconnect => {
+                let views = self.groups.remove_client(&msg.sender);
+                self.views_to_outputs(views)
+            }
+        }
+    }
+
+    /// Processes an EVS configuration change: clients of daemons that left
+    /// the configuration are pruned from every group, and all local clients
+    /// are notified.
+    pub fn on_config_change(&mut self, change: &ConfigChange) -> Vec<EngineOutput> {
+        let mut out = Vec::new();
+        for client in &self.local_clients {
+            out.push(EngineOutput::Local {
+                client: client.clone(),
+                event: ClientEvent::Config {
+                    daemons: change.members.clone(),
+                    transitional: change.transitional,
+                },
+            });
+        }
+        if !change.transitional {
+            let views = self.groups.retain_daemons(&change.members);
+            out.extend(self.views_to_outputs(views));
+        }
+        out
+    }
+
+    fn views_to_outputs(&self, views: Vec<GroupView>) -> Vec<EngineOutput> {
+        let mut out = Vec::new();
+        for view in views {
+            // Every local member of the group gets the view; the causing
+            // client gets it too if local (including a leaver, as its
+            // confirmation).
+            let mut recipients: BTreeSet<String> = view
+                .members
+                .iter()
+                .filter(|m| m.daemon == self.pid && self.local_clients.contains(&m.name))
+                .map(|m| m.name.clone())
+                .collect();
+            if let Some(cause) = &view.cause {
+                if cause.daemon == self.pid && self.local_clients.contains(&cause.name) {
+                    recipients.insert(cause.name.clone());
+                }
+            }
+            for client in recipients {
+                out.push(EngineOutput::Local {
+                    client,
+                    event: ClientEvent::View {
+                        group: view.group.clone(),
+                        members: view.members.clone(),
+                    },
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accelring_core::{RingId, Round, Seq};
+
+    fn delivery_of(payload: Bytes, service: Service, seq: u64) -> Delivery {
+        Delivery {
+            seq: Seq::new(seq),
+            sender: ParticipantId::new(0),
+            round: Round::new(1),
+            service,
+            payload,
+        }
+    }
+
+    /// Runs the Submit outputs of `from` through `engines` as ordered
+    /// deliveries, returning all local events per engine.
+    fn propagate(
+        outputs: Vec<EngineOutput>,
+        engines: &mut [GroupEngine],
+        seq: &mut u64,
+    ) -> Vec<Vec<(String, ClientEvent)>> {
+        let mut locals = vec![Vec::new(); engines.len()];
+        for o in outputs {
+            match o {
+                EngineOutput::Submit { payload, service } => {
+                    *seq += 1;
+                    let d = delivery_of(payload, service, *seq);
+                    for (i, e) in engines.iter_mut().enumerate() {
+                        for out in e.on_delivery(&d) {
+                            if let EngineOutput::Local { client, event } = out {
+                                locals[i].push((client, event));
+                            }
+                        }
+                    }
+                }
+                EngineOutput::Local { .. } => unreachable!("client ops only submit"),
+            }
+        }
+        locals
+    }
+
+    #[test]
+    fn join_produces_views_at_every_daemon_with_members() {
+        let mut engines = vec![
+            GroupEngine::new(ParticipantId::new(0)),
+            GroupEngine::new(ParticipantId::new(1)),
+        ];
+        engines[0].client_connect("a").unwrap();
+        engines[1].client_connect("b").unwrap();
+        let mut seq = 0;
+        let out = engines[0].client_join("a", "g").unwrap();
+        let locals = propagate(out, &mut engines, &mut seq);
+        // a (at daemon 0) gets the view; daemon 1 has no members yet.
+        assert_eq!(locals[0].len(), 1);
+        assert!(locals[1].is_empty());
+        let out = engines[1].client_join("b", "g").unwrap();
+        let locals = propagate(out, &mut engines, &mut seq);
+        assert_eq!(locals[0].len(), 1, "a sees b join");
+        assert_eq!(locals[1].len(), 1, "b sees itself join");
+        assert_eq!(engines[0].groups().members("g").len(), 2);
+        assert_eq!(engines[1].groups().members("g").len(), 2);
+    }
+
+    #[test]
+    fn data_routed_to_members_only() {
+        let mut engines = vec![
+            GroupEngine::new(ParticipantId::new(0)),
+            GroupEngine::new(ParticipantId::new(1)),
+        ];
+        engines[0].client_connect("member").unwrap();
+        engines[0].client_connect("outsider").unwrap();
+        engines[1].client_connect("remote").unwrap();
+        let mut seq = 0;
+        let out = engines[0].client_join("member", "g").unwrap();
+        propagate(out, &mut engines, &mut seq);
+        let out = engines[1].client_join("remote", "g").unwrap();
+        propagate(out, &mut engines, &mut seq);
+
+        // Open-group semantics: "outsider" sends without being a member.
+        let out = engines[0]
+            .client_multicast("outsider", &["g"], Bytes::from_static(b"hi"), Service::Agreed)
+            .unwrap();
+        let locals = propagate(out, &mut engines, &mut seq);
+        let names0: Vec<&String> = locals[0].iter().map(|(c, _)| c).collect();
+        assert_eq!(names0, vec!["member"], "only the member receives");
+        let names1: Vec<&String> = locals[1].iter().map(|(c, _)| c).collect();
+        assert_eq!(names1, vec!["remote"]);
+    }
+
+    #[test]
+    fn multi_group_multicast_deduplicates_recipients() {
+        let mut engines = vec![GroupEngine::new(ParticipantId::new(0))];
+        engines[0].client_connect("c").unwrap();
+        let mut seq = 0;
+        for g in ["g1", "g2"] {
+            let out = engines[0].client_join("c", g).unwrap();
+            propagate(out, &mut engines, &mut seq);
+        }
+        let out = engines[0]
+            .client_multicast("c", &["g1", "g2"], Bytes::from_static(b"x"), Service::Agreed)
+            .unwrap();
+        let locals = propagate(out, &mut engines, &mut seq);
+        assert_eq!(locals[0].len(), 1, "one copy despite two target groups");
+        match &locals[0][0].1 {
+            ClientEvent::Message { groups, .. } => assert_eq!(groups.len(), 2),
+            other => panic!("expected message, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn disconnect_leaves_all_groups_everywhere() {
+        let mut engines = vec![
+            GroupEngine::new(ParticipantId::new(0)),
+            GroupEngine::new(ParticipantId::new(1)),
+        ];
+        engines[0].client_connect("a").unwrap();
+        engines[1].client_connect("b").unwrap();
+        let mut seq = 0;
+        for (e, c, g) in [(0usize, "a", "g1"), (0, "a", "g2"), (1, "b", "g1")] {
+            let out = engines[e].client_join(c, g).unwrap();
+            propagate(out, &mut engines, &mut seq);
+        }
+        let out = engines[0].client_disconnect("a").unwrap();
+        let locals = propagate(out, &mut engines, &mut seq);
+        assert!(engines[1].groups().members("g2").is_empty());
+        assert_eq!(engines[1].groups().members("g1").len(), 1);
+        // b sees the g1 view change.
+        assert!(locals[1]
+            .iter()
+            .any(|(c, e)| c == "b" && matches!(e, ClientEvent::View { group, .. } if group == "g1")));
+    }
+
+    #[test]
+    fn config_change_prunes_departed_daemons() {
+        let mut e = GroupEngine::new(ParticipantId::new(0));
+        e.client_connect("local").unwrap();
+        let mut seq = 0;
+        let out = e.client_join("local", "g").unwrap();
+        propagate(out, std::slice::from_mut(&mut e), &mut seq);
+        // A remote client joins via the ordered stream.
+        let remote_join = packing::bare(encode_group_message(&GroupMessage {
+            sender: ClientId {
+                daemon: ParticipantId::new(5),
+                name: "remote".into(),
+            },
+            action: GroupAction::Join { group: "g".into() },
+        }));
+        e.on_delivery(&delivery_of(remote_join, Service::Agreed, 99));
+        assert_eq!(e.groups().members("g").len(), 2);
+
+        // Daemon 5 drops out of the configuration.
+        let outputs = e.on_config_change(&ConfigChange {
+            ring_id: RingId::new(ParticipantId::new(0), 8),
+            members: vec![ParticipantId::new(0)],
+            transitional: false,
+        });
+        assert_eq!(e.groups().members("g").len(), 1);
+        // The local client got a Config event and a View event.
+        let events: Vec<&ClientEvent> = outputs
+            .iter()
+            .filter_map(|o| match o {
+                EngineOutput::Local { event, .. } => Some(event),
+                _ => None,
+            })
+            .collect();
+        assert!(events.iter().any(|e| matches!(e, ClientEvent::Config { .. })));
+        assert!(events.iter().any(|e| matches!(e, ClientEvent::View { .. })));
+    }
+
+    #[test]
+    fn transitional_config_does_not_prune() {
+        let mut e = GroupEngine::new(ParticipantId::new(0));
+        e.client_connect("local").unwrap();
+        let remote_join = packing::bare(encode_group_message(&GroupMessage {
+            sender: ClientId {
+                daemon: ParticipantId::new(5),
+                name: "remote".into(),
+            },
+            action: GroupAction::Join { group: "g".into() },
+        }));
+        e.on_delivery(&delivery_of(remote_join, Service::Agreed, 1));
+        e.on_config_change(&ConfigChange {
+            ring_id: RingId::new(ParticipantId::new(0), 8),
+            members: vec![ParticipantId::new(0)],
+            transitional: true,
+        });
+        assert_eq!(
+            e.groups().members("g").len(),
+            1,
+            "transitional configs do not prune membership"
+        );
+    }
+
+    #[test]
+    fn unknown_and_duplicate_clients_rejected() {
+        let mut e = GroupEngine::new(ParticipantId::new(0));
+        assert!(matches!(
+            e.client_join("ghost", "g"),
+            Err(EngineError::UnknownClient(_))
+        ));
+        e.client_connect("a").unwrap();
+        assert!(matches!(
+            e.client_connect("a"),
+            Err(EngineError::DuplicateClient(_))
+        ));
+    }
+
+    #[test]
+    fn bad_group_counts_rejected() {
+        let mut e = GroupEngine::new(ParticipantId::new(0));
+        e.client_connect("a").unwrap();
+        assert!(e
+            .client_multicast("a", &[], Bytes::new(), Service::Agreed)
+            .is_err());
+        let too_many: Vec<String> = (0..MAX_GROUPS + 1).map(|i| format!("g{i}")).collect();
+        let refs: Vec<&str> = too_many.iter().map(String::as_str).collect();
+        assert!(e
+            .client_multicast("a", &refs, Bytes::new(), Service::Agreed)
+            .is_err());
+    }
+
+    #[test]
+    fn large_message_fragments_and_reassembles() {
+        let mut engines = vec![
+            GroupEngine::with_options(
+                ParticipantId::new(0),
+                EngineOptions {
+                    packing_budget: None,
+                    fragment_budget: 256,
+                },
+            ),
+            GroupEngine::with_options(
+                ParticipantId::new(1),
+                EngineOptions {
+                    packing_budget: None,
+                    fragment_budget: 256,
+                },
+            ),
+        ];
+        engines[0].client_connect("a").unwrap();
+        engines[1].client_connect("b").unwrap();
+        let mut seq = 0;
+        let out = engines[1].client_join("b", "g").unwrap();
+        propagate(out, &mut engines, &mut seq);
+
+        let big = Bytes::from((0..2000u32).flat_map(|i| i.to_le_bytes()).collect::<Vec<u8>>());
+        let out = engines[0]
+            .client_multicast("a", &["g"], big.clone(), Service::Agreed)
+            .unwrap();
+        assert!(out.len() > 5, "big message must fragment, got {}", out.len());
+        let locals = propagate(out, &mut engines, &mut seq);
+        assert_eq!(locals[1].len(), 1, "exactly one reassembled delivery");
+        match &locals[1][0].1 {
+            ClientEvent::Message { payload, .. } => assert_eq!(payload, &big),
+            other => panic!("expected message, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn packing_coalesces_small_messages() {
+        let mut engines = vec![GroupEngine::with_options(
+            ParticipantId::new(0),
+            EngineOptions {
+                packing_budget: Some(1350),
+                fragment_budget: 48 * 1024,
+            },
+        )];
+        engines[0].client_connect("a").unwrap();
+        let mut seq = 0;
+        let out = engines[0].client_join("a", "g").unwrap();
+        let mut outputs = out;
+        outputs.extend(engines[0].flush());
+        propagate(outputs, &mut engines, &mut seq);
+
+        // Twenty tiny messages: far fewer ring payloads than messages.
+        let mut submitted = Vec::new();
+        for i in 0..20u32 {
+            submitted.extend(
+                engines[0]
+                    .client_multicast("a", &["g"], Bytes::from(format!("m{i}")), Service::Agreed)
+                    .unwrap(),
+            );
+        }
+        submitted.extend(engines[0].flush());
+        assert!(
+            submitted.len() < 5,
+            "20 tiny messages should pack into a few payloads, got {}",
+            submitted.len()
+        );
+        let locals = propagate(submitted, &mut engines, &mut seq);
+        let texts: Vec<String> = locals[0]
+            .iter()
+            .filter_map(|(_, e)| match e {
+                ClientEvent::Message { payload, .. } => {
+                    Some(String::from_utf8_lossy(payload).to_string())
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(texts.len(), 20, "all packed messages delivered");
+        assert_eq!(texts[0], "m0");
+        assert_eq!(texts[19], "m19");
+    }
+
+    #[test]
+    fn packing_never_mixes_service_levels() {
+        let mut e = GroupEngine::with_options(
+            ParticipantId::new(0),
+            EngineOptions {
+                packing_budget: Some(1350),
+                fragment_budget: 48 * 1024,
+            },
+        );
+        e.client_connect("a").unwrap();
+        let _ = e.client_multicast("a", &["g"], Bytes::from_static(b"x"), Service::Agreed);
+        let _ = e.client_multicast("a", &["g"], Bytes::from_static(b"y"), Service::Safe);
+        let flushed = e.flush();
+        assert_eq!(flushed.len(), 2, "one packet per service level");
+        let services: Vec<Service> = flushed
+            .iter()
+            .filter_map(|o| match o {
+                EngineOutput::Submit { service, .. } => Some(*service),
+                _ => None,
+            })
+            .collect();
+        assert!(services.contains(&Service::Agreed));
+        assert!(services.contains(&Service::Safe));
+    }
+
+    #[test]
+    fn undecodable_delivery_is_dropped() {
+        let mut e = GroupEngine::new(ParticipantId::new(0));
+        let out = e.on_delivery(&delivery_of(
+            Bytes::from_static(b"\xff\xff garbage"),
+            Service::Agreed,
+            1,
+        ));
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,223 @@
+//! The replicated group table: which clients are members of which groups.
+//!
+//! Every daemon applies exactly the same sequence of join/leave/disconnect
+//! operations (they arrive through the total order), so the tables are
+//! replicas of each other without any further coordination.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use accelring_core::ParticipantId;
+
+use crate::proto::ClientId;
+
+/// A change to one group's membership, with the resulting view.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupView {
+    /// The group whose membership changed.
+    pub group: String,
+    /// The full member list after the change, sorted.
+    pub members: Vec<ClientId>,
+    /// The client whose action caused the change, if any (none for
+    /// configuration-change prunes).
+    pub cause: Option<ClientId>,
+}
+
+/// The replicated group-membership table.
+#[derive(Debug, Clone, Default)]
+pub struct GroupTable {
+    groups: BTreeMap<String, BTreeSet<ClientId>>,
+}
+
+impl GroupTable {
+    /// Creates an empty table.
+    pub fn new() -> GroupTable {
+        GroupTable::default()
+    }
+
+    /// Members of `group`, sorted (empty if the group does not exist).
+    pub fn members(&self, group: &str) -> Vec<ClientId> {
+        self.groups
+            .get(group)
+            .map(|s| s.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Whether `client` is a member of `group`.
+    pub fn is_member(&self, group: &str, client: &ClientId) -> bool {
+        self.groups.get(group).is_some_and(|s| s.contains(client))
+    }
+
+    /// All group names with at least one member.
+    pub fn group_names(&self) -> Vec<String> {
+        self.groups.keys().cloned().collect()
+    }
+
+    /// Number of non-empty groups.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Whether no groups exist.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Applies a join; returns the new view if membership changed.
+    pub fn join(&mut self, group: &str, client: ClientId) -> Option<GroupView> {
+        let set = self.groups.entry(group.to_string()).or_default();
+        if set.insert(client.clone()) {
+            Some(GroupView {
+                group: group.to_string(),
+                members: set.iter().cloned().collect(),
+                cause: Some(client),
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Applies a leave; returns the new view if membership changed. Empty
+    /// groups are removed.
+    pub fn leave(&mut self, group: &str, client: &ClientId) -> Option<GroupView> {
+        let set = self.groups.get_mut(group)?;
+        if !set.remove(client) {
+            return None;
+        }
+        let view = GroupView {
+            group: group.to_string(),
+            members: set.iter().cloned().collect(),
+            cause: Some(client.clone()),
+        };
+        if set.is_empty() {
+            self.groups.remove(group);
+        }
+        Some(view)
+    }
+
+    /// Removes `client` from every group (disconnect), returning one view
+    /// per affected group.
+    pub fn remove_client(&mut self, client: &ClientId) -> Vec<GroupView> {
+        let affected: Vec<String> = self
+            .groups
+            .iter()
+            .filter(|(_, members)| members.contains(client))
+            .map(|(g, _)| g.clone())
+            .collect();
+        affected
+            .into_iter()
+            .filter_map(|g| self.leave(&g, client))
+            .collect()
+    }
+
+    /// Removes every client attached to a daemon outside `alive` (applied
+    /// on EVS configuration changes: clients of departed daemons are gone).
+    pub fn retain_daemons(&mut self, alive: &[ParticipantId]) -> Vec<GroupView> {
+        let departed: BTreeSet<ClientId> = self
+            .groups
+            .values()
+            .flatten()
+            .filter(|c| !alive.contains(&c.daemon))
+            .cloned()
+            .collect();
+        let mut views = Vec::new();
+        for client in departed {
+            views.extend(self.remove_client(&client));
+        }
+        views
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn client(d: u16, name: &str) -> ClientId {
+        ClientId {
+            daemon: ParticipantId::new(d),
+            name: name.to_string(),
+        }
+    }
+
+    #[test]
+    fn join_and_leave_produce_views() {
+        let mut t = GroupTable::new();
+        let a = client(0, "a");
+        let b = client(1, "b");
+        let v1 = t.join("g", a.clone()).unwrap();
+        assert_eq!(v1.members, vec![a.clone()]);
+        assert_eq!(v1.cause, Some(a.clone()));
+        let v2 = t.join("g", b.clone()).unwrap();
+        assert_eq!(v2.members.len(), 2);
+        let v3 = t.leave("g", &a).unwrap();
+        assert_eq!(v3.members, vec![b.clone()]);
+        assert!(t.is_member("g", &b));
+        assert!(!t.is_member("g", &a));
+    }
+
+    #[test]
+    fn duplicate_join_is_a_noop() {
+        let mut t = GroupTable::new();
+        let a = client(0, "a");
+        assert!(t.join("g", a.clone()).is_some());
+        assert!(t.join("g", a).is_none());
+    }
+
+    #[test]
+    fn leave_of_non_member_is_a_noop() {
+        let mut t = GroupTable::new();
+        assert!(t.leave("g", &client(0, "a")).is_none());
+        t.join("g", client(0, "a"));
+        assert!(t.leave("g", &client(0, "other")).is_none());
+    }
+
+    #[test]
+    fn empty_groups_disappear() {
+        let mut t = GroupTable::new();
+        let a = client(0, "a");
+        t.join("g", a.clone());
+        assert_eq!(t.len(), 1);
+        t.leave("g", &a);
+        assert!(t.is_empty());
+        assert!(t.group_names().is_empty());
+    }
+
+    #[test]
+    fn remove_client_covers_all_groups() {
+        let mut t = GroupTable::new();
+        let a = client(0, "a");
+        t.join("g1", a.clone());
+        t.join("g2", a.clone());
+        t.join("g2", client(1, "b"));
+        let views = t.remove_client(&a);
+        assert_eq!(views.len(), 2);
+        assert!(t.members("g1").is_empty());
+        assert_eq!(t.members("g2").len(), 1);
+    }
+
+    #[test]
+    fn retain_daemons_prunes_departed() {
+        let mut t = GroupTable::new();
+        t.join("g", client(0, "a"));
+        t.join("g", client(1, "b"));
+        t.join("g", client(2, "c"));
+        let views = t.retain_daemons(&[ParticipantId::new(0), ParticipantId::new(2)]);
+        assert_eq!(views.len(), 1);
+        let members = t.members("g");
+        assert_eq!(members.len(), 2);
+        assert!(members.iter().all(|c| c.daemon != ParticipantId::new(1)));
+        // Prune views have no causing client.
+        assert_eq!(views[0].cause, None.or(views[0].cause.clone()));
+    }
+
+    #[test]
+    fn members_sorted_deterministically() {
+        let mut t = GroupTable::new();
+        t.join("g", client(1, "z"));
+        t.join("g", client(0, "a"));
+        t.join("g", client(0, "b"));
+        let members = t.members("g");
+        assert_eq!(members[0], client(0, "a"));
+        assert_eq!(members[1], client(0, "b"));
+        assert_eq!(members[2], client(1, "z"));
+    }
+}

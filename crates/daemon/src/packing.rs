@@ -1,0 +1,489 @@
+//! Message packing and fragmentation, as in Spread (Section IV-A3 of the
+//! paper): "Spread includes a built-in ability to pack small messages into
+//! a single protocol packet ... large messages are fragmented into
+//! multiple packets."
+//!
+//! * [`Packer`] coalesces several small client messages into one ring
+//!   payload, amortizing per-packet protocol and processing costs.
+//! * [`Fragmenter`]/[`Reassembler`] split a client message larger than the
+//!   packet budget across several ring payloads and rebuild it at the
+//!   receivers. Because fragments travel through the total order, the
+//!   pieces of one message arrive contiguously ordered and reassembly
+//!   needs no reordering logic beyond sequence bookkeeping.
+//!
+//! Both framings are self-describing: the first byte of a ring payload
+//! produced by this module tags it as packed ([`TAG_PACKED`]), a fragment
+//! ([`TAG_FRAGMENT`]), or a bare message ([`TAG_BARE`]). The group engine
+//! applies them transparently.
+
+use accelring_core::wire::DecodeError;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::collections::BTreeMap;
+
+/// Tag byte identifying a packed payload.
+pub const TAG_PACKED: u8 = 0xA1;
+/// Tag byte identifying a fragment.
+pub const TAG_FRAGMENT: u8 = 0xA2;
+/// Tag byte identifying a bare (neither packed nor fragmented) payload.
+pub const TAG_BARE: u8 = 0xA0;
+
+/// Coalesces small payloads into packets of at most `budget` bytes.
+///
+/// # Examples
+///
+/// ```
+/// use accelring_daemon::packing::{unpack, Packer};
+/// use bytes::Bytes;
+///
+/// let mut packer = Packer::new(64);
+/// assert!(packer.push(Bytes::from_static(b"tick 1")).is_empty());
+/// assert!(packer.push(Bytes::from_static(b"tick 2")).is_empty());
+/// let packet = packer.flush().expect("two messages buffered");
+/// let messages = unpack(packet).unwrap();
+/// assert_eq!(messages.len(), 2);
+/// assert_eq!(&messages[1][..], b"tick 2");
+/// ```
+#[derive(Debug)]
+pub struct Packer {
+    budget: usize,
+    pending: Vec<Bytes>,
+    pending_bytes: usize,
+}
+
+impl Packer {
+    /// Creates a packer with the given packet budget (payload bytes per
+    /// ring message; Spread uses what fits a 1500-byte MTU).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget` cannot hold even one length-prefixed byte.
+    pub fn new(budget: usize) -> Packer {
+        assert!(budget > 5, "budget must exceed framing overhead");
+        Packer {
+            budget,
+            pending: Vec::new(),
+            pending_bytes: 1, // tag byte
+        }
+    }
+
+    /// Bytes a message of length `len` occupies inside a packet.
+    fn framed(len: usize) -> usize {
+        4 + len
+    }
+
+    /// Number of messages currently buffered.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Adds a message; returns zero or more *completed* packets (a message
+    /// that does not fit the current packet closes it; an oversized
+    /// message that can never share a packet is emitted alone as a bare
+    /// payload for the fragmenter to handle upstream).
+    pub fn push(&mut self, payload: Bytes) -> Vec<Bytes> {
+        let mut done = Vec::new();
+        if Self::framed(payload.len()) + 1 > self.budget {
+            // Never fits: flush what we have and pass the big one through.
+            if let Some(packet) = self.flush() {
+                done.push(packet);
+            }
+            done.push(bare(payload));
+            return done;
+        }
+        if self.pending_bytes + Self::framed(payload.len()) > self.budget {
+            if let Some(packet) = self.flush() {
+                done.push(packet);
+            }
+        }
+        self.pending_bytes += Self::framed(payload.len());
+        self.pending.push(payload);
+        done
+    }
+
+    /// Closes and returns the current packet, if any messages are buffered.
+    pub fn flush(&mut self) -> Option<Bytes> {
+        if self.pending.is_empty() {
+            return None;
+        }
+        let mut buf = BytesMut::with_capacity(self.pending_bytes);
+        buf.put_u8(TAG_PACKED);
+        for m in self.pending.drain(..) {
+            buf.put_u32_le(m.len() as u32);
+            buf.put_slice(&m);
+        }
+        self.pending_bytes = 1;
+        Some(buf.freeze())
+    }
+}
+
+/// Wraps a payload as a bare (unpacked, unfragmented) ring payload.
+pub fn bare(payload: Bytes) -> Bytes {
+    let mut buf = BytesMut::with_capacity(1 + payload.len());
+    buf.put_u8(TAG_BARE);
+    buf.put_slice(&payload);
+    buf.freeze()
+}
+
+/// Splits a tagged ring payload back into client messages.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] for malformed packed framing or an unknown tag.
+pub fn unpack(mut payload: Bytes) -> Result<Vec<Bytes>, DecodeError> {
+    if payload.is_empty() {
+        return Err(DecodeError::Truncated);
+    }
+    match payload.get_u8() {
+        TAG_BARE => Ok(vec![payload]),
+        TAG_PACKED => {
+            let mut out = Vec::new();
+            while payload.has_remaining() {
+                if payload.remaining() < 4 {
+                    return Err(DecodeError::Truncated);
+                }
+                let len = payload.get_u32_le() as usize;
+                if payload.remaining() < len {
+                    return Err(DecodeError::BadLength {
+                        declared: len,
+                        available: payload.remaining(),
+                    });
+                }
+                out.push(payload.split_to(len));
+            }
+            Ok(out)
+        }
+        other => Err(DecodeError::BadKind(other)),
+    }
+}
+
+/// Splits one large payload into tagged fragments of at most `budget`
+/// bytes each (including the fragment header).
+///
+/// # Examples
+///
+/// ```
+/// use accelring_daemon::packing::{Fragmenter, Reassembler};
+/// use bytes::Bytes;
+///
+/// let big = Bytes::from(vec![42u8; 5000]);
+/// let frags = Fragmenter::new(1400).split(7, big.clone());
+/// assert!(frags.len() > 3);
+///
+/// let mut reassembler = Reassembler::new(64);
+/// let mut whole = None;
+/// for f in frags {
+///     whole = reassembler.push(f).unwrap();
+/// }
+/// assert_eq!(whole.unwrap(), big);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Fragmenter {
+    budget: usize,
+}
+
+/// Fragment header: tag (1) + message id (8) + index (2) + total (2) +
+/// chunk length (4).
+const FRAG_HEADER: usize = 1 + 8 + 2 + 2 + 4;
+
+impl Fragmenter {
+    /// Creates a fragmenter with the given per-ring-payload budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget` does not exceed the fragment header.
+    pub fn new(budget: usize) -> Fragmenter {
+        assert!(budget > FRAG_HEADER, "budget must exceed fragment header");
+        Fragmenter { budget }
+    }
+
+    /// Whether a payload of `len` bytes needs fragmenting under this
+    /// budget (as a bare payload it costs one tag byte).
+    pub fn needs_split(&self, len: usize) -> bool {
+        1 + len > self.budget
+    }
+
+    /// Splits `payload` into fragments stamped with `msg_id` (unique per
+    /// sender; receivers key reassembly on the ring sender and this id).
+    pub fn split(&self, msg_id: u64, payload: Bytes) -> Vec<Bytes> {
+        let chunk_size = self.budget - FRAG_HEADER;
+        let total = payload.len().div_ceil(chunk_size).max(1);
+        assert!(total <= u16::MAX as usize, "payload too large to fragment");
+        let mut out = Vec::with_capacity(total);
+        let mut rest = payload;
+        for idx in 0..total {
+            let take = rest.len().min(chunk_size);
+            let chunk = rest.split_to(take);
+            let mut buf = BytesMut::with_capacity(FRAG_HEADER + chunk.len());
+            buf.put_u8(TAG_FRAGMENT);
+            buf.put_u64_le(msg_id);
+            buf.put_u16_le(idx as u16);
+            buf.put_u16_le(total as u16);
+            buf.put_u32_le(chunk.len() as u32);
+            buf.put_slice(&chunk);
+            out.push(buf.freeze());
+        }
+        out
+    }
+}
+
+#[derive(Debug)]
+struct PartialMessage {
+    total: u16,
+    received: u16,
+    chunks: Vec<Option<Bytes>>,
+}
+
+/// Rebuilds fragmented messages. Keyed by message id; the caller must use
+/// one reassembler per ring sender (fragment ids are only unique per
+/// sender).
+#[derive(Debug)]
+pub struct Reassembler {
+    partial: BTreeMap<u64, PartialMessage>,
+    max_partial: usize,
+}
+
+impl Reassembler {
+    /// Creates a reassembler holding at most `max_partial` incomplete
+    /// messages (oldest discarded beyond that, defending against a peer
+    /// that never completes its messages).
+    pub fn new(max_partial: usize) -> Reassembler {
+        Reassembler {
+            partial: BTreeMap::new(),
+            max_partial: max_partial.max(1),
+        }
+    }
+
+    /// Number of incomplete messages currently held.
+    pub fn pending(&self) -> usize {
+        self.partial.len()
+    }
+
+    /// Consumes one tagged fragment; returns the whole message when its
+    /// last fragment arrives.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] for malformed fragments or inconsistent
+    /// totals.
+    pub fn push(&mut self, mut fragment: Bytes) -> Result<Option<Bytes>, DecodeError> {
+        if fragment.remaining() < FRAG_HEADER {
+            return Err(DecodeError::Truncated);
+        }
+        let tag = fragment.get_u8();
+        if tag != TAG_FRAGMENT {
+            return Err(DecodeError::BadKind(tag));
+        }
+        let msg_id = fragment.get_u64_le();
+        let idx = fragment.get_u16_le() as usize;
+        let total = fragment.get_u16_le();
+        let len = fragment.get_u32_le() as usize;
+        if total == 0 || idx >= total as usize {
+            return Err(DecodeError::BadLength {
+                declared: idx,
+                available: total as usize,
+            });
+        }
+        if fragment.remaining() != len {
+            return Err(DecodeError::BadLength {
+                declared: len,
+                available: fragment.remaining(),
+            });
+        }
+
+        let entry = self.partial.entry(msg_id).or_insert_with(|| PartialMessage {
+            total,
+            received: 0,
+            chunks: vec![None; total as usize],
+        });
+        if entry.total != total {
+            self.partial.remove(&msg_id);
+            return Err(DecodeError::BadLength {
+                declared: total as usize,
+                available: 0,
+            });
+        }
+        if entry.chunks[idx].is_none() {
+            entry.chunks[idx] = Some(fragment);
+            entry.received += 1;
+        }
+        if entry.received == entry.total {
+            let entry = self.partial.remove(&msg_id).expect("present");
+            let mut whole = BytesMut::new();
+            for chunk in entry.chunks {
+                whole.put_slice(&chunk.expect("all chunks received"));
+            }
+            return Ok(Some(whole.freeze()));
+        }
+        // Bound memory: discard the oldest partials beyond the cap.
+        while self.partial.len() > self.max_partial {
+            let oldest = *self.partial.keys().next().expect("non-empty");
+            self.partial.remove(&oldest);
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packer_coalesces_until_budget() {
+        // Budget 24: tag (1) + one framed 10-byte message (14) = 15 fits;
+        // a second framed message would reach 29 and closes the packet.
+        let mut p = Packer::new(24);
+        assert!(p.push(Bytes::from_static(b"0123456789")).is_empty()); // 14+1
+        let out = p.push(Bytes::from_static(b"abcdefghij")); // would exceed 32
+        assert_eq!(out.len(), 1, "first packet closed");
+        let msgs = unpack(out[0].clone()).unwrap();
+        assert_eq!(msgs.len(), 1);
+        let rest = p.flush().unwrap();
+        assert_eq!(unpack(rest).unwrap()[0], Bytes::from_static(b"abcdefghij"));
+    }
+
+    #[test]
+    fn packer_packs_many_tiny_messages() {
+        let mut p = Packer::new(1350);
+        let mut packets = Vec::new();
+        for i in 0..100u32 {
+            packets.extend(p.push(Bytes::from(i.to_le_bytes().to_vec())));
+        }
+        packets.extend(p.flush());
+        let all: Vec<Bytes> = packets
+            .into_iter()
+            .flat_map(|pkt| unpack(pkt).unwrap())
+            .collect();
+        assert_eq!(all.len(), 100);
+        for (i, m) in all.iter().enumerate() {
+            assert_eq!(m.as_ref(), (i as u32).to_le_bytes());
+        }
+    }
+
+    #[test]
+    fn packer_passes_oversized_through_as_bare() {
+        let mut p = Packer::new(32);
+        p.push(Bytes::from_static(b"small"));
+        let out = p.push(Bytes::from(vec![1u8; 100]));
+        assert_eq!(out.len(), 2, "pending packet flushed, then bare payload");
+        assert_eq!(unpack(out[0].clone()).unwrap()[0], Bytes::from_static(b"small"));
+        assert_eq!(unpack(out[1].clone()).unwrap()[0], Bytes::from(vec![1u8; 100]));
+    }
+
+    #[test]
+    fn flush_empty_returns_none() {
+        let mut p = Packer::new(64);
+        assert!(p.flush().is_none());
+        assert_eq!(p.pending(), 0);
+    }
+
+    #[test]
+    fn unpack_rejects_garbage() {
+        assert!(unpack(Bytes::new()).is_err());
+        assert!(unpack(Bytes::from_static(b"\xff rest")).is_err());
+        // Truncated packed framing.
+        let mut buf = BytesMut::new();
+        buf.put_u8(TAG_PACKED);
+        buf.put_u32_le(100);
+        buf.put_slice(b"short");
+        assert!(unpack(buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn bare_roundtrip() {
+        let b = bare(Bytes::from_static(b"payload"));
+        assert_eq!(unpack(b).unwrap(), vec![Bytes::from_static(b"payload")]);
+    }
+
+    #[test]
+    fn fragment_roundtrip_exact_multiple() {
+        let f = Fragmenter::new(100);
+        let chunk = 100 - FRAG_HEADER;
+        let payload = Bytes::from(vec![9u8; chunk * 3]);
+        let frags = f.split(1, payload.clone());
+        assert_eq!(frags.len(), 3);
+        let mut r = Reassembler::new(8);
+        assert!(r.push(frags[0].clone()).unwrap().is_none());
+        assert!(r.push(frags[1].clone()).unwrap().is_none());
+        assert_eq!(r.push(frags[2].clone()).unwrap().unwrap(), payload);
+        assert_eq!(r.pending(), 0);
+    }
+
+    #[test]
+    fn fragment_roundtrip_empty_payload() {
+        let f = Fragmenter::new(100);
+        let frags = f.split(2, Bytes::new());
+        assert_eq!(frags.len(), 1);
+        let mut r = Reassembler::new(8);
+        assert_eq!(r.push(frags[0].clone()).unwrap().unwrap(), Bytes::new());
+    }
+
+    #[test]
+    fn duplicate_fragments_ignored() {
+        let f = Fragmenter::new(64);
+        let payload = Bytes::from(vec![5u8; 200]);
+        let frags = f.split(3, payload.clone());
+        let mut r = Reassembler::new(8);
+        for frag in &frags[..frags.len() - 1] {
+            assert!(r.push(frag.clone()).unwrap().is_none());
+            assert!(r.push(frag.clone()).unwrap().is_none(), "duplicate ignored");
+        }
+        assert_eq!(
+            r.push(frags.last().unwrap().clone()).unwrap().unwrap(),
+            payload
+        );
+    }
+
+    #[test]
+    fn interleaved_messages_reassemble_independently() {
+        let f = Fragmenter::new(64);
+        let pay_a = Bytes::from(vec![1u8; 150]);
+        let pay_b = Bytes::from(vec![2u8; 150]);
+        let fa = f.split(10, pay_a.clone());
+        let fb = f.split(11, pay_b.clone());
+        let mut r = Reassembler::new(8);
+        let mut done = Vec::new();
+        for (a, b) in fa.iter().zip(fb.iter()) {
+            if let Some(m) = r.push(a.clone()).unwrap() {
+                done.push(m);
+            }
+            if let Some(m) = r.push(b.clone()).unwrap() {
+                done.push(m);
+            }
+        }
+        assert_eq!(done, vec![pay_a, pay_b]);
+    }
+
+    #[test]
+    fn reassembler_bounds_partial_messages() {
+        let f = Fragmenter::new(64);
+        let mut r = Reassembler::new(2);
+        // Start four messages but never finish them.
+        for id in 0..4u64 {
+            let frags = f.split(id, Bytes::from(vec![0u8; 200]));
+            r.push(frags[0].clone()).unwrap();
+        }
+        assert!(r.pending() <= 2, "partial cap enforced, got {}", r.pending());
+    }
+
+    #[test]
+    fn reassembler_rejects_malformed() {
+        let mut r = Reassembler::new(4);
+        assert!(r.push(Bytes::from_static(b"short")).is_err());
+        assert!(r.push(bare(Bytes::from_static(b"not a fragment"))).is_err());
+        // Inconsistent totals for the same id.
+        let f64b = Fragmenter::new(64);
+        let f128 = Fragmenter::new(128);
+        let a = f64b.split(5, Bytes::from(vec![0u8; 300]));
+        let b = f128.split(5, Bytes::from(vec![0u8; 300]));
+        let mut r = Reassembler::new(4);
+        r.push(a[0].clone()).unwrap();
+        assert!(r.push(b[0].clone()).is_err());
+    }
+
+    #[test]
+    fn needs_split_boundary() {
+        let f = Fragmenter::new(100);
+        assert!(!f.needs_split(99));
+        assert!(f.needs_split(100));
+    }
+}

@@ -1,0 +1,311 @@
+//! The client-level protocol: what a daemon packs into the ordered
+//! messages' payloads on behalf of its clients.
+//!
+//! Group joins and leaves travel through the same total order as data, so
+//! every daemon applies group-membership changes at the same point in the
+//! message stream — this is how lightweight (client-level) group
+//! membership stays consistent without extra agreement rounds.
+
+use accelring_core::wire::DecodeError;
+use accelring_core::ParticipantId;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Maximum length of a client or group name, mirroring Spread's fixed-size
+/// descriptive names.
+pub const MAX_NAME: usize = 64;
+/// Maximum groups addressed by one multi-group multicast.
+pub const MAX_GROUPS: usize = 32;
+
+/// A client identity: the daemon it is attached to plus its name (unique
+/// per daemon).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClientId {
+    /// The daemon the client is connected to.
+    pub daemon: ParticipantId,
+    /// The client's name at that daemon.
+    pub name: String,
+}
+
+impl std::fmt::Display for ClientId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}#{}", self.name, self.daemon)
+    }
+}
+
+/// What a group-layer message does.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GroupAction {
+    /// Application data multicast to one or more groups (open-group
+    /// semantics: the sender need not be a member).
+    Data {
+        /// Target groups.
+        groups: Vec<String>,
+        /// Application payload.
+        payload: Bytes,
+    },
+    /// The sender joins a group.
+    Join {
+        /// The group being joined.
+        group: String,
+    },
+    /// The sender leaves a group.
+    Leave {
+        /// The group being left.
+        group: String,
+    },
+    /// The client disconnected; it leaves every group.
+    Disconnect,
+}
+
+/// A complete group-layer message: who did what.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupMessage {
+    /// The client this message is on behalf of.
+    pub sender: ClientId,
+    /// The operation.
+    pub action: GroupAction,
+}
+
+/// Errors constructing group messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GroupProtoError {
+    /// A name exceeds [`MAX_NAME`] bytes or is empty.
+    BadName(String),
+    /// More than [`MAX_GROUPS`] groups in one multicast, or none.
+    BadGroupCount(usize),
+}
+
+impl std::fmt::Display for GroupProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GroupProtoError::BadName(n) => write!(f, "invalid name {n:?}"),
+            GroupProtoError::BadGroupCount(n) => write!(f, "invalid group count {n}"),
+        }
+    }
+}
+
+impl std::error::Error for GroupProtoError {}
+
+/// Validates a client or group name.
+///
+/// # Errors
+///
+/// Returns [`GroupProtoError::BadName`] if empty or longer than
+/// [`MAX_NAME`] bytes.
+pub fn validate_name(name: &str) -> Result<(), GroupProtoError> {
+    if name.is_empty() || name.len() > MAX_NAME {
+        return Err(GroupProtoError::BadName(name.to_string()));
+    }
+    Ok(())
+}
+
+const ACT_DATA: u8 = 1;
+const ACT_JOIN: u8 = 2;
+const ACT_LEAVE: u8 = 3;
+const ACT_DISCONNECT: u8 = 4;
+
+fn put_name(buf: &mut BytesMut, name: &str) {
+    buf.put_u16_le(name.len() as u16);
+    buf.put_slice(name.as_bytes());
+}
+
+fn get_name(buf: &mut Bytes) -> Result<String, DecodeError> {
+    if buf.remaining() < 2 {
+        return Err(DecodeError::Truncated);
+    }
+    let len = buf.get_u16_le() as usize;
+    if len > MAX_NAME || buf.remaining() < len {
+        return Err(DecodeError::BadLength {
+            declared: len,
+            available: buf.remaining(),
+        });
+    }
+    let raw = buf.split_to(len);
+    String::from_utf8(raw.to_vec()).map_err(|_| DecodeError::Truncated)
+}
+
+/// Encodes a group message into an ordered-multicast payload.
+pub fn encode_group_message(msg: &GroupMessage) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64);
+    buf.put_u16_le(msg.sender.daemon.as_u16());
+    put_name(&mut buf, &msg.sender.name);
+    match &msg.action {
+        GroupAction::Data { groups, payload } => {
+            buf.put_u8(ACT_DATA);
+            buf.put_u8(groups.len() as u8);
+            for g in groups {
+                put_name(&mut buf, g);
+            }
+            buf.put_u32_le(payload.len() as u32);
+            buf.put_slice(payload);
+        }
+        GroupAction::Join { group } => {
+            buf.put_u8(ACT_JOIN);
+            put_name(&mut buf, group);
+        }
+        GroupAction::Leave { group } => {
+            buf.put_u8(ACT_LEAVE);
+            put_name(&mut buf, group);
+        }
+        GroupAction::Disconnect => buf.put_u8(ACT_DISCONNECT),
+    }
+    buf.freeze()
+}
+
+/// Decodes a group message from an ordered-multicast payload.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on malformed input.
+pub fn decode_group_message(buf: &mut Bytes) -> Result<GroupMessage, DecodeError> {
+    if buf.remaining() < 2 {
+        return Err(DecodeError::Truncated);
+    }
+    let daemon = ParticipantId::new(buf.get_u16_le());
+    let name = get_name(buf)?;
+    let sender = ClientId { daemon, name };
+    if buf.remaining() < 1 {
+        return Err(DecodeError::Truncated);
+    }
+    let action = match buf.get_u8() {
+        ACT_DATA => {
+            if buf.remaining() < 1 {
+                return Err(DecodeError::Truncated);
+            }
+            let n = buf.get_u8() as usize;
+            if n == 0 || n > MAX_GROUPS {
+                return Err(DecodeError::BadLength {
+                    declared: n,
+                    available: MAX_GROUPS,
+                });
+            }
+            let mut groups = Vec::with_capacity(n);
+            for _ in 0..n {
+                groups.push(get_name(buf)?);
+            }
+            if buf.remaining() < 4 {
+                return Err(DecodeError::Truncated);
+            }
+            let len = buf.get_u32_le() as usize;
+            if buf.remaining() < len {
+                return Err(DecodeError::BadLength {
+                    declared: len,
+                    available: buf.remaining(),
+                });
+            }
+            GroupAction::Data {
+                groups,
+                payload: buf.split_to(len),
+            }
+        }
+        ACT_JOIN => GroupAction::Join { group: get_name(buf)? },
+        ACT_LEAVE => GroupAction::Leave { group: get_name(buf)? },
+        ACT_DISCONNECT => GroupAction::Disconnect,
+        other => return Err(DecodeError::BadKind(other)),
+    };
+    Ok(GroupMessage { sender, action })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn client(d: u16, name: &str) -> ClientId {
+        ClientId {
+            daemon: ParticipantId::new(d),
+            name: name.to_string(),
+        }
+    }
+
+    fn roundtrip(msg: &GroupMessage) -> GroupMessage {
+        let mut enc = encode_group_message(msg);
+        decode_group_message(&mut enc).unwrap()
+    }
+
+    #[test]
+    fn data_roundtrip() {
+        let msg = GroupMessage {
+            sender: client(3, "trader-7"),
+            action: GroupAction::Data {
+                groups: vec!["orders".into(), "audit-log".into()],
+                payload: Bytes::from_static(b"BUY 100 XYZ"),
+            },
+        };
+        assert_eq!(roundtrip(&msg), msg);
+    }
+
+    #[test]
+    fn join_leave_disconnect_roundtrip() {
+        for action in [
+            GroupAction::Join { group: "g".into() },
+            GroupAction::Leave { group: "g".into() },
+            GroupAction::Disconnect,
+        ] {
+            let msg = GroupMessage {
+                sender: client(0, "c"),
+                action,
+            };
+            assert_eq!(roundtrip(&msg), msg);
+        }
+    }
+
+    #[test]
+    fn empty_payload_roundtrip() {
+        let msg = GroupMessage {
+            sender: client(1, "x"),
+            action: GroupAction::Data {
+                groups: vec!["g".into()],
+                payload: Bytes::new(),
+            },
+        };
+        assert_eq!(roundtrip(&msg), msg);
+    }
+
+    #[test]
+    fn truncation_rejected_everywhere() {
+        let msg = GroupMessage {
+            sender: client(3, "client"),
+            action: GroupAction::Data {
+                groups: vec!["group-a".into()],
+                payload: Bytes::from_static(b"xy"),
+            },
+        };
+        let full = encode_group_message(&msg);
+        for cut in 0..full.len() {
+            let mut b = full.slice(..cut);
+            assert!(decode_group_message(&mut b).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn rejects_zero_groups() {
+        // Hand-craft a data message with zero groups.
+        let mut buf = BytesMut::new();
+        buf.put_u16_le(0);
+        buf.put_u16_le(1);
+        buf.put_slice(b"c");
+        buf.put_u8(ACT_DATA);
+        buf.put_u8(0);
+        let mut b = buf.freeze();
+        assert!(decode_group_message(&mut b).is_err());
+    }
+
+    #[test]
+    fn rejects_oversized_name() {
+        let long = "x".repeat(MAX_NAME + 1);
+        assert!(validate_name(&long).is_err());
+        assert!(validate_name("").is_err());
+        assert!(validate_name("ok-name").is_ok());
+    }
+
+    #[test]
+    fn client_id_display() {
+        assert_eq!(client(2, "abc").to_string(), "abc#P2");
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(!GroupProtoError::BadName("x".into()).to_string().is_empty());
+        assert!(!GroupProtoError::BadGroupCount(0).to_string().is_empty());
+    }
+}

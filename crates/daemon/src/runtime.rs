@@ -1,0 +1,271 @@
+//! The runnable group daemon: a [`GroupEngine`] pumped by a thread over a
+//! real UDP transport node, serving in-process clients through channels
+//! (the "IPC" of the paper's daemon prototype).
+
+use std::collections::HashMap;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use accelring_core::Service;
+use accelring_transport::{AppEvent, NodeHandle};
+use bytes::Bytes;
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+
+use crate::engine::{ClientEvent, EngineError, EngineOptions, EngineOutput, GroupEngine};
+
+enum Cmd {
+    Connect {
+        name: String,
+        events: Sender<ClientEvent>,
+        resp: Sender<Result<(), EngineError>>,
+    },
+    Join {
+        name: String,
+        group: String,
+        resp: Sender<Result<(), EngineError>>,
+    },
+    Leave {
+        name: String,
+        group: String,
+        resp: Sender<Result<(), EngineError>>,
+    },
+    Multicast {
+        name: String,
+        groups: Vec<String>,
+        payload: Bytes,
+        service: Service,
+        resp: Sender<Result<(), EngineError>>,
+    },
+    Disconnect {
+        name: String,
+    },
+    Shutdown,
+}
+
+/// A running group daemon: the ordering/membership stack plus the group
+/// engine, serving local clients.
+#[derive(Debug)]
+pub struct GroupDaemon {
+    cmd_tx: Sender<Cmd>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl GroupDaemon {
+    /// Starts the group layer on top of a running transport node with
+    /// default engine options.
+    pub fn start(node: NodeHandle) -> GroupDaemon {
+        GroupDaemon::start_with_options(node, EngineOptions::default())
+    }
+
+    /// Starts the group layer with explicit packing/fragmentation options.
+    pub fn start_with_options(node: NodeHandle, options: EngineOptions) -> GroupDaemon {
+        let (cmd_tx, cmd_rx) = unbounded();
+        let thread = std::thread::Builder::new()
+            .name(format!("group-daemon-{}", node.pid()))
+            .spawn(move || pump(node, cmd_rx, options))
+            .expect("spawn group daemon thread");
+        GroupDaemon {
+            cmd_tx,
+            thread: Some(thread),
+        }
+    }
+
+    /// Connects a new local client.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] for invalid or duplicate names.
+    pub fn connect(&self, name: &str) -> Result<GroupClient, EngineError> {
+        let (event_tx, event_rx) = unbounded();
+        let (resp_tx, resp_rx) = bounded(1);
+        let _ = self.cmd_tx.send(Cmd::Connect {
+            name: name.to_string(),
+            events: event_tx,
+            resp: resp_tx,
+        });
+        resp_rx
+            .recv()
+            .unwrap_or(Err(EngineError::UnknownClient(name.to_string())))?;
+        Ok(GroupClient {
+            name: name.to_string(),
+            cmd_tx: self.cmd_tx.clone(),
+            event_rx,
+        })
+    }
+
+    /// Stops the daemon thread (clients become inert).
+    pub fn shutdown(mut self) {
+        let _ = self.cmd_tx.send(Cmd::Shutdown);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for GroupDaemon {
+    fn drop(&mut self) {
+        let _ = self.cmd_tx.send(Cmd::Shutdown);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// A client connected to a local [`GroupDaemon`].
+#[derive(Debug)]
+pub struct GroupClient {
+    name: String,
+    cmd_tx: Sender<Cmd>,
+    event_rx: Receiver<ClientEvent>,
+}
+
+impl GroupClient {
+    /// This client's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The stream of messages, views, and configuration notices.
+    pub fn events(&self) -> &Receiver<ClientEvent> {
+        &self.event_rx
+    }
+
+    fn call(&self, make: impl FnOnce(Sender<Result<(), EngineError>>) -> Cmd) -> Result<(), EngineError> {
+        let (resp_tx, resp_rx) = bounded(1);
+        let _ = self.cmd_tx.send(make(resp_tx));
+        resp_rx
+            .recv()
+            .unwrap_or(Err(EngineError::UnknownClient(self.name.clone())))
+    }
+
+    /// Joins a group.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] for invalid group names.
+    pub fn join(&self, group: &str) -> Result<(), EngineError> {
+        self.call(|resp| Cmd::Join {
+            name: self.name.clone(),
+            group: group.to_string(),
+            resp,
+        })
+    }
+
+    /// Leaves a group.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] for invalid group names.
+    pub fn leave(&self, group: &str) -> Result<(), EngineError> {
+        self.call(|resp| Cmd::Leave {
+            name: self.name.clone(),
+            group: group.to_string(),
+            resp,
+        })
+    }
+
+    /// Multicasts to one or more groups with cross-group total ordering.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] for invalid names or group counts.
+    pub fn multicast(
+        &self,
+        groups: &[&str],
+        payload: Bytes,
+        service: Service,
+    ) -> Result<(), EngineError> {
+        self.call(|resp| Cmd::Multicast {
+            name: self.name.clone(),
+            groups: groups.iter().map(|g| g.to_string()).collect(),
+            payload,
+            service,
+            resp,
+        })
+    }
+
+    /// Disconnects, leaving every group.
+    pub fn disconnect(self) {
+        let _ = self.cmd_tx.send(Cmd::Disconnect {
+            name: self.name.clone(),
+        });
+    }
+}
+
+fn pump(node: NodeHandle, cmd_rx: Receiver<Cmd>, options: EngineOptions) {
+    let mut engine = GroupEngine::with_options(node.pid(), options);
+    let mut client_channels: HashMap<String, Sender<ClientEvent>> = HashMap::new();
+
+    let dispatch = |engine_outputs: Vec<EngineOutput>,
+                        channels: &HashMap<String, Sender<ClientEvent>>| {
+        for out in engine_outputs {
+            match out {
+                EngineOutput::Submit { payload, service } => node.submit(payload, service),
+                EngineOutput::Local { client, event } => {
+                    if let Some(tx) = channels.get(&client) {
+                        let _ = tx.send(event);
+                    }
+                }
+            }
+        }
+    };
+
+    loop {
+        // Client commands.
+        while let Ok(cmd) = cmd_rx.try_recv() {
+            match cmd {
+                Cmd::Connect { name, events, resp } => {
+                    let result = engine.client_connect(&name);
+                    if result.is_ok() {
+                        client_channels.insert(name, events);
+                    }
+                    let _ = resp.send(result);
+                }
+                Cmd::Join { name, group, resp } => {
+                    let result = engine.client_join(&name, &group);
+                    let _ = resp.send(result.map(|o| dispatch(o, &client_channels)));
+                }
+                Cmd::Leave { name, group, resp } => {
+                    let result = engine.client_leave(&name, &group);
+                    let _ = resp.send(result.map(|o| dispatch(o, &client_channels)));
+                }
+                Cmd::Multicast {
+                    name,
+                    groups,
+                    payload,
+                    service,
+                    resp,
+                } => {
+                    let refs: Vec<&str> = groups.iter().map(String::as_str).collect();
+                    let result = engine.client_multicast(&name, &refs, payload, service);
+                    let _ = resp.send(result.map(|o| dispatch(o, &client_channels)));
+                }
+                Cmd::Disconnect { name } => {
+                    if let Ok(outputs) = engine.client_disconnect(&name) {
+                        dispatch(outputs, &client_channels);
+                    }
+                    client_channels.remove(&name);
+                }
+                Cmd::Shutdown => return,
+            }
+        }
+        // Close any partially packed payloads so buffered client messages
+        // are not held hostage waiting for more traffic.
+        let flushed = engine.flush();
+        dispatch(flushed, &client_channels);
+
+        // Ring events.
+        match node.events().recv_timeout(Duration::from_millis(1)) {
+            Ok(AppEvent::Delivered(d)) => {
+                let outputs = engine.on_delivery(&d);
+                dispatch(outputs, &client_channels);
+            }
+            Ok(AppEvent::Config(c)) => {
+                let outputs = engine.on_config_change(&c);
+                dispatch(outputs, &client_channels);
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}

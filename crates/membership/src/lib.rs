@@ -1,0 +1,50 @@
+//! # accelring-membership
+//!
+//! A Totem-style membership algorithm with Extended Virtual Synchrony (EVS)
+//! configuration delivery, completing the system model of "Fast Total
+//! Ordering for Modern Data Centers": the ordering protocol in
+//! `accelring-core` handles the normal case; this crate handles token loss,
+//! crashes, partitions, and merges.
+//!
+//! The algorithm follows Totem's structure (the paper reuses Spread's
+//! Totem-derived membership unchanged): **Gather** reaches consensus on a
+//! (processes, failed) pair via join messages; **Commit** circulates a
+//! commit token twice around the forming ring; **Recover** exchanges the
+//! dissolving rings' messages so all transitional members deliver the same
+//! set, then delivers the transitional and regular configuration changes
+//! required by EVS. One simplification relative to Totem is documented in
+//! DESIGN.md: recovery floods old-ring messages directly instead of
+//! re-sequencing them through the new ring's token, with an explicit
+//! recovery-done barrier; the delivered guarantees are the same under the
+//! non-Byzantine model.
+//!
+//! ## Example
+//!
+//! ```
+//! use accelring_membership::testing::Cluster;
+//! use accelring_membership::MembershipConfig;
+//! use accelring_core::{ProtocolConfig, Service};
+//! use bytes::Bytes;
+//!
+//! let mut cluster = Cluster::new(4, ProtocolConfig::default(), MembershipConfig::for_simulation());
+//! cluster.run_for(30_000_000);
+//! assert!(cluster.all_operational());
+//!
+//! cluster.submit(0, Bytes::from_static(b"hello"), Service::Agreed);
+//! cluster.run_for(10_000_000);
+//! assert!(cluster.deliveries(3).iter().any(|d| &d.payload[..] == b"hello"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod daemon;
+pub mod msg;
+pub mod testing;
+
+pub use config::MembershipConfig;
+pub use daemon::{
+    ConfigChange, Input, MembershipDaemon, MembershipStats, Output, StateKind, TimerKind,
+};
+pub use msg::{decode_control, encode_control, CommitToken, ControlMessage, MemberInfo};

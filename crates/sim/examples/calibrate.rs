@@ -1,0 +1,68 @@
+//! Quick calibration probe: prints headline curves to compare with the paper.
+use accelring_core::{ProtocolConfig, Service};
+use accelring_sim::{Curve, ExperimentSpec, ImplProfile, NetworkProfile, SimDuration, Workload};
+
+fn main() {
+    let mut base = ExperimentSpec::baseline();
+    base.warmup = SimDuration::from_millis(30);
+    base.measure = SimDuration::from_millis(100);
+
+    println!("=== 1Gb Agreed, spread profile (paper fig 2) ===");
+    let mut spec = base.clone();
+    spec.impl_profile = ImplProfile::spread();
+    for (label, cfg) in [
+        ("orig", ProtocolConfig::original(20)),
+        ("accel", ProtocolConfig::accelerated(20, 15)),
+    ] {
+        spec.protocol = cfg;
+        let c = Curve::sweep_rates(label, &spec, &[100, 200, 300, 400, 500, 600, 700, 800, 900]);
+        for p in &c.points {
+            print!("{} {:.0}Mbps->{:.0}Mbps/{:.0}us  ", label, p.x, p.result.goodput_mbps(), p.result.mean_latency_us());
+        }
+        println!();
+    }
+
+    println!("=== 10Gb Agreed max throughput (saturating, accel 30/30) ===");
+    for profile in ImplProfile::all() {
+        let mut spec = base.clone();
+        spec.network = NetworkProfile::ten_gigabit();
+        spec.impl_profile = profile;
+        spec.protocol = ProtocolConfig::accelerated(30, 30);
+        spec.workload = Workload::Saturating;
+        let r = spec.run();
+        println!("{}: {:.2} Gbps (accel)", profile.name, r.goodput_mbps() / 1000.0);
+        spec.protocol = ProtocolConfig::original(30);
+        let r = spec.run();
+        println!("{}: {:.2} Gbps (orig)", profile.name, r.goodput_mbps() / 1000.0);
+    }
+
+    println!("=== 1Gb max throughput (saturating) ===");
+    for (label, cfg) in [
+        ("orig", ProtocolConfig::original(30)),
+        ("accel", ProtocolConfig::accelerated(30, 30)),
+    ] {
+        let mut spec = base.clone();
+        spec.impl_profile = ImplProfile::spread();
+        spec.protocol = cfg;
+        spec.workload = Workload::Saturating;
+        let r = spec.run();
+        println!("spread {}: {:.0} Mbps", label, r.goodput_mbps());
+    }
+
+    println!("=== Safe low-throughput 10Gb crossover (fig 8, spread) ===");
+    let mut spec = base.clone();
+    spec.network = NetworkProfile::ten_gigabit();
+    spec.impl_profile = ImplProfile::spread();
+    spec.service = Service::Safe;
+    for (label, cfg) in [
+        ("orig", ProtocolConfig::original(20)),
+        ("accel", ProtocolConfig::accelerated(20, 15)),
+    ] {
+        spec.protocol = cfg;
+        let c = Curve::sweep_rates(label, &spec, &[100, 200, 400, 600, 1000]);
+        for p in &c.points {
+            print!("{} {:.0}->{:.0}us  ", label, p.x, p.result.mean_latency_us());
+        }
+        println!();
+    }
+}

@@ -1,0 +1,54 @@
+//! Calibration probe for the loss experiments (figs 9-13).
+use accelring_core::{ProtocolConfig, Service};
+use accelring_sim::{ExperimentSpec, ImplProfile, LossSpec, NetworkProfile, SimDuration};
+
+fn main() {
+    let mut base = ExperimentSpec::baseline();
+    base.warmup = SimDuration::from_millis(30);
+    base.measure = SimDuration::from_millis(100);
+    base.impl_profile = ImplProfile::daemon();
+
+    for (name, net, mbps) in [
+        ("fig9 10G 480Mbps", NetworkProfile::ten_gigabit(), 480u64),
+        ("fig10 10G 1200Mbps", NetworkProfile::ten_gigabit(), 1200),
+        ("fig11 1G 140Mbps", NetworkProfile::gigabit(), 140),
+        ("fig12 1G 350Mbps", NetworkProfile::gigabit(), 350),
+    ] {
+        println!("=== {name} ===");
+        for service in [Service::Agreed, Service::Safe] {
+            for (label, cfg) in [
+                ("orig ", ProtocolConfig::original(20)),
+                ("accel", ProtocolConfig::accelerated(20, 15)),
+            ] {
+                print!("{service:?} {label}: ");
+                for loss_pct in [0.0, 0.05, 0.10, 0.15, 0.20, 0.25] {
+                    let mut spec = base.clone().at_rate_mbps(mbps);
+                    spec.network = net;
+                    spec.service = service;
+                    spec.protocol = cfg;
+                    spec.loss = LossSpec::bernoulli(loss_pct);
+                    let r = spec.run();
+                    print!("{:.0}us ", r.mean_latency_us());
+                }
+                println!();
+            }
+        }
+    }
+
+    println!("=== fig13 distance (20% loss from daemon k back, 10G 480Mbps) ===");
+    for (label, cfg) in [
+        ("orig ", ProtocolConfig::original(20)),
+        ("accel", ProtocolConfig::accelerated(20, 15)),
+    ] {
+        print!("{label}: ");
+        for d in 1..=7 {
+            let mut spec = base.clone().at_rate_mbps(480);
+            spec.network = NetworkProfile::ten_gigabit();
+            spec.protocol = cfg;
+            spec.loss = LossSpec::FromDistance { distance: d, rate: 0.2 };
+            let r = spec.run();
+            print!("d{}:{:.0}us ", d, r.mean_latency_us());
+        }
+        println!();
+    }
+}

@@ -1,0 +1,212 @@
+//! Timing model of the physical network: per-node NIC egress, an
+//! output-queued store-and-forward switch with finite per-port buffers, and
+//! link propagation.
+//!
+//! This is the substrate substitution for the paper's hardware testbed (see
+//! DESIGN.md §1). The three effects that drive the paper's results are all
+//! here:
+//!
+//! 1. **NIC serialization** — a node's transmissions (including the token)
+//!    leave one at a time at line rate, so the token queues behind data the
+//!    node has already handed to the kernel.
+//! 2. **Switch output queues** — frames from several simultaneous senders
+//!    to the same destination are buffered and serialized at the egress
+//!    port. This buffering is exactly what lets the Accelerated Ring
+//!    protocol overlap senders without loss.
+//! 3. **Finite buffers** — sustained oversubscription of a port overflows
+//!    its buffer and frames are dropped.
+
+use crate::profiles::NetworkProfile;
+use crate::time::{serialization_time, SimDuration, SimTime};
+
+/// Counters for the whole fabric.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FabricStats {
+    /// Datagrams accepted and forwarded (per destination).
+    pub forwarded: u64,
+    /// Datagrams dropped at a full switch egress buffer (per destination).
+    pub switch_drops: u64,
+    /// Payload-carrying bytes pushed through egress ports.
+    pub bytes_forwarded: u64,
+}
+
+/// The single-switch fabric connecting `n` nodes.
+#[derive(Debug, Clone)]
+pub struct Fabric {
+    net: NetworkProfile,
+    /// When each node's NIC egress becomes free.
+    nic_free: Vec<SimTime>,
+    /// When each destination's switch egress port becomes free.
+    port_free: Vec<SimTime>,
+    stats: FabricStats,
+}
+
+impl Fabric {
+    /// Creates the fabric for `n` nodes with the given network profile.
+    pub fn new(net: NetworkProfile, n: usize) -> Fabric {
+        Fabric {
+            net,
+            nic_free: vec![SimTime::ZERO; n],
+            port_free: vec![SimTime::ZERO; n],
+            stats: FabricStats::default(),
+        }
+    }
+
+    /// The network profile in force.
+    pub fn network(&self) -> &NetworkProfile {
+        &self.net
+    }
+
+    /// Fabric counters so far.
+    pub fn stats(&self) -> FabricStats {
+        self.stats
+    }
+
+    /// Serialization time of a datagram of `datagram_len` bytes (protocol
+    /// header + payload) on this network, including frame overhead.
+    pub fn serialization(&self, datagram_len: usize) -> SimDuration {
+        serialization_time(self.net.wire_bytes(datagram_len), self.net.bandwidth_bps)
+    }
+
+    /// Transmits a datagram handed to node `from`'s NIC at time `handoff`
+    /// toward every destination in `dests`. Returns the arrival time at
+    /// each destination that was not dropped by a full switch buffer.
+    ///
+    /// Multicast costs one ingress serialization and one egress
+    /// serialization per destination, exactly like an output-queued switch
+    /// replicating a frame.
+    pub fn transmit(
+        &mut self,
+        from: usize,
+        datagram_len: usize,
+        handoff: SimTime,
+        dests: &[usize],
+    ) -> Vec<(usize, SimTime)> {
+        let ser = self.serialization(datagram_len);
+        let nic_start = handoff.max(self.nic_free[from]);
+        let nic_done = nic_start + ser;
+        self.nic_free[from] = nic_done;
+        let at_switch = nic_done + self.net.link_latency;
+
+        let mut arrivals = Vec::with_capacity(dests.len());
+        for &dest in dests {
+            debug_assert_ne!(dest, from, "nodes do not send to themselves");
+            // Backlog currently queued for this egress port, expressed in
+            // bytes at line rate.
+            let backlog = self.port_free[dest].since(at_switch);
+            let backlog_bytes =
+                (backlog.as_nanos() as u128 * self.net.bandwidth_bps as u128 / 8_000_000_000) as u64;
+            if backlog_bytes > self.net.switch_buffer_bytes {
+                self.stats.switch_drops += 1;
+                continue;
+            }
+            let egress_start = at_switch.max(self.port_free[dest]);
+            let egress_done = egress_start + ser;
+            self.port_free[dest] = egress_done;
+            self.stats.forwarded += 1;
+            self.stats.bytes_forwarded += datagram_len as u64;
+            arrivals.push((dest, egress_done + self.net.link_latency));
+        }
+        arrivals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fabric() -> Fabric {
+        Fabric::new(NetworkProfile::gigabit(), 4)
+    }
+
+    #[test]
+    fn single_unicast_timing() {
+        let mut f = fabric();
+        let t0 = SimTime::from_nanos(1_000);
+        let arr = f.transmit(0, 1390, t0, &[1]);
+        assert_eq!(arr.len(), 1);
+        let ser = f.serialization(1390);
+        // handoff + nic serialization + link + egress serialization + link.
+        let expected = t0 + ser + f.network().link_latency + ser + f.network().link_latency;
+        assert_eq!(arr[0], (1, expected));
+    }
+
+    #[test]
+    fn nic_serializes_back_to_back_sends() {
+        let mut f = fabric();
+        let t0 = SimTime::ZERO;
+        let a1 = f.transmit(0, 1390, t0, &[1])[0].1;
+        let a2 = f.transmit(0, 1390, t0, &[1])[0].1;
+        let ser = f.serialization(1390);
+        assert_eq!(a2.since(a1), ser, "second frame leaves one serialization later");
+    }
+
+    #[test]
+    fn token_queues_behind_data_on_the_nic() {
+        let mut f = fabric();
+        let t0 = SimTime::ZERO;
+        // Hand three data frames to the NIC, then a small token.
+        for _ in 0..3 {
+            f.transmit(0, 1390, t0, &[1]);
+        }
+        let token_arrival = f.transmit(0, 60, t0, &[1])[0].1;
+        let data_ser = f.serialization(1390);
+        // The token could not start serializing before 3 data frames done.
+        assert!(token_arrival.since(SimTime::ZERO) > data_ser.times(3));
+    }
+
+    #[test]
+    fn multicast_replicates_to_each_port() {
+        let mut f = fabric();
+        let arr = f.transmit(0, 1390, SimTime::ZERO, &[1, 2, 3]);
+        assert_eq!(arr.len(), 3);
+        // Distinct ports drain in parallel: all destinations receive at the
+        // same time.
+        assert_eq!(arr[0].1, arr[1].1);
+        assert_eq!(arr[1].1, arr[2].1);
+        assert_eq!(f.stats().forwarded, 3);
+    }
+
+    #[test]
+    fn two_senders_share_one_egress_port() {
+        let mut f = fabric();
+        // Nodes 0 and 1 send to node 2 at the same instant: the second
+        // frame queues at port 2.
+        let a = f.transmit(0, 1390, SimTime::ZERO, &[2])[0].1;
+        let b = f.transmit(1, 1390, SimTime::ZERO, &[2])[0].1;
+        let ser = f.serialization(1390);
+        assert_eq!(b.since(a), ser, "egress port serializes the burst");
+    }
+
+    #[test]
+    fn switch_buffer_overflow_drops() {
+        let mut net = NetworkProfile::gigabit();
+        net.switch_buffer_bytes = 3 * 1456; // room for ~3 frames
+        let mut f = Fabric::new(net, 4);
+        let mut delivered = 0;
+        // Node 0 and node 1 flood node 2 instantaneously; port 2 can only
+        // queue a few frames.
+        for _ in 0..20 {
+            delivered += f.transmit(0, 1390, SimTime::ZERO, &[2]).len();
+            delivered += f.transmit(1, 1390, SimTime::ZERO, &[2]).len();
+        }
+        assert!(delivered < 40, "some frames must be dropped");
+        assert_eq!(f.stats().switch_drops as usize, 40 - delivered);
+    }
+
+    #[test]
+    fn large_datagram_serializes_longer() {
+        let f = Fabric::new(NetworkProfile::ten_gigabit(), 2);
+        let small = f.serialization(1390);
+        let big = f.serialization(8890);
+        assert!(big > small.times(6), "8850B datagram spans 7 frames");
+        assert!(big < small.times(8));
+    }
+
+    #[test]
+    fn stats_track_bytes() {
+        let mut f = fabric();
+        f.transmit(0, 1000, SimTime::ZERO, &[1, 2]);
+        assert_eq!(f.stats().bytes_forwarded, 2000);
+    }
+}

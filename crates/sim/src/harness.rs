@@ -1,0 +1,278 @@
+//! Experiment harness: declarative specifications for the paper's
+//! experiments, sweep helpers, and table formatting shared by every figure
+//! binary in `accelring-bench`.
+
+use accelring_core::{ProtocolConfig, Service};
+
+use crate::loss::LossSpec;
+use crate::metrics::LatencyStats;
+use crate::profiles::{ImplProfile, NetworkProfile};
+use crate::sim::{Simulator, Workload};
+use crate::time::SimDuration;
+
+/// A complete experiment specification: one point on one curve of one
+/// figure.
+#[derive(Debug, Clone)]
+pub struct ExperimentSpec {
+    /// Ring size; the paper uses 8 servers everywhere.
+    pub nodes: u16,
+    /// Clean application payload bytes per message (1350 or 8850).
+    pub payload_len: usize,
+    /// Delivery service under test.
+    pub service: Service,
+    /// Protocol configuration (variant + windows).
+    pub protocol: ProtocolConfig,
+    /// Network profile (1 Gb or 10 Gb).
+    pub network: NetworkProfile,
+    /// Implementation profile (library / daemon / Spread).
+    pub impl_profile: ImplProfile,
+    /// Injected loss.
+    pub loss: LossSpec,
+    /// Message generation.
+    pub workload: Workload,
+    /// Time excluded from measurement at the start of the run.
+    pub warmup: SimDuration,
+    /// Measurement window.
+    pub measure: SimDuration,
+    /// RNG seed (loss and injection jitter).
+    pub seed: u64,
+}
+
+impl ExperimentSpec {
+    /// The baseline configuration every figure starts from: 8 nodes,
+    /// 1350-byte payloads, Agreed delivery, accelerated protocol with the
+    /// paper's recommended windows, gigabit network, daemon profile, no
+    /// loss, 100 Mbps offered.
+    pub fn baseline() -> ExperimentSpec {
+        ExperimentSpec {
+            nodes: 8,
+            payload_len: 1350,
+            service: Service::Agreed,
+            protocol: ProtocolConfig::accelerated(20, 15),
+            network: NetworkProfile::gigabit(),
+            impl_profile: ImplProfile::daemon(),
+            loss: LossSpec::None,
+            workload: Workload::FixedRate {
+                aggregate_bps: 100_000_000,
+            },
+            warmup: SimDuration::from_millis(50),
+            measure: SimDuration::from_millis(200),
+            seed: 42,
+        }
+    }
+
+    /// Replaces the offered aggregate rate.
+    pub fn at_rate_mbps(mut self, mbps: u64) -> ExperimentSpec {
+        self.workload = Workload::FixedRate {
+            aggregate_bps: mbps * 1_000_000,
+        };
+        self
+    }
+
+    /// Runs the experiment.
+    pub fn run(&self) -> ExperimentResult {
+        let outcome = Simulator::new(
+            self.nodes,
+            self.protocol,
+            self.network,
+            self.impl_profile,
+            self.loss,
+            self.workload,
+            self.payload_len,
+            self.service,
+            self.warmup,
+            self.measure,
+            self.seed,
+        )
+        .run();
+        ExperimentResult {
+            goodput_bps: outcome.goodput_bps(),
+            latency: outcome.latency.stats(),
+            retransmissions: outcome.retransmissions(),
+            retransmission_rate: outcome.retransmission_rate(),
+            loss_drops: outcome.counters.loss_drops,
+            socket_drops: outcome.counters.socket_drops,
+            switch_drops: outcome.fabric.switch_drops,
+            submit_rejected: outcome.counters.submit_rejected,
+            delivered_total: outcome.counters.delivered_total,
+        }
+    }
+}
+
+/// Aggregated measurements from one experiment run.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentResult {
+    /// Measured clean goodput (bits/second of application payload,
+    /// normalized per receiver).
+    pub goodput_bps: f64,
+    /// Delivery-latency statistics.
+    pub latency: LatencyStats,
+    /// Retransmissions multicast.
+    pub retransmissions: u64,
+    /// Retransmissions per original message.
+    pub retransmission_rate: f64,
+    /// Messages dropped by the injected loss model.
+    pub loss_drops: u64,
+    /// Messages dropped at full receive sockets.
+    pub socket_drops: u64,
+    /// Frames dropped at full switch buffers.
+    pub switch_drops: u64,
+    /// Submissions rejected by send-queue backpressure.
+    pub submit_rejected: u64,
+    /// Total (message × receiver) deliveries.
+    pub delivered_total: u64,
+}
+
+impl ExperimentResult {
+    /// Goodput in megabits per second.
+    pub fn goodput_mbps(&self) -> f64 {
+        self.goodput_bps / 1e6
+    }
+
+    /// Mean latency in microseconds.
+    pub fn mean_latency_us(&self) -> f64 {
+        self.latency.mean.as_micros_f64()
+    }
+}
+
+/// One labelled point of a figure: offered rate plus the measurement.
+#[derive(Debug, Clone)]
+pub struct CurvePoint {
+    /// The x-axis value (offered rate in Mbps, loss percentage, ring
+    /// distance — figure dependent).
+    pub x: f64,
+    /// The measurement at this x.
+    pub result: ExperimentResult,
+}
+
+/// A named series of points (e.g. "Spread original" in Figure 2).
+#[derive(Debug, Clone)]
+pub struct Curve {
+    /// Legend label.
+    pub label: String,
+    /// Points in x order.
+    pub points: Vec<CurvePoint>,
+}
+
+impl Curve {
+    /// Sweeps offered rates (in Mbps), producing the latency-vs-throughput
+    /// profile the paper plots in Figures 2-8.
+    pub fn sweep_rates(label: &str, base: &ExperimentSpec, rates_mbps: &[u64]) -> Curve {
+        let points = rates_mbps
+            .iter()
+            .map(|&mbps| CurvePoint {
+                x: mbps as f64,
+                result: base.clone().at_rate_mbps(mbps).run(),
+            })
+            .collect();
+        Curve {
+            label: label.to_string(),
+            points,
+        }
+    }
+
+    /// Finds the maximum sustainable goodput by running the saturating
+    /// workload (library methodology) or a high offered rate (daemon
+    /// methodology).
+    pub fn max_throughput(base: &ExperimentSpec) -> ExperimentResult {
+        let mut spec = base.clone();
+        spec.workload = Workload::Saturating;
+        spec.run()
+    }
+}
+
+/// Renders curves as an aligned text table, one row per x value:
+/// `x  <curve1 goodput> <curve1 latency>  <curve2 goodput> ...`.
+///
+/// This is the output format of every figure binary; EXPERIMENTS.md embeds
+/// these tables directly.
+pub fn format_table(title: &str, x_label: &str, curves: &[Curve]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# {title}\n"));
+    out.push_str(&format!("{x_label:>12}"));
+    for c in curves {
+        out.push_str(&format!(
+            " | {:>20} {:>12} {:>12}",
+            format!("{} Mbps", c.label),
+            "mean us",
+            "w5% us"
+        ));
+    }
+    out.push('\n');
+    let rows = curves.iter().map(|c| c.points.len()).max().unwrap_or(0);
+    for i in 0..rows {
+        let x = curves
+            .iter()
+            .find_map(|c| c.points.get(i).map(|p| p.x))
+            .unwrap_or(0.0);
+        out.push_str(&format!("{x:>12.1}"));
+        for c in curves {
+            match c.points.get(i) {
+                Some(p) => out.push_str(&format!(
+                    " | {:>20.1} {:>12.1} {:>12.1}",
+                    p.result.goodput_mbps(),
+                    p.result.latency.mean.as_micros_f64(),
+                    p.result.latency.worst5_mean.as_micros_f64(),
+                )),
+                None => out.push_str(&format!(" | {:>20} {:>12} {:>12}", "-", "-", "-")),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_baseline() -> ExperimentSpec {
+        let mut spec = ExperimentSpec::baseline();
+        spec.warmup = SimDuration::from_millis(20);
+        spec.measure = SimDuration::from_millis(60);
+        spec
+    }
+
+    #[test]
+    fn baseline_runs_and_delivers() {
+        let r = fast_baseline().run();
+        assert!(r.delivered_total > 0);
+        assert!(r.goodput_mbps() > 90.0 && r.goodput_mbps() < 110.0);
+        assert_eq!(r.retransmissions, 0);
+    }
+
+    #[test]
+    fn at_rate_changes_offered_load() {
+        let r = fast_baseline().at_rate_mbps(300).run();
+        assert!(r.goodput_mbps() > 270.0, "got {}", r.goodput_mbps());
+    }
+
+    #[test]
+    fn sweep_produces_monotone_x() {
+        let curve = Curve::sweep_rates("test", &fast_baseline(), &[100, 200]);
+        assert_eq!(curve.points.len(), 2);
+        assert!(curve.points[0].x < curve.points[1].x);
+        assert!(curve.points[1].result.goodput_mbps() > curve.points[0].result.goodput_mbps());
+    }
+
+    #[test]
+    fn max_throughput_exceeds_fixed_rates() {
+        let mut spec = fast_baseline();
+        spec.protocol = ProtocolConfig::accelerated(30, 30);
+        spec.impl_profile = ImplProfile::library();
+        let max = Curve::max_throughput(&spec);
+        assert!(
+            max.goodput_mbps() > 700.0,
+            "saturated gigabit run reached only {:.0} Mbps",
+            max.goodput_mbps()
+        );
+    }
+
+    #[test]
+    fn format_table_shape() {
+        let curve = Curve::sweep_rates("accel", &fast_baseline(), &[100]);
+        let text = format_table("Figure X", "Mbps", &[curve]);
+        assert!(text.contains("Figure X"));
+        assert!(text.lines().count() >= 3);
+    }
+}

@@ -1,0 +1,52 @@
+//! # accelring-sim
+//!
+//! A deterministic discrete-event simulator standing in for the hardware
+//! testbed of "Fast Total Ordering for Modern Data Centers" (8 servers on a
+//! 1-gigabit or 10-gigabit switch), plus the experiment harness that
+//! regenerates every figure of the paper's evaluation.
+//!
+//! ## What is modelled
+//!
+//! * **NIC egress serialization** at line rate — the token queues behind
+//!   data already handed to the kernel, which is what paces token rotation.
+//! * **An output-queued switch** with per-port buffers — the buffering that
+//!   the Accelerated Ring protocol exploits to overlap senders.
+//! * **Per-node single-core CPU** with calibrated per-operation costs for
+//!   the paper's three implementations (library / daemon / Spread).
+//! * **Dual receive sockets** (token and data on separate ports) read in
+//!   the priority order of Section III-D.
+//! * **Receiver-side loss injection** reproducing the Section IV-A-4
+//!   experiments.
+//!
+//! ## Example
+//!
+//! ```
+//! use accelring_sim::harness::ExperimentSpec;
+//! use accelring_sim::time::SimDuration;
+//!
+//! let mut spec = ExperimentSpec::baseline();
+//! spec.warmup = SimDuration::from_millis(10);
+//! spec.measure = SimDuration::from_millis(40);
+//! let result = spec.at_rate_mbps(150).run();
+//! assert!(result.goodput_mbps() > 140.0);
+//! assert!(result.latency.mean.as_micros_f64() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fabric;
+pub mod harness;
+pub mod loss;
+pub mod metrics;
+pub mod profiles;
+pub mod sim;
+pub mod time;
+
+pub use fabric::{Fabric, FabricStats};
+pub use harness::{Curve, CurvePoint, ExperimentResult, ExperimentSpec};
+pub use loss::{LossSpec, LossState};
+pub use metrics::{LatencyRecorder, LatencyStats};
+pub use profiles::{ImplProfile, NetworkProfile};
+pub use sim::{RunCounters, SimOutcome, Simulator, Workload};
+pub use time::{SimDuration, SimTime};

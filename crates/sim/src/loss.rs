@@ -1,0 +1,302 @@
+//! Receiver-side loss models for the Section IV-A-4 experiments.
+//!
+//! The paper instruments each daemon to randomly drop a percentage of the
+//! data messages it receives (tokens are never dropped by these models —
+//! token loss is the membership algorithm's business and is excluded from
+//! the loss experiments). Because drops happen independently at each of the
+//! 8 daemons, the system-wide retransmission rate is much higher than the
+//! per-daemon loss rate, which is what makes these experiments demanding.
+
+use accelring_core::{DataMessage, ParticipantId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Declarative description of the loss to inject, part of an experiment
+/// specification.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LossSpec {
+    /// No injected loss.
+    None,
+    /// Every daemon drops each received data message independently with
+    /// this probability (`0.0..=1.0`). Applies to retransmissions too,
+    /// exactly like the paper ("retransmissions may also be lost").
+    Bernoulli {
+        /// Per-receive drop probability.
+        rate: f64,
+    },
+    /// Each daemon drops messages *sent by the daemon `distance` positions
+    /// before it on the ring* with probability `rate` (the Figure 13
+    /// experiment).
+    FromDistance {
+        /// Ring distance between the loser and the daemon it loses from.
+        distance: usize,
+        /// Drop probability for matching messages.
+        rate: f64,
+    },
+    /// Bursty loss (Gilbert–Elliott): each receiver alternates between a
+    /// good state (loss `good_rate`) and a bad state (loss `bad_rate`),
+    /// switching with the given per-message transition probabilities.
+    /// Models the correlated drops of an overrun buffer better than
+    /// independent Bernoulli loss.
+    Burst {
+        /// Drop probability in the good state.
+        good_rate: f64,
+        /// Drop probability in the bad state.
+        bad_rate: f64,
+        /// Per-message probability of entering the bad state.
+        good_to_bad: f64,
+        /// Per-message probability of leaving the bad state.
+        bad_to_good: f64,
+    },
+}
+
+impl LossSpec {
+    /// Convenience constructor for [`LossSpec::Bernoulli`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is outside `0.0..=1.0`.
+    pub fn bernoulli(rate: f64) -> LossSpec {
+        assert!((0.0..=1.0).contains(&rate), "rate must be within 0..=1");
+        if rate == 0.0 {
+            LossSpec::None
+        } else {
+            LossSpec::Bernoulli { rate }
+        }
+    }
+}
+
+/// Per-receiver loss state instantiated from a [`LossSpec`].
+#[derive(Debug, Clone)]
+pub struct LossState {
+    spec: LossSpec,
+    /// The sender this receiver loses from, for `FromDistance`.
+    lossy_sender: Option<ParticipantId>,
+    /// Whether a `Burst` receiver is currently in the bad state.
+    in_bad_state: bool,
+    rng: StdRng,
+    dropped: u64,
+    seen: u64,
+}
+
+impl LossState {
+    /// Creates the loss state for one receiver. `ring_members` is the ring
+    /// in order and `my_index` this receiver's position; they determine the
+    /// lossy sender for [`LossSpec::FromDistance`].
+    pub fn new(
+        spec: LossSpec,
+        ring_members: &[ParticipantId],
+        my_index: usize,
+        seed: u64,
+    ) -> LossState {
+        let lossy_sender = match spec {
+            LossSpec::FromDistance { distance, .. } => {
+                let n = ring_members.len();
+                Some(ring_members[(my_index + n - (distance % n)) % n])
+            }
+            _ => None,
+        };
+        LossState {
+            spec,
+            lossy_sender,
+            in_bad_state: false,
+            rng: StdRng::seed_from_u64(seed ^ (my_index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            dropped: 0,
+            seen: 0,
+        }
+    }
+
+    /// Decides whether this arriving data message is dropped.
+    pub fn drops(&mut self, msg: &DataMessage) -> bool {
+        self.seen += 1;
+        let rate = match self.spec {
+            LossSpec::None => return false,
+            LossSpec::Bernoulli { rate } => rate,
+            LossSpec::FromDistance { rate, .. } => {
+                if Some(msg.pid) != self.lossy_sender {
+                    return false;
+                }
+                rate
+            }
+            LossSpec::Burst {
+                good_rate,
+                bad_rate,
+                good_to_bad,
+                bad_to_good,
+            } => {
+                let flip = self.rng.random::<f64>();
+                if self.in_bad_state {
+                    if flip < bad_to_good {
+                        self.in_bad_state = false;
+                    }
+                } else if flip < good_to_bad {
+                    self.in_bad_state = true;
+                }
+                if self.in_bad_state {
+                    bad_rate
+                } else {
+                    good_rate
+                }
+            }
+        };
+        let drop = self.rng.random::<f64>() < rate;
+        if drop {
+            self.dropped += 1;
+        }
+        drop
+    }
+
+    /// Messages dropped so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Messages considered so far.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accelring_core::{RingId, Round, Seq, Service};
+    use bytes::Bytes;
+
+    fn members(n: u16) -> Vec<ParticipantId> {
+        (0..n).map(ParticipantId::new).collect()
+    }
+
+    fn msg(pid: u16) -> DataMessage {
+        DataMessage {
+            ring_id: RingId::new(ParticipantId::new(0), 1),
+            seq: Seq::new(1),
+            pid: ParticipantId::new(pid),
+            round: Round::new(1),
+            service: Service::Agreed,
+            post_token: false,
+            retransmission: false,
+            payload: Bytes::new(),
+        }
+    }
+
+    #[test]
+    fn none_never_drops() {
+        let mut s = LossState::new(LossSpec::None, &members(8), 0, 42);
+        for _ in 0..1000 {
+            assert!(!s.drops(&msg(1)));
+        }
+        assert_eq!(s.dropped(), 0);
+        assert_eq!(s.seen(), 1000);
+    }
+
+    #[test]
+    fn bernoulli_rate_is_roughly_respected() {
+        let mut s = LossState::new(LossSpec::bernoulli(0.25), &members(8), 3, 7);
+        let trials = 20_000;
+        for _ in 0..trials {
+            s.drops(&msg(1));
+        }
+        let rate = s.dropped() as f64 / trials as f64;
+        assert!((rate - 0.25).abs() < 0.02, "observed rate {rate}");
+    }
+
+    #[test]
+    fn bernoulli_zero_normalizes_to_none() {
+        assert_eq!(LossSpec::bernoulli(0.0), LossSpec::None);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be within 0..=1")]
+    fn bernoulli_rejects_out_of_range() {
+        let _ = LossSpec::bernoulli(1.5);
+    }
+
+    #[test]
+    fn from_distance_targets_the_right_sender() {
+        // Receiver at index 5 losing from distance 2 => sender index 3.
+        let spec = LossSpec::FromDistance {
+            distance: 2,
+            rate: 1.0,
+        };
+        let mut s = LossState::new(spec, &members(8), 5, 1);
+        assert!(s.drops(&msg(3)), "messages from index 3 are dropped");
+        assert!(!s.drops(&msg(4)));
+        assert!(!s.drops(&msg(5)));
+    }
+
+    #[test]
+    fn from_distance_wraps_around_the_ring() {
+        // Receiver 0 losing from distance 1 => sender 7 (its predecessor).
+        let spec = LossSpec::FromDistance {
+            distance: 1,
+            rate: 1.0,
+        };
+        let mut s = LossState::new(spec, &members(8), 0, 1);
+        assert!(s.drops(&msg(7)));
+        assert!(!s.drops(&msg(1)));
+    }
+
+    #[test]
+    fn burst_loss_is_bursty() {
+        // With a sticky bad state, drops must cluster: the number of
+        // drop-runs of length >= 3 should far exceed what independent
+        // Bernoulli loss at the same average rate would produce.
+        let spec = LossSpec::Burst {
+            good_rate: 0.0,
+            bad_rate: 0.9,
+            good_to_bad: 0.02,
+            bad_to_good: 0.2,
+        };
+        let mut s = LossState::new(spec, &members(8), 0, 42);
+        let outcomes: Vec<bool> = (0..20_000).map(|_| s.drops(&msg(1))).collect();
+        let total_rate = s.dropped() as f64 / s.seen() as f64;
+        assert!(total_rate > 0.02 && total_rate < 0.25, "rate {total_rate}");
+        let mut runs3 = 0;
+        let mut run = 0;
+        for &d in &outcomes {
+            if d {
+                run += 1;
+                if run == 3 {
+                    runs3 += 1;
+                }
+            } else {
+                run = 0;
+            }
+        }
+        assert!(runs3 > 20, "expected clustered drops, got {runs3} runs of 3+");
+    }
+
+    #[test]
+    fn burst_with_zero_transition_never_enters_bad_state() {
+        let spec = LossSpec::Burst {
+            good_rate: 0.0,
+            bad_rate: 1.0,
+            good_to_bad: 0.0,
+            bad_to_good: 1.0,
+        };
+        let mut s = LossState::new(spec, &members(8), 0, 1);
+        for _ in 0..1000 {
+            assert!(!s.drops(&msg(1)));
+        }
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let run = |seed: u64| -> Vec<bool> {
+            let mut s = LossState::new(LossSpec::bernoulli(0.5), &members(8), 2, seed);
+            (0..100).map(|_| s.drops(&msg(1))).collect()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10), "different seeds diverge");
+    }
+
+    #[test]
+    fn receivers_draw_independent_streams() {
+        let drops = |idx: usize| -> Vec<bool> {
+            let mut s = LossState::new(LossSpec::bernoulli(0.5), &members(8), idx, 77);
+            (0..64).map(|_| s.drops(&msg(1))).collect()
+        };
+        assert_ne!(drops(0), drops(1));
+    }
+}

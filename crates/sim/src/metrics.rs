@@ -1,0 +1,190 @@
+//! Latency and throughput statistics for experiment runs.
+
+use std::collections::BTreeMap;
+
+use accelring_core::ParticipantId;
+
+use crate::time::SimDuration;
+
+/// Aggregated latency statistics over a set of samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyStats {
+    /// Number of samples aggregated.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: SimDuration,
+    /// Median.
+    pub p50: SimDuration,
+    /// 95th percentile.
+    pub p95: SimDuration,
+    /// 99th percentile.
+    pub p99: SimDuration,
+    /// Maximum observed.
+    pub max: SimDuration,
+    /// Mean over the worst (highest-latency) 5 % of messages *per sender*,
+    /// averaged across senders — the dashed-line metric of Figure 9.
+    pub worst5_mean: SimDuration,
+}
+
+impl LatencyStats {
+    /// Statistics over an empty sample set (all zeros).
+    pub fn empty() -> LatencyStats {
+        LatencyStats {
+            count: 0,
+            mean: SimDuration::ZERO,
+            p50: SimDuration::ZERO,
+            p95: SimDuration::ZERO,
+            p99: SimDuration::ZERO,
+            max: SimDuration::ZERO,
+            worst5_mean: SimDuration::ZERO,
+        }
+    }
+}
+
+/// Collects per-(message, receiver) latency samples, grouped by sender.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyRecorder {
+    by_sender: BTreeMap<ParticipantId, Vec<u64>>,
+}
+
+impl LatencyRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> LatencyRecorder {
+        LatencyRecorder::default()
+    }
+
+    /// Records one delivery latency for a message from `sender`.
+    pub fn record(&mut self, sender: ParticipantId, latency: SimDuration) {
+        self.by_sender
+            .entry(sender)
+            .or_default()
+            .push(latency.as_nanos());
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.by_sender.values().map(Vec::len).sum()
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Computes the aggregate statistics.
+    pub fn stats(&self) -> LatencyStats {
+        let mut all: Vec<u64> = self.by_sender.values().flatten().copied().collect();
+        if all.is_empty() {
+            return LatencyStats::empty();
+        }
+        all.sort_unstable();
+        let count = all.len() as u64;
+        let sum: u128 = all.iter().map(|&v| u128::from(v)).sum();
+        let mean = (sum / u128::from(count)) as u64;
+        let pct = |p: f64| -> u64 {
+            let idx = ((all.len() as f64 - 1.0) * p).round() as usize;
+            all[idx]
+        };
+
+        // Worst 5 % per sender, averaged over all of those samples.
+        let mut worst_sum: u128 = 0;
+        let mut worst_count: u128 = 0;
+        for samples in self.by_sender.values() {
+            if samples.is_empty() {
+                continue;
+            }
+            let mut s = samples.clone();
+            s.sort_unstable();
+            let tail = (s.len() / 20).max(1);
+            for &v in &s[s.len() - tail..] {
+                worst_sum += u128::from(v);
+                worst_count += 1;
+            }
+        }
+        let worst5_mean = worst_sum.checked_div(worst_count).unwrap_or(0) as u64;
+
+        LatencyStats {
+            count,
+            mean: SimDuration::from_nanos(mean),
+            p50: SimDuration::from_nanos(pct(0.50)),
+            p95: SimDuration::from_nanos(pct(0.95)),
+            p99: SimDuration::from_nanos(pct(0.99)),
+            max: SimDuration::from_nanos(all[all.len() - 1]),
+            worst5_mean: SimDuration::from_nanos(worst5_mean),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(i: u16) -> ParticipantId {
+        ParticipantId::new(i)
+    }
+
+    #[test]
+    fn empty_recorder() {
+        let r = LatencyRecorder::new();
+        assert!(r.is_empty());
+        let s = r.stats();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn single_sample() {
+        let mut r = LatencyRecorder::new();
+        r.record(pid(0), SimDuration::from_micros(100));
+        let s = r.stats();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean, SimDuration::from_micros(100));
+        assert_eq!(s.p50, SimDuration::from_micros(100));
+        assert_eq!(s.max, SimDuration::from_micros(100));
+        assert_eq!(s.worst5_mean, SimDuration::from_micros(100));
+    }
+
+    #[test]
+    fn mean_and_percentiles() {
+        let mut r = LatencyRecorder::new();
+        for i in 1..=100u64 {
+            r.record(pid(0), SimDuration::from_micros(i));
+        }
+        let s = r.stats();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.mean.as_micros_f64(), 50.5);
+        // Index round((100-1)*0.5) = 50 (0-based) holds the value 51.
+        assert_eq!(s.p50.as_micros_f64(), 51.0);
+        assert_eq!(s.p95.as_micros_f64(), 95.0);
+        assert_eq!(s.max.as_micros_f64(), 100.0);
+        // Worst 5 of 100: 96..=100, mean 98.
+        assert_eq!(s.worst5_mean.as_micros_f64(), 98.0);
+    }
+
+    #[test]
+    fn worst5_is_per_sender() {
+        let mut r = LatencyRecorder::new();
+        // Sender 0: twenty fast samples plus one slow one.
+        for _ in 0..20 {
+            r.record(pid(0), SimDuration::from_micros(10));
+        }
+        r.record(pid(0), SimDuration::from_micros(1000));
+        // Sender 1: uniformly fast.
+        for _ in 0..21 {
+            r.record(pid(1), SimDuration::from_micros(10));
+        }
+        let s = r.stats();
+        // Sender 0's worst 5% (1 sample) = 1000; sender 1's = 10.
+        // Average of the two pools (one sample each) = 505.
+        assert_eq!(s.worst5_mean.as_micros_f64(), 505.0);
+    }
+
+    #[test]
+    fn len_counts_all_senders() {
+        let mut r = LatencyRecorder::new();
+        r.record(pid(0), SimDuration::from_micros(1));
+        r.record(pid(1), SimDuration::from_micros(2));
+        r.record(pid(1), SimDuration::from_micros(3));
+        assert_eq!(r.len(), 3);
+    }
+}

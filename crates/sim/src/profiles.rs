@@ -1,0 +1,192 @@
+//! Calibrated network and implementation profiles.
+//!
+//! The paper evaluates three implementations (a library prototype, a daemon
+//! prototype, and Spread) on two networks (1-gigabit Cisco Catalyst 2960 and
+//! 10-gigabit Arista 7100T). The implementations differ in per-message CPU
+//! cost; the networks differ in line rate and buffering. Both are captured
+//! here as data. See DESIGN.md §6 for the calibration rationale.
+
+use crate::time::SimDuration;
+
+/// Physical network parameters for the single-switch topology all
+/// experiments use (8 servers on one switch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetworkProfile {
+    /// Line rate of every link and switch port, bits per second.
+    pub bandwidth_bps: u64,
+    /// One-way latency of a cable plus half the switch fabric (the
+    /// node-to-switch or switch-to-node leg), excluding serialization.
+    pub link_latency: SimDuration,
+    /// Per-egress-port switch buffer. A frame arriving to a port whose
+    /// queue already holds this many bytes is dropped.
+    pub switch_buffer_bytes: u64,
+    /// Bytes of per-frame overhead outside our protocol header: Ethernet
+    /// header + FCS + preamble + inter-frame gap + IP + UDP.
+    pub frame_overhead: usize,
+    /// Maximum Ethernet payload per frame; datagrams larger than this are
+    /// fragmented by the kernel and each fragment pays `frame_overhead`.
+    pub mtu_payload: usize,
+    /// Receive-socket capacity for data messages, in datagrams. The token
+    /// socket is separate and effectively never overflows, matching the
+    /// paper's deployment note.
+    pub data_socket_capacity: usize,
+}
+
+impl NetworkProfile {
+    /// 1-gigabit Ethernet through a Catalyst-2960-class switch.
+    pub fn gigabit() -> NetworkProfile {
+        NetworkProfile {
+            bandwidth_bps: 1_000_000_000,
+            link_latency: SimDuration::from_micros(3),
+            switch_buffer_bytes: 768 * 1024,
+            frame_overhead: 66,
+            mtu_payload: 1472,
+            data_socket_capacity: 2048,
+        }
+    }
+
+    /// 10-gigabit Ethernet through an Arista-7100T-class switch.
+    pub fn ten_gigabit() -> NetworkProfile {
+        NetworkProfile {
+            bandwidth_bps: 10_000_000_000,
+            link_latency: SimDuration::from_micros(2),
+            switch_buffer_bytes: 2 * 1024 * 1024,
+            frame_overhead: 66,
+            mtu_payload: 1472,
+            data_socket_capacity: 4096,
+        }
+    }
+
+    /// Total wire bytes occupied by a datagram of `datagram_len` bytes
+    /// (protocol header + payload), accounting for kernel fragmentation of
+    /// datagrams beyond one MTU (Section IV-A3 of the paper uses 9000-byte
+    /// UDP datagrams that the kernel fragments onto 1500-byte frames).
+    pub fn wire_bytes(&self, datagram_len: usize) -> usize {
+        let frags = datagram_len.div_ceil(self.mtu_payload).max(1);
+        datagram_len + frags * self.frame_overhead
+    }
+}
+
+/// Per-operation CPU costs of one implementation, charged to the
+/// single-threaded daemon's core by the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ImplProfile {
+    /// Human-readable name used in benchmark output.
+    pub name: &'static str,
+    /// Accepting one message from a local client (IPC receive, enqueue).
+    pub submit_cost: SimDuration,
+    /// Stamping and multicasting one data message.
+    pub send_cost: SimDuration,
+    /// Receiving and buffering one data message from the network.
+    pub recv_cost: SimDuration,
+    /// Delivering one message to local clients (for Spread this includes
+    /// group-name analysis and routing to the right clients, which the
+    /// paper singles out as expensive).
+    pub deliver_cost: SimDuration,
+    /// Processing the token's fields.
+    pub token_proc_cost: SimDuration,
+    /// Sending the token.
+    pub token_send_cost: SimDuration,
+}
+
+impl ImplProfile {
+    /// The library-based prototype: the protocol embedded in the
+    /// application process, no client communication at all.
+    pub fn library() -> ImplProfile {
+        ImplProfile {
+            name: "library",
+            submit_cost: SimDuration::from_nanos(500),
+            send_cost: SimDuration::from_nanos(1_800),
+            recv_cost: SimDuration::from_nanos(1_900),
+            deliver_cost: SimDuration::from_nanos(400),
+            token_proc_cost: SimDuration::from_nanos(1_800),
+            token_send_cost: SimDuration::from_nanos(1_400),
+        }
+    }
+
+    /// The daemon-based prototype: client communication over IPC for a
+    /// single group, none of Spread's generality.
+    pub fn daemon() -> ImplProfile {
+        ImplProfile {
+            name: "daemon",
+            submit_cost: SimDuration::from_nanos(900),
+            send_cost: SimDuration::from_nanos(2_000),
+            recv_cost: SimDuration::from_nanos(2_500),
+            deliver_cost: SimDuration::from_nanos(720),
+            token_proc_cost: SimDuration::from_nanos(2_000),
+            token_send_cost: SimDuration::from_nanos(1_500),
+        }
+    }
+
+    /// Production Spread: large group names, hundreds of clients per
+    /// daemon, multi-group multicast — delivery is the expensive step.
+    pub fn spread() -> ImplProfile {
+        ImplProfile {
+            name: "spread",
+            submit_cost: SimDuration::from_nanos(1_200),
+            send_cost: SimDuration::from_nanos(2_400),
+            recv_cost: SimDuration::from_nanos(2_900),
+            deliver_cost: SimDuration::from_nanos(1_700),
+            token_proc_cost: SimDuration::from_nanos(2_400),
+            token_send_cost: SimDuration::from_nanos(1_700),
+        }
+    }
+
+    /// All three implementation profiles, in ascending overhead order.
+    pub fn all() -> [ImplProfile; 3] {
+        [
+            ImplProfile::library(),
+            ImplProfile::daemon(),
+            ImplProfile::spread(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_ordered_by_overhead() {
+        let [lib, daemon, spread] = ImplProfile::all();
+        assert!(lib.recv_cost < daemon.recv_cost);
+        assert!(daemon.recv_cost < spread.recv_cost);
+        assert!(lib.deliver_cost < daemon.deliver_cost);
+        assert!(daemon.deliver_cost < spread.deliver_cost);
+    }
+
+    #[test]
+    fn spread_delivery_is_the_expensive_step() {
+        let spread = ImplProfile::spread();
+        assert!(spread.deliver_cost > ImplProfile::library().deliver_cost.times(3));
+    }
+
+    #[test]
+    fn network_presets() {
+        let g = NetworkProfile::gigabit();
+        let tg = NetworkProfile::ten_gigabit();
+        assert_eq!(tg.bandwidth_bps, 10 * g.bandwidth_bps);
+        assert!(tg.link_latency < g.link_latency);
+        assert!(tg.switch_buffer_bytes > g.switch_buffer_bytes);
+    }
+
+    #[test]
+    fn wire_bytes_single_frame() {
+        let g = NetworkProfile::gigabit();
+        // 1350-byte payload + 40-byte protocol header fits one frame.
+        assert_eq!(g.wire_bytes(1390), 1390 + 66);
+    }
+
+    #[test]
+    fn wire_bytes_fragmented() {
+        let g = NetworkProfile::gigabit();
+        // An 8890-byte datagram fragments into ceil(8890/1472) = 7 frames.
+        assert_eq!(g.wire_bytes(8890), 8890 + 7 * 66);
+    }
+
+    #[test]
+    fn wire_bytes_empty_datagram_counts_one_frame() {
+        let g = NetworkProfile::gigabit();
+        assert_eq!(g.wire_bytes(0), 66);
+    }
+}

@@ -1,0 +1,114 @@
+//! Peer addressing for the UDP transport.
+
+use std::net::SocketAddr;
+
+use accelring_core::ParticipantId;
+
+/// Where one daemon listens: data and token traffic use *separate* ports
+/// and sockets, which is how the implementation realizes the
+/// token-versus-data processing priority of Section III-D/III-E of the
+/// paper (and why token loss due to receive-buffer overflow is not a
+/// practical concern).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeAddr {
+    /// The daemon's participant id.
+    pub pid: ParticipantId,
+    /// Address of the data socket (data messages + membership control).
+    pub data: SocketAddr,
+    /// Address of the token socket.
+    pub token: SocketAddr,
+}
+
+/// The static address book of a deployment: every peer, including the
+/// local daemon.
+#[derive(Debug, Clone, Default)]
+pub struct AddressBook {
+    peers: Vec<NodeAddr>,
+}
+
+impl AddressBook {
+    /// Creates an address book from peer entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two entries share a participant id.
+    pub fn new(peers: Vec<NodeAddr>) -> AddressBook {
+        for (i, p) in peers.iter().enumerate() {
+            assert!(
+                !peers[..i].iter().any(|q| q.pid == p.pid),
+                "duplicate participant id {} in address book",
+                p.pid
+            );
+        }
+        AddressBook { peers }
+    }
+
+    /// All peers.
+    pub fn peers(&self) -> &[NodeAddr] {
+        &self.peers
+    }
+
+    /// Number of peers (including the local daemon).
+    pub fn len(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Whether the book is empty.
+    pub fn is_empty(&self) -> bool {
+        self.peers.is_empty()
+    }
+
+    /// The entry for `pid`, if present.
+    pub fn get(&self, pid: ParticipantId) -> Option<&NodeAddr> {
+        self.peers.iter().find(|p| p.pid == pid)
+    }
+
+    /// Data-socket addresses of every peer except `me` (unicast fan-out
+    /// targets for logical multicast).
+    pub fn fanout_data(&self, me: ParticipantId) -> Vec<SocketAddr> {
+        self.peers
+            .iter()
+            .filter(|p| p.pid != me)
+            .map(|p| p.data)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(port: u16) -> SocketAddr {
+        format!("127.0.0.1:{port}").parse().unwrap()
+    }
+
+    fn entry(pid: u16, base: u16) -> NodeAddr {
+        NodeAddr {
+            pid: ParticipantId::new(pid),
+            data: addr(base),
+            token: addr(base + 1),
+        }
+    }
+
+    #[test]
+    fn lookup_and_fanout() {
+        let book = AddressBook::new(vec![entry(0, 9000), entry(1, 9010), entry(2, 9020)]);
+        assert_eq!(book.len(), 3);
+        assert_eq!(book.get(ParticipantId::new(1)).unwrap().token, addr(9011));
+        assert!(book.get(ParticipantId::new(9)).is_none());
+        let fanout = book.fanout_data(ParticipantId::new(0));
+        assert_eq!(fanout, vec![addr(9010), addr(9020)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate participant id")]
+    fn rejects_duplicate_pids() {
+        let _ = AddressBook::new(vec![entry(0, 9000), entry(0, 9010)]);
+    }
+
+    #[test]
+    fn empty_book() {
+        let book = AddressBook::default();
+        assert!(book.is_empty());
+    }
+}

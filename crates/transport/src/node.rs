@@ -1,0 +1,396 @@
+//! The single-threaded UDP daemon runtime.
+//!
+//! One OS thread runs the whole stack (ordering + membership), exactly like
+//! the paper's single-threaded daemon implementations: two non-blocking UDP
+//! sockets (token and data), read in the protocol's priority order, plus a
+//! command channel from local clients.
+
+use std::io::ErrorKind;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use accelring_core::{wire, Delivery, ParticipantId, ProtocolConfig, Service};
+use accelring_membership::{
+    decode_control, encode_control, ConfigChange, Input, MembershipConfig, MembershipDaemon,
+    Output,
+};
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+
+use crate::addr::{AddressBook, NodeAddr};
+
+/// Largest datagram the transport accepts (64 KiB UDP limit).
+const MAX_DATAGRAM: usize = 65_536;
+/// How long the loop sleeps when completely idle.
+const IDLE_SLEEP: Duration = Duration::from_micros(200);
+
+/// An event surfaced to the application.
+#[derive(Debug, Clone)]
+pub enum AppEvent {
+    /// A message was delivered in total order.
+    Delivered(Delivery),
+    /// An EVS configuration change.
+    Config(ConfigChange),
+}
+
+#[derive(Debug)]
+enum Command {
+    Submit(Bytes, Service),
+}
+
+/// Errors from starting a transport node.
+#[derive(Debug)]
+pub enum TransportError {
+    /// Binding or configuring a socket failed.
+    Io(std::io::Error),
+    /// The local participant id is missing from the address book.
+    NotInAddressBook(ParticipantId),
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Io(e) => write!(f, "socket error: {e}"),
+            TransportError::NotInAddressBook(p) => {
+                write!(f, "participant {p} is not in the address book")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransportError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TransportError::Io(e) => Some(e),
+            TransportError::NotInAddressBook(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TransportError {
+    fn from(e: std::io::Error) -> Self {
+        TransportError::Io(e)
+    }
+}
+
+/// A daemon with bound sockets whose addresses can be shared with peers
+/// before the event loop starts (two-phase startup so tests can allocate
+/// ephemeral ports).
+#[derive(Debug)]
+pub struct BoundNode {
+    pid: ParticipantId,
+    data_socket: UdpSocket,
+    token_socket: UdpSocket,
+}
+
+impl BoundNode {
+    /// Binds the two sockets on `ip` with ephemeral ports.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError::Io`] if binding fails.
+    pub fn bind(pid: ParticipantId, ip: &str) -> Result<BoundNode, TransportError> {
+        let data_socket = UdpSocket::bind((ip, 0))?;
+        let token_socket = UdpSocket::bind((ip, 0))?;
+        Ok(BoundNode {
+            pid,
+            data_socket,
+            token_socket,
+        })
+    }
+
+    /// Binds the two sockets to explicit addresses (production daemons use
+    /// fixed ports published in the address book).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError::Io`] if either bind fails.
+    pub fn bind_addrs(
+        pid: ParticipantId,
+        data: SocketAddr,
+        token: SocketAddr,
+    ) -> Result<BoundNode, TransportError> {
+        Ok(BoundNode {
+            pid,
+            data_socket: UdpSocket::bind(data)?,
+            token_socket: UdpSocket::bind(token)?,
+        })
+    }
+
+    /// This node's address-book entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError::Io`] if the local addresses cannot be read.
+    pub fn addr(&self) -> Result<NodeAddr, TransportError> {
+        Ok(NodeAddr {
+            pid: self.pid,
+            data: self.data_socket.local_addr()?,
+            token: self.token_socket.local_addr()?,
+        })
+    }
+
+    /// Starts the event loop on its own thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the sockets cannot be made non-blocking or the
+    /// node is missing from `book`.
+    pub fn start(
+        self,
+        book: AddressBook,
+        protocol: ProtocolConfig,
+        membership: MembershipConfig,
+    ) -> Result<NodeHandle, TransportError> {
+        if book.get(self.pid).is_none() {
+            return Err(TransportError::NotInAddressBook(self.pid));
+        }
+        self.data_socket.set_nonblocking(true)?;
+        self.token_socket.set_nonblocking(true)?;
+        let (cmd_tx, cmd_rx) = unbounded();
+        let (event_tx, event_rx) = unbounded();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let pid = self.pid;
+        let thread = std::thread::Builder::new()
+            .name(format!("accelring-{pid}"))
+            .spawn(move || {
+                run_loop(
+                    pid,
+                    self.data_socket,
+                    self.token_socket,
+                    book,
+                    protocol,
+                    membership,
+                    cmd_rx,
+                    event_tx,
+                    stop2,
+                );
+            })
+            .expect("spawn daemon thread");
+        Ok(NodeHandle {
+            pid,
+            cmd_tx,
+            event_rx,
+            stop,
+            thread: Some(thread),
+        })
+    }
+}
+
+/// Handle to a running daemon thread.
+#[derive(Debug)]
+pub struct NodeHandle {
+    pid: ParticipantId,
+    cmd_tx: Sender<Command>,
+    event_rx: Receiver<AppEvent>,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl NodeHandle {
+    /// The daemon's participant id.
+    pub fn pid(&self) -> ParticipantId {
+        self.pid
+    }
+
+    /// Submits a message for totally ordered multicast.
+    pub fn submit(&self, payload: Bytes, service: Service) {
+        let _ = self.cmd_tx.send(Command::Submit(payload, service));
+    }
+
+    /// The stream of deliveries and configuration changes.
+    pub fn events(&self) -> &Receiver<AppEvent> {
+        &self.event_rx
+    }
+
+    /// Asks the event loop to stop and waits for the thread to exit.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for NodeHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_loop(
+    pid: ParticipantId,
+    data_socket: UdpSocket,
+    token_socket: UdpSocket,
+    book: AddressBook,
+    protocol: ProtocolConfig,
+    membership: MembershipConfig,
+    cmd_rx: Receiver<Command>,
+    event_tx: Sender<AppEvent>,
+    stop: Arc<AtomicBool>,
+) {
+    let start = Instant::now();
+    let now_ns = |start: &Instant| -> u64 { start.elapsed().as_nanos() as u64 };
+    let mut daemon = MembershipDaemon::new(pid, protocol, membership);
+    let mut outputs = Vec::new();
+    daemon.start(now_ns(&start), &mut outputs);
+    let fanout = book.fanout_data(pid);
+    flush(
+        pid,
+        &daemon,
+        &mut outputs,
+        &data_socket,
+        &token_socket,
+        &book,
+        &fanout,
+        &event_tx,
+    );
+
+    let mut buf = vec![0u8; MAX_DATAGRAM];
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut did_work = false;
+
+        // 1. Client commands.
+        loop {
+            match cmd_rx.try_recv() {
+                Ok(Command::Submit(payload, service)) => {
+                    // Backpressure: drop with a diagnostic when the queue is
+                    // full; a production client library would block instead.
+                    let _ = daemon.submit(payload, service);
+                    did_work = true;
+                }
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => return,
+            }
+        }
+
+        // 2. Sockets, in protocol priority order (Section III-D): when the
+        //    token has priority, drain the token socket first.
+        let token_first = daemon.token_has_priority();
+        let order: [&UdpSocket; 2] = if token_first {
+            [&token_socket, &data_socket]
+        } else {
+            [&data_socket, &token_socket]
+        };
+        for socket in order {
+            match socket.recv_from(&mut buf) {
+                Ok((len, _from)) => {
+                    did_work = true;
+                    let mut datagram = Bytes::copy_from_slice(&buf[..len]);
+                    if let Some(input) = parse_datagram(&mut datagram) {
+                        daemon.handle(now_ns(&start), input, &mut outputs);
+                        flush(
+                            pid,
+                            &daemon,
+                            &mut outputs,
+                            &data_socket,
+                            &token_socket,
+                            &book,
+                            &fanout,
+                            &event_tx,
+                        );
+                    }
+                    break; // re-evaluate priority after every datagram
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {}
+                Err(_) => {}
+            }
+        }
+
+        // 3. Timers.
+        while let Some((deadline, kind)) = daemon.next_timer() {
+            if deadline > now_ns(&start) {
+                break;
+            }
+            daemon.handle(now_ns(&start), Input::Timer(kind), &mut outputs);
+            flush(
+                pid,
+                &daemon,
+                &mut outputs,
+                &data_socket,
+                &token_socket,
+                &book,
+                &fanout,
+                &event_tx,
+            );
+            did_work = true;
+        }
+
+        if !did_work {
+            std::thread::sleep(IDLE_SLEEP);
+        }
+    }
+}
+
+fn parse_datagram(datagram: &mut Bytes) -> Option<Input> {
+    match wire::decode_kind(datagram).ok()? {
+        wire::Kind::Data => Some(Input::Data(wire::decode_data_body(datagram).ok()?)),
+        wire::Kind::Token => Some(Input::Token(wire::decode_token_body(datagram).ok()?)),
+        wire::Kind::Opaque => Some(Input::Control(decode_control(datagram).ok()?)),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn flush(
+    pid: ParticipantId,
+    daemon: &MembershipDaemon,
+    outputs: &mut Vec<Output>,
+    data_socket: &UdpSocket,
+    token_socket: &UdpSocket,
+    book: &AddressBook,
+    fanout: &[SocketAddr],
+    event_tx: &Sender<AppEvent>,
+) {
+    let _ = daemon;
+    for output in outputs.drain(..) {
+        match output {
+            Output::Multicast(msg) => {
+                let encoded = wire::encode_data(&msg);
+                for addr in fanout {
+                    let _ = data_socket.send_to(&encoded, addr);
+                }
+            }
+            Output::SendToken { to, token } => {
+                let encoded = wire::encode_token(&token);
+                if let Some(peer) = book.get(to) {
+                    let _ = token_socket.send_to(&encoded, peer.token);
+                }
+            }
+            Output::SendControl { to, msg } => {
+                let encoded = encode_control(&msg);
+                match to {
+                    Some(to) => {
+                        if to == pid {
+                            continue;
+                        }
+                        if let Some(peer) = book.get(to) {
+                            let _ = data_socket.send_to(&encoded, peer.data);
+                        }
+                    }
+                    None => {
+                        for addr in fanout {
+                            let _ = data_socket.send_to(&encoded, addr);
+                        }
+                    }
+                }
+            }
+            Output::Deliver(d) => {
+                let _ = event_tx.send(AppEvent::Delivered(d));
+            }
+            Output::ConfigChange(c) => {
+                let _ = event_tx.send(AppEvent::Config(c));
+            }
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Quickstart: a three-participant Accelerated Ring, totally ordered
+//! delivery of Agreed and Safe messages, in a deterministic in-memory net.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use accelring::core::testing::TestNet;
+use accelring::core::{ProtocolConfig, Service};
+use bytes::Bytes;
+
+fn main() {
+    // The Figure 1 configuration: personal window 5, accelerated window 3.
+    let cfg = ProtocolConfig::accelerated(5, 3);
+    let mut net = TestNet::new(3, cfg);
+
+    // Three participants submit interleaved updates, mixing service levels.
+    for i in 0..4u32 {
+        net.submit(
+            (i % 3) as usize,
+            Bytes::from(format!("update-{i}")),
+            if i % 2 == 0 { Service::Agreed } else { Service::Safe },
+        );
+    }
+
+    // Let the token circulate a few rounds.
+    net.run_tokens(15);
+
+    // Every participant delivered exactly the same sequence.
+    let orders = net.delivery_orders();
+    println!("total order as delivered by participant 0:");
+    for d in &orders[0] {
+        println!(
+            "  {} from {} ({}): {}",
+            d.seq,
+            d.sender,
+            d.service,
+            String::from_utf8_lossy(&d.payload)
+        );
+    }
+    assert_eq!(orders[0], orders[1]);
+    assert_eq!(orders[1], orders[2]);
+    println!("participants 1 and 2 delivered the identical sequence ✓");
+
+    let stats = net.stats();
+    println!(
+        "tokens processed: {}, messages sent: {}, retransmissions: {}",
+        stats.iter().map(|s| s.tokens_processed).sum::<u64>(),
+        stats.iter().map(|s| s.messages_sent).sum::<u64>(),
+        stats.iter().map(|s| s.retransmissions_sent).sum::<u64>(),
+    );
+}

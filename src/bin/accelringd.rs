@@ -1,0 +1,292 @@
+//! `accelringd` — a standalone Accelerated Ring daemon.
+//!
+//! Runs one member of a totally ordered multicast ring over real UDP
+//! sockets, printing deliveries and configuration changes as lines on
+//! stdout and reading messages to multicast from stdin. Start one process
+//! per ring member with the same `--peers` list:
+//!
+//! ```console
+//! $ accelringd --id 0 --peers 127.0.0.1:7000:7001,127.0.0.1:7010:7011
+//! $ accelringd --id 1 --peers 127.0.0.1:7000:7001,127.0.0.1:7010:7011
+//! ```
+//!
+//! Peer `i` in the comma-separated list (format `host:data_port:token_port`)
+//! is the daemon with id `i`. Lines typed on stdin are multicast in total
+//! order; deliveries print as `DELIVER <seq> <sender> <service> <text>`.
+//! `--original` selects the original Totem Ring protocol instead of the
+//! Accelerated Ring protocol; `--safe` sends with Safe delivery; `--send N`
+//! injects `N` numbered messages automatically and exits once they are all
+//! delivered (useful for scripting and smoke tests).
+
+use std::io::BufRead;
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use accelring::core::{ParticipantId, ProtocolConfig, Service};
+use accelring::membership::MembershipConfig;
+use accelring::transport::{AddressBook, AppEvent, BoundNode, NodeAddr};
+use bytes::Bytes;
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Options {
+    id: u16,
+    peers: Vec<(SocketAddr, SocketAddr)>,
+    original: bool,
+    safe: bool,
+    send: Option<u64>,
+    personal_window: u32,
+    accelerated_window: u32,
+}
+
+fn parse_peer(spec: &str) -> Result<(SocketAddr, SocketAddr), String> {
+    // host:data_port:token_port — split the two ports off the right.
+    let (rest, token_port) = spec
+        .rsplit_once(':')
+        .ok_or_else(|| format!("bad peer spec {spec:?}"))?;
+    let (host, data_port) = rest
+        .rsplit_once(':')
+        .ok_or_else(|| format!("bad peer spec {spec:?}"))?;
+    let data: SocketAddr = format!("{host}:{data_port}")
+        .parse()
+        .map_err(|e| format!("bad data address in {spec:?}: {e}"))?;
+    let token: SocketAddr = format!("{host}:{token_port}")
+        .parse()
+        .map_err(|e| format!("bad token address in {spec:?}: {e}"))?;
+    Ok((data, token))
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        id: 0,
+        peers: Vec::new(),
+        original: false,
+        safe: false,
+        send: None,
+        personal_window: 20,
+        accelerated_window: 15,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--id" => opts.id = value("--id")?.parse().map_err(|e| format!("--id: {e}"))?,
+            "--peers" => {
+                opts.peers = value("--peers")?
+                    .split(',')
+                    .map(parse_peer)
+                    .collect::<Result<_, _>>()?;
+            }
+            "--original" => opts.original = true,
+            "--safe" => opts.safe = true,
+            "--send" => {
+                opts.send = Some(value("--send")?.parse().map_err(|e| format!("--send: {e}"))?)
+            }
+            "--window" => {
+                opts.personal_window = value("--window")?
+                    .parse()
+                    .map_err(|e| format!("--window: {e}"))?
+            }
+            "--accel" => {
+                opts.accelerated_window = value("--accel")?
+                    .parse()
+                    .map_err(|e| format!("--accel: {e}"))?
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument {other:?}\n{USAGE}")),
+        }
+    }
+    if opts.peers.is_empty() {
+        return Err(format!("--peers is required\n{USAGE}"));
+    }
+    if usize::from(opts.id) >= opts.peers.len() {
+        return Err(format!(
+            "--id {} is out of range for {} peers",
+            opts.id,
+            opts.peers.len()
+        ));
+    }
+    Ok(opts)
+}
+
+const USAGE: &str = "usage: accelringd --id N --peers host:data:token,host:data:token,... \
+[--original] [--safe] [--send N] [--window W] [--accel A]";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+
+    let protocol = if opts.original {
+        ProtocolConfig::original(opts.personal_window)
+    } else {
+        ProtocolConfig::accelerated(opts.personal_window, opts.accelerated_window)
+    };
+    let service = if opts.safe { Service::Safe } else { Service::Agreed };
+
+    let book = AddressBook::new(
+        opts.peers
+            .iter()
+            .enumerate()
+            .map(|(i, &(data, token))| NodeAddr {
+                pid: ParticipantId::new(i as u16),
+                data,
+                token,
+            })
+            .collect(),
+    );
+    let me = book.peers()[usize::from(opts.id)];
+    let node = BoundNode::bind_addrs(me.pid, me.data, me.token)
+        .and_then(|b| b.start(book, protocol, MembershipConfig::for_wall_clock()))
+        .unwrap_or_else(|e| {
+            eprintln!("failed to start daemon: {e}");
+            std::process::exit(1);
+        });
+    eprintln!(
+        "accelringd {} up on data={} token={} ({} protocol)",
+        me.pid,
+        me.data,
+        me.token,
+        if opts.original { "original" } else { "accelerated" }
+    );
+
+    // Optional scripted sender.
+    if let Some(n) = opts.send {
+        for k in 0..n {
+            node.submit(Bytes::from(format!("{}:{k}", opts.id)), service);
+        }
+    }
+
+    // Print deliveries until stdin closes (interactive) or `--send`
+    // messages from every peer have been delivered (scripted).
+    let expect = opts.send.map(|n| n * opts.peers.len() as u64);
+    let mut delivered = 0u64;
+    if opts.send.is_some() {
+        loop {
+            match node.events().recv_timeout(Duration::from_secs(30)) {
+                Ok(AppEvent::Delivered(d)) => {
+                    delivered += 1;
+                    println!(
+                        "DELIVER {} {} {} {}",
+                        d.seq,
+                        d.sender,
+                        d.service,
+                        String::from_utf8_lossy(&d.payload)
+                    );
+                    if Some(delivered) == expect {
+                        eprintln!("all {delivered} messages delivered, exiting");
+                        return;
+                    }
+                }
+                Ok(AppEvent::Config(c)) => {
+                    println!(
+                        "CONFIG {} members={} transitional={}",
+                        c.ring_id,
+                        c.members.len(),
+                        c.transitional
+                    );
+                }
+                Err(_) => {
+                    eprintln!("timed out after {delivered} deliveries");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+
+    // Interactive mode: one thread prints events, the main thread reads
+    // stdin.
+    std::thread::scope(|scope| {
+        scope.spawn(|| loop {
+            match node.events().recv() {
+                Ok(AppEvent::Delivered(d)) => println!(
+                    "DELIVER {} {} {} {}",
+                    d.seq,
+                    d.sender,
+                    d.service,
+                    String::from_utf8_lossy(&d.payload)
+                ),
+                Ok(AppEvent::Config(c)) => println!(
+                    "CONFIG {} members={} transitional={}",
+                    c.ring_id,
+                    c.members.len(),
+                    c.transitional
+                ),
+                Err(_) => return,
+            }
+        });
+        let stdin = std::io::stdin();
+        for line in stdin.lock().lines() {
+            let Ok(line) = line else { break };
+            if !line.is_empty() {
+                node.submit(Bytes::from(line), service);
+            }
+        }
+        std::process::exit(0);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parses_full_command_line() {
+        let opts = parse_args(&args(
+            "--id 1 --peers 127.0.0.1:7000:7001,127.0.0.1:7010:7011 --original --safe --send 10 --window 30 --accel 0",
+        ))
+        .unwrap();
+        assert_eq!(opts.id, 1);
+        assert_eq!(opts.peers.len(), 2);
+        assert!(opts.original);
+        assert!(opts.safe);
+        assert_eq!(opts.send, Some(10));
+        assert_eq!(opts.personal_window, 30);
+        assert_eq!(opts.accelerated_window, 0);
+        assert_eq!(opts.peers[1].0, "127.0.0.1:7010".parse().unwrap());
+        assert_eq!(opts.peers[1].1, "127.0.0.1:7011".parse().unwrap());
+    }
+
+    #[test]
+    fn rejects_missing_peers() {
+        assert!(parse_args(&args("--id 0")).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_id() {
+        assert!(parse_args(&args("--id 5 --peers 127.0.0.1:7000:7001")).is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_peer() {
+        assert!(parse_args(&args("--peers localhost")).is_err());
+        assert!(parse_args(&args("--peers 127.0.0.1:x:y")).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_flag() {
+        assert!(parse_args(&args("--peers 127.0.0.1:1:2 --bogus")).is_err());
+    }
+
+    #[test]
+    fn defaults_are_accelerated_agreed() {
+        let opts = parse_args(&args("--id 0 --peers 127.0.0.1:7000:7001")).unwrap();
+        assert!(!opts.original);
+        assert!(!opts.safe);
+        assert_eq!(opts.personal_window, 20);
+        assert_eq!(opts.accelerated_window, 15);
+    }
+}

@@ -1,0 +1,158 @@
+//! Extended Virtual Synchrony properties of the membership algorithm under
+//! randomized fault schedules (crashes, partitions, merges, token loss).
+
+use accelring::core::{ParticipantId, ProtocolConfig, Service};
+use accelring::membership::testing::Cluster;
+use accelring::membership::MembershipConfig;
+use bytes::Bytes;
+use proptest::prelude::*;
+
+const MS: u64 = 1_000_000;
+
+fn cluster(n: u16) -> Cluster {
+    Cluster::new(
+        n,
+        ProtocolConfig::accelerated(10, 5),
+        MembershipConfig::for_simulation(),
+    )
+}
+
+#[test]
+fn sequential_crashes_always_reform() {
+    let mut c = cluster(5);
+    c.run_for(30 * MS);
+    assert!(c.all_operational());
+    for crashed in [4usize, 1] {
+        c.crash(crashed);
+        c.run_for(60 * MS);
+        assert!(c.all_operational(), "survivors reform after crash of {crashed}");
+    }
+    assert_eq!(c.ring_of(0).len(), 3);
+    c.submit(0, Bytes::from_static(b"still alive"), Service::Safe);
+    c.run_for(20 * MS);
+    assert!(c.deliveries(3).iter().any(|d| d.payload == "still alive"));
+}
+
+#[test]
+fn repeated_partition_heal_cycles_converge() {
+    let mut c = cluster(4);
+    c.run_for(30 * MS);
+    for _ in 0..3 {
+        c.partition(&[&[0, 1], &[2, 3]]);
+        c.run_for(60 * MS);
+        assert!(c.all_operational());
+        c.heal();
+        c.run_for(80 * MS);
+        assert!(c.all_operational());
+        assert_eq!(c.ring_of(0).len(), 4, "full ring after heal");
+    }
+    // Rings identical everywhere.
+    for i in 1..4 {
+        assert_eq!(c.ring_of(i), c.ring_of(0));
+    }
+}
+
+#[test]
+fn burst_token_loss_handled() {
+    let mut c = cluster(3);
+    c.run_for(30 * MS);
+    // Lose several tokens in a row: either retransmission or a membership
+    // change must restore an operational ring.
+    c.drop_next_tokens(5);
+    c.run_for(100 * MS);
+    assert!(c.all_operational());
+    c.submit(1, Bytes::from_static(b"recovered"), Service::Agreed);
+    c.run_for(20 * MS);
+    assert!(c.deliveries(0).iter().any(|d| d.payload == "recovered"));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// EVS safety under arbitrary crash subsets: survivors agree on the
+    /// final configuration, and the delivery sequences of any two survivors
+    /// agree on their common prefix of each configuration's messages.
+    #[test]
+    fn survivors_agree_after_arbitrary_crashes(
+        crash_mask in 0u8..15, // never crash everyone (node 3 survives mask<8... ensured below)
+        traffic in 1usize..12,
+    ) {
+        let mut c = cluster(4);
+        c.run_for(30 * MS);
+        prop_assert!(c.all_operational());
+        for i in 0..traffic {
+            c.submit(i % 4, Bytes::from(format!("t{i}")), Service::Agreed);
+        }
+        c.run_for(5 * MS);
+        let mut survivors = Vec::new();
+        for i in 0..4usize {
+            if crash_mask & (1 << i) != 0 && survivors.len() + (4 - i) > 1 {
+                c.crash(i);
+            } else {
+                survivors.push(i);
+            }
+        }
+        c.run_for(120 * MS);
+        prop_assert!(c.all_operational(), "survivors {survivors:?} operational");
+        let reference_ring = c.ring_of(survivors[0]);
+        for &s in &survivors {
+            prop_assert_eq!(c.ring_of(s), reference_ring.clone(), "ring at {}", s);
+            prop_assert!(reference_ring.contains(&ParticipantId::new(s as u16)));
+        }
+        // Delivery agreement on the common prefix.
+        let d0: Vec<Bytes> = c.deliveries(survivors[0]).iter().map(|d| d.payload.clone()).collect();
+        for &s in &survivors[1..] {
+            let ds: Vec<Bytes> = c.deliveries(s).iter().map(|d| d.payload.clone()).collect();
+            let common = d0.len().min(ds.len());
+            prop_assert_eq!(&ds[..common], &d0[..common], "prefix at {}", s);
+        }
+    }
+
+    /// Configuration changes are properly bracketed: a transitional
+    /// configuration's members are always a subset of the closing regular
+    /// configuration, and regular configurations always contain the
+    /// delivering node.
+    #[test]
+    fn config_changes_are_well_formed(
+        split in 1usize..5,
+        traffic in 0usize..8,
+    ) {
+        let mut c = cluster(6);
+        c.run_for(30 * MS);
+        for i in 0..traffic {
+            c.submit(i % 6, Bytes::from(format!("x{i}")), Service::Safe);
+        }
+        c.run_for(3 * MS);
+        let left: Vec<usize> = (0..split.min(5)).collect();
+        let right: Vec<usize> = (split.min(5)..6).collect();
+        c.partition(&[&left, &right]);
+        c.run_for(80 * MS);
+        c.heal();
+        c.run_for(100 * MS);
+        prop_assert!(c.all_operational());
+
+        for node in 0..6usize {
+            let me = ParticipantId::new(node as u16);
+            let configs = c.configs(node);
+            prop_assert!(!configs.is_empty());
+            let mut last_regular_members: Option<Vec<ParticipantId>> = None;
+            for cc in configs {
+                if cc.transitional {
+                    if let Some(reg) = &last_regular_members {
+                        prop_assert!(
+                            cc.members.iter().all(|m| reg.contains(m)),
+                            "transitional members subset of preceding regular at {node}"
+                        );
+                    }
+                    prop_assert!(cc.members.contains(&me));
+                } else {
+                    prop_assert!(cc.members.contains(&me), "regular config contains deliverer");
+                    last_regular_members = Some(cc.members.clone());
+                }
+            }
+            // Final regular config covers everyone after the heal.
+            let last = configs.iter().rev().find(|cc| !cc.transitional).unwrap();
+            prop_assert_eq!(last.members.len(), 6, "node {} final config", node);
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Cross-crate integration tests of the headline protocol claims, driven
+//! through the performance simulator (core + sim crates together).
+
+use accelring::core::{ProtocolConfig, Service};
+use accelring::sim::{
+    Curve, ExperimentSpec, ImplProfile, LossSpec, NetworkProfile, SimDuration, Workload,
+};
+
+fn quick(mut spec: ExperimentSpec) -> ExperimentSpec {
+    spec.warmup = SimDuration::from_millis(20);
+    spec.measure = SimDuration::from_millis(60);
+    spec
+}
+
+#[test]
+fn accelerated_improves_both_throughput_and_latency_on_1gb() {
+    // The paper's central claim (Section IV-A1): at the original protocol's
+    // knee, the accelerated protocol simultaneously has higher max
+    // throughput and lower latency.
+    let mut orig = quick(ExperimentSpec::baseline());
+    orig.impl_profile = ImplProfile::spread();
+    orig.protocol = ProtocolConfig::original(20);
+    let mut accel = orig.clone();
+    accel.protocol = ProtocolConfig::accelerated(20, 15);
+
+    let orig_700 = orig.clone().at_rate_mbps(700).run();
+    let accel_700 = accel.clone().at_rate_mbps(700).run();
+    assert!(
+        accel_700.latency.mean < orig_700.latency.mean,
+        "accelerated latency {} must beat original {} at 700 Mbps",
+        accel_700.latency.mean,
+        orig_700.latency.mean
+    );
+
+    orig.workload = Workload::Saturating;
+    accel.workload = Workload::Saturating;
+    let orig_max = orig.run().goodput_mbps();
+    let accel_max = accel.run().goodput_mbps();
+    assert!(
+        accel_max > orig_max * 1.05,
+        "accelerated max {accel_max:.0} must exceed original max {orig_max:.0}"
+    );
+    assert!(
+        accel_max > 880.0,
+        "accelerated protocol must approach 1Gb line rate, got {accel_max:.0}"
+    );
+}
+
+#[test]
+fn implementation_overhead_ordering_on_10gb() {
+    // Section IV-A2: on 10 Gb processing dominates, so library > daemon >
+    // Spread in maximum throughput.
+    let mut maxes = Vec::new();
+    for profile in ImplProfile::all() {
+        let mut spec = quick(ExperimentSpec::baseline());
+        spec.network = NetworkProfile::ten_gigabit();
+        spec.impl_profile = profile;
+        spec.protocol = ProtocolConfig::accelerated(30, 30);
+        spec.workload = Workload::Saturating;
+        maxes.push((profile.name, spec.run().goodput_mbps()));
+    }
+    assert!(
+        maxes[0].1 > maxes[1].1 && maxes[1].1 > maxes[2].1,
+        "expected library > daemon > spread, got {maxes:?}"
+    );
+    // Rough magnitudes from the paper: 4.6 / 3.3 / 2.3 Gbps.
+    assert!(maxes[0].1 > 3800.0, "library {maxes:?}");
+    assert!(maxes[2].1 > 1800.0 && maxes[2].1 < 3000.0, "spread {maxes:?}");
+}
+
+#[test]
+fn safe_crossover_at_low_throughput_on_10gb() {
+    // Figure 8: for Safe delivery at very low 10 Gb throughput the original
+    // protocol has *lower* latency; by ~10% of capacity the accelerated
+    // protocol wins again.
+    let mut orig = quick(ExperimentSpec::baseline());
+    orig.network = NetworkProfile::ten_gigabit();
+    orig.impl_profile = ImplProfile::spread();
+    orig.service = Service::Safe;
+    orig.protocol = ProtocolConfig::original(20);
+    let mut accel = orig.clone();
+    accel.protocol = ProtocolConfig::accelerated(20, 15);
+
+    let orig_low = orig.clone().at_rate_mbps(100).run().latency.mean;
+    let accel_low = accel.clone().at_rate_mbps(100).run().latency.mean;
+    assert!(
+        orig_low < accel_low,
+        "original {orig_low} must beat accelerated {accel_low} at 100 Mbps Safe"
+    );
+
+    let orig_high = orig.at_rate_mbps(1000).run().latency.mean;
+    let accel_high = accel.at_rate_mbps(1000).run().latency.mean;
+    assert!(
+        accel_high < orig_high,
+        "accelerated {accel_high} must beat original {orig_high} at 1000 Mbps Safe"
+    );
+}
+
+#[test]
+fn loss_recovery_sustains_goodput() {
+    // Section IV-A4: with 15% per-daemon loss the retransmission machinery
+    // still delivers the full offered rate.
+    let mut spec = quick(ExperimentSpec::baseline());
+    spec.network = NetworkProfile::ten_gigabit();
+    spec.impl_profile = ImplProfile::daemon();
+    spec.protocol = ProtocolConfig::accelerated(20, 15);
+    spec.loss = LossSpec::bernoulli(0.15);
+    let result = spec.at_rate_mbps(480).run();
+    let goodput = result.goodput_mbps();
+    assert!(
+        (goodput - 480.0).abs() / 480.0 < 0.10,
+        "goodput {goodput:.0} must stay near 480 Mbps under 15% loss"
+    );
+    assert!(result.retransmissions > 0);
+    // Independent per-daemon loss multiplies the system retransmission rate
+    // well above the per-daemon rate (the paper reports 5.5-6.8x).
+    assert!(
+        result.retransmission_rate > 0.15,
+        "system retransmission rate {} should exceed per-daemon loss",
+        result.retransmission_rate
+    );
+}
+
+#[test]
+fn larger_datagrams_raise_max_throughput_on_10gb() {
+    // Section IV-A3: amortizing processing over 8850-byte payloads raises
+    // the maximum throughput substantially.
+    let mut spec = quick(ExperimentSpec::baseline());
+    spec.network = NetworkProfile::ten_gigabit();
+    spec.impl_profile = ImplProfile::daemon();
+    spec.protocol = ProtocolConfig::accelerated(30, 30);
+    spec.workload = Workload::Saturating;
+    let small = spec.clone().run().goodput_mbps();
+    spec.payload_len = 8850;
+    let big = spec.run().goodput_mbps();
+    assert!(
+        big > small * 1.4,
+        "8850B payloads ({big:.0}) must beat 1350B ({small:.0}) by a wide margin"
+    );
+}
+
+#[test]
+fn distance_of_lossy_pair_increases_latency() {
+    // Figure 13: losing from the daemon 7 positions back costs nearly a
+    // full extra token round compared with losing from the predecessor.
+    let latency_at = |distance: usize| {
+        let mut spec = quick(ExperimentSpec::baseline());
+        spec.network = NetworkProfile::ten_gigabit();
+        spec.impl_profile = ImplProfile::daemon();
+        spec.protocol = ProtocolConfig::accelerated(20, 15);
+        spec.loss = LossSpec::FromDistance { distance, rate: 0.2 };
+        spec.at_rate_mbps(480).run().latency.mean
+    };
+    let near = latency_at(1);
+    let far = latency_at(7);
+    assert!(
+        far > near,
+        "distance 7 latency {far} must exceed distance 1 latency {near}"
+    );
+}
+
+#[test]
+fn sweep_helper_produces_consistent_series() {
+    let spec = quick(ExperimentSpec::baseline());
+    let curve = Curve::sweep_rates("t", &spec, &[100, 300]);
+    assert_eq!(curve.points.len(), 2);
+    for p in &curve.points {
+        assert!(p.result.goodput_mbps() > p.x * 0.9);
+        assert!(p.result.latency.count > 0);
+    }
+}
