@@ -3,9 +3,7 @@
 //! figure harness fast as the simulator evolves.
 
 use accelring_core::{ProtocolConfig, Service};
-use accelring_sim::{
-    ImplProfile, LossSpec, NetworkProfile, SimDuration, Simulator, Workload,
-};
+use accelring_sim::{ImplProfile, LossSpec, NetworkProfile, SimDuration, Simulator, Workload};
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn run_short_sim(rate_mbps: u64, loss: LossSpec) -> u64 {

@@ -5,5 +5,8 @@ use accelring_sim::harness::format_table;
 
 fn main() {
     let curves = ablate_accelerated_window(Quality::from_env());
-    print!("{}", format_table("Ablation: accelerated window size", "accel window", &curves));
+    print!(
+        "{}",
+        format_table("Ablation: accelerated window size", "accel window", &curves)
+    );
 }

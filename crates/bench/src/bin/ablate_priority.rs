@@ -5,5 +5,12 @@ use accelring_sim::harness::format_table;
 
 fn main() {
     let curves = ablate_priority_method(Quality::from_env());
-    print!("{}", format_table("Ablation: token priority policies (10Gb, spread profile, accel window 4)", "offered Mbps", &curves));
+    print!(
+        "{}",
+        format_table(
+            "Ablation: token priority policies (10Gb, spread profile, accel window 4)",
+            "offered Mbps",
+            &curves
+        )
+    );
 }

@@ -1,0 +1,95 @@
+//! Chaos soak: long seeded fault schedules against the full membership
+//! stack, every EVS invariant checked per seed.
+//!
+//! ```text
+//! cargo run --release --bin chaos_soak -- --seed 7
+//! cargo run --release --bin chaos_soak -- --seeds 0..32 --nodes 8 --events 5000
+//! ```
+//!
+//! Exits non-zero if any seed violates an invariant; the report carries
+//! the seed and the fault trace, so `--seed N` replays the run exactly.
+use std::process::ExitCode;
+
+use accelring_chaos::{run_chaos, ChaosConfig};
+
+struct Args {
+    seeds: std::ops::Range<u64>,
+    nodes: u16,
+    events: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seeds: 0..8,
+        nodes: 8,
+        events: 5000,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--seed" => {
+                let s: u64 = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+                args.seeds = s..s + 1;
+            }
+            "--seeds" => {
+                let v = value("--seeds")?;
+                let (a, b) = v
+                    .split_once("..")
+                    .ok_or_else(|| format!("--seeds wants A..B, got {v}"))?;
+                let a: u64 = a.parse().map_err(|e| format!("--seeds: {e}"))?;
+                let b: u64 = b.parse().map_err(|e| format!("--seeds: {e}"))?;
+                if a >= b {
+                    return Err(format!("--seeds: empty range {a}..{b}"));
+                }
+                args.seeds = a..b;
+            }
+            "--nodes" => {
+                args.nodes = value("--nodes")?
+                    .parse()
+                    .map_err(|e| format!("--nodes: {e}"))?;
+            }
+            "--events" => {
+                args.events = value("--events")?
+                    .parse()
+                    .map_err(|e| format!("--events: {e}"))?;
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.nodes < 2 {
+        return Err(format!("--nodes: need at least 2, got {}", args.nodes));
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("chaos_soak: {e}");
+            eprintln!("usage: chaos_soak [--seed N | --seeds A..B] [--nodes N] [--events N]");
+            return ExitCode::from(2);
+        }
+    };
+    let mut failures = 0u32;
+    let total = args.seeds.end - args.seeds.start;
+    for seed in args.seeds.clone() {
+        let report = run_chaos(ChaosConfig::soak(seed, args.nodes, args.events));
+        println!("{}", report.render());
+        if !report.ok() {
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        eprintln!("chaos_soak: {failures}/{total} seed(s) violated EVS invariants");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "chaos_soak: {total} seed(s) clean ({} nodes, {} events each)",
+        args.nodes, args.events
+    );
+    ExitCode::SUCCESS
+}

@@ -5,5 +5,12 @@ use accelring_sim::harness::format_table;
 
 fn main() {
     let curves = figure_02(Quality::from_env());
-    print!("{}", format_table("Figure 2: Agreed latency vs throughput, 1Gb", "offered Mbps", &curves));
+    print!(
+        "{}",
+        format_table(
+            "Figure 2: Agreed latency vs throughput, 1Gb",
+            "offered Mbps",
+            &curves
+        )
+    );
 }

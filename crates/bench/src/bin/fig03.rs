@@ -4,5 +4,12 @@ use accelring_sim::harness::format_table;
 
 fn main() {
     let curves = figure_03(Quality::from_env());
-    print!("{}", format_table("Figure 3: Safe latency vs throughput, 1Gb", "offered Mbps", &curves));
+    print!(
+        "{}",
+        format_table(
+            "Figure 3: Safe latency vs throughput, 1Gb",
+            "offered Mbps",
+            &curves
+        )
+    );
 }

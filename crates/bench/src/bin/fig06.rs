@@ -4,5 +4,12 @@ use accelring_sim::harness::format_table;
 
 fn main() {
     let curves = figure_06(Quality::from_env());
-    print!("{}", format_table("Figure 6: Safe latency vs throughput, 10Gb", "offered Mbps", &curves));
+    print!(
+        "{}",
+        format_table(
+            "Figure 6: Safe latency vs throughput, 10Gb",
+            "offered Mbps",
+            &curves
+        )
+    );
 }

@@ -6,5 +6,12 @@ use accelring_sim::harness::format_table;
 
 fn main() {
     let curves = figure_payload_sizes(Quality::from_env(), Service::Safe);
-    print!("{}", format_table("Figure 7: Safe, 1350B vs 8850B payloads, 10Gb", "offered Mbps", &curves));
+    print!(
+        "{}",
+        format_table(
+            "Figure 7: Safe, 1350B vs 8850B payloads, 10Gb",
+            "offered Mbps",
+            &curves
+        )
+    );
 }

@@ -5,5 +5,12 @@ use accelring_sim::harness::format_table;
 
 fn main() {
     let curves = figure_08(Quality::from_env());
-    print!("{}", format_table("Figure 8: Safe latency at low throughput, 10Gb (crossover)", "offered Mbps", &curves));
+    print!(
+        "{}",
+        format_table(
+            "Figure 8: Safe latency at low throughput, 10Gb (crossover)",
+            "offered Mbps",
+            &curves
+        )
+    );
 }

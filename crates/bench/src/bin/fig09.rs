@@ -6,5 +6,12 @@ use accelring_sim::NetworkProfile;
 
 fn main() {
     let curves = figure_loss(Quality::from_env(), NetworkProfile::ten_gigabit(), 480);
-    print!("{}", format_table("Figure 9: latency vs loss, 480 Mbps goodput, 10Gb", "loss %", &curves));
+    print!(
+        "{}",
+        format_table(
+            "Figure 9: latency vs loss, 480 Mbps goodput, 10Gb",
+            "loss %",
+            &curves
+        )
+    );
 }

@@ -5,5 +5,12 @@ use accelring_sim::NetworkProfile;
 
 fn main() {
     let curves = figure_loss(Quality::from_env(), NetworkProfile::ten_gigabit(), 1200);
-    print!("{}", format_table("Figure 10: latency vs loss, 1200 Mbps goodput, 10Gb", "loss %", &curves));
+    print!(
+        "{}",
+        format_table(
+            "Figure 10: latency vs loss, 1200 Mbps goodput, 10Gb",
+            "loss %",
+            &curves
+        )
+    );
 }

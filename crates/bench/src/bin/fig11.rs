@@ -5,5 +5,12 @@ use accelring_sim::NetworkProfile;
 
 fn main() {
     let curves = figure_loss(Quality::from_env(), NetworkProfile::gigabit(), 140);
-    print!("{}", format_table("Figure 11: latency vs loss, 140 Mbps goodput, 1Gb", "loss %", &curves));
+    print!(
+        "{}",
+        format_table(
+            "Figure 11: latency vs loss, 140 Mbps goodput, 1Gb",
+            "loss %",
+            &curves
+        )
+    );
 }

@@ -5,5 +5,12 @@ use accelring_sim::NetworkProfile;
 
 fn main() {
     let curves = figure_loss(Quality::from_env(), NetworkProfile::gigabit(), 350);
-    print!("{}", format_table("Figure 12: latency vs loss, 350 Mbps goodput, 1Gb", "loss %", &curves));
+    print!(
+        "{}",
+        format_table(
+            "Figure 12: latency vs loss, 350 Mbps goodput, 1Gb",
+            "loss %",
+            &curves
+        )
+    );
 }

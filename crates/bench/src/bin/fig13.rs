@@ -6,5 +6,12 @@ use accelring_sim::harness::format_table;
 
 fn main() {
     let curves = figure_13(Quality::from_env());
-    print!("{}", format_table("Figure 13: latency vs ring distance of the lossy pair", "distance", &curves));
+    print!(
+        "{}",
+        format_table(
+            "Figure 13: latency vs ring distance of the lossy pair",
+            "distance",
+            &curves
+        )
+    );
 }

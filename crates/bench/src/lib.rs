@@ -18,8 +18,7 @@
 
 use accelring_core::{PriorityMethod, ProtocolConfig, RtrPolicy, Service, Variant};
 use accelring_sim::{
-    Curve, CurvePoint, ExperimentSpec, ImplProfile, LossSpec, NetworkProfile, SimDuration,
-    Workload,
+    Curve, CurvePoint, ExperimentSpec, ImplProfile, LossSpec, NetworkProfile, SimDuration, Workload,
 };
 
 /// How long to measure: `quick` for interactive runs, `full` for the
@@ -190,7 +189,11 @@ pub fn figure_08(q: Quality) -> Vec<Curve> {
         let mut spec = base_spec(q, NetworkProfile::ten_gigabit(), ImplProfile::spread());
         spec.service = Service::Safe;
         spec.protocol = cfg;
-        curves.push(Curve::sweep_rates(&format!("spread {label}"), &spec, &rates));
+        curves.push(Curve::sweep_rates(
+            &format!("spread {label}"),
+            &spec,
+            &rates,
+        ));
     }
     curves
 }
@@ -481,7 +484,11 @@ mod tests {
         // The paper's one-round delay avoids requesting in-flight messages:
         // with no real loss the delayed policy must request ~nothing, while
         // the immediate policy produces spurious retransmissions.
-        assert!(delayed_lossless.1 < 0.01, "delayed rate {}", delayed_lossless.1);
+        assert!(
+            delayed_lossless.1 < 0.01,
+            "delayed rate {}",
+            delayed_lossless.1
+        );
         assert!(
             immediate_lossless.1 >= delayed_lossless.1,
             "immediate {} vs delayed {}",

@@ -1,0 +1,483 @@
+//! The Extended Virtual Synchrony invariant checker.
+//!
+//! The checker is a pure function over what each node's application
+//! observed — the interleaved journal of deliveries and configuration
+//! changes kept by the membership `Cluster` — plus the ground truth the
+//! chaos runner knows (every message id it submitted, where each node's
+//! process incarnations begin, which probe messages were sent after the
+//! final heal). Keeping it pure makes the "intentionally broken journal"
+//! fixtures in the test suite possible: corrupt a journal, re-run the
+//! checker, and watch the violation fire.
+//!
+//! Checked invariants, named as they appear in [`Violation::invariant`]:
+//!
+//! - `no-phantom` — every delivered message was actually submitted.
+//! - `no-duplicate` — no process incarnation delivers a message twice.
+//! - `sender-fifo` — messages from one sender are delivered in the order
+//!   sent (counters strictly increase per sender per incarnation).
+//! - `agreed-order` — any two nodes deliver their common messages in the
+//!   same relative order (agreed/safe delivery is a total order).
+//! - `agreed-prefix` — within one regular configuration, the delivery
+//!   sequences of any two members are prefixes of one another (no gaps).
+//! - `virtual-synchrony` — processes that transit between the same pair
+//!   of regular configurations through the same transitional
+//!   configuration deliver the same set of messages in the old one.
+//! - `config-self` — every configuration delivered at a node contains
+//!   that node.
+//! - `self-delivery` — a node delivers its own surviving submissions,
+//!   demonstrated conservatively via post-quiescence probes delivered
+//!   everywhere.
+//! - `reconvergence` — after the final heal, all daemons are operational
+//!   in one identical ring containing everyone.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
+
+use accelring_core::{ParticipantId, RingId};
+use accelring_membership::testing::NodeEvent;
+
+/// The identity the chaos workload stamps on every payload:
+/// `s{sender}:{counter}`, unique for the whole run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MsgId {
+    /// Submitting node index.
+    pub sender: u16,
+    /// Per-sender submission counter (monotonic across restarts).
+    pub counter: u64,
+}
+
+impl MsgId {
+    /// Renders the on-the-wire payload for this id.
+    pub fn payload(&self) -> String {
+        format!("s{}:{}", self.sender, self.counter)
+    }
+
+    /// Parses a payload produced by [`MsgId::payload`].
+    pub fn parse(payload: &[u8]) -> Option<MsgId> {
+        let s = std::str::from_utf8(payload).ok()?;
+        let rest = s.strip_prefix('s')?;
+        let (sender, counter) = rest.split_once(':')?;
+        Some(MsgId {
+            sender: sender.parse().ok()?,
+            counter: counter.parse().ok()?,
+        })
+    }
+}
+
+impl fmt::Display for MsgId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}:{}", self.sender, self.counter)
+    }
+}
+
+/// One invariant violation, with enough detail to start debugging.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which invariant failed (kebab-case name from the module docs).
+    pub invariant: &'static str,
+    /// Human-readable description of the failure.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invariant {}: {}", self.invariant, self.detail)
+    }
+}
+
+/// Everything the checker needs: the observed journals plus the runner's
+/// ground truth.
+#[derive(Debug, Clone)]
+pub struct CheckerInput {
+    /// Number of daemons.
+    pub nodes: usize,
+    /// Per-node interleaved journal, cloned from the cluster.
+    pub journals: Vec<Vec<NodeEvent>>,
+    /// Every message id the workload successfully submitted.
+    pub submitted: BTreeSet<MsgId>,
+    /// Journal indices at which each node was restarted (a fresh process
+    /// incarnation begins at each mark).
+    pub incarnation_marks: Vec<Vec<usize>>,
+    /// Probe ids submitted at every node after the final heal; all nodes
+    /// must deliver all of them.
+    pub probes: Vec<MsgId>,
+    /// Whether every daemon reported Operational at the end.
+    pub all_operational: bool,
+    /// The ring installed at each node at the end of the run.
+    pub final_rings: Vec<Vec<ParticipantId>>,
+}
+
+/// Runs every invariant over the input and returns the violations found
+/// (empty = the run was EVS-clean).
+pub fn check(input: &CheckerInput) -> Vec<Violation> {
+    let mut v = Vec::new();
+    let parsed = parse_journals(input, &mut v);
+    check_per_incarnation(input, &parsed, &mut v);
+    check_agreed_order(&parsed, &mut v);
+    check_agreed_prefix(&parsed, &mut v);
+    check_virtual_synchrony(&parsed, &mut v);
+    check_self_delivery(input, &parsed, &mut v);
+    check_reconvergence(input, &mut v);
+    v
+}
+
+/// A journal entry after payload parsing.
+#[derive(Debug, Clone)]
+enum Entry {
+    Delivered(MsgId),
+    Config {
+        ring_id: RingId,
+        members: Vec<ParticipantId>,
+        transitional: bool,
+    },
+}
+
+struct Parsed {
+    /// Per node: parsed journal entries.
+    entries: Vec<Vec<Entry>>,
+    /// Per node: incarnation boundaries as entry indices (starts with 0).
+    starts: Vec<Vec<usize>>,
+}
+
+fn parse_journals(input: &CheckerInput, v: &mut Vec<Violation>) -> Parsed {
+    let mut entries = Vec::with_capacity(input.nodes);
+    for (node, journal) in input.journals.iter().enumerate() {
+        let mut parsed = Vec::with_capacity(journal.len());
+        for ev in journal {
+            match ev {
+                NodeEvent::Delivered(d) => match MsgId::parse(&d.payload) {
+                    Some(id) => {
+                        if id.sender != d.sender.as_u16() {
+                            v.push(Violation {
+                                invariant: "no-phantom",
+                                detail: format!(
+                                    "node {node} delivered {id} attributed to sender {}",
+                                    d.sender
+                                ),
+                            });
+                        }
+                        if !input.submitted.contains(&id) {
+                            v.push(Violation {
+                                invariant: "no-phantom",
+                                detail: format!(
+                                    "node {node} delivered {id}, which was never submitted"
+                                ),
+                            });
+                        }
+                        parsed.push(Entry::Delivered(id));
+                    }
+                    None => v.push(Violation {
+                        invariant: "no-phantom",
+                        detail: format!(
+                            "node {node} delivered an unparseable payload ({} bytes)",
+                            d.payload.len()
+                        ),
+                    }),
+                },
+                NodeEvent::Config(c) => parsed.push(Entry::Config {
+                    ring_id: c.ring_id,
+                    members: c.members.clone(),
+                    transitional: c.transitional,
+                }),
+            }
+        }
+        entries.push(parsed);
+    }
+    let starts = (0..input.nodes)
+        .map(|i| {
+            let mut s = vec![0usize];
+            s.extend(input.incarnation_marks[i].iter().copied());
+            s
+        })
+        .collect();
+    Parsed { entries, starts }
+}
+
+/// Per-incarnation slices of a node's journal.
+fn incarnations(parsed: &Parsed, node: usize) -> Vec<&[Entry]> {
+    let entries = &parsed.entries[node];
+    let starts = &parsed.starts[node];
+    let mut out = Vec::with_capacity(starts.len());
+    for (k, &start) in starts.iter().enumerate() {
+        let end = starts.get(k + 1).copied().unwrap_or(entries.len());
+        out.push(&entries[start.min(entries.len())..end.min(entries.len())]);
+    }
+    out
+}
+
+/// `no-duplicate`, `sender-fifo`, and `config-self`, all per incarnation.
+fn check_per_incarnation(input: &CheckerInput, parsed: &Parsed, v: &mut Vec<Violation>) {
+    for node in 0..input.nodes {
+        let self_pid = ParticipantId::new(node as u16);
+        for (inc, slice) in incarnations(parsed, node).into_iter().enumerate() {
+            let mut seen: BTreeSet<MsgId> = BTreeSet::new();
+            let mut last_counter: HashMap<u16, u64> = HashMap::new();
+            for entry in slice {
+                match entry {
+                    Entry::Delivered(id) => {
+                        if !seen.insert(*id) {
+                            v.push(Violation {
+                                invariant: "no-duplicate",
+                                detail: format!(
+                                    "node {node} (incarnation {inc}) delivered {id} twice"
+                                ),
+                            });
+                        }
+                        if let Some(&prev) = last_counter.get(&id.sender) {
+                            if id.counter <= prev {
+                                v.push(Violation {
+                                    invariant: "sender-fifo",
+                                    detail: format!(
+                                        "node {node} (incarnation {inc}) delivered {id} after \
+                                         s{}:{prev}",
+                                        id.sender
+                                    ),
+                                });
+                            }
+                        }
+                        last_counter.insert(id.sender, id.counter);
+                    }
+                    Entry::Config {
+                        ring_id, members, ..
+                    } => {
+                        if !members.contains(&self_pid) {
+                            v.push(Violation {
+                                invariant: "config-self",
+                                detail: format!(
+                                    "node {node} delivered configuration {ring_id} that \
+                                     excludes it: {members:?}"
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Delivery sequence of a node (first occurrences only, so a duplicate —
+/// reported elsewhere — does not cascade into order violations).
+fn delivery_seq(parsed: &Parsed, node: usize) -> Vec<MsgId> {
+    let mut seen = BTreeSet::new();
+    parsed.entries[node]
+        .iter()
+        .filter_map(|e| match e {
+            Entry::Delivered(id) if seen.insert(*id) => Some(*id),
+            _ => None,
+        })
+        .collect()
+}
+
+/// `agreed-order`: common messages of any two nodes appear in the same
+/// relative order.
+fn check_agreed_order(parsed: &Parsed, v: &mut Vec<Violation>) {
+    let seqs: Vec<Vec<MsgId>> = (0..parsed.entries.len())
+        .map(|i| delivery_seq(parsed, i))
+        .collect();
+    let sets: Vec<BTreeSet<MsgId>> = seqs.iter().map(|s| s.iter().copied().collect()).collect();
+    for i in 0..seqs.len() {
+        for j in i + 1..seqs.len() {
+            let common: Vec<MsgId> = seqs[i]
+                .iter()
+                .filter(|id| sets[j].contains(id))
+                .copied()
+                .collect();
+            let other: Vec<MsgId> = seqs[j]
+                .iter()
+                .filter(|id| sets[i].contains(id))
+                .copied()
+                .collect();
+            if common != other {
+                let at = common
+                    .iter()
+                    .zip(&other)
+                    .position(|(a, b)| a != b)
+                    .unwrap_or(common.len().min(other.len()));
+                v.push(Violation {
+                    invariant: "agreed-order",
+                    detail: format!(
+                        "nodes {i} and {j} disagree on delivery order at common position {at}: \
+                         {:?} vs {:?}",
+                        common.get(at),
+                        other.get(at)
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// `agreed-prefix`: within one regular configuration, members' delivery
+/// sequences are prefixes of one another.
+fn check_agreed_prefix(parsed: &Parsed, v: &mut Vec<Violation>) {
+    // ring_id -> [(node, deliveries while that regular config was
+    // installed and no transitional had been delivered yet)]
+    let mut per_ring: BTreeMap<RingId, Vec<(usize, Vec<MsgId>)>> = BTreeMap::new();
+    for node in 0..parsed.entries.len() {
+        let mut current: Option<RingId> = None;
+        for entry in &parsed.entries[node] {
+            match entry {
+                Entry::Config {
+                    ring_id,
+                    transitional,
+                    ..
+                } => {
+                    if *transitional {
+                        current = None;
+                    } else {
+                        current = Some(*ring_id);
+                        per_ring
+                            .entry(*ring_id)
+                            .or_default()
+                            .push((node, Vec::new()));
+                    }
+                }
+                Entry::Delivered(id) => {
+                    if let Some(ring) = current {
+                        if let Some((_, seq)) = per_ring
+                            .get_mut(&ring)
+                            .and_then(|v| v.iter_mut().rev().find(|(n, _)| *n == node))
+                        {
+                            seq.push(*id);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    for (ring, members) in &per_ring {
+        for a in 0..members.len() {
+            for b in a + 1..members.len() {
+                let (na, sa) = &members[a];
+                let (nb, sb) = &members[b];
+                if na == nb {
+                    continue;
+                }
+                let short = sa.len().min(sb.len());
+                if sa[..short] != sb[..short] {
+                    let at = (0..short).find(|&k| sa[k] != sb[k]).unwrap_or(short);
+                    v.push(Violation {
+                        invariant: "agreed-prefix",
+                        detail: format!(
+                            "in configuration {ring}, nodes {na} and {nb} diverge at \
+                             position {at}: {:?} vs {:?}",
+                            sa.get(at),
+                            sb.get(at)
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// `virtual-synchrony`: nodes that transit between the same regular
+/// configurations through the same transitional configuration must have
+/// delivered the same message set in the old configuration.
+fn check_virtual_synchrony(parsed: &Parsed, v: &mut Vec<Violation>) {
+    // "Moved together" means sharing the transitional configuration's
+    // *membership*, not just its id: the transitional config reuses the
+    // dissolving ring's id, so survivors of different partitions would
+    // otherwise be compared — and EVS lets those deliver different sets.
+    type Key = (RingId, Option<(RingId, Vec<ParticipantId>)>, RingId);
+    let mut segments: HashMap<Key, (usize, BTreeSet<MsgId>)> = HashMap::new();
+    for node in 0..parsed.entries.len() {
+        for slice in incarnations(parsed, node) {
+            let mut current: Option<RingId> = None;
+            let mut transitional: Option<(RingId, Vec<ParticipantId>)> = None;
+            let mut delivered: BTreeSet<MsgId> = BTreeSet::new();
+            for entry in slice {
+                match entry {
+                    Entry::Delivered(id) => {
+                        if current.is_some() {
+                            delivered.insert(*id);
+                        }
+                    }
+                    Entry::Config {
+                        ring_id,
+                        members,
+                        transitional: is_trans,
+                    } => {
+                        if *is_trans {
+                            transitional = Some((*ring_id, members.clone()));
+                        } else {
+                            if let Some(old) = current {
+                                let key = (old, transitional.take(), *ring_id);
+                                let set = std::mem::take(&mut delivered);
+                                match segments.get(&key) {
+                                    None => {
+                                        segments.insert(key, (node, set));
+                                    }
+                                    Some((other, expected)) => {
+                                        if *expected != set {
+                                            let only_other: Vec<&MsgId> =
+                                                expected.difference(&set).collect();
+                                            let only_here: Vec<&MsgId> =
+                                                set.difference(expected).collect();
+                                            v.push(Violation {
+                                                invariant: "virtual-synchrony",
+                                                detail: format!(
+                                                    "nodes {other} and {node} moved together \
+                                                     {old} -> {ring_id} (transitional \
+                                                     {:?}) but delivered different \
+                                                     sets: only at {other}: {only_other:?}, \
+                                                     only at {node}: {only_here:?}",
+                                                    key.1
+                                                ),
+                                            });
+                                        }
+                                    }
+                                }
+                            }
+                            current = Some(*ring_id);
+                            transitional = None;
+                            delivered.clear();
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `self-delivery`: every post-quiescence probe reaches every node.
+fn check_self_delivery(input: &CheckerInput, parsed: &Parsed, v: &mut Vec<Violation>) {
+    for node in 0..input.nodes {
+        let delivered: BTreeSet<MsgId> = delivery_seq(parsed, node).into_iter().collect();
+        for probe in &input.probes {
+            if !delivered.contains(probe) {
+                v.push(Violation {
+                    invariant: "self-delivery",
+                    detail: format!(
+                        "node {node} never delivered post-heal probe {probe} (quiesced \
+                         cluster must deliver everywhere, including the submitter)"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// `reconvergence`: one ring of everyone, everywhere, all Operational.
+fn check_reconvergence(input: &CheckerInput, v: &mut Vec<Violation>) {
+    if !input.all_operational {
+        v.push(Violation {
+            invariant: "reconvergence",
+            detail: "not all daemons reached Operational after the final heal".to_string(),
+        });
+    }
+    let expected: Vec<ParticipantId> = (0..input.nodes as u16).map(ParticipantId::new).collect();
+    for (node, ring) in input.final_rings.iter().enumerate() {
+        if *ring != expected {
+            v.push(Violation {
+                invariant: "reconvergence",
+                detail: format!(
+                    "node {node} ended on ring {ring:?} instead of the full ring of \
+                     {} daemons",
+                    input.nodes
+                ),
+            });
+        }
+    }
+}

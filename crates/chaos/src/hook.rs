@@ -1,0 +1,213 @@
+//! The [`NetHook`] implementation injecting seeded loss, duplication,
+//! and reordering into the membership cluster's virtual network.
+//!
+//! Data and control packets pass through the per-receiver
+//! [`LossState`] from `accelring-sim` (Gilbert–Elliott data loss — the
+//! chaos extension of the paper's receiver-side Bernoulli model) and may
+//! additionally be duplicated or delayed. Tokens are subject to the
+//! independent Bernoulli token loss that only `LossSpec::Chaos` carries,
+//! plus reorder delay; the protocol's token-retransmission and
+//! membership timers are what is being exercised.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use accelring_core::ParticipantId;
+use accelring_membership::testing::{NetHook, PacketKind, SendFate};
+use accelring_sim::{LossSpec, LossState};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The runtime-adjustable fault knobs, shared between the chaos runner
+/// (which turns them per the fault schedule) and the installed hook.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetKnobs {
+    /// The loss model packets pass through (use `LossSpec::Chaos` for
+    /// droppable tokens).
+    pub loss: LossSpec,
+    /// Probability a delivered packet is duplicated.
+    pub dup_rate: f64,
+    /// Probability a delivered packet is delayed past later traffic.
+    pub reorder_rate: f64,
+    /// Upper bound on injected extra delay (ns).
+    pub max_extra_delay_ns: u64,
+    /// Bumped on every knob change so the hook rebuilds its loss states.
+    pub generation: u64,
+}
+
+impl NetKnobs {
+    /// Lossless, churn-free knobs: the hook passes everything through.
+    pub fn quiet() -> NetKnobs {
+        NetKnobs {
+            loss: LossSpec::None,
+            dup_rate: 0.0,
+            reorder_rate: 0.0,
+            max_extra_delay_ns: 0,
+            generation: 0,
+        }
+    }
+
+    /// Replaces the loss model and bumps the generation.
+    pub fn set_loss(&mut self, loss: LossSpec) {
+        self.loss = loss;
+        self.generation += 1;
+    }
+
+    /// Replaces the duplication/reordering knobs.
+    pub fn set_churn(&mut self, dup_rate: f64, reorder_rate: f64, max_extra_delay_ns: u64) {
+        self.dup_rate = dup_rate;
+        self.reorder_rate = reorder_rate;
+        self.max_extra_delay_ns = max_extra_delay_ns;
+        self.generation += 1;
+    }
+}
+
+/// Seeded fault-injecting [`NetHook`]. Deterministic: the fates it hands
+/// out depend only on its seed, the knob history, and the packet
+/// sequence.
+#[derive(Debug)]
+pub struct ChaosNetHook {
+    knobs: Rc<RefCell<NetKnobs>>,
+    seed: u64,
+    nodes: usize,
+    seen_generation: u64,
+    /// Per-receiver loss state, rebuilt when the knob generation moves.
+    states: Vec<LossState>,
+    rng: StdRng,
+}
+
+impl ChaosNetHook {
+    /// Creates the hook for an `nodes`-daemon cluster. `knobs` is shared
+    /// with the chaos runner, which adjusts it as the schedule fires.
+    pub fn new(seed: u64, nodes: usize, knobs: Rc<RefCell<NetKnobs>>) -> ChaosNetHook {
+        let mut hook = ChaosNetHook {
+            knobs,
+            seed,
+            nodes,
+            seen_generation: u64::MAX,
+            states: Vec::new(),
+            rng: StdRng::seed_from_u64(seed ^ 0x00D1_CE00_D1CE_0001),
+        };
+        hook.rebuild_states();
+        hook
+    }
+
+    fn rebuild_states(&mut self) {
+        let knobs = self.knobs.borrow();
+        let members: Vec<ParticipantId> = (0..self.nodes as u16).map(ParticipantId::new).collect();
+        self.states = (0..self.nodes)
+            .map(|i| {
+                LossState::new(
+                    knobs.loss,
+                    &members,
+                    i,
+                    self.seed ^ knobs.generation.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                )
+            })
+            .collect();
+        self.seen_generation = knobs.generation;
+    }
+
+    fn churn(&mut self) -> (f64, f64, u64) {
+        let knobs = self.knobs.borrow();
+        (knobs.dup_rate, knobs.reorder_rate, knobs.max_extra_delay_ns)
+    }
+}
+
+impl NetHook for ChaosNetHook {
+    fn on_packet(&mut self, _now: u64, from: usize, to: usize, kind: PacketKind) -> SendFate {
+        if self.knobs.borrow().generation != self.seen_generation {
+            self.rebuild_states();
+        }
+        let dropped = match kind {
+            PacketKind::Token => self.states[to].drops_token(),
+            PacketKind::Data | PacketKind::Control => {
+                self.states[to].drops_from(ParticipantId::new(from as u16))
+            }
+        };
+        if dropped {
+            return SendFate::drop();
+        }
+        let (dup_rate, reorder_rate, max_delay) = self.churn();
+        let jitter = |rng: &mut StdRng| {
+            if max_delay == 0 {
+                0
+            } else {
+                rng.random_range(0..=max_delay)
+            }
+        };
+        let mut delays = vec![0u64];
+        if reorder_rate > 0.0 && self.rng.random_bool(reorder_rate) {
+            delays[0] = jitter(&mut self.rng);
+        }
+        // Tokens are not duplicated: a duplicate token is
+        // indistinguishable from a retransmission and the protocol
+        // already exercises that path via TokenBurst faults.
+        if kind != PacketKind::Token && dup_rate > 0.0 && self.rng.random_bool(dup_rate) {
+            delays.push(jitter(&mut self.rng));
+        }
+        SendFate { delays }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fates(seed: u64, knobs: NetKnobs, n: usize) -> Vec<Vec<u64>> {
+        let shared = Rc::new(RefCell::new(knobs));
+        let mut hook = ChaosNetHook::new(seed, 4, shared);
+        (0..n)
+            .map(|i| {
+                hook.on_packet(0, i % 4, (i + 1) % 4, PacketKind::Data)
+                    .delays
+            })
+            .collect()
+    }
+
+    #[test]
+    fn quiet_knobs_pass_everything_through() {
+        for f in fates(5, NetKnobs::quiet(), 200) {
+            assert_eq!(f, vec![0]);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let knobs = NetKnobs {
+            loss: LossSpec::chaos(0.3, 0.1),
+            dup_rate: 0.2,
+            reorder_rate: 0.2,
+            max_extra_delay_ns: 50_000,
+            generation: 0,
+        };
+        assert_eq!(fates(7, knobs.clone(), 300), fates(7, knobs.clone(), 300));
+        assert_ne!(fates(7, knobs.clone(), 300), fates(8, knobs, 300));
+    }
+
+    #[test]
+    fn tokens_drop_at_the_token_rate() {
+        let shared = Rc::new(RefCell::new(NetKnobs {
+            loss: LossSpec::chaos(0.0, 0.5),
+            ..NetKnobs::quiet()
+        }));
+        let mut hook = ChaosNetHook::new(11, 4, shared);
+        let drops = (0..2_000)
+            .filter(|_| hook.on_packet(0, 0, 1, PacketKind::Token).delays.is_empty())
+            .count();
+        let rate = drops as f64 / 2_000.0;
+        assert!((rate - 0.5).abs() < 0.05, "token drop rate {rate}");
+    }
+
+    #[test]
+    fn knob_change_takes_effect() {
+        let shared = Rc::new(RefCell::new(NetKnobs::quiet()));
+        let mut hook = ChaosNetHook::new(3, 4, Rc::clone(&shared));
+        assert_eq!(hook.on_packet(0, 0, 1, PacketKind::Data).delays, vec![0]);
+        shared.borrow_mut().set_loss(LossSpec::chaos(1.0, 1.0));
+        assert!(hook.on_packet(0, 0, 1, PacketKind::Data).delays.is_empty());
+        assert!(hook.on_packet(0, 0, 1, PacketKind::Token).delays.is_empty());
+        shared.borrow_mut().set_loss(LossSpec::None);
+        assert_eq!(hook.on_packet(0, 0, 1, PacketKind::Data).delays, vec![0]);
+    }
+}

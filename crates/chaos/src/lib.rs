@@ -1,0 +1,47 @@
+//! # accelring-chaos
+//!
+//! A deterministic chaos harness for the Accelerated Ring membership
+//! stack: seeded fault schedules driven against the virtual-time
+//! [`Cluster`](accelring_membership::testing::Cluster), with every
+//! Extended Virtual Synchrony guarantee checked after the dust settles.
+//!
+//! The paper's evaluation measures the protocol on a healthy network; its
+//! correctness argument leans on Totem's membership algorithm surviving
+//! crashes, partitions, and token loss. This crate tests that argument.
+//! A [`FaultSchedule`] is generated deterministically from a `u64` seed —
+//! daemon crashes and restarts, partitions into arbitrary groups and
+//! heals, token-loss bursts, Gilbert–Elliott data loss, duplication,
+//! reordering, and paused (stalled, not crashed) daemons — and replayed
+//! against a full cluster carrying a steady tagged workload. At the end
+//! the harness heals everything, lets the system quiesce, and runs the
+//! [`checker`] over each node's interleaved delivery/configuration
+//! journal.
+//!
+//! Invariants checked (see [`checker`] for definitions):
+//!
+//! - no phantom or duplicate deliveries,
+//! - per-sender FIFO order,
+//! - pairwise agreement on the relative order of commonly delivered
+//!   messages (agreed delivery),
+//! - common-prefix delivery within each regular configuration,
+//! - virtual synchrony: processes that move together between the same
+//!   configurations deliver the same message set,
+//! - every delivered configuration contains its deliverer,
+//! - self-delivery (via post-quiescence probe messages), and
+//! - eventual reconvergence to a single ring of all daemons.
+//!
+//! Every violation report carries the seed and the compact fault trace,
+//! so `chaos_soak --seed N` replays the failing run exactly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checker;
+pub mod hook;
+pub mod runner;
+pub mod schedule;
+
+pub use checker::{check, CheckerInput, MsgId, Violation};
+pub use hook::{ChaosNetHook, NetKnobs};
+pub use runner::{run_chaos, run_to_input, ChaosConfig, ChaosReport, ChaosStats};
+pub use schedule::{FaultEvent, FaultKind, FaultSchedule, ScheduleConfig};

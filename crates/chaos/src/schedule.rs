@@ -1,0 +1,364 @@
+//! Seeded fault-schedule generation.
+//!
+//! A [`FaultSchedule`] is a time-ordered list of [`FaultEvent`]s produced
+//! deterministically from a `u64` seed: the same seed always yields the
+//! identical schedule, which is what makes a failing chaos run replayable
+//! from nothing but its seed. The generator tracks the cluster state it
+//! is perturbing (who is crashed, who is paused, whether a partition is
+//! in force) so that every emitted event is applicable when it fires.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One fault to inject at a scheduled virtual time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultKind {
+    /// Kill a daemon outright; it stops processing everything.
+    Crash(usize),
+    /// Kill whichever daemon last received the token — targets the token
+    /// holder mid-rotation. Resolved against the live cluster when the
+    /// event fires (deterministic for a fixed seed).
+    CrashTokenHolder,
+    /// Restart a crashed daemon as a fresh process with the same id.
+    Restart(usize),
+    /// Split the cluster into the given groups; unnamed nodes are
+    /// isolated into singletons by the harness.
+    Partition(Vec<Vec<usize>>),
+    /// Reconnect everyone into one component.
+    Heal,
+    /// Drop the next `n` token transmissions back to back.
+    TokenBurst(u64),
+    /// Stall a daemon without killing it: timers stop, inputs queue.
+    Pause(usize),
+    /// Wake a paused daemon; it processes its backlog immediately.
+    Resume(usize),
+    /// Reconfigure the network loss model: Gilbert–Elliott data loss plus
+    /// Bernoulli token loss (see `LossSpec::Chaos`).
+    SetLoss {
+        /// Data-message drop probability.
+        data_rate: f64,
+        /// Token drop probability.
+        token_rate: f64,
+    },
+    /// Reconfigure duplication and reordering injection.
+    SetChurn {
+        /// Probability a delivered packet is duplicated.
+        dup_rate: f64,
+        /// Probability a delivered packet is delayed past later traffic.
+        reorder_rate: f64,
+        /// Upper bound on the injected extra delay, in nanoseconds.
+        max_extra_delay_ns: u64,
+    },
+}
+
+/// A [`FaultKind`] bound to the virtual time it fires at.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultEvent {
+    /// Absolute virtual time (ns) the fault fires at.
+    pub at: u64,
+    /// The fault to inject.
+    pub kind: FaultKind,
+}
+
+impl fmt::Display for FaultEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ms = self.at as f64 / 1e6;
+        match &self.kind {
+            FaultKind::Crash(i) => write!(f, "t={ms:.3}ms crash({i})"),
+            FaultKind::CrashTokenHolder => write!(f, "t={ms:.3}ms crash-token-holder"),
+            FaultKind::Restart(i) => write!(f, "t={ms:.3}ms restart({i})"),
+            FaultKind::Partition(groups) => write!(f, "t={ms:.3}ms partition({groups:?})"),
+            FaultKind::Heal => write!(f, "t={ms:.3}ms heal"),
+            FaultKind::TokenBurst(n) => write!(f, "t={ms:.3}ms token-burst({n})"),
+            FaultKind::Pause(i) => write!(f, "t={ms:.3}ms pause({i})"),
+            FaultKind::Resume(i) => write!(f, "t={ms:.3}ms resume({i})"),
+            FaultKind::SetLoss {
+                data_rate,
+                token_rate,
+            } => write!(
+                f,
+                "t={ms:.3}ms set-loss(data={data_rate:.3}, token={token_rate:.3})"
+            ),
+            FaultKind::SetChurn {
+                dup_rate,
+                reorder_rate,
+                max_extra_delay_ns,
+            } => write!(
+                f,
+                "t={ms:.3}ms set-churn(dup={dup_rate:.3}, reorder={reorder_rate:.3}, \
+                 delay<={max_extra_delay_ns}ns)"
+            ),
+        }
+    }
+}
+
+/// Shape parameters for schedule generation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduleConfig {
+    /// Number of daemons the schedule perturbs.
+    pub nodes: usize,
+    /// Number of fault events to generate.
+    pub events: usize,
+    /// Minimum virtual-time gap between consecutive faults (ns).
+    pub min_gap_ns: u64,
+    /// Maximum virtual-time gap between consecutive faults (ns).
+    pub max_gap_ns: u64,
+    /// Virtual time before the first fault, so the initial ring can form.
+    pub warmup_ns: u64,
+}
+
+impl ScheduleConfig {
+    /// A short schedule suitable for the default test suite.
+    pub fn smoke(nodes: usize) -> ScheduleConfig {
+        ScheduleConfig {
+            nodes,
+            events: 120,
+            min_gap_ns: 300_000,
+            max_gap_ns: 2_000_000,
+            warmup_ns: 30_000_000,
+        }
+    }
+
+    /// The soak-length schedule from the acceptance criteria: thousands
+    /// of faults against an 8-node cluster.
+    pub fn soak(nodes: usize, events: usize) -> ScheduleConfig {
+        ScheduleConfig {
+            nodes,
+            events,
+            min_gap_ns: 200_000,
+            max_gap_ns: 1_500_000,
+            warmup_ns: 30_000_000,
+        }
+    }
+}
+
+/// A reproducible fault schedule: the seed and config it was generated
+/// from plus the ordered events.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSchedule {
+    /// The seed the schedule derives from.
+    pub seed: u64,
+    /// The shape parameters used.
+    pub config: ScheduleConfig,
+    /// Events in non-decreasing `at` order.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultSchedule {
+    /// Generates the schedule for `seed`. Deterministic: equal inputs
+    /// yield an identical event list.
+    pub fn generate(seed: u64, config: ScheduleConfig) -> FaultSchedule {
+        assert!(config.nodes >= 2, "chaos needs at least two daemons");
+        assert!(config.min_gap_ns <= config.max_gap_ns);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC4A0_5C4A_05C4_A05C);
+        let mut gen = Generator {
+            n: config.nodes,
+            crashed: BTreeSet::new(),
+            paused: BTreeSet::new(),
+            partitioned: false,
+        };
+        let mut at = config.warmup_ns;
+        let mut events = Vec::with_capacity(config.events);
+        while events.len() < config.events {
+            at += rng.random_range(config.min_gap_ns..=config.max_gap_ns);
+            if let Some(kind) = gen.next_fault(&mut rng) {
+                events.push(FaultEvent { at, kind });
+            }
+        }
+        FaultSchedule {
+            seed,
+            config,
+            events,
+        }
+    }
+
+    /// The compact replayable trace: one line per event, preceded by the
+    /// seed. This is what violation reports embed.
+    pub fn trace(&self) -> String {
+        let mut out = format!(
+            "seed={} nodes={} events={}\n",
+            self.seed,
+            self.config.nodes,
+            self.events.len()
+        );
+        for e in &self.events {
+            out.push_str(&format!("  {e}\n"));
+        }
+        out
+    }
+}
+
+/// Cluster-state shadow the generator consults so every event it emits is
+/// applicable when it fires.
+struct Generator {
+    n: usize,
+    crashed: BTreeSet<usize>,
+    paused: BTreeSet<usize>,
+    partitioned: bool,
+}
+
+impl Generator {
+    /// Nodes that are neither crashed nor paused.
+    fn running(&self) -> Vec<usize> {
+        (0..self.n)
+            .filter(|i| !self.crashed.contains(i) && !self.paused.contains(i))
+            .collect()
+    }
+
+    fn next_fault(&mut self, rng: &mut StdRng) -> Option<FaultKind> {
+        // Weighted pick. Disruptive faults (crash/partition) are rarer
+        // than transient ones (token loss, churn knobs) so the cluster
+        // spends time in every membership state rather than thrashing.
+        let roll = rng.random_range(0u32..100);
+        match roll {
+            0..=9 => {
+                // Crash, but keep at least one daemon running.
+                let running = self.running();
+                if running.len() <= 1 {
+                    return self.restart_or_none(rng);
+                }
+                if rng.random_bool(0.3) {
+                    // Resolved against the live cluster at fire time.
+                    Some(FaultKind::CrashTokenHolder)
+                } else {
+                    let victim = running[rng.random_range(0..running.len())];
+                    self.crashed.insert(victim);
+                    Some(FaultKind::Crash(victim))
+                }
+            }
+            10..=24 => self.restart_or_none(rng),
+            25..=34 => {
+                // Partition the live nodes into 2..=3 groups.
+                let mut live: Vec<usize> =
+                    (0..self.n).filter(|i| !self.crashed.contains(i)).collect();
+                if live.len() < 2 {
+                    return Some(FaultKind::Heal);
+                }
+                // Fisher-Yates with the schedule rng keeps this seeded.
+                for i in (1..live.len()).rev() {
+                    live.swap(i, rng.random_range(0..=i));
+                }
+                let groups_n = if live.len() >= 3 && rng.random_bool(0.4) {
+                    3
+                } else {
+                    2
+                };
+                let mut groups: Vec<Vec<usize>> = vec![Vec::new(); groups_n];
+                for (idx, node) in live.into_iter().enumerate() {
+                    groups[idx % groups_n].push(node);
+                }
+                self.partitioned = true;
+                Some(FaultKind::Partition(groups))
+            }
+            35..=49 => {
+                if self.partitioned {
+                    self.partitioned = false;
+                    Some(FaultKind::Heal)
+                } else {
+                    Some(FaultKind::TokenBurst(rng.random_range(1u64..=4)))
+                }
+            }
+            50..=64 => Some(FaultKind::TokenBurst(rng.random_range(1u64..=6))),
+            65..=74 => {
+                // Pause, keeping at least one daemon running.
+                let running = self.running();
+                if running.len() <= 1 {
+                    return self.resume_or_none();
+                }
+                let victim = running[rng.random_range(0..running.len())];
+                self.paused.insert(victim);
+                Some(FaultKind::Pause(victim))
+            }
+            75..=84 => self.resume_or_none(),
+            85..=92 => Some(FaultKind::SetLoss {
+                data_rate: rng.random_range(0.0..0.15),
+                token_rate: rng.random_range(0.0..0.05),
+            }),
+            _ => Some(FaultKind::SetChurn {
+                dup_rate: rng.random_range(0.0..0.10),
+                reorder_rate: rng.random_range(0.0..0.10),
+                max_extra_delay_ns: rng.random_range(10_000u64..200_000),
+            }),
+        }
+    }
+
+    fn restart_or_none(&mut self, rng: &mut StdRng) -> Option<FaultKind> {
+        let crashed: Vec<usize> = self.crashed.iter().copied().collect();
+        if crashed.is_empty() {
+            return None;
+        }
+        let node = crashed[rng.random_range(0..crashed.len())];
+        self.crashed.remove(&node);
+        Some(FaultKind::Restart(node))
+    }
+
+    fn resume_or_none(&mut self) -> Option<FaultKind> {
+        let node = self.paused.iter().next().copied()?;
+        self.paused.remove(&node);
+        Some(FaultKind::Resume(node))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let cfg = ScheduleConfig::smoke(6);
+        let a = FaultSchedule::generate(17, cfg);
+        let b = FaultSchedule::generate(17, cfg);
+        assert_eq!(a, b);
+        let c = FaultSchedule::generate(18, cfg);
+        assert_ne!(a.events, c.events);
+    }
+
+    #[test]
+    fn events_are_time_ordered_and_counted() {
+        let cfg = ScheduleConfig::soak(8, 5_000);
+        let s = FaultSchedule::generate(3, cfg);
+        assert_eq!(s.events.len(), 5_000);
+        for w in s.events.windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+        assert!(s.events[0].at >= cfg.warmup_ns);
+    }
+
+    #[test]
+    fn crash_restart_pairs_are_consistent() {
+        // Replaying the schedule against a state shadow must never crash
+        // an already-crashed node or restart a live one.
+        let s = FaultSchedule::generate(99, ScheduleConfig::soak(8, 2_000));
+        let mut crashed = BTreeSet::new();
+        let mut paused = BTreeSet::new();
+        for e in &s.events {
+            match &e.kind {
+                FaultKind::Crash(i) => {
+                    assert!(crashed.insert(*i), "double crash of {i} at {}", e.at)
+                }
+                FaultKind::Restart(i) => {
+                    assert!(crashed.remove(i), "restart of live node {i} at {}", e.at)
+                }
+                FaultKind::Pause(i) => {
+                    assert!(!crashed.contains(i));
+                    assert!(paused.insert(*i), "double pause of {i}");
+                }
+                FaultKind::Resume(i) => {
+                    assert!(paused.remove(i), "resume of running node {i}");
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn trace_carries_seed_and_events() {
+        let s = FaultSchedule::generate(42, ScheduleConfig::smoke(4));
+        let t = s.trace();
+        assert!(t.starts_with("seed=42 "));
+        assert!(t.lines().count() > 100);
+    }
+}

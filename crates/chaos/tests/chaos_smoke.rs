@@ -1,0 +1,164 @@
+//! Multi-seed chaos smoke: short seeded fault schedules against a live
+//! membership cluster, all EVS invariants checked, plus the
+//! intentionally-broken-journal fixtures proving the checker fires.
+
+use accelring_chaos::{
+    check, run_chaos, run_to_input, ChaosConfig, FaultSchedule, MsgId, ScheduleConfig,
+};
+use accelring_membership::testing::NodeEvent;
+
+#[test]
+fn smoke_seeds_are_evs_clean() {
+    for seed in 0..4 {
+        let report = run_chaos(ChaosConfig::smoke(seed));
+        assert!(
+            report.ok(),
+            "seed {seed} violated EVS invariants:\n{}",
+            report.render()
+        );
+        assert!(
+            report.stats.events_applied > 0,
+            "seed {seed} applied no faults"
+        );
+        assert!(report.stats.submitted > 0, "seed {seed} submitted nothing");
+        assert!(report.stats.delivered > 0, "seed {seed} delivered nothing");
+    }
+}
+
+#[test]
+fn same_seed_reproduces_identical_run() {
+    let a = run_chaos(ChaosConfig::smoke(9));
+    let b = run_chaos(ChaosConfig::smoke(9));
+    assert_eq!(a.schedule, b.schedule, "schedules must be identical");
+    assert_eq!(a.stats, b.stats, "stats must be identical");
+    assert_eq!(a.violations, b.violations);
+    // And the full event trace, not just the aggregates.
+    let (ia, _) = run_to_input(ChaosConfig::smoke(9));
+    let (ib, _) = run_to_input(ChaosConfig::smoke(9));
+    assert_eq!(ia.submitted, ib.submitted);
+    for (ja, jb) in ia.journals.iter().zip(&ib.journals) {
+        assert_eq!(ja.len(), jb.len());
+        for (ea, eb) in ja.iter().zip(jb) {
+            match (ea, eb) {
+                (NodeEvent::Delivered(a), NodeEvent::Delivered(b)) => {
+                    assert_eq!(a.payload, b.payload);
+                    assert_eq!(a.sender, b.sender);
+                }
+                (NodeEvent::Config(a), NodeEvent::Config(b)) => {
+                    assert_eq!(a.ring_id, b.ring_id);
+                    assert_eq!(a.members, b.members);
+                    assert_eq!(a.transitional, b.transitional);
+                }
+                _ => panic!("journal event kinds diverged"),
+            }
+        }
+    }
+}
+
+#[test]
+fn different_seeds_diverge() {
+    let a = FaultSchedule::generate(1, ScheduleConfig::smoke(5));
+    let b = FaultSchedule::generate(2, ScheduleConfig::smoke(5));
+    assert_ne!(a.events, b.events);
+}
+
+/// The broken fixture: corrupt a clean run's journal and watch each
+/// invariant fire, with the seed and trace in the rendered report.
+#[test]
+fn corrupted_journals_trip_the_checker() {
+    let cfg = ChaosConfig::smoke(3);
+    let (clean, schedule) = run_to_input(cfg);
+    assert!(check(&clean).is_empty(), "baseline run must be clean");
+
+    // Duplicate a delivery at node 0 (the last one, so the copy lands in
+    // the same incarnation as the original).
+    let mut dup = clean.clone();
+    let delivered = dup.journals[0]
+        .iter()
+        .rev()
+        .find(|e| matches!(e, NodeEvent::Delivered(_)))
+        .expect("node 0 delivered something")
+        .clone();
+    dup.journals[0].push(delivered);
+    let violations = check(&dup);
+    assert!(
+        violations.iter().any(|v| v.invariant == "no-duplicate"),
+        "got {violations:?}"
+    );
+
+    // Deliver a message nobody submitted.
+    let mut phantom = clean.clone();
+    if let Some(NodeEvent::Delivered(d)) = phantom.journals[1]
+        .iter()
+        .find(|e| matches!(e, NodeEvent::Delivered(_)))
+        .cloned()
+        .as_mut()
+    {
+        d.payload = bytes::Bytes::from("s0:999999");
+        phantom.journals[1].push(NodeEvent::Delivered(d.clone()));
+    }
+    let violations = check(&phantom);
+    assert!(
+        violations.iter().any(|v| v.invariant == "no-phantom"),
+        "got {violations:?}"
+    );
+
+    // Drop a probe delivery: self-delivery / agreement must notice.
+    let mut missing = clean.clone();
+    let probe = missing.probes[0];
+    missing.journals[2].retain(|e| match e {
+        NodeEvent::Delivered(d) => MsgId::parse(&d.payload) != Some(probe),
+        NodeEvent::Config(_) => true,
+    });
+    let violations = check(&missing);
+    assert!(
+        violations.iter().any(|v| v.invariant == "self-delivery"),
+        "got {violations:?}"
+    );
+
+    // Claim the run never reconverged.
+    let mut stuck = clean.clone();
+    stuck.all_operational = false;
+    stuck.final_rings[0].pop();
+    let violations = check(&stuck);
+    assert!(
+        violations.iter().any(|v| v.invariant == "reconvergence"),
+        "got {violations:?}"
+    );
+
+    // A violating report must carry the seed and the replayable trace.
+    let report = accelring_chaos::ChaosReport {
+        seed: cfg.seed,
+        schedule,
+        violations,
+        stats: Default::default(),
+    };
+    let rendered = report.render();
+    assert!(rendered.contains("--seed 3"), "report: {rendered}");
+    assert!(rendered.contains("fault trace:"), "report: {rendered}");
+    assert!(rendered.contains("seed=3 "), "trace header: {rendered}");
+}
+
+#[test]
+fn swapped_order_trips_agreed_order() {
+    let cfg = ChaosConfig::smoke(5);
+    let (clean, _) = run_to_input(cfg);
+    assert!(check(&clean).is_empty());
+    // Swap two adjacent deliveries at one node.
+    let mut swapped = clean.clone();
+    let idxs: Vec<usize> = swapped.journals[0]
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| matches!(e, NodeEvent::Delivered(_)))
+        .map(|(i, _)| i)
+        .collect();
+    let (a, b) = (idxs[idxs.len() - 2], idxs[idxs.len() - 1]);
+    swapped.journals[0].swap(a, b);
+    let violations = check(&swapped);
+    assert!(
+        violations.iter().any(|v| v.invariant == "agreed-order"
+            || v.invariant == "agreed-prefix"
+            || v.invariant == "sender-fifo"),
+        "got {violations:?}"
+    );
+}

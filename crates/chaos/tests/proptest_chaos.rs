@@ -1,0 +1,44 @@
+//! Property: any seed, with a bounded schedule, produces an EVS-clean run
+//! and reproduces exactly — the chaos analogue of the codec roundtrip
+//! properties.
+
+use accelring_chaos::{run_chaos, ChaosConfig, ScheduleConfig};
+use proptest::prelude::*;
+
+fn bounded_config(seed: u64, nodes: u16, events: usize) -> ChaosConfig {
+    let mut cfg = ChaosConfig::smoke(seed);
+    cfg.nodes = nodes;
+    cfg.schedule = ScheduleConfig::smoke(nodes as usize);
+    cfg.schedule.events = events;
+    cfg
+}
+
+proptest! {
+    // Each case is a full cluster run; keep the count low enough that the
+    // whole property stays well under a minute.
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn random_seeds_are_evs_clean(
+        seed in any::<u64>(),
+        nodes in 3u16..7,
+        events in 30usize..90,
+    ) {
+        let report = run_chaos(bounded_config(seed, nodes, events));
+        prop_assert!(
+            report.ok(),
+            "seed {seed} ({nodes} nodes, {events} events) violated EVS invariants:\n{}",
+            report.render()
+        );
+        prop_assert!(report.stats.delivered > 0);
+    }
+
+    #[test]
+    fn random_seeds_reproduce(seed in any::<u64>()) {
+        let a = run_chaos(bounded_config(seed, 4, 40));
+        let b = run_chaos(bounded_config(seed, 4, 40));
+        prop_assert_eq!(a.schedule, b.schedule);
+        prop_assert_eq!(a.stats, b.stats);
+        prop_assert_eq!(a.violations, b.violations);
+    }
+}

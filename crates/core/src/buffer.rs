@@ -313,7 +313,10 @@ mod tests {
         assert_eq!(b.len(), 2);
         assert!(!b.contains(Seq::new(3)));
         assert!(b.contains(Seq::new(4)));
-        assert!(!b.insert(msg(2, Service::Agreed)), "discarded seqs rejected");
+        assert!(
+            !b.insert(msg(2, Service::Agreed)),
+            "discarded seqs rejected"
+        );
         assert_eq!(b.discarded_up_to(), Seq::new(3));
     }
 
@@ -362,7 +365,10 @@ mod tests {
     fn nonzero_start_offsets_everything() {
         let mut b = RecvBuffer::new(Seq::new(100));
         assert_eq!(b.local_aru(), Seq::new(100));
-        assert!(!b.insert(msg(100, Service::Agreed)), "at start is discarded");
+        assert!(
+            !b.insert(msg(100, Service::Agreed)),
+            "at start is discarded"
+        );
         assert!(b.insert(msg(101, Service::Agreed)));
         assert_eq!(b.local_aru(), Seq::new(101));
         let mut out = Vec::new();

@@ -504,6 +504,9 @@ mod tests {
     fn variant_display() {
         assert_eq!(Variant::Original.to_string(), "original");
         assert_eq!(Variant::Accelerated.to_string(), "accelerated");
-        assert_eq!(PriorityMethod::Aggressive.to_string(), "method-1-aggressive");
+        assert_eq!(
+            PriorityMethod::Aggressive.to_string(),
+            "method-1-aggressive"
+        );
     }
 }

@@ -85,7 +85,11 @@ pub fn split_pre_post(num_to_send: u32, accelerated_window: u32) -> (u32, u32) {
 
 /// Updates the token's `fcc` field (Section III-B2): subtract what this
 /// participant sent last round, add what it sends this round.
-pub fn update_fcc(received_fcc: u32, last_round: RoundSendRecord, this_round: RoundSendRecord) -> u32 {
+pub fn update_fcc(
+    received_fcc: u32,
+    last_round: RoundSendRecord,
+    this_round: RoundSendRecord,
+) -> u32 {
     received_fcc
         .saturating_sub(last_round.total())
         .saturating_add(this_round.total())

@@ -77,7 +77,9 @@ pub mod types;
 pub mod wire;
 
 pub use buffer::Delivery;
-pub use config::{ConfigError, PriorityMethod, ProtocolConfig, ProtocolConfigBuilder, RtrPolicy, Variant};
+pub use config::{
+    ConfigError, PriorityMethod, ProtocolConfig, ProtocolConfigBuilder, RtrPolicy, Variant,
+};
 pub use message::{DataMessage, Token};
 pub use participant::{Action, Participant, QueueFullError, RecoverySnapshot, MAX_RTR_ENTRIES};
 pub use ring::{Ring, RingError};

@@ -131,7 +131,11 @@ impl Participant {
     /// # Errors
     ///
     /// Returns [`RingError::NotAMember`] if `id` is not in `ring`.
-    pub fn new(id: ParticipantId, ring: Ring, cfg: ProtocolConfig) -> Result<Participant, RingError> {
+    pub fn new(
+        id: ParticipantId,
+        ring: Ring,
+        cfg: ProtocolConfig,
+    ) -> Result<Participant, RingError> {
         Participant::with_start(id, ring, cfg, Seq::ZERO)
     }
 
@@ -325,12 +329,8 @@ impl Participant {
         self.stats.retransmissions_sent += u64::from(num_retrans);
 
         // --- Step 1b: decide this round's new messages.
-        let num_to_send = flow::num_to_send(
-            &self.cfg,
-            self.send_queue.len(),
-            token.fcc,
-            num_retrans,
-        );
+        let num_to_send =
+            flow::num_to_send(&self.cfg, self.send_queue.len(), token.fcc, num_retrans);
         let (pre, _post) = flow::split_pre_post(num_to_send, self.cfg.accelerated_window());
 
         // Stamp every message now: the token must reflect all of them even
@@ -844,7 +844,9 @@ mod tests {
         // Second rotation: aru line covers the message, Safe delivery fires.
         out.clear();
         p.handle_token(token, &mut out);
-        assert!(out.iter().any(|a| matches!(a, Action::Deliver(d) if d.service == Service::Safe)));
+        assert!(out
+            .iter()
+            .any(|a| matches!(a, Action::Deliver(d) if d.service == Service::Safe)));
     }
 
     #[test]
@@ -912,7 +914,10 @@ mod tests {
     fn idle_ring_makes_no_data_traffic() {
         let mut net = TestNet::new(5, ProtocolConfig::accelerated(20, 15));
         net.run_tokens(50);
-        assert!(net.multicast_log().is_empty(), "idle ring sends only tokens");
+        assert!(
+            net.multicast_log().is_empty(),
+            "idle ring sends only tokens"
+        );
         let token = net.last_token().unwrap();
         assert_eq!(token.seq, Seq::ZERO);
         assert_eq!(token.fcc, 0);
@@ -945,7 +950,11 @@ mod tests {
             Service::Safe,
         ];
         for (i, s) in services.iter().enumerate() {
-            net.submit(i % 3, payload(i as u64), Service::from_u8(s.as_u8()).unwrap());
+            net.submit(
+                i % 3,
+                payload(i as u64),
+                Service::from_u8(s.as_u8()).unwrap(),
+            );
         }
         net.run_tokens(25);
         let orders = net.delivery_orders();

@@ -18,8 +18,8 @@ use bytes::Bytes;
 use crate::groups::{GroupTable, GroupView};
 use crate::packing::{self, Fragmenter, Packer, Reassembler, TAG_FRAGMENT};
 use crate::proto::{
-    decode_group_message, encode_group_message, validate_name, ClientId, GroupAction,
-    GroupMessage, GroupProtoError, MAX_GROUPS,
+    decode_group_message, encode_group_message, validate_name, ClientId, GroupAction, GroupMessage,
+    GroupProtoError, MAX_GROUPS,
 };
 
 /// Packing and fragmentation settings for a [`GroupEngine`] (Section
@@ -279,7 +279,11 @@ impl GroupEngine {
     /// # Errors
     ///
     /// Returns an error for unknown clients or invalid group names.
-    pub fn client_join(&mut self, name: &str, group: &str) -> Result<Vec<EngineOutput>, EngineError> {
+    pub fn client_join(
+        &mut self,
+        name: &str,
+        group: &str,
+    ) -> Result<Vec<EngineOutput>, EngineError> {
         validate_name(group)?;
         let id = self.require_client(name)?;
         let encoded = encode_group_message(&GroupMessage {
@@ -296,7 +300,11 @@ impl GroupEngine {
     /// # Errors
     ///
     /// Returns an error for unknown clients or invalid group names.
-    pub fn client_leave(&mut self, name: &str, group: &str) -> Result<Vec<EngineOutput>, EngineError> {
+    pub fn client_leave(
+        &mut self,
+        name: &str,
+        group: &str,
+    ) -> Result<Vec<EngineOutput>, EngineError> {
         validate_name(group)?;
         let id = self.require_client(name)?;
         let encoded = encode_group_message(&GroupMessage {
@@ -545,7 +553,12 @@ mod tests {
 
         // Open-group semantics: "outsider" sends without being a member.
         let out = engines[0]
-            .client_multicast("outsider", &["g"], Bytes::from_static(b"hi"), Service::Agreed)
+            .client_multicast(
+                "outsider",
+                &["g"],
+                Bytes::from_static(b"hi"),
+                Service::Agreed,
+            )
             .unwrap();
         let locals = propagate(out, &mut engines, &mut seq);
         let names0: Vec<&String> = locals[0].iter().map(|(c, _)| c).collect();
@@ -564,7 +577,12 @@ mod tests {
             propagate(out, &mut engines, &mut seq);
         }
         let out = engines[0]
-            .client_multicast("c", &["g1", "g2"], Bytes::from_static(b"x"), Service::Agreed)
+            .client_multicast(
+                "c",
+                &["g1", "g2"],
+                Bytes::from_static(b"x"),
+                Service::Agreed,
+            )
             .unwrap();
         let locals = propagate(out, &mut engines, &mut seq);
         assert_eq!(locals[0].len(), 1, "one copy despite two target groups");
@@ -592,9 +610,9 @@ mod tests {
         assert!(engines[1].groups().members("g2").is_empty());
         assert_eq!(engines[1].groups().members("g1").len(), 1);
         // b sees the g1 view change.
-        assert!(locals[1]
-            .iter()
-            .any(|(c, e)| c == "b" && matches!(e, ClientEvent::View { group, .. } if group == "g1")));
+        assert!(locals[1].iter().any(
+            |(c, e)| c == "b" && matches!(e, ClientEvent::View { group, .. } if group == "g1")
+        ));
     }
 
     #[test]
@@ -630,7 +648,9 @@ mod tests {
                 _ => None,
             })
             .collect();
-        assert!(events.iter().any(|e| matches!(e, ClientEvent::Config { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, ClientEvent::Config { .. })));
         assert!(events.iter().any(|e| matches!(e, ClientEvent::View { .. })));
     }
 
@@ -710,11 +730,19 @@ mod tests {
         let out = engines[1].client_join("b", "g").unwrap();
         propagate(out, &mut engines, &mut seq);
 
-        let big = Bytes::from((0..2000u32).flat_map(|i| i.to_le_bytes()).collect::<Vec<u8>>());
+        let big = Bytes::from(
+            (0..2000u32)
+                .flat_map(|i| i.to_le_bytes())
+                .collect::<Vec<u8>>(),
+        );
         let out = engines[0]
             .client_multicast("a", &["g"], big.clone(), Service::Agreed)
             .unwrap();
-        assert!(out.len() > 5, "big message must fragment, got {}", out.len());
+        assert!(
+            out.len() > 5,
+            "big message must fragment, got {}",
+            out.len()
+        );
         let locals = propagate(out, &mut engines, &mut seq);
         assert_eq!(locals[1].len(), 1, "exactly one reassembled delivery");
         match &locals[1][0].1 {

@@ -290,11 +290,14 @@ impl Reassembler {
             });
         }
 
-        let entry = self.partial.entry(msg_id).or_insert_with(|| PartialMessage {
-            total,
-            received: 0,
-            chunks: vec![None; total as usize],
-        });
+        let entry = self
+            .partial
+            .entry(msg_id)
+            .or_insert_with(|| PartialMessage {
+                total,
+                received: 0,
+                chunks: vec![None; total as usize],
+            });
         if entry.total != total {
             self.partial.remove(&msg_id);
             return Err(DecodeError::BadLength {
@@ -365,8 +368,14 @@ mod tests {
         p.push(Bytes::from_static(b"small"));
         let out = p.push(Bytes::from(vec![1u8; 100]));
         assert_eq!(out.len(), 2, "pending packet flushed, then bare payload");
-        assert_eq!(unpack(out[0].clone()).unwrap()[0], Bytes::from_static(b"small"));
-        assert_eq!(unpack(out[1].clone()).unwrap()[0], Bytes::from(vec![1u8; 100]));
+        assert_eq!(
+            unpack(out[0].clone()).unwrap()[0],
+            Bytes::from_static(b"small")
+        );
+        assert_eq!(
+            unpack(out[1].clone()).unwrap()[0],
+            Bytes::from(vec![1u8; 100])
+        );
     }
 
     #[test]
@@ -462,7 +471,11 @@ mod tests {
             let frags = f.split(id, Bytes::from(vec![0u8; 200]));
             r.push(frags[0].clone()).unwrap();
         }
-        assert!(r.pending() <= 2, "partial cap enforced, got {}", r.pending());
+        assert!(
+            r.pending() <= 2,
+            "partial cap enforced, got {}",
+            r.pending()
+        );
     }
 
     #[test]

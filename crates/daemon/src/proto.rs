@@ -198,8 +198,12 @@ pub fn decode_group_message(buf: &mut Bytes) -> Result<GroupMessage, DecodeError
                 payload: buf.split_to(len),
             }
         }
-        ACT_JOIN => GroupAction::Join { group: get_name(buf)? },
-        ACT_LEAVE => GroupAction::Leave { group: get_name(buf)? },
+        ACT_JOIN => GroupAction::Join {
+            group: get_name(buf)?,
+        },
+        ACT_LEAVE => GroupAction::Leave {
+            group: get_name(buf)?,
+        },
         ACT_DISCONNECT => GroupAction::Disconnect,
         other => return Err(DecodeError::BadKind(other)),
     };

@@ -130,7 +130,10 @@ impl GroupClient {
         &self.event_rx
     }
 
-    fn call(&self, make: impl FnOnce(Sender<Result<(), EngineError>>) -> Cmd) -> Result<(), EngineError> {
+    fn call(
+        &self,
+        make: impl FnOnce(Sender<Result<(), EngineError>>) -> Cmd,
+    ) -> Result<(), EngineError> {
         let (resp_tx, resp_rx) = bounded(1);
         let _ = self.cmd_tx.send(make(resp_tx));
         resp_rx
@@ -197,10 +200,15 @@ fn pump(node: NodeHandle, cmd_rx: Receiver<Cmd>, options: EngineOptions) {
     let mut client_channels: HashMap<String, Sender<ClientEvent>> = HashMap::new();
 
     let dispatch = |engine_outputs: Vec<EngineOutput>,
-                        channels: &HashMap<String, Sender<ClientEvent>>| {
+                    channels: &HashMap<String, Sender<ClientEvent>>| {
         for out in engine_outputs {
             match out {
-                EngineOutput::Submit { payload, service } => node.submit(payload, service),
+                EngineOutput::Submit { payload, service } => {
+                    // Engine traffic is low-rate control fan-out; a full
+                    // command queue here means the daemon is wedged and the
+                    // protocol's own recovery will resynchronize the group.
+                    let _ = node.submit(payload, service);
+                }
                 EngineOutput::Local { client, event } => {
                     if let Some(tx) = channels.get(&client) {
                         let _ = tx.send(event);

@@ -55,14 +55,14 @@ impl MembershipConfig {
     /// Spread's defaults).
     pub fn for_wall_clock() -> MembershipConfig {
         MembershipConfig {
-            token_loss_timeout: 700_000_000,      // 700 ms
+            token_loss_timeout: 700_000_000,       // 700 ms
             token_retransmit_timeout: 150_000_000, // 150 ms
-            join_interval: 100_000_000,           // 100 ms
-            consensus_timeout: 1_000_000_000,     // 1 s
-            commit_timeout: 1_000_000_000,        // 1 s
-            recovery_timeout: 5_000_000_000,      // 5 s
-            presence_interval: 500_000_000,       // 500 ms
-            gather_settle: 200_000_000,           // 200 ms
+            join_interval: 100_000_000,            // 100 ms
+            consensus_timeout: 1_000_000_000,      // 1 s
+            commit_timeout: 1_000_000_000,         // 1 s
+            recovery_timeout: 5_000_000_000,       // 5 s
+            presence_interval: 500_000_000,        // 500 ms
+            gather_settle: 200_000_000,            // 200 ms
         }
     }
 

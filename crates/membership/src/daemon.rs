@@ -144,6 +144,16 @@ struct PendingRecovery {
     collected: BTreeMap<Seq, DataMessage>,
     done: BTreeSet<ParticipantId>,
     peers: Vec<ParticipantId>,
+    /// Seqs above the floor we held when recovery began — advertised on
+    /// our RecoveryDone so peers know what equality requires. Frozen at
+    /// entry so rebroadcasts are idempotent.
+    my_holds: Vec<Seq>,
+    /// Union of the holds advertised by same-old-ring peers' barriers.
+    /// Recovery may only complete once every one of these is in
+    /// `collected` or in our own snapshot; a bare done-bit barrier would
+    /// let a member whose flood packets were lost install the transitional
+    /// configuration with a hole, breaking virtual synchrony.
+    needed: BTreeSet<Seq>,
 }
 
 const MAX_STASH: usize = 4096;
@@ -201,8 +211,9 @@ pub struct MembershipDaemon {
     stash: Vec<Stashed>,
     /// RecoveryDone barriers that arrived before we entered Recover
     /// ourselves (e.g. while the commit token was still on its way to us),
-    /// keyed by the forming ring.
-    early_dones: BTreeMap<RingId, BTreeSet<ParticipantId>>,
+    /// keyed by the forming ring; each sender maps to the old ring it is
+    /// recovering from and the seqs it advertised holding.
+    early_dones: BTreeMap<RingId, BTreeMap<ParticipantId, (RingId, Vec<Seq>)>>,
     /// Recovery floods that arrived before we entered Recover.
     early_floods: Vec<(RingId, DataMessage)>,
     /// Our gather-attempt counter, carried on our joins.
@@ -214,8 +225,7 @@ pub struct MembershipDaemon {
     /// rebroadcasts knock committed nodes back to Gather in an endless
     /// storm). The epoch distinguishes a fresh attempt whose sets happen
     /// to repeat an old epoch's sets.
-    seen_joins:
-        BTreeMap<ParticipantId, (u64, BTreeSet<ParticipantId>, BTreeSet<ParticipantId>)>,
+    seen_joins: BTreeMap<ParticipantId, (u64, BTreeSet<ParticipantId>, BTreeSet<ParticipantId>)>,
     stats: MembershipStats,
 }
 
@@ -287,6 +297,22 @@ impl MembershipDaemon {
         &self.proto_cfg
     }
 
+    /// The highest ring counter this daemon has used or observed. Totem
+    /// stores this on stable storage so that a recovered daemon never
+    /// reuses a ring id (EVS requires configuration identifiers to be
+    /// unique); a runtime restarting a daemon should persist this value
+    /// and hand it back via [`MembershipDaemon::restore_ring_counter`].
+    pub fn max_ring_counter(&self) -> u64 {
+        self.max_ring_counter
+    }
+
+    /// Restores the stable-storage ring counter after a restart (see
+    /// [`MembershipDaemon::max_ring_counter`]). Only ever raises the
+    /// counter.
+    pub fn restore_ring_counter(&mut self, counter: u64) {
+        self.max_ring_counter = self.max_ring_counter.max(counter);
+    }
+
     /// Whether a waiting token should be read before waiting data (Section
     /// III-D of the paper); runtimes use this to order their socket reads.
     pub fn token_has_priority(&self) -> bool {
@@ -295,13 +321,7 @@ impl MembershipDaemon {
 
     /// The gather state (proc set, fail set, join senders heard), for
     /// observability and debugging.
-    pub fn gather_view(
-        &self,
-    ) -> (
-        Vec<ParticipantId>,
-        Vec<ParticipantId>,
-        Vec<ParticipantId>,
-    ) {
+    pub fn gather_view(&self) -> (Vec<ParticipantId>, Vec<ParticipantId>, Vec<ParticipantId>) {
         (
             self.my_proc.iter().copied().collect(),
             self.my_fail.iter().copied().collect(),
@@ -570,6 +590,9 @@ impl MembershipDaemon {
                     if let (Some(snapshot), Some(pending)) = (&self.snapshot, &mut self.pending) {
                         if old_ring == snapshot.ring_id && data.seq > pending.floor {
                             pending.collected.entry(data.seq).or_insert(data);
+                            // A flood can be the last missing piece once all
+                            // barriers are already in.
+                            self.check_recovery_complete(now, out);
                         }
                     }
                 }
@@ -582,11 +605,19 @@ impl MembershipDaemon {
                 }
                 StateKind::Operational => {}
             },
-            ControlMessage::RecoveryDone { sender, new_ring } => match self.state {
+            ControlMessage::RecoveryDone {
+                sender,
+                new_ring,
+                old_ring,
+                holds,
+            } => match self.state {
                 StateKind::Recover => {
-                    if let Some(pending) = &mut self.pending {
+                    if let (Some(snapshot), Some(pending)) = (&self.snapshot, &mut self.pending) {
                         if new_ring == pending.new_ring.id() {
                             pending.done.insert(sender);
+                            if old_ring == snapshot.ring_id {
+                                pending.needed.extend(holds);
+                            }
                             self.check_recovery_complete(now, out);
                         }
                     }
@@ -594,7 +625,10 @@ impl MembershipDaemon {
                 StateKind::Gather | StateKind::Commit => {
                     // The barrier can arrive before the commit token reaches
                     // us; remember it so we do not stall in Recover.
-                    self.early_dones.entry(new_ring).or_default().insert(sender);
+                    self.early_dones
+                        .entry(new_ring)
+                        .or_default()
+                        .insert(sender, (old_ring, holds));
                 }
                 StateKind::Operational => {}
             },
@@ -724,7 +758,19 @@ impl MembershipDaemon {
             return; // a ring forming without us; keep doing what we were doing
         }
         match self.state {
-            StateKind::Gather | StateKind::Commit => {}
+            StateKind::Gather | StateKind::Commit => {
+                // The ring being formed must be newer than the ring we are
+                // dissolving. A duplicated or reordered commit token from a
+                // formation that already completed (its ring installed, then
+                // dissolved again) would otherwise be accepted, and its infos
+                // — whose old_ring fields predate our snapshot — would yield
+                // an empty transitional membership.
+                if let Some(snapshot) = &self.snapshot {
+                    if ct.new_ring.counter() <= snapshot.ring_id.counter() {
+                        return; // stale
+                    }
+                }
+            }
             StateKind::Recover => return, // second-pass echo, already recovering
             StateKind::Operational => {
                 if ct.new_ring.counter() <= self.participant.ring().id().counter() {
@@ -791,10 +837,22 @@ impl MembershipDaemon {
             .map(|i| i.local_aru)
             .min()
             .unwrap_or(Seq::ZERO);
+        let my_holds: Vec<Seq> = snapshot
+            .held
+            .iter()
+            .map(|m| m.seq)
+            .filter(|s| *s > floor)
+            .collect();
         let mut done = BTreeSet::new();
+        let mut needed = BTreeSet::new();
         done.insert(self.pid);
         if let Some(early) = self.early_dones.remove(&ct.new_ring) {
-            done.extend(early);
+            for (sender, (old_ring, holds)) in early {
+                done.insert(sender);
+                if old_ring == my_old {
+                    needed.extend(holds);
+                }
+            }
         }
         self.early_dones.clear();
         let mut collected = BTreeMap::new();
@@ -809,6 +867,8 @@ impl MembershipDaemon {
             collected,
             done,
             peers,
+            my_holds,
+            needed,
         });
         self.state = StateKind::Recover;
         self.timers.clear();
@@ -822,7 +882,9 @@ impl MembershipDaemon {
 
     fn rebroadcast_recovery(&mut self, out: &mut Vec<Output>) {
         let Some(pending) = &self.pending else { return };
-        let Some(snapshot) = &self.snapshot else { return };
+        let Some(snapshot) = &self.snapshot else {
+            return;
+        };
         // Flood only when a peer might be missing something: everything we
         // hold above the floor (= the minimum aru among transitional
         // members, below which everyone provably holds everything).
@@ -845,6 +907,8 @@ impl MembershipDaemon {
             msg: ControlMessage::RecoveryDone {
                 sender: self.pid,
                 new_ring: pending.new_ring.id(),
+                old_ring: snapshot.ring_id,
+                holds: pending.my_holds.clone(),
             },
         });
     }
@@ -858,6 +922,19 @@ impl MembershipDaemon {
             .all(|m| pending.done.contains(m));
         if !all_done {
             return;
+        }
+        // The barrier alone is not enough: a peer's RecoveryDone can arrive
+        // while the flood packets it sent are lost. Wait until every seq any
+        // same-old-ring peer advertised is actually in hand (the rebroadcast
+        // timer refloods until then; the Recovery timeout bails us out if the
+        // peer dies).
+        if let Some(snapshot) = &self.snapshot {
+            let have_all = pending.needed.iter().all(|s| {
+                pending.collected.contains_key(s) || snapshot.held.iter().any(|m| m.seq == *s)
+            });
+            if !have_all {
+                return;
+            }
         }
         let pending = self.pending.take().expect("checked above");
         let snapshot = self.snapshot.take().expect("snapshot existed to recover");
@@ -1011,7 +1088,11 @@ mod tests {
                 _ => None,
             })
             .collect();
-        assert_eq!(configs.len(), 1, "cold start delivers only the regular config");
+        assert_eq!(
+            configs.len(),
+            1,
+            "cold start delivers only the regular config"
+        );
         assert!(!configs[0].transitional);
         assert_eq!(configs[0].members, vec![ParticipantId::new(3)]);
         // The representative started the token around its singleton ring.
@@ -1135,8 +1216,7 @@ mod tests {
             &mut out,
         );
         assert!(
-            out.iter()
-                .any(|o| matches!(o, Output::SendToken { .. })),
+            out.iter().any(|o| matches!(o, Output::SendToken { .. })),
             "token must be retransmitted"
         );
         assert_eq!(d.stats().tokens_retransmitted, 1);
@@ -1261,6 +1341,8 @@ mod tests {
             Input::Control(ControlMessage::RecoveryDone {
                 sender: ParticipantId::new(0),
                 new_ring: RingId::new(ParticipantId::new(0), 8),
+                old_ring: RingId::new(ParticipantId::new(0), 0),
+                holds: Vec::new(),
             }),
             &mut out,
         );

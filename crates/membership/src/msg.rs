@@ -84,12 +84,22 @@ pub enum ControlMessage {
         msg: DataMessage,
     },
     /// Barrier: the sender has finished flooding and is ready to enter the
-    /// new ring.
+    /// new ring. Carries the sender's stable claim of what it holds from
+    /// its old ring, so peers complete recovery only once they hold the
+    /// union — a bare "done" bit would let a member whose flood was lost
+    /// deliver the transitional configuration with a hole its partners
+    /// filled, violating virtual synchrony.
     RecoveryDone {
         /// Who is done.
         sender: ParticipantId,
         /// The ring being formed.
         new_ring: RingId,
+        /// The dissolved ring the sender is recovering from.
+        old_ring: RingId,
+        /// Old-ring sequence numbers above the recovery floor the sender
+        /// held when it entered Recover (fixed for the whole recovery, so
+        /// rebroadcasts are idempotent).
+        holds: Vec<Seq>,
     },
     /// Periodic beacon multicast by operational daemons so that rings that
     /// partitioned while idle can discover each other and merge. (In
@@ -151,7 +161,9 @@ fn get_pid_set(buf: &mut Bytes) -> Result<BTreeSet<ParticipantId>, DecodeError> 
     if buf.remaining() < n * 2 {
         return Err(DecodeError::Truncated);
     }
-    Ok((0..n).map(|_| ParticipantId::new(buf.get_u16_le())).collect())
+    Ok((0..n)
+        .map(|_| ParticipantId::new(buf.get_u16_le()))
+        .collect())
 }
 
 /// Encodes a control message into a self-describing datagram (shares the
@@ -201,10 +213,20 @@ pub fn encode_control(msg: &ControlMessage) -> Bytes {
             body.put_u32_le(inner.len() as u32);
             body.put_slice(&inner);
         }
-        ControlMessage::RecoveryDone { sender, new_ring } => {
+        ControlMessage::RecoveryDone {
+            sender,
+            new_ring,
+            old_ring,
+            holds,
+        } => {
             body.put_u8(SUB_RECOVERY_DONE);
             body.put_u16_le(sender.as_u16());
             put_ring_id(&mut body, *new_ring);
+            put_ring_id(&mut body, *old_ring);
+            body.put_u32_le(holds.len() as u32);
+            for s in holds {
+                body.put_u64_le(s.as_u64());
+            }
         }
         ControlMessage::Presence { sender, ring_id } => {
             body.put_u8(SUB_PRESENCE);
@@ -253,7 +275,9 @@ pub fn decode_control(buf: &mut Bytes) -> Result<ControlMessage, DecodeError> {
             if buf.remaining() < n * 2 + 2 {
                 return Err(DecodeError::Truncated);
             }
-            let members = (0..n).map(|_| ParticipantId::new(buf.get_u16_le())).collect();
+            let members = (0..n)
+                .map(|_| ParticipantId::new(buf.get_u16_le()))
+                .collect();
             let k = buf.get_u16_le() as usize;
             let mut infos = Vec::with_capacity(k);
             for _ in 0..k {
@@ -312,7 +336,21 @@ pub fn decode_control(buf: &mut Bytes) -> Result<ControlMessage, DecodeError> {
             }
             let sender = ParticipantId::new(buf.get_u16_le());
             let new_ring = get_ring_id(buf)?;
-            Ok(ControlMessage::RecoveryDone { sender, new_ring })
+            let old_ring = get_ring_id(buf)?;
+            if buf.remaining() < 4 {
+                return Err(DecodeError::Truncated);
+            }
+            let n = buf.get_u32_le() as usize;
+            if buf.remaining() < n * 8 {
+                return Err(DecodeError::Truncated);
+            }
+            let holds = (0..n).map(|_| Seq::new(buf.get_u64_le())).collect();
+            Ok(ControlMessage::RecoveryDone {
+                sender,
+                new_ring,
+                old_ring,
+                holds,
+            })
         }
         SUB_PRESENCE => {
             if buf.remaining() < 2 {
@@ -351,10 +389,7 @@ mod tests {
 
     fn roundtrip(msg: &ControlMessage) -> ControlMessage {
         let mut framed = encode_control(msg);
-        assert_eq!(
-            wire::decode_kind(&mut framed).unwrap(),
-            wire::Kind::Opaque
-        );
+        assert_eq!(wire::decode_kind(&mut framed).unwrap(), wire::Kind::Opaque);
         decode_control(&mut framed).unwrap()
     }
 
@@ -412,6 +447,19 @@ mod tests {
         let msg = ControlMessage::RecoveryDone {
             sender: pid(6),
             new_ring: RingId::new(pid(0), 13),
+            old_ring: RingId::new(pid(2), 9),
+            holds: vec![Seq::new(40), Seq::new(41), Seq::new(45)],
+        };
+        assert_eq!(roundtrip(&msg), msg);
+    }
+
+    #[test]
+    fn recovery_done_empty_holds_roundtrip() {
+        let msg = ControlMessage::RecoveryDone {
+            sender: pid(1),
+            new_ring: RingId::new(pid(0), 13),
+            old_ring: RingId::new(pid(0), 9),
+            holds: Vec::new(),
         };
         assert_eq!(roundtrip(&msg), msg);
     }
@@ -449,7 +497,9 @@ mod tests {
         assert_eq!(
             ControlMessage::RecoveryDone {
                 sender: pid(6),
-                new_ring: RingId::default()
+                new_ring: RingId::default(),
+                old_ring: RingId::default(),
+                holds: Vec::new(),
             }
             .sender(),
             Some(pid(6))

@@ -9,11 +9,84 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use accelring_core::{Delivery, ParticipantId, ProtocolConfig, Service};
+use accelring_core::{Delivery, ParticipantId, ProtocolConfig, QueueFullError, Service};
 use bytes::Bytes;
 
 use crate::config::MembershipConfig;
 use crate::daemon::{ConfigChange, Input, MembershipDaemon, Output, StateKind};
+
+/// The kind of packet crossing the virtual network, as seen by a
+/// [`NetHook`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketKind {
+    /// An ordered data message (original or retransmission).
+    Data,
+    /// The circulating token.
+    Token,
+    /// A membership control message (join / commit / recover traffic).
+    Control,
+}
+
+/// What the network does with one packet headed from one node to another.
+///
+/// `delays` holds one entry per delivered copy, each an *extra* delay in
+/// nanoseconds added on top of the cluster's base latency. An empty vector
+/// drops the packet; two entries duplicate it; a non-zero entry reorders it
+/// past later traffic.
+#[derive(Debug, Clone, Default)]
+pub struct SendFate {
+    /// Extra delay (ns) for each delivered copy of the packet.
+    pub delays: Vec<u64>,
+}
+
+impl SendFate {
+    /// Deliver exactly one copy with no extra delay.
+    pub fn deliver() -> SendFate {
+        SendFate { delays: vec![0] }
+    }
+
+    /// Drop the packet entirely.
+    pub fn drop() -> SendFate {
+        SendFate { delays: Vec::new() }
+    }
+
+    /// Deliver one copy, `extra` nanoseconds late.
+    pub fn delayed(extra: u64) -> SendFate {
+        SendFate {
+            delays: vec![extra],
+        }
+    }
+
+    /// Deliver one copy per entry, each with its own extra delay.
+    pub fn copies(delays: &[u64]) -> SendFate {
+        SendFate {
+            delays: delays.to_vec(),
+        }
+    }
+}
+
+/// A pluggable fault-injection hook consulted for every packet the cluster
+/// would deliver (after crash and partition filtering). Implemented by the
+/// chaos harness to inject seeded loss, duplication, and reordering.
+pub trait NetHook: std::fmt::Debug {
+    /// Decides the fate of one packet. Called once per (sender, receiver)
+    /// pair, so a multicast consults the hook independently per receiver —
+    /// matching the paper's receiver-side loss model.
+    fn on_packet(&mut self, now: u64, from: usize, to: usize, kind: PacketKind) -> SendFate;
+}
+
+/// One entry in a node's interleaved event journal: what the application
+/// sitting on top of this daemon observed, in observation order. The
+/// interleaving of deliveries and configuration changes is exactly what the
+/// EVS invariant checker needs (a delivery belongs to the configuration
+/// most recently journaled before it).
+#[derive(Debug, Clone)]
+pub enum NodeEvent {
+    /// An ordered message handed to the application.
+    Delivered(Delivery),
+    /// A regular or transitional configuration change.
+    Config(ConfigChange),
+}
 
 #[derive(Debug)]
 struct QueuedEvent {
@@ -66,8 +139,16 @@ pub struct Cluster {
     latency: u64,
     deliveries: Vec<Vec<Delivery>>,
     configs: Vec<Vec<ConfigChange>>,
+    /// Interleaved per-node journal of deliveries and config changes.
+    journal: Vec<Vec<NodeEvent>>,
     /// Drop the next N token sends (for token-loss tests).
     drop_tokens: u64,
+    /// Paused nodes buffer their inputs in `stalled` and fire no timers.
+    paused: Vec<bool>,
+    stalled: Vec<Vec<Input>>,
+    /// The (from, to) route of the most recent token send, if any.
+    last_token_route: Option<(usize, usize)>,
+    net_hook: Option<Box<dyn NetHook>>,
     memb_config: MembershipConfig,
 }
 
@@ -87,7 +168,12 @@ impl Cluster {
             latency: 10_000, // 10 us
             deliveries: vec![Vec::new(); n as usize],
             configs: vec![Vec::new(); n as usize],
+            journal: vec![Vec::new(); n as usize],
             drop_tokens: 0,
+            paused: vec![false; n as usize],
+            stalled: vec![Vec::new(); n as usize],
+            last_token_route: None,
+            net_hook: None,
             memb_config: memb,
         };
         for i in 0..n as usize {
@@ -126,6 +212,18 @@ impl Cluster {
         pid.as_usize()
     }
 
+    /// Sends one packet through the virtual network, consulting the
+    /// [`NetHook`] (if installed) for its fate.
+    fn send(&mut self, from: usize, to: usize, kind: PacketKind, input: Input) {
+        let fate = match self.net_hook.as_mut() {
+            Some(hook) => hook.on_packet(self.now, from, to, kind),
+            None => SendFate::deliver(),
+        };
+        for extra in fate.delays {
+            self.schedule(self.now + self.latency + extra, to, input.clone());
+        }
+    }
+
     fn dispatch(&mut self, from: usize, outputs: Vec<Output>) {
         let n = self.nodes.len();
         for output in outputs {
@@ -133,7 +231,7 @@ impl Cluster {
                 Output::Multicast(msg) => {
                     for to in (0..n).filter(|&t| t != from) {
                         if self.reachable(from, to) {
-                            self.schedule(self.now + self.latency, to, Input::Data(msg.clone()));
+                            self.send(from, to, PacketKind::Data, Input::Data(msg.clone()));
                         }
                     }
                 }
@@ -144,30 +242,38 @@ impl Cluster {
                     }
                     let dest = self.index_of(to);
                     if dest == from || self.reachable(from, dest) {
-                        self.schedule(self.now + self.latency, dest, Input::Token(token));
+                        self.last_token_route = Some((from, dest));
+                        self.send(from, dest, PacketKind::Token, Input::Token(token));
                     }
                 }
                 Output::SendControl { to, msg } => match to {
                     Some(to) => {
                         let dest = self.index_of(to);
                         if dest == from || self.reachable(from, dest) {
-                            self.schedule(self.now + self.latency, dest, Input::Control(msg));
+                            self.send(from, dest, PacketKind::Control, Input::Control(msg));
                         }
                     }
                     None => {
                         for dest in (0..n).filter(|&t| t != from) {
                             if self.reachable(from, dest) {
-                                self.schedule(
-                                    self.now + self.latency,
+                                self.send(
+                                    from,
                                     dest,
+                                    PacketKind::Control,
                                     Input::Control(msg.clone()),
                                 );
                             }
                         }
                     }
                 },
-                Output::Deliver(d) => self.deliveries[from].push(d),
-                Output::ConfigChange(c) => self.configs[from].push(c),
+                Output::Deliver(d) => {
+                    self.journal[from].push(NodeEvent::Delivered(d.clone()));
+                    self.deliveries[from].push(d);
+                }
+                Output::ConfigChange(c) => {
+                    self.journal[from].push(NodeEvent::Config(c.clone()));
+                    self.configs[from].push(c);
+                }
             }
         }
     }
@@ -183,7 +289,7 @@ impl Cluster {
         loop {
             let next_event = self.events.peek().map(|Reverse(e)| e.at);
             let next_timer = (0..self.nodes.len())
-                .filter(|&i| !self.crashed[i] && self.started[i])
+                .filter(|&i| !self.crashed[i] && !self.paused[i] && self.started[i])
                 .filter_map(|i| self.nodes[i].next_timer().map(|(d, k)| (d, i, k)))
                 .min();
             let (at, next) = match (next_event, next_timer) {
@@ -211,6 +317,12 @@ impl Cluster {
                 Next::Event => {
                     let Reverse(ev) = self.events.pop().expect("peeked event exists");
                     if self.crashed[ev.dest] {
+                        continue;
+                    }
+                    if self.paused[ev.dest] {
+                        // A paused node's NIC keeps receiving; the process
+                        // consumes the backlog when it resumes.
+                        self.stalled[ev.dest].push(ev.input);
                         continue;
                     }
                     let mut out = Vec::new();
@@ -251,20 +363,29 @@ impl Cluster {
         }
     }
 
-    /// Crashes a node: it stops processing everything.
+    /// Crashes a node: it stops processing everything. Any backlog a
+    /// paused node accumulated dies with the process.
     pub fn crash(&mut self, i: usize) {
         self.crashed[i] = true;
+        self.paused[i] = false;
+        self.stalled[i].clear();
     }
 
     /// Restarts a crashed node as a fresh process (empty state, same id):
     /// it gathers and rejoins the ring, exactly like a recovered daemon
-    /// rejoining a Spread configuration.
+    /// rejoining a Spread configuration. The ring counter survives the
+    /// restart, modelling the ring sequence number Totem keeps on stable
+    /// storage — without it a recovered daemon could re-form a ring id
+    /// already used before the crash, and configuration identifiers would
+    /// no longer be unique.
     pub fn restart(&mut self, i: usize) {
         assert!(self.crashed[i], "only crashed nodes can restart");
         let pid = ParticipantId::new(i as u16);
         let proto = *self.nodes[i].protocol_config();
         let memb = self.memb_config;
+        let stable_counter = self.nodes[i].max_ring_counter();
         self.nodes[i] = MembershipDaemon::new(pid, proto, memb);
+        self.nodes[i].restore_ring_counter(stable_counter);
         self.crashed[i] = false;
         self.start_node(i);
     }
@@ -272,6 +393,70 @@ impl Cluster {
     /// Drops the next `n` token transmissions (token-loss injection).
     pub fn drop_next_tokens(&mut self, n: u64) {
         self.drop_tokens = n;
+    }
+
+    /// Installs a [`NetHook`] consulted for every subsequent packet.
+    pub fn set_net_hook(&mut self, hook: Box<dyn NetHook>) {
+        self.net_hook = Some(hook);
+    }
+
+    /// Removes the installed [`NetHook`]; delivery reverts to lossless.
+    pub fn clear_net_hook(&mut self) {
+        self.net_hook = None;
+    }
+
+    /// Pauses a node: its timers stop firing and arriving inputs queue up
+    /// until [`Cluster::resume`]. Models a stalled process (GC pause,
+    /// debugger stop, CPU starvation) as opposed to a crash.
+    pub fn pause(&mut self, i: usize) {
+        assert!(!self.crashed[i], "cannot pause a crashed node");
+        self.paused[i] = true;
+    }
+
+    /// Resumes a paused node; its input backlog is processed immediately
+    /// and overdue timers fire at the current virtual time.
+    pub fn resume(&mut self, i: usize) {
+        if !self.paused[i] {
+            return;
+        }
+        self.paused[i] = false;
+        for input in std::mem::take(&mut self.stalled[i]) {
+            let mut out = Vec::new();
+            self.nodes[i].handle(self.now, input, &mut out);
+            self.dispatch(i, out);
+        }
+    }
+
+    /// Whether node `i` is currently paused.
+    pub fn is_paused(&self, i: usize) -> bool {
+        self.paused[i]
+    }
+
+    /// Whether node `i` is currently crashed.
+    pub fn is_crashed(&self, i: usize) -> bool {
+        self.crashed[i]
+    }
+
+    /// Number of daemons in the cluster (crashed ones included).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Always false: clusters have at least one node.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The `(from, to)` route of the most recent token transmission, if
+    /// any. Lets a fault injector target the current token holder.
+    pub fn last_token_route(&self) -> Option<(usize, usize)> {
+        self.last_token_route
+    }
+
+    /// The interleaved journal of deliveries and config changes observed
+    /// at node `i`, in observation order.
+    pub fn journal(&self, i: usize) -> &[NodeEvent] {
+        &self.journal[i]
     }
 
     /// Queues an application message at node `i`.
@@ -284,6 +469,23 @@ impl Cluster {
         self.nodes[i]
             .submit(payload, service)
             .expect("test queue should not fill");
+    }
+
+    /// Queues an application message at node `i`, reporting backpressure
+    /// instead of panicking. Used by the chaos harness, whose faults can
+    /// legitimately stall the send queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node has crashed.
+    pub fn try_submit(
+        &mut self,
+        i: usize,
+        payload: Bytes,
+        service: Service,
+    ) -> Result<(), QueueFullError> {
+        assert!(!self.crashed[i], "cannot submit to a crashed node");
+        self.nodes[i].submit(payload, service)
     }
 
     /// Whether every live node is Operational.
@@ -364,11 +566,7 @@ mod tests {
             c.submit(i, Bytes::from(format!("msg-{i}")), Service::Agreed);
         }
         c.run_for(20 * MS);
-        let expected: Vec<_> = c
-            .deliveries(0)
-            .iter()
-            .map(|d| d.payload.clone())
-            .collect();
+        let expected: Vec<_> = c.deliveries(0).iter().map(|d| d.payload.clone()).collect();
         assert_eq!(expected.len(), 4);
         for i in 1..4 {
             let got: Vec<_> = c.deliveries(i).iter().map(|d| d.payload.clone()).collect();
@@ -399,9 +597,7 @@ mod tests {
         assert!(c.all_operational());
         let rings_after: u64 = (0..3).map(|i| c.node(i).stats().rings_formed).sum();
         assert_eq!(rings_before, rings_after, "no new ring was formed");
-        let retransmits: u64 = (0..3)
-            .map(|i| c.node(i).stats().tokens_retransmitted)
-            .sum();
+        let retransmits: u64 = (0..3).map(|i| c.node(i).stats().tokens_retransmitted).sum();
         assert!(retransmits >= 1, "the retransmit timer repaired the loss");
         // And traffic still flows.
         c.submit(0, Bytes::from_static(b"after"), Service::Agreed);
@@ -417,7 +613,10 @@ mod tests {
         c.crash(2);
         c.run_for(60 * MS);
         assert!(c.all_operational());
-        let expected: Vec<_> = [0u16, 1, 3].iter().map(|&i| ParticipantId::new(i)).collect();
+        let expected: Vec<_> = [0u16, 1, 3]
+            .iter()
+            .map(|&i| ParticipantId::new(i))
+            .collect();
         for i in [0usize, 1, 3] {
             assert_eq!(c.ring_of(i), expected, "node {i} ring after crash");
         }
@@ -515,8 +714,7 @@ mod tests {
         c.crash(2);
         c.run_for(60 * MS);
         for i in [0usize, 1] {
-            let transitional: Vec<_> =
-                c.configs(i).iter().filter(|cc| cc.transitional).collect();
+            let transitional: Vec<_> = c.configs(i).iter().filter(|cc| cc.transitional).collect();
             assert!(
                 !transitional.is_empty(),
                 "node {i} delivered a transitional config"
@@ -569,6 +767,87 @@ mod tests {
         c.run_for(100 * MS);
         assert!(c.all_operational());
         assert_eq!(c.ring_of(0).len(), 5, "everyone back in one ring");
+    }
+
+    #[test]
+    fn token_loss_during_reformation_still_converges() {
+        // Lose a burst of ordering tokens exactly while membership is
+        // re-forming (Gather/Commit after a crash): the commit phase must
+        // not wedge, and the new ring's initial token must regenerate.
+        let mut c = cluster(4);
+        c.run_for(30 * MS);
+        assert!(c.all_operational());
+        c.crash(2);
+        c.drop_next_tokens(8);
+        c.run_for(120 * MS);
+        assert!(c.all_operational());
+        assert_eq!(c.ring_of(0).len(), 3);
+        c.submit(0, Bytes::from_static(b"post-burst"), Service::Agreed);
+        c.run_for(20 * MS);
+        for i in [0usize, 1, 3] {
+            assert!(
+                c.deliveries(i).iter().any(|d| d.payload == "post-burst"),
+                "node {i} delivers after the token burst"
+            );
+        }
+    }
+
+    #[test]
+    fn token_holder_crash_mid_rotation_recovers() {
+        // Crash the daemon the token was just sent to: the token dies with
+        // it, the survivors' token-loss timeout fires, and a 3-ring forms.
+        let mut c = cluster(4);
+        c.run_for(30 * MS);
+        assert!(c.all_operational());
+        let (_, holder) = c.last_token_route().expect("token is rotating");
+        c.crash(holder);
+        c.run_for(120 * MS);
+        assert!(c.all_operational());
+        let survivors: Vec<usize> = (0..4).filter(|&i| i != holder).collect();
+        for &i in &survivors {
+            assert_eq!(c.ring_of(i).len(), 3, "node {i} ring after holder crash");
+            assert!(!c.ring_of(i).contains(&ParticipantId::new(holder as u16)));
+        }
+        c.submit(
+            survivors[0],
+            Bytes::from_static(b"sans-holder"),
+            Service::Safe,
+        );
+        c.run_for(20 * MS);
+        for &i in &survivors {
+            assert!(
+                c.deliveries(i).iter().any(|d| d.payload == "sans-holder"),
+                "node {i} delivers without the crashed holder"
+            );
+        }
+    }
+
+    #[test]
+    fn partition_isolating_single_daemon_forms_singleton() {
+        let mut c = cluster(5);
+        c.run_for(30 * MS);
+        assert!(c.all_operational());
+        c.partition(&[&[2], &[0, 1, 3, 4]]);
+        c.run_for(80 * MS);
+        assert!(c.all_operational());
+        // The isolated daemon runs a singleton ring and still self-delivers.
+        assert_eq!(c.ring_of(2), vec![ParticipantId::new(2)]);
+        c.submit(2, Bytes::from_static(b"alone"), Service::Agreed);
+        c.run_for(20 * MS);
+        assert!(c.deliveries(2).iter().any(|d| d.payload == "alone"));
+        // The majority side excludes it and keeps ordering.
+        for i in [0usize, 1, 3, 4] {
+            assert_eq!(c.ring_of(i).len(), 4, "node {i} majority ring");
+            assert!(!c.deliveries(i).iter().any(|d| d.payload == "alone"));
+        }
+        // After healing, one ring again; the singleton's message stays
+        // confined to its old configuration.
+        c.heal();
+        c.run_for(100 * MS);
+        assert!(c.all_operational());
+        for i in 0..5 {
+            assert_eq!(c.ring_of(i).len(), 5, "node {i} after heal");
+        }
     }
 
     #[test]

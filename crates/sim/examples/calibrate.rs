@@ -17,7 +17,13 @@ fn main() {
         spec.protocol = cfg;
         let c = Curve::sweep_rates(label, &spec, &[100, 200, 300, 400, 500, 600, 700, 800, 900]);
         for p in &c.points {
-            print!("{} {:.0}Mbps->{:.0}Mbps/{:.0}us  ", label, p.x, p.result.goodput_mbps(), p.result.mean_latency_us());
+            print!(
+                "{} {:.0}Mbps->{:.0}Mbps/{:.0}us  ",
+                label,
+                p.x,
+                p.result.goodput_mbps(),
+                p.result.mean_latency_us()
+            );
         }
         println!();
     }
@@ -30,10 +36,18 @@ fn main() {
         spec.protocol = ProtocolConfig::accelerated(30, 30);
         spec.workload = Workload::Saturating;
         let r = spec.run();
-        println!("{}: {:.2} Gbps (accel)", profile.name, r.goodput_mbps() / 1000.0);
+        println!(
+            "{}: {:.2} Gbps (accel)",
+            profile.name,
+            r.goodput_mbps() / 1000.0
+        );
         spec.protocol = ProtocolConfig::original(30);
         let r = spec.run();
-        println!("{}: {:.2} Gbps (orig)", profile.name, r.goodput_mbps() / 1000.0);
+        println!(
+            "{}: {:.2} Gbps (orig)",
+            profile.name,
+            r.goodput_mbps() / 1000.0
+        );
     }
 
     println!("=== 1Gb max throughput (saturating) ===");
@@ -61,7 +75,12 @@ fn main() {
         spec.protocol = cfg;
         let c = Curve::sweep_rates(label, &spec, &[100, 200, 400, 600, 1000]);
         for p in &c.points {
-            print!("{} {:.0}->{:.0}us  ", label, p.x, p.result.mean_latency_us());
+            print!(
+                "{} {:.0}->{:.0}us  ",
+                label,
+                p.x,
+                p.result.mean_latency_us()
+            );
         }
         println!();
     }

@@ -45,7 +45,10 @@ fn main() {
             let mut spec = base.clone().at_rate_mbps(480);
             spec.network = NetworkProfile::ten_gigabit();
             spec.protocol = cfg;
-            spec.loss = LossSpec::FromDistance { distance: d, rate: 0.2 };
+            spec.loss = LossSpec::FromDistance {
+                distance: d,
+                rate: 0.2,
+            };
             let r = spec.run();
             print!("d{}:{:.0}us ", d, r.mean_latency_us());
         }

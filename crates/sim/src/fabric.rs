@@ -94,8 +94,8 @@ impl Fabric {
             // Backlog currently queued for this egress port, expressed in
             // bytes at line rate.
             let backlog = self.port_free[dest].since(at_switch);
-            let backlog_bytes =
-                (backlog.as_nanos() as u128 * self.net.bandwidth_bps as u128 / 8_000_000_000) as u64;
+            let backlog_bytes = (backlog.as_nanos() as u128 * self.net.bandwidth_bps as u128
+                / 8_000_000_000) as u64;
             if backlog_bytes > self.net.switch_buffer_bytes {
                 self.stats.switch_drops += 1;
                 continue;
@@ -138,7 +138,11 @@ mod tests {
         let a1 = f.transmit(0, 1390, t0, &[1])[0].1;
         let a2 = f.transmit(0, 1390, t0, &[1])[0].1;
         let ser = f.serialization(1390);
-        assert_eq!(a2.since(a1), ser, "second frame leaves one serialization later");
+        assert_eq!(
+            a2.since(a1),
+            ser,
+            "second frame leaves one serialization later"
+        );
     }
 
     #[test]

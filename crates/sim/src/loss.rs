@@ -1,11 +1,19 @@
-//! Receiver-side loss models for the Section IV-A-4 experiments.
+//! Receiver-side loss models for the Section IV-A-4 experiments and the
+//! chaos harness.
 //!
 //! The paper instruments each daemon to randomly drop a percentage of the
-//! data messages it receives (tokens are never dropped by these models —
-//! token loss is the membership algorithm's business and is excluded from
-//! the loss experiments). Because drops happen independently at each of the
-//! 8 daemons, the system-wide retransmission rate is much higher than the
-//! per-daemon loss rate, which is what makes these experiments demanding.
+//! data messages it receives. The paper's experiments never drop tokens —
+//! token loss is the membership algorithm's business — and the performance
+//! models here ([`LossSpec::Bernoulli`], [`LossSpec::FromDistance`],
+//! [`LossSpec::Burst`]) keep that behaviour. The [`LossSpec::Chaos`]
+//! composite additionally drops *tokens* with an independent Bernoulli
+//! probability ([`LossState::drops_token`]); it is rejected by the
+//! performance simulator (which has no token-recovery machinery) and is
+//! consumed by the `accelring-chaos` harness, which drives the full
+//! membership stack where token loss is survivable. Because drops happen
+//! independently at each of the 8 daemons, the system-wide retransmission
+//! rate is much higher than the per-daemon loss rate, which is what makes
+//! these experiments demanding.
 
 use accelring_core::{DataMessage, ParticipantId};
 use rand::rngs::StdRng;
@@ -48,6 +56,22 @@ pub enum LossSpec {
         /// Per-message probability of leaving the bad state.
         bad_to_good: f64,
     },
+    /// The chaos-harness composite: Gilbert–Elliott data loss *plus*
+    /// independent Bernoulli token loss — the one model where tokens are
+    /// droppable. With `good_rate == bad_rate` the data half degenerates to
+    /// plain Bernoulli loss.
+    Chaos {
+        /// Data-message drop probability in the good state.
+        good_rate: f64,
+        /// Data-message drop probability in the bad state.
+        bad_rate: f64,
+        /// Per-message probability of entering the bad state.
+        good_to_bad: f64,
+        /// Per-message probability of leaving the bad state.
+        bad_to_good: f64,
+        /// Per-receive probability of dropping a token.
+        token_rate: f64,
+    },
 }
 
 impl LossSpec {
@@ -64,6 +88,60 @@ impl LossSpec {
             LossSpec::Bernoulli { rate }
         }
     }
+
+    /// Convenience constructor for [`LossSpec::Chaos`] with uncorrelated
+    /// (Bernoulli) data loss at `data_rate` and token loss at `token_rate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either rate is outside `0.0..=1.0`.
+    pub fn chaos(data_rate: f64, token_rate: f64) -> LossSpec {
+        assert!(
+            (0.0..=1.0).contains(&data_rate) && (0.0..=1.0).contains(&token_rate),
+            "rates must be within 0..=1"
+        );
+        LossSpec::Chaos {
+            good_rate: data_rate,
+            bad_rate: data_rate,
+            good_to_bad: 0.0,
+            bad_to_good: 1.0,
+            token_rate,
+        }
+    }
+
+    /// Convenience constructor for [`LossSpec::Chaos`] with bursty
+    /// (Gilbert–Elliott) data loss and Bernoulli token loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any probability is outside `0.0..=1.0`.
+    pub fn chaos_burst(
+        good_rate: f64,
+        bad_rate: f64,
+        good_to_bad: f64,
+        bad_to_good: f64,
+        token_rate: f64,
+    ) -> LossSpec {
+        for p in [good_rate, bad_rate, good_to_bad, bad_to_good, token_rate] {
+            assert!((0.0..=1.0).contains(&p), "rates must be within 0..=1");
+        }
+        LossSpec::Chaos {
+            good_rate,
+            bad_rate,
+            good_to_bad,
+            bad_to_good,
+            token_rate,
+        }
+    }
+
+    /// The probability this model drops a received token (zero for every
+    /// model except [`LossSpec::Chaos`]).
+    pub fn token_rate(&self) -> f64 {
+        match *self {
+            LossSpec::Chaos { token_rate, .. } => token_rate,
+            _ => 0.0,
+        }
+    }
 }
 
 /// Per-receiver loss state instantiated from a [`LossSpec`].
@@ -77,6 +155,8 @@ pub struct LossState {
     rng: StdRng,
     dropped: u64,
     seen: u64,
+    tokens_dropped: u64,
+    tokens_seen: u64,
 }
 
 impl LossState {
@@ -100,20 +180,30 @@ impl LossState {
             spec,
             lossy_sender,
             in_bad_state: false,
-            rng: StdRng::seed_from_u64(seed ^ (my_index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            rng: StdRng::seed_from_u64(
+                seed ^ (my_index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            ),
             dropped: 0,
             seen: 0,
+            tokens_dropped: 0,
+            tokens_seen: 0,
         }
     }
 
     /// Decides whether this arriving data message is dropped.
     pub fn drops(&mut self, msg: &DataMessage) -> bool {
+        self.drops_from(msg.pid)
+    }
+
+    /// Like [`LossState::drops`], keyed by the sender alone — for callers
+    /// (the chaos harness) whose packets are not `DataMessage`s.
+    pub fn drops_from(&mut self, sender: ParticipantId) -> bool {
         self.seen += 1;
         let rate = match self.spec {
             LossSpec::None => return false,
             LossSpec::Bernoulli { rate } => rate,
             LossSpec::FromDistance { rate, .. } => {
-                if Some(msg.pid) != self.lossy_sender {
+                if Some(sender) != self.lossy_sender {
                     return false;
                 }
                 rate
@@ -123,6 +213,13 @@ impl LossState {
                 bad_rate,
                 good_to_bad,
                 bad_to_good,
+            }
+            | LossSpec::Chaos {
+                good_rate,
+                bad_rate,
+                good_to_bad,
+                bad_to_good,
+                ..
             } => {
                 let flip = self.rng.random::<f64>();
                 if self.in_bad_state {
@@ -146,6 +243,23 @@ impl LossState {
         drop
     }
 
+    /// Decides whether an arriving *token* is dropped. Only
+    /// [`LossSpec::Chaos`] ever drops tokens; every other model returns
+    /// `false` unconditionally, preserving the paper's "tokens are never
+    /// dropped" behaviour.
+    pub fn drops_token(&mut self) -> bool {
+        self.tokens_seen += 1;
+        let rate = self.spec.token_rate();
+        if rate == 0.0 {
+            return false;
+        }
+        let drop = self.rng.random::<f64>() < rate;
+        if drop {
+            self.tokens_dropped += 1;
+        }
+        drop
+    }
+
     /// Messages dropped so far.
     pub fn dropped(&self) -> u64 {
         self.dropped
@@ -154,6 +268,16 @@ impl LossState {
     /// Messages considered so far.
     pub fn seen(&self) -> u64 {
         self.seen
+    }
+
+    /// Tokens dropped so far.
+    pub fn tokens_dropped(&self) -> u64 {
+        self.tokens_dropped
+    }
+
+    /// Tokens considered so far.
+    pub fn tokens_seen(&self) -> u64 {
+        self.tokens_seen
     }
 }
 
@@ -264,7 +388,10 @@ mod tests {
                 run = 0;
             }
         }
-        assert!(runs3 > 20, "expected clustered drops, got {runs3} runs of 3+");
+        assert!(
+            runs3 > 20,
+            "expected clustered drops, got {runs3} runs of 3+"
+        );
     }
 
     #[test]
@@ -279,6 +406,84 @@ mod tests {
         for _ in 0..1000 {
             assert!(!s.drops(&msg(1)));
         }
+    }
+
+    #[test]
+    fn chaos_token_rate_is_roughly_respected() {
+        let mut s = LossState::new(LossSpec::chaos(0.0, 0.2), &members(8), 1, 11);
+        let trials = 20_000;
+        for _ in 0..trials {
+            s.drops_token();
+        }
+        let rate = s.tokens_dropped() as f64 / s.tokens_seen() as f64;
+        assert!((rate - 0.2).abs() < 0.02, "observed token rate {rate}");
+    }
+
+    #[test]
+    fn non_chaos_specs_never_drop_tokens() {
+        for spec in [
+            LossSpec::None,
+            LossSpec::bernoulli(1.0),
+            LossSpec::Burst {
+                good_rate: 1.0,
+                bad_rate: 1.0,
+                good_to_bad: 0.5,
+                bad_to_good: 0.5,
+            },
+        ] {
+            let mut s = LossState::new(spec, &members(8), 0, 3);
+            for _ in 0..200 {
+                assert!(!s.drops_token(), "{spec:?} dropped a token");
+            }
+            assert_eq!(s.tokens_dropped(), 0);
+            assert_eq!(s.tokens_seen(), 200);
+        }
+    }
+
+    #[test]
+    fn chaos_data_half_behaves_like_bernoulli() {
+        let mut s = LossState::new(LossSpec::chaos(0.25, 0.0), &members(8), 2, 5);
+        let trials = 20_000;
+        for _ in 0..trials {
+            s.drops(&msg(1));
+        }
+        let rate = s.dropped() as f64 / trials as f64;
+        assert!((rate - 0.25).abs() < 0.02, "observed data rate {rate}");
+    }
+
+    #[test]
+    fn chaos_token_drops_are_deterministic_per_seed() {
+        let run = |seed: u64| -> Vec<bool> {
+            let mut s = LossState::new(LossSpec::chaos(0.1, 0.5), &members(8), 0, seed);
+            (0..128)
+                .map(|i| {
+                    if i % 2 == 0 {
+                        s.drops_token()
+                    } else {
+                        s.drops(&msg(1))
+                    }
+                })
+                .collect()
+        };
+        assert_eq!(run(21), run(21));
+        assert_ne!(run(21), run(22));
+    }
+
+    #[test]
+    fn token_rate_accessor() {
+        assert_eq!(LossSpec::None.token_rate(), 0.0);
+        assert_eq!(LossSpec::bernoulli(0.3).token_rate(), 0.0);
+        assert_eq!(LossSpec::chaos(0.1, 0.25).token_rate(), 0.25);
+        assert_eq!(
+            LossSpec::chaos_burst(0.0, 0.9, 0.01, 0.2, 0.05).token_rate(),
+            0.05
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "rates must be within 0..=1")]
+    fn chaos_rejects_out_of_range() {
+        let _ = LossSpec::chaos(0.1, 1.5);
     }
 
     #[test]

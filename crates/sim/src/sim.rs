@@ -141,6 +141,11 @@ impl Simulator {
         seed: u64,
     ) -> Simulator {
         assert!(payload_len >= 8, "payload must hold an inject timestamp");
+        assert!(
+            loss.token_rate() == 0.0,
+            "the performance simulator has no token-recovery machinery; \
+             token-dropping LossSpec::Chaos belongs to the chaos harness"
+        );
         let ring = Ring::of_size(n);
         let members = ring.members().to_vec();
         let inject_interval = match workload {
@@ -329,7 +334,9 @@ impl Simulator {
                 .pop_front()
                 .expect("checked non-empty");
             t += self.profile.token_proc_cost;
-            self.nodes[idx].participant.handle_token(token, &mut actions);
+            self.nodes[idx]
+                .participant
+                .handle_token(token, &mut actions);
         } else {
             let msg = self.nodes[idx]
                 .data_q
@@ -365,7 +372,13 @@ impl Simulator {
                         .expect("successor is a member");
                     let len = token.wire_len();
                     for (d, at) in self.fabric.transmit(idx, len, t, &[dest]) {
-                        self.schedule(at, EventKind::TokenArrival { node: d, token: token.clone() });
+                        self.schedule(
+                            at,
+                            EventKind::TokenArrival {
+                                node: d,
+                                token: token.clone(),
+                            },
+                        );
                     }
                 }
                 Action::Deliver(d) => {
@@ -384,7 +397,11 @@ impl Simulator {
         let want = self.nodes[idx].participant.config().personal_window() as usize;
         while self.nodes[idx].participant.send_queue_len() < want {
             let payload = self.make_payload(now);
-            if self.nodes[idx].participant.submit(payload, self.service).is_err() {
+            if self.nodes[idx]
+                .participant
+                .submit(payload, self.service)
+                .is_err()
+            {
                 break;
             }
         }
@@ -398,7 +415,9 @@ impl Simulator {
             self.counters.delivered_in_window += 1;
         }
         let inject = SimTime::from_nanos(u64::from_le_bytes(
-            d.payload[..8].try_into().expect("payload holds a timestamp"),
+            d.payload[..8]
+                .try_into()
+                .expect("payload holds a timestamp"),
         ));
         if inject >= start && inject < stop {
             self.recorder.record(d.sender, at.since(inject));
@@ -644,7 +663,10 @@ mod tests {
         )
         .run();
         let goodput = out.goodput_bps();
-        assert!(goodput > 1.5e9 && goodput < 3.0e9, "plateau, got {goodput:.0}");
+        assert!(
+            goodput > 1.5e9 && goodput < 3.0e9,
+            "plateau, got {goodput:.0}"
+        );
         assert!(
             out.counters.submit_rejected > 0,
             "backpressure must reject excess offered load"
@@ -701,7 +723,11 @@ mod tests {
             5,
         )
         .run();
-        let tokens: u64 = out.participant_stats.iter().map(|s| s.tokens_processed).sum();
+        let tokens: u64 = out
+            .participant_stats
+            .iter()
+            .map(|s| s.tokens_processed)
+            .sum();
         assert!(tokens > 1000, "token kept circulating, got {tokens}");
     }
 

@@ -22,7 +22,7 @@
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let handles = spawn_local_ring(3, ProtocolConfig::default(), MembershipConfig::for_wall_clock())?;
-//! handles[0].submit(Bytes::from_static(b"hello"), Service::Agreed);
+//! handles[0].submit(Bytes::from_static(b"hello"), Service::Agreed)?;
 //! if let Ok(AppEvent::Delivered(d)) = handles[2].events().recv() {
 //!     println!("delivered {:?}", d.payload);
 //! }
@@ -37,7 +37,7 @@ pub mod addr;
 pub mod node;
 
 pub use addr::{AddressBook, NodeAddr};
-pub use node::{AppEvent, BoundNode, NodeHandle, TransportError};
+pub use node::{AppEvent, BoundNode, NodeHandle, SubmitError, TransportError, TransportStats};
 
 use accelring_core::{ParticipantId, ProtocolConfig};
 use accelring_membership::MembershipConfig;
@@ -56,7 +56,10 @@ pub fn spawn_local_ring(
     let bound: Vec<BoundNode> = (0..n)
         .map(|i| BoundNode::bind(ParticipantId::new(i), "127.0.0.1"))
         .collect::<Result<_, _>>()?;
-    let addrs: Vec<NodeAddr> = bound.iter().map(BoundNode::addr).collect::<Result<_, _>>()?;
+    let addrs: Vec<NodeAddr> = bound
+        .iter()
+        .map(BoundNode::addr)
+        .collect::<Result<_, _>>()?;
     let book = AddressBook::new(addrs);
     bound
         .into_iter()

@@ -7,18 +7,17 @@
 
 use std::io::ErrorKind;
 use std::net::{SocketAddr, UdpSocket};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use accelring_core::{wire, Delivery, ParticipantId, ProtocolConfig, Service};
 use accelring_membership::{
-    decode_control, encode_control, ConfigChange, Input, MembershipConfig, MembershipDaemon,
-    Output,
+    decode_control, encode_control, ConfigChange, Input, MembershipConfig, MembershipDaemon, Output,
 };
 use bytes::Bytes;
-use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TryRecvError, TrySendError};
 
 use crate::addr::{AddressBook, NodeAddr};
 
@@ -26,6 +25,72 @@ use crate::addr::{AddressBook, NodeAddr};
 const MAX_DATAGRAM: usize = 65_536;
 /// How long the loop sleeps when completely idle.
 const IDLE_SLEEP: Duration = Duration::from_micros(200);
+/// Capacity of the client command channel. A full channel surfaces as
+/// [`SubmitError::Backlogged`] instead of unbounded memory growth when the
+/// ring cannot keep up with local submitters.
+const COMMAND_QUEUE_CAPACITY: usize = 4096;
+
+/// Counters exported by a running node; every anomaly the event loop
+/// swallows (it must keep running) is visible here instead of vanishing.
+#[derive(Debug, Default)]
+struct StatsInner {
+    datagrams_rx: AtomicU64,
+    decode_failures: AtomicU64,
+    recv_errors: AtomicU64,
+    send_errors: AtomicU64,
+    submissions: AtomicU64,
+    submissions_shed: AtomicU64,
+}
+
+/// A point-in-time copy of a node's transport counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TransportStats {
+    /// Datagrams received across both sockets.
+    pub datagrams_rx: u64,
+    /// Datagrams that failed to parse (truncated, unknown kind, garbage).
+    pub decode_failures: u64,
+    /// `recv` failures other than `WouldBlock`.
+    pub recv_errors: u64,
+    /// `send_to` failures.
+    pub send_errors: u64,
+    /// Client submissions accepted into the daemon.
+    pub submissions: u64,
+    /// Client submissions the daemon's own pending queue refused.
+    pub submissions_shed: u64,
+}
+
+impl StatsInner {
+    fn snapshot(&self) -> TransportStats {
+        TransportStats {
+            datagrams_rx: self.datagrams_rx.load(Ordering::Relaxed),
+            decode_failures: self.decode_failures.load(Ordering::Relaxed),
+            recv_errors: self.recv_errors.load(Ordering::Relaxed),
+            send_errors: self.send_errors.load(Ordering::Relaxed),
+            submissions: self.submissions.load(Ordering::Relaxed),
+            submissions_shed: self.submissions_shed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Why a [`NodeHandle::submit`] was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The command queue is full; retry after draining deliveries.
+    Backlogged,
+    /// The daemon thread has stopped.
+    Stopped,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Backlogged => write!(f, "command queue full (backpressure)"),
+            SubmitError::Stopped => write!(f, "daemon thread has stopped"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
 
 /// An event surfaced to the application.
 #[derive(Debug, Clone)]
@@ -150,10 +215,12 @@ impl BoundNode {
         }
         self.data_socket.set_nonblocking(true)?;
         self.token_socket.set_nonblocking(true)?;
-        let (cmd_tx, cmd_rx) = unbounded();
+        let (cmd_tx, cmd_rx) = bounded(COMMAND_QUEUE_CAPACITY);
         let (event_tx, event_rx) = unbounded();
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
+        let stats = Arc::new(StatsInner::default());
+        let stats2 = Arc::clone(&stats);
         let pid = self.pid;
         let thread = std::thread::Builder::new()
             .name(format!("accelring-{pid}"))
@@ -168,6 +235,7 @@ impl BoundNode {
                     cmd_rx,
                     event_tx,
                     stop2,
+                    stats2,
                 );
             })
             .expect("spawn daemon thread");
@@ -176,6 +244,7 @@ impl BoundNode {
             cmd_tx,
             event_rx,
             stop,
+            stats,
             thread: Some(thread),
         })
     }
@@ -188,6 +257,7 @@ pub struct NodeHandle {
     cmd_tx: Sender<Command>,
     event_rx: Receiver<AppEvent>,
     stop: Arc<AtomicBool>,
+    stats: Arc<StatsInner>,
     thread: Option<JoinHandle<()>>,
 }
 
@@ -198,8 +268,23 @@ impl NodeHandle {
     }
 
     /// Submits a message for totally ordered multicast.
-    pub fn submit(&self, payload: Bytes, service: Service) {
-        let _ = self.cmd_tx.send(Command::Submit(payload, service));
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SubmitError::Backlogged`] when the bounded command queue
+    /// is full — the caller owns the retry/shed decision — and
+    /// [`SubmitError::Stopped`] if the daemon thread has exited.
+    pub fn submit(&self, payload: Bytes, service: Service) -> Result<(), SubmitError> {
+        match self.cmd_tx.try_send(Command::Submit(payload, service)) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(_)) => Err(SubmitError::Backlogged),
+            Err(TrySendError::Disconnected(_)) => Err(SubmitError::Stopped),
+        }
+    }
+
+    /// A snapshot of the node's transport counters.
+    pub fn stats(&self) -> TransportStats {
+        self.stats.snapshot()
     }
 
     /// The stream of deliveries and configuration changes.
@@ -236,6 +321,7 @@ fn run_loop(
     cmd_rx: Receiver<Command>,
     event_tx: Sender<AppEvent>,
     stop: Arc<AtomicBool>,
+    stats: Arc<StatsInner>,
 ) {
     let start = Instant::now();
     let now_ns = |start: &Instant| -> u64 { start.elapsed().as_nanos() as u64 };
@@ -245,13 +331,13 @@ fn run_loop(
     let fanout = book.fanout_data(pid);
     flush(
         pid,
-        &daemon,
         &mut outputs,
         &data_socket,
         &token_socket,
         &book,
         &fanout,
         &event_tx,
+        &stats,
     );
 
     let mut buf = vec![0u8; MAX_DATAGRAM];
@@ -265,9 +351,13 @@ fn run_loop(
         loop {
             match cmd_rx.try_recv() {
                 Ok(Command::Submit(payload, service)) => {
-                    // Backpressure: drop with a diagnostic when the queue is
-                    // full; a production client library would block instead.
-                    let _ = daemon.submit(payload, service);
+                    // The daemon sheds when its own pending queue is full
+                    // (the client saw backpressure at the channel already);
+                    // count it rather than dropping silently.
+                    match daemon.submit(payload, service) {
+                        Ok(()) => stats.submissions.fetch_add(1, Ordering::Relaxed),
+                        Err(_) => stats.submissions_shed.fetch_add(1, Ordering::Relaxed),
+                    };
                     did_work = true;
                 }
                 Err(TryRecvError::Empty) => break,
@@ -287,24 +377,34 @@ fn run_loop(
             match socket.recv_from(&mut buf) {
                 Ok((len, _from)) => {
                     did_work = true;
+                    stats.datagrams_rx.fetch_add(1, Ordering::Relaxed);
                     let mut datagram = Bytes::copy_from_slice(&buf[..len]);
                     if let Some(input) = parse_datagram(&mut datagram) {
                         daemon.handle(now_ns(&start), input, &mut outputs);
                         flush(
                             pid,
-                            &daemon,
                             &mut outputs,
                             &data_socket,
                             &token_socket,
                             &book,
                             &fanout,
                             &event_tx,
+                            &stats,
                         );
+                    } else {
+                        stats.decode_failures.fetch_add(1, Ordering::Relaxed);
                     }
                     break; // re-evaluate priority after every datagram
                 }
+                // An empty non-blocking socket is the steady state, not an
+                // error. Everything else (ECONNREFUSED from a peer's ICMP
+                // port-unreachable, EMSGSIZE, ...) is counted: the loop must
+                // survive it, but it must not vanish.
                 Err(e) if e.kind() == ErrorKind::WouldBlock => {}
-                Err(_) => {}
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => {
+                    stats.recv_errors.fetch_add(1, Ordering::Relaxed);
+                }
             }
         }
 
@@ -316,13 +416,13 @@ fn run_loop(
             daemon.handle(now_ns(&start), Input::Timer(kind), &mut outputs);
             flush(
                 pid,
-                &daemon,
                 &mut outputs,
                 &data_socket,
                 &token_socket,
                 &book,
                 &fanout,
                 &event_tx,
+                &stats,
             );
             did_work = true;
         }
@@ -344,27 +444,33 @@ fn parse_datagram(datagram: &mut Bytes) -> Option<Input> {
 #[allow(clippy::too_many_arguments)]
 fn flush(
     pid: ParticipantId,
-    daemon: &MembershipDaemon,
     outputs: &mut Vec<Output>,
     data_socket: &UdpSocket,
     token_socket: &UdpSocket,
     book: &AddressBook,
     fanout: &[SocketAddr],
     event_tx: &Sender<AppEvent>,
+    stats: &StatsInner,
 ) {
-    let _ = daemon;
+    // UDP send failures are not retried (the protocol's retransmission
+    // machinery owns recovery) but they are counted.
+    let send = |socket: &UdpSocket, encoded: &[u8], addr: SocketAddr| {
+        if socket.send_to(encoded, addr).is_err() {
+            stats.send_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    };
     for output in outputs.drain(..) {
         match output {
             Output::Multicast(msg) => {
                 let encoded = wire::encode_data(&msg);
                 for addr in fanout {
-                    let _ = data_socket.send_to(&encoded, addr);
+                    send(data_socket, &encoded, *addr);
                 }
             }
             Output::SendToken { to, token } => {
                 let encoded = wire::encode_token(&token);
                 if let Some(peer) = book.get(to) {
-                    let _ = token_socket.send_to(&encoded, peer.token);
+                    send(token_socket, &encoded, peer.token);
                 }
             }
             Output::SendControl { to, msg } => {
@@ -375,12 +481,12 @@ fn flush(
                             continue;
                         }
                         if let Some(peer) = book.get(to) {
-                            let _ = data_socket.send_to(&encoded, peer.data);
+                            send(data_socket, &encoded, peer.data);
                         }
                     }
                     None => {
                         for addr in fanout {
-                            let _ = data_socket.send_to(&encoded, addr);
+                            send(data_socket, &encoded, *addr);
                         }
                     }
                 }

@@ -56,7 +56,8 @@ fn udp_ring_delivers_total_order() {
     let start = Instant::now();
     let mut formed = false;
     while start.elapsed() < Duration::from_secs(10) {
-        if let Ok(AppEvent::Config(c)) = handles[0].events().recv_timeout(Duration::from_millis(200))
+        if let Ok(AppEvent::Config(c)) =
+            handles[0].events().recv_timeout(Duration::from_millis(200))
         {
             if !c.transitional && c.members.len() == 4 {
                 formed = true;
@@ -72,8 +73,13 @@ fn udp_ring_delivers_total_order() {
         for k in 0..per_sender {
             h.submit(
                 Bytes::from(format!("{i}:{k}")),
-                if k % 5 == 0 { Service::Safe } else { Service::Agreed },
-            );
+                if k % 5 == 0 {
+                    Service::Safe
+                } else {
+                    Service::Agreed
+                },
+            )
+            .expect("submit");
         }
     }
 
@@ -110,7 +116,9 @@ fn udp_singleton_ring_works() {
         test_membership_config(),
     )
     .expect("spawn singleton");
-    handles[0].submit(Bytes::from_static(b"solo"), Service::Safe);
+    handles[0]
+        .submit(Bytes::from_static(b"solo"), Service::Safe)
+        .expect("submit");
     let got = collect_deliveries(&handles[0], 1, Duration::from_secs(10));
     assert_eq!(got.len(), 1);
     assert_eq!(&got[0].1[..], b"solo");
@@ -121,7 +129,8 @@ fn udp_ring_original_protocol_also_works() {
     let handles = spawn_local_ring(3, ProtocolConfig::original(20), test_membership_config())
         .expect("spawn ring");
     for h in &handles {
-        h.submit(Bytes::from_static(b"orig"), Service::Agreed);
+        h.submit(Bytes::from_static(b"orig"), Service::Agreed)
+            .expect("submit");
     }
     let got = collect_deliveries(&handles[2], 3, Duration::from_secs(15));
     assert_eq!(got.len(), 3, "all three messages delivered");
@@ -166,8 +175,19 @@ fn udp_ring_survives_garbage_datagrams() {
     }
 
     // The ring still forms and orders traffic.
-    handles[0].submit(Bytes::from_static(b"through the noise"), Service::Agreed);
+    handles[0]
+        .submit(Bytes::from_static(b"through the noise"), Service::Agreed)
+        .expect("submit");
     let got = collect_deliveries(&handles[2], 1, Duration::from_secs(15));
     assert_eq!(got.len(), 1);
     assert_eq!(&got[0].1[..], b"through the noise");
+
+    // The junk was counted, not silently discarded.
+    let stats = handles[0].stats();
+    assert!(
+        stats.decode_failures > 0,
+        "garbage datagrams must show up in stats: {stats:?}"
+    );
+    assert!(stats.datagrams_rx > stats.decode_failures);
+    assert_eq!(stats.submissions, 1);
 }

@@ -16,7 +16,11 @@ const MS: u64 = 1_000_000;
 fn print_configs(cluster: &Cluster, node: usize) {
     println!("  node {node} configuration history:");
     for c in cluster.configs(node) {
-        let kind = if c.transitional { "transitional" } else { "regular" };
+        let kind = if c.transitional {
+            "transitional"
+        } else {
+            "regular"
+        };
         let members: Vec<String> = c.members.iter().map(|m| m.to_string()).collect();
         println!("    {kind:>12}: [{}]", members.join(", "));
     }
@@ -54,9 +58,18 @@ fn main() {
     cluster.submit(1, Bytes::from_static(b"left-side-update"), Service::Safe);
     cluster.submit(4, Bytes::from_static(b"right-side-update"), Service::Safe);
     cluster.run_for(20 * MS);
-    assert!(cluster.deliveries(2).iter().any(|d| d.payload == "left-side-update"));
-    assert!(cluster.deliveries(5).iter().any(|d| d.payload == "right-side-update"));
-    assert!(!cluster.deliveries(5).iter().any(|d| d.payload == "left-side-update"));
+    assert!(cluster
+        .deliveries(2)
+        .iter()
+        .any(|d| d.payload == "left-side-update"));
+    assert!(cluster
+        .deliveries(5)
+        .iter()
+        .any(|d| d.payload == "right-side-update"));
+    assert!(!cluster
+        .deliveries(5)
+        .iter()
+        .any(|d| d.payload == "left-side-update"));
     println!("  each side ordered its own traffic ✓\n");
 
     println!("healing the partition...");
@@ -71,7 +84,10 @@ fn main() {
     cluster.run_for(20 * MS);
     for i in 0..6 {
         assert!(
-            cluster.deliveries(i).iter().any(|d| d.payload == "after-merge"),
+            cluster
+                .deliveries(i)
+                .iter()
+                .any(|d| d.payload == "after-merge"),
             "node {i} missed the post-merge message"
         );
     }

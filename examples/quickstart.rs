@@ -17,7 +17,11 @@ fn main() {
         net.submit(
             (i % 3) as usize,
             Bytes::from(format!("update-{i}")),
-            if i % 2 == 0 { Service::Agreed } else { Service::Safe },
+            if i % 2 == 0 {
+                Service::Agreed
+            } else {
+                Service::Safe
+            },
         );
     }
 

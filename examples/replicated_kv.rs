@@ -77,13 +77,54 @@ fn main() {
     // Different replicas issue conflicting writes to the same keys — the
     // total order resolves every conflict identically everywhere.
     let ops = [
-        (0, Op::Put { key: "user:1".into(), value: "alice".into() }),
-        (1, Op::Put { key: "user:1".into(), value: "bob".into() }),
-        (2, Op::Put { key: "balance".into(), value: "100".into() }),
-        (3, Op::Put { key: "balance".into(), value: "250".into() }),
-        (4, Op::Delete { key: "user:1".into() }),
-        (0, Op::Put { key: "user:2".into(), value: "carol".into() }),
-        (2, Op::Put { key: "user:1".into(), value: "dave".into() }),
+        (
+            0,
+            Op::Put {
+                key: "user:1".into(),
+                value: "alice".into(),
+            },
+        ),
+        (
+            1,
+            Op::Put {
+                key: "user:1".into(),
+                value: "bob".into(),
+            },
+        ),
+        (
+            2,
+            Op::Put {
+                key: "balance".into(),
+                value: "100".into(),
+            },
+        ),
+        (
+            3,
+            Op::Put {
+                key: "balance".into(),
+                value: "250".into(),
+            },
+        ),
+        (
+            4,
+            Op::Delete {
+                key: "user:1".into(),
+            },
+        ),
+        (
+            0,
+            Op::Put {
+                key: "user:2".into(),
+                value: "carol".into(),
+            },
+        ),
+        (
+            2,
+            Op::Put {
+                key: "user:1".into(),
+                value: "dave".into(),
+            },
+        ),
     ];
     for (replica, op) in &ops {
         net.submit(*replica, op.encode(), Service::Safe);

@@ -51,9 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 break;
             }
             Ok(_) => {}
-            Err(_) if Instant::now() > deadline => {
-                return Err("ring did not form in time".into())
-            }
+            Err(_) if Instant::now() > deadline => return Err("ring did not form in time".into()),
             Err(_) => {}
         }
     }
@@ -64,15 +62,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Bytes::from_static(b"TRADE id=7 qty=100"),
         Service::Safe,
     )?;
-    clients[0].multicast(&["market"], Bytes::from_static(b"QUOTE xyz=42"), Service::Agreed)?;
+    clients[0].multicast(
+        &["market"],
+        Bytes::from_static(b"QUOTE xyz=42"),
+        Service::Agreed,
+    )?;
 
     // Every #market member receives both, in the same order.
     for (i, c) in clients.iter().enumerate() {
         let mut got = Vec::new();
         let deadline = Instant::now() + Duration::from_secs(10);
         while got.len() < 2 && Instant::now() < deadline {
-            if let Ok(ClientEvent::Message { sender, payload, groups, .. }) =
-                c.events().recv_timeout(Duration::from_millis(200))
+            if let Ok(ClientEvent::Message {
+                sender,
+                payload,
+                groups,
+                ..
+            }) = c.events().recv_timeout(Duration::from_millis(200))
             {
                 got.push(format!(
                     "{} -> {:?}: {}",

@@ -84,7 +84,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--original" => opts.original = true,
             "--safe" => opts.safe = true,
             "--send" => {
-                opts.send = Some(value("--send")?.parse().map_err(|e| format!("--send: {e}"))?)
+                opts.send = Some(
+                    value("--send")?
+                        .parse()
+                        .map_err(|e| format!("--send: {e}"))?,
+                )
             }
             "--window" => {
                 opts.personal_window = value("--window")?
@@ -131,7 +135,11 @@ fn main() {
     } else {
         ProtocolConfig::accelerated(opts.personal_window, opts.accelerated_window)
     };
-    let service = if opts.safe { Service::Safe } else { Service::Agreed };
+    let service = if opts.safe {
+        Service::Safe
+    } else {
+        Service::Agreed
+    };
 
     let book = AddressBook::new(
         opts.peers
@@ -156,13 +164,31 @@ fn main() {
         me.pid,
         me.data,
         me.token,
-        if opts.original { "original" } else { "accelerated" }
+        if opts.original {
+            "original"
+        } else {
+            "accelerated"
+        }
     );
 
     // Optional scripted sender.
     if let Some(n) = opts.send {
         for k in 0..n {
-            node.submit(Bytes::from(format!("{}:{k}", opts.id)), service);
+            // Bounded command queue: back off briefly when it fills.
+            let mut payload = Bytes::from(format!("{}:{k}", opts.id));
+            loop {
+                match node.submit(payload, service) {
+                    Ok(()) => break,
+                    Err(accelring_transport::SubmitError::Backlogged) => {
+                        payload = Bytes::from(format!("{}:{k}", opts.id));
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    Err(e) => {
+                        eprintln!("submit failed: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
         }
     }
 
@@ -228,7 +254,9 @@ fn main() {
         for line in stdin.lock().lines() {
             let Ok(line) = line else { break };
             if !line.is_empty() {
-                node.submit(Bytes::from(line), service);
+                if let Err(e) = node.submit(Bytes::from(line), service) {
+                    eprintln!("submit failed: {e}");
+                }
             }
         }
         std::process::exit(0);

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablate_accel_window-48bc526539d655f1.d: crates/bench/src/bin/ablate_accel_window.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablate_accel_window-48bc526539d655f1.rmeta: crates/bench/src/bin/ablate_accel_window.rs Cargo.toml
+
+crates/bench/src/bin/ablate_accel_window.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_accel_window-81ea095ccb33b1da.d: crates/bench/src/bin/ablate_accel_window.rs
+
+/root/repo/target/debug/deps/ablate_accel_window-81ea095ccb33b1da: crates/bench/src/bin/ablate_accel_window.rs
+
+crates/bench/src/bin/ablate_accel_window.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_accel_window-9dd48843f47348b9.d: crates/bench/src/bin/ablate_accel_window.rs
+
+/root/repo/target/debug/deps/ablate_accel_window-9dd48843f47348b9: crates/bench/src/bin/ablate_accel_window.rs
+
+crates/bench/src/bin/ablate_accel_window.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_accel_window-cf5e7326c3d0b918.d: crates/bench/src/bin/ablate_accel_window.rs
+
+/root/repo/target/debug/deps/ablate_accel_window-cf5e7326c3d0b918: crates/bench/src/bin/ablate_accel_window.rs
+
+crates/bench/src/bin/ablate_accel_window.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablate_burst_loss-0a2a24e70681c73c.d: crates/bench/src/bin/ablate_burst_loss.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablate_burst_loss-0a2a24e70681c73c.rmeta: crates/bench/src/bin/ablate_burst_loss.rs Cargo.toml
+
+crates/bench/src/bin/ablate_burst_loss.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_burst_loss-8d80e86f07f876ff.d: crates/bench/src/bin/ablate_burst_loss.rs
+
+/root/repo/target/debug/deps/ablate_burst_loss-8d80e86f07f876ff: crates/bench/src/bin/ablate_burst_loss.rs
+
+crates/bench/src/bin/ablate_burst_loss.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_burst_loss-eaae6a7f38d29891.d: crates/bench/src/bin/ablate_burst_loss.rs
+
+/root/repo/target/debug/deps/ablate_burst_loss-eaae6a7f38d29891: crates/bench/src/bin/ablate_burst_loss.rs
+
+crates/bench/src/bin/ablate_burst_loss.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_burst_loss-fe27ca13542d2833.d: crates/bench/src/bin/ablate_burst_loss.rs
+
+/root/repo/target/debug/deps/ablate_burst_loss-fe27ca13542d2833: crates/bench/src/bin/ablate_burst_loss.rs
+
+crates/bench/src/bin/ablate_burst_loss.rs:

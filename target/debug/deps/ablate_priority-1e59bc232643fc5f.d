@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablate_priority-1e59bc232643fc5f.d: crates/bench/src/bin/ablate_priority.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablate_priority-1e59bc232643fc5f.rmeta: crates/bench/src/bin/ablate_priority.rs Cargo.toml
+
+crates/bench/src/bin/ablate_priority.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

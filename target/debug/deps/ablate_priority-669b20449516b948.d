@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_priority-669b20449516b948.d: crates/bench/src/bin/ablate_priority.rs
+
+/root/repo/target/debug/deps/ablate_priority-669b20449516b948: crates/bench/src/bin/ablate_priority.rs
+
+crates/bench/src/bin/ablate_priority.rs:

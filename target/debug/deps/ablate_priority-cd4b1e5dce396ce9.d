@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_priority-cd4b1e5dce396ce9.d: crates/bench/src/bin/ablate_priority.rs
+
+/root/repo/target/debug/deps/ablate_priority-cd4b1e5dce396ce9: crates/bench/src/bin/ablate_priority.rs
+
+crates/bench/src/bin/ablate_priority.rs:

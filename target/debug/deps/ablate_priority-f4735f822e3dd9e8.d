@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_priority-f4735f822e3dd9e8.d: crates/bench/src/bin/ablate_priority.rs
+
+/root/repo/target/debug/deps/ablate_priority-f4735f822e3dd9e8: crates/bench/src/bin/ablate_priority.rs
+
+crates/bench/src/bin/ablate_priority.rs:

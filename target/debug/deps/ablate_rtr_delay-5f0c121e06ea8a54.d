@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_rtr_delay-5f0c121e06ea8a54.d: crates/bench/src/bin/ablate_rtr_delay.rs
+
+/root/repo/target/debug/deps/ablate_rtr_delay-5f0c121e06ea8a54: crates/bench/src/bin/ablate_rtr_delay.rs
+
+crates/bench/src/bin/ablate_rtr_delay.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_rtr_delay-9268e053b1a30b0b.d: crates/bench/src/bin/ablate_rtr_delay.rs
+
+/root/repo/target/debug/deps/ablate_rtr_delay-9268e053b1a30b0b: crates/bench/src/bin/ablate_rtr_delay.rs
+
+crates/bench/src/bin/ablate_rtr_delay.rs:

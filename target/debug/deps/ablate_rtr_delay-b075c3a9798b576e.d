@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablate_rtr_delay-b075c3a9798b576e.d: crates/bench/src/bin/ablate_rtr_delay.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablate_rtr_delay-b075c3a9798b576e.rmeta: crates/bench/src/bin/ablate_rtr_delay.rs Cargo.toml
+
+crates/bench/src/bin/ablate_rtr_delay.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

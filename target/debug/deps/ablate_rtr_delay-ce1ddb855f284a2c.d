@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_rtr_delay-ce1ddb855f284a2c.d: crates/bench/src/bin/ablate_rtr_delay.rs
+
+/root/repo/target/debug/deps/ablate_rtr_delay-ce1ddb855f284a2c: crates/bench/src/bin/ablate_rtr_delay.rs
+
+crates/bench/src/bin/ablate_rtr_delay.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_switch_buffer-35eabb16bdcd5f00.d: crates/bench/src/bin/ablate_switch_buffer.rs
+
+/root/repo/target/debug/deps/ablate_switch_buffer-35eabb16bdcd5f00: crates/bench/src/bin/ablate_switch_buffer.rs
+
+crates/bench/src/bin/ablate_switch_buffer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_switch_buffer-4fe64b62a86fe11c.d: crates/bench/src/bin/ablate_switch_buffer.rs
+
+/root/repo/target/debug/deps/ablate_switch_buffer-4fe64b62a86fe11c: crates/bench/src/bin/ablate_switch_buffer.rs
+
+crates/bench/src/bin/ablate_switch_buffer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_switch_buffer-6bd371994d66623a.d: crates/bench/src/bin/ablate_switch_buffer.rs
+
+/root/repo/target/debug/deps/ablate_switch_buffer-6bd371994d66623a: crates/bench/src/bin/ablate_switch_buffer.rs
+
+crates/bench/src/bin/ablate_switch_buffer.rs:

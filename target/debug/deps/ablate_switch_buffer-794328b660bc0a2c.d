@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablate_switch_buffer-794328b660bc0a2c.d: crates/bench/src/bin/ablate_switch_buffer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablate_switch_buffer-794328b660bc0a2c.rmeta: crates/bench/src/bin/ablate_switch_buffer.rs Cargo.toml
+
+crates/bench/src/bin/ablate_switch_buffer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

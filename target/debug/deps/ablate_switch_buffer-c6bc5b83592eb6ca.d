@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablate_switch_buffer-c6bc5b83592eb6ca.d: crates/bench/src/bin/ablate_switch_buffer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablate_switch_buffer-c6bc5b83592eb6ca.rmeta: crates/bench/src/bin/ablate_switch_buffer.rs Cargo.toml
+
+crates/bench/src/bin/ablate_switch_buffer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/accelring-0c15ca7a244b65cf.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaccelring-0c15ca7a244b65cf.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

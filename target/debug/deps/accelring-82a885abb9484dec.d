@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/accelring-82a885abb9484dec.d: src/lib.rs
+
+/root/repo/target/debug/deps/accelring-82a885abb9484dec: src/lib.rs
+
+src/lib.rs:

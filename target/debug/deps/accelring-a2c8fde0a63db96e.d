@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/accelring-a2c8fde0a63db96e.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaccelring-a2c8fde0a63db96e.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/accelring-b0d30dd780da03e6.d: src/lib.rs
+
+/root/repo/target/debug/deps/libaccelring-b0d30dd780da03e6.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libaccelring-b0d30dd780da03e6.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/accelring_bench-3f7c42ff5fc235fa.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libaccelring_bench-3f7c42ff5fc235fa.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libaccelring_bench-3f7c42ff5fc235fa.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/accelring_bench-4f74cfd42f8ea605.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libaccelring_bench-4f74cfd42f8ea605.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libaccelring_bench-4f74cfd42f8ea605.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/accelring_bench-81b9f43de1c07577.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaccelring_bench-81b9f43de1c07577.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

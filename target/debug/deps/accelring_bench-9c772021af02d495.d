@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/accelring_bench-9c772021af02d495.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/accelring_bench-9c772021af02d495: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

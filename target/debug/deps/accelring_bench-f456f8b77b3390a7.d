@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/accelring_bench-f456f8b77b3390a7.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/accelring_bench-f456f8b77b3390a7: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/accelring_chaos-09fe17252171ff5b.d: crates/chaos/src/lib.rs crates/chaos/src/checker.rs crates/chaos/src/hook.rs crates/chaos/src/runner.rs crates/chaos/src/schedule.rs
+
+/root/repo/target/debug/deps/libaccelring_chaos-09fe17252171ff5b.rlib: crates/chaos/src/lib.rs crates/chaos/src/checker.rs crates/chaos/src/hook.rs crates/chaos/src/runner.rs crates/chaos/src/schedule.rs
+
+/root/repo/target/debug/deps/libaccelring_chaos-09fe17252171ff5b.rmeta: crates/chaos/src/lib.rs crates/chaos/src/checker.rs crates/chaos/src/hook.rs crates/chaos/src/runner.rs crates/chaos/src/schedule.rs
+
+crates/chaos/src/lib.rs:
+crates/chaos/src/checker.rs:
+crates/chaos/src/hook.rs:
+crates/chaos/src/runner.rs:
+crates/chaos/src/schedule.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/accelring_chaos-8a79ad9df793d66f.d: crates/chaos/src/lib.rs crates/chaos/src/checker.rs crates/chaos/src/hook.rs crates/chaos/src/runner.rs crates/chaos/src/schedule.rs
+
+/root/repo/target/debug/deps/accelring_chaos-8a79ad9df793d66f: crates/chaos/src/lib.rs crates/chaos/src/checker.rs crates/chaos/src/hook.rs crates/chaos/src/runner.rs crates/chaos/src/schedule.rs
+
+crates/chaos/src/lib.rs:
+crates/chaos/src/checker.rs:
+crates/chaos/src/hook.rs:
+crates/chaos/src/runner.rs:
+crates/chaos/src/schedule.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/accelring_chaos-da64690dcf9bcfd9.d: crates/chaos/src/lib.rs crates/chaos/src/checker.rs crates/chaos/src/hook.rs crates/chaos/src/runner.rs crates/chaos/src/schedule.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaccelring_chaos-da64690dcf9bcfd9.rmeta: crates/chaos/src/lib.rs crates/chaos/src/checker.rs crates/chaos/src/hook.rs crates/chaos/src/runner.rs crates/chaos/src/schedule.rs Cargo.toml
+
+crates/chaos/src/lib.rs:
+crates/chaos/src/checker.rs:
+crates/chaos/src/hook.rs:
+crates/chaos/src/runner.rs:
+crates/chaos/src/schedule.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

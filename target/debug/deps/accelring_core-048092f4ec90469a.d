@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/accelring_core-048092f4ec90469a.d: crates/core/src/lib.rs crates/core/src/buffer.rs crates/core/src/config.rs crates/core/src/flow.rs crates/core/src/message.rs crates/core/src/participant.rs crates/core/src/priority.rs crates/core/src/ring.rs crates/core/src/stats.rs crates/core/src/testing.rs crates/core/src/types.rs crates/core/src/wire.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaccelring_core-048092f4ec90469a.rmeta: crates/core/src/lib.rs crates/core/src/buffer.rs crates/core/src/config.rs crates/core/src/flow.rs crates/core/src/message.rs crates/core/src/participant.rs crates/core/src/priority.rs crates/core/src/ring.rs crates/core/src/stats.rs crates/core/src/testing.rs crates/core/src/types.rs crates/core/src/wire.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/buffer.rs:
+crates/core/src/config.rs:
+crates/core/src/flow.rs:
+crates/core/src/message.rs:
+crates/core/src/participant.rs:
+crates/core/src/priority.rs:
+crates/core/src/ring.rs:
+crates/core/src/stats.rs:
+crates/core/src/testing.rs:
+crates/core/src/types.rs:
+crates/core/src/wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/accelring_core-a86d80125aabddc0.d: crates/core/src/lib.rs crates/core/src/buffer.rs crates/core/src/config.rs crates/core/src/flow.rs crates/core/src/message.rs crates/core/src/participant.rs crates/core/src/priority.rs crates/core/src/ring.rs crates/core/src/stats.rs crates/core/src/testing.rs crates/core/src/types.rs crates/core/src/wire.rs
+
+/root/repo/target/debug/deps/libaccelring_core-a86d80125aabddc0.rlib: crates/core/src/lib.rs crates/core/src/buffer.rs crates/core/src/config.rs crates/core/src/flow.rs crates/core/src/message.rs crates/core/src/participant.rs crates/core/src/priority.rs crates/core/src/ring.rs crates/core/src/stats.rs crates/core/src/testing.rs crates/core/src/types.rs crates/core/src/wire.rs
+
+/root/repo/target/debug/deps/libaccelring_core-a86d80125aabddc0.rmeta: crates/core/src/lib.rs crates/core/src/buffer.rs crates/core/src/config.rs crates/core/src/flow.rs crates/core/src/message.rs crates/core/src/participant.rs crates/core/src/priority.rs crates/core/src/ring.rs crates/core/src/stats.rs crates/core/src/testing.rs crates/core/src/types.rs crates/core/src/wire.rs
+
+crates/core/src/lib.rs:
+crates/core/src/buffer.rs:
+crates/core/src/config.rs:
+crates/core/src/flow.rs:
+crates/core/src/message.rs:
+crates/core/src/participant.rs:
+crates/core/src/priority.rs:
+crates/core/src/ring.rs:
+crates/core/src/stats.rs:
+crates/core/src/testing.rs:
+crates/core/src/types.rs:
+crates/core/src/wire.rs:

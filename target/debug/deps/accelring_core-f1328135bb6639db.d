@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/accelring_core-f1328135bb6639db.d: crates/core/src/lib.rs crates/core/src/buffer.rs crates/core/src/config.rs crates/core/src/flow.rs crates/core/src/message.rs crates/core/src/participant.rs crates/core/src/priority.rs crates/core/src/ring.rs crates/core/src/stats.rs crates/core/src/testing.rs crates/core/src/types.rs crates/core/src/wire.rs
+
+/root/repo/target/debug/deps/accelring_core-f1328135bb6639db: crates/core/src/lib.rs crates/core/src/buffer.rs crates/core/src/config.rs crates/core/src/flow.rs crates/core/src/message.rs crates/core/src/participant.rs crates/core/src/priority.rs crates/core/src/ring.rs crates/core/src/stats.rs crates/core/src/testing.rs crates/core/src/types.rs crates/core/src/wire.rs
+
+crates/core/src/lib.rs:
+crates/core/src/buffer.rs:
+crates/core/src/config.rs:
+crates/core/src/flow.rs:
+crates/core/src/message.rs:
+crates/core/src/participant.rs:
+crates/core/src/priority.rs:
+crates/core/src/ring.rs:
+crates/core/src/stats.rs:
+crates/core/src/testing.rs:
+crates/core/src/types.rs:
+crates/core/src/wire.rs:

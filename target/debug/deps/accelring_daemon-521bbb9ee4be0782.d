@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/accelring_daemon-521bbb9ee4be0782.d: crates/daemon/src/lib.rs crates/daemon/src/engine.rs crates/daemon/src/groups.rs crates/daemon/src/packing.rs crates/daemon/src/proto.rs crates/daemon/src/runtime.rs
+
+/root/repo/target/debug/deps/libaccelring_daemon-521bbb9ee4be0782.rlib: crates/daemon/src/lib.rs crates/daemon/src/engine.rs crates/daemon/src/groups.rs crates/daemon/src/packing.rs crates/daemon/src/proto.rs crates/daemon/src/runtime.rs
+
+/root/repo/target/debug/deps/libaccelring_daemon-521bbb9ee4be0782.rmeta: crates/daemon/src/lib.rs crates/daemon/src/engine.rs crates/daemon/src/groups.rs crates/daemon/src/packing.rs crates/daemon/src/proto.rs crates/daemon/src/runtime.rs
+
+crates/daemon/src/lib.rs:
+crates/daemon/src/engine.rs:
+crates/daemon/src/groups.rs:
+crates/daemon/src/packing.rs:
+crates/daemon/src/proto.rs:
+crates/daemon/src/runtime.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/accelring_daemon-69c767308e06a123.d: crates/daemon/src/lib.rs crates/daemon/src/engine.rs crates/daemon/src/groups.rs crates/daemon/src/packing.rs crates/daemon/src/proto.rs crates/daemon/src/runtime.rs
+
+/root/repo/target/debug/deps/accelring_daemon-69c767308e06a123: crates/daemon/src/lib.rs crates/daemon/src/engine.rs crates/daemon/src/groups.rs crates/daemon/src/packing.rs crates/daemon/src/proto.rs crates/daemon/src/runtime.rs
+
+crates/daemon/src/lib.rs:
+crates/daemon/src/engine.rs:
+crates/daemon/src/groups.rs:
+crates/daemon/src/packing.rs:
+crates/daemon/src/proto.rs:
+crates/daemon/src/runtime.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/accelring_daemon-8517b306f68a5be0.d: crates/daemon/src/lib.rs crates/daemon/src/engine.rs crates/daemon/src/groups.rs crates/daemon/src/packing.rs crates/daemon/src/proto.rs crates/daemon/src/runtime.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaccelring_daemon-8517b306f68a5be0.rmeta: crates/daemon/src/lib.rs crates/daemon/src/engine.rs crates/daemon/src/groups.rs crates/daemon/src/packing.rs crates/daemon/src/proto.rs crates/daemon/src/runtime.rs Cargo.toml
+
+crates/daemon/src/lib.rs:
+crates/daemon/src/engine.rs:
+crates/daemon/src/groups.rs:
+crates/daemon/src/packing.rs:
+crates/daemon/src/proto.rs:
+crates/daemon/src/runtime.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

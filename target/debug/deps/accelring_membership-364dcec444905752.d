@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/accelring_membership-364dcec444905752.d: crates/membership/src/lib.rs crates/membership/src/config.rs crates/membership/src/daemon.rs crates/membership/src/msg.rs crates/membership/src/testing.rs
+
+/root/repo/target/debug/deps/libaccelring_membership-364dcec444905752.rlib: crates/membership/src/lib.rs crates/membership/src/config.rs crates/membership/src/daemon.rs crates/membership/src/msg.rs crates/membership/src/testing.rs
+
+/root/repo/target/debug/deps/libaccelring_membership-364dcec444905752.rmeta: crates/membership/src/lib.rs crates/membership/src/config.rs crates/membership/src/daemon.rs crates/membership/src/msg.rs crates/membership/src/testing.rs
+
+crates/membership/src/lib.rs:
+crates/membership/src/config.rs:
+crates/membership/src/daemon.rs:
+crates/membership/src/msg.rs:
+crates/membership/src/testing.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/accelring_membership-48b35d1bb11f7d9f.d: crates/membership/src/lib.rs crates/membership/src/config.rs crates/membership/src/daemon.rs crates/membership/src/msg.rs crates/membership/src/testing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaccelring_membership-48b35d1bb11f7d9f.rmeta: crates/membership/src/lib.rs crates/membership/src/config.rs crates/membership/src/daemon.rs crates/membership/src/msg.rs crates/membership/src/testing.rs Cargo.toml
+
+crates/membership/src/lib.rs:
+crates/membership/src/config.rs:
+crates/membership/src/daemon.rs:
+crates/membership/src/msg.rs:
+crates/membership/src/testing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/accelring_membership-970761ffc199da58.d: crates/membership/src/lib.rs crates/membership/src/config.rs crates/membership/src/daemon.rs crates/membership/src/msg.rs crates/membership/src/testing.rs
+
+/root/repo/target/debug/deps/accelring_membership-970761ffc199da58: crates/membership/src/lib.rs crates/membership/src/config.rs crates/membership/src/daemon.rs crates/membership/src/msg.rs crates/membership/src/testing.rs
+
+crates/membership/src/lib.rs:
+crates/membership/src/config.rs:
+crates/membership/src/daemon.rs:
+crates/membership/src/msg.rs:
+crates/membership/src/testing.rs:

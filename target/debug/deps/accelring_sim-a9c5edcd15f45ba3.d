@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/accelring_sim-a9c5edcd15f45ba3.d: crates/sim/src/lib.rs crates/sim/src/fabric.rs crates/sim/src/harness.rs crates/sim/src/loss.rs crates/sim/src/metrics.rs crates/sim/src/profiles.rs crates/sim/src/sim.rs crates/sim/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaccelring_sim-a9c5edcd15f45ba3.rmeta: crates/sim/src/lib.rs crates/sim/src/fabric.rs crates/sim/src/harness.rs crates/sim/src/loss.rs crates/sim/src/metrics.rs crates/sim/src/profiles.rs crates/sim/src/sim.rs crates/sim/src/time.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/fabric.rs:
+crates/sim/src/harness.rs:
+crates/sim/src/loss.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/profiles.rs:
+crates/sim/src/sim.rs:
+crates/sim/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/accelring_sim-b662539558a71d21.d: crates/sim/src/lib.rs crates/sim/src/fabric.rs crates/sim/src/harness.rs crates/sim/src/loss.rs crates/sim/src/metrics.rs crates/sim/src/profiles.rs crates/sim/src/sim.rs crates/sim/src/time.rs
+
+/root/repo/target/debug/deps/libaccelring_sim-b662539558a71d21.rlib: crates/sim/src/lib.rs crates/sim/src/fabric.rs crates/sim/src/harness.rs crates/sim/src/loss.rs crates/sim/src/metrics.rs crates/sim/src/profiles.rs crates/sim/src/sim.rs crates/sim/src/time.rs
+
+/root/repo/target/debug/deps/libaccelring_sim-b662539558a71d21.rmeta: crates/sim/src/lib.rs crates/sim/src/fabric.rs crates/sim/src/harness.rs crates/sim/src/loss.rs crates/sim/src/metrics.rs crates/sim/src/profiles.rs crates/sim/src/sim.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/fabric.rs:
+crates/sim/src/harness.rs:
+crates/sim/src/loss.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/profiles.rs:
+crates/sim/src/sim.rs:
+crates/sim/src/time.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/accelring_sim-f3f96aa209116a55.d: crates/sim/src/lib.rs crates/sim/src/fabric.rs crates/sim/src/harness.rs crates/sim/src/loss.rs crates/sim/src/metrics.rs crates/sim/src/profiles.rs crates/sim/src/sim.rs crates/sim/src/time.rs
+
+/root/repo/target/debug/deps/accelring_sim-f3f96aa209116a55: crates/sim/src/lib.rs crates/sim/src/fabric.rs crates/sim/src/harness.rs crates/sim/src/loss.rs crates/sim/src/metrics.rs crates/sim/src/profiles.rs crates/sim/src/sim.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/fabric.rs:
+crates/sim/src/harness.rs:
+crates/sim/src/loss.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/profiles.rs:
+crates/sim/src/sim.rs:
+crates/sim/src/time.rs:

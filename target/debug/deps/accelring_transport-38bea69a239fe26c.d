@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/accelring_transport-38bea69a239fe26c.d: crates/transport/src/lib.rs crates/transport/src/addr.rs crates/transport/src/node.rs
+
+/root/repo/target/debug/deps/libaccelring_transport-38bea69a239fe26c.rlib: crates/transport/src/lib.rs crates/transport/src/addr.rs crates/transport/src/node.rs
+
+/root/repo/target/debug/deps/libaccelring_transport-38bea69a239fe26c.rmeta: crates/transport/src/lib.rs crates/transport/src/addr.rs crates/transport/src/node.rs
+
+crates/transport/src/lib.rs:
+crates/transport/src/addr.rs:
+crates/transport/src/node.rs:

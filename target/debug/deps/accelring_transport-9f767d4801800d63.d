@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/accelring_transport-9f767d4801800d63.d: crates/transport/src/lib.rs crates/transport/src/addr.rs crates/transport/src/node.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaccelring_transport-9f767d4801800d63.rmeta: crates/transport/src/lib.rs crates/transport/src/addr.rs crates/transport/src/node.rs Cargo.toml
+
+crates/transport/src/lib.rs:
+crates/transport/src/addr.rs:
+crates/transport/src/node.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

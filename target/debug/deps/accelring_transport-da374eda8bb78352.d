@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/accelring_transport-da374eda8bb78352.d: crates/transport/src/lib.rs crates/transport/src/addr.rs crates/transport/src/node.rs
+
+/root/repo/target/debug/deps/accelring_transport-da374eda8bb78352: crates/transport/src/lib.rs crates/transport/src/addr.rs crates/transport/src/node.rs
+
+crates/transport/src/lib.rs:
+crates/transport/src/addr.rs:
+crates/transport/src/node.rs:

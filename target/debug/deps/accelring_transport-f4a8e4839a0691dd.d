@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/accelring_transport-f4a8e4839a0691dd.d: crates/transport/src/lib.rs crates/transport/src/addr.rs crates/transport/src/node.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaccelring_transport-f4a8e4839a0691dd.rmeta: crates/transport/src/lib.rs crates/transport/src/addr.rs crates/transport/src/node.rs Cargo.toml
+
+crates/transport/src/lib.rs:
+crates/transport/src/addr.rs:
+crates/transport/src/node.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/accelringd-0688b4188b3141c0.d: src/bin/accelringd.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaccelringd-0688b4188b3141c0.rmeta: src/bin/accelringd.rs Cargo.toml
+
+src/bin/accelringd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

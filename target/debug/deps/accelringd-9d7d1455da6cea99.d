@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/accelringd-9d7d1455da6cea99.d: src/bin/accelringd.rs
+
+/root/repo/target/debug/deps/accelringd-9d7d1455da6cea99: src/bin/accelringd.rs
+
+src/bin/accelringd.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/accelringd-af580f75be73c574.d: src/bin/accelringd.rs
+
+/root/repo/target/debug/deps/accelringd-af580f75be73c574: src/bin/accelringd.rs
+
+src/bin/accelringd.rs:

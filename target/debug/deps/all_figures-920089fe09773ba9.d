@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_figures-920089fe09773ba9.d: crates/bench/src/bin/all_figures.rs
+
+/root/repo/target/debug/deps/all_figures-920089fe09773ba9: crates/bench/src/bin/all_figures.rs
+
+crates/bench/src/bin/all_figures.rs:

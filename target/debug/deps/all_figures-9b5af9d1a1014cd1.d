@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_figures-9b5af9d1a1014cd1.d: crates/bench/src/bin/all_figures.rs
+
+/root/repo/target/debug/deps/all_figures-9b5af9d1a1014cd1: crates/bench/src/bin/all_figures.rs
+
+crates/bench/src/bin/all_figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_figures-ce4d1299dc21eb7d.d: crates/bench/src/bin/all_figures.rs
+
+/root/repo/target/debug/deps/all_figures-ce4d1299dc21eb7d: crates/bench/src/bin/all_figures.rs
+
+crates/bench/src/bin/all_figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos_smoke-1d21c87d8d65d4aa.d: crates/chaos/tests/chaos_smoke.rs
+
+/root/repo/target/debug/deps/chaos_smoke-1d21c87d8d65d4aa: crates/chaos/tests/chaos_smoke.rs
+
+crates/chaos/tests/chaos_smoke.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chaos_smoke-79d28f72da54be6f.d: crates/chaos/tests/chaos_smoke.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchaos_smoke-79d28f72da54be6f.rmeta: crates/chaos/tests/chaos_smoke.rs Cargo.toml
+
+crates/chaos/tests/chaos_smoke.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos_soak-2d00ad4b6e75e9cd.d: crates/bench/src/bin/chaos_soak.rs
+
+/root/repo/target/debug/deps/chaos_soak-2d00ad4b6e75e9cd: crates/bench/src/bin/chaos_soak.rs
+
+crates/bench/src/bin/chaos_soak.rs:

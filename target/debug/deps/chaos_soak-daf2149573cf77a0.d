@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos_soak-daf2149573cf77a0.d: crates/bench/src/bin/chaos_soak.rs
+
+/root/repo/target/debug/deps/chaos_soak-daf2149573cf77a0: crates/bench/src/bin/chaos_soak.rs
+
+crates/bench/src/bin/chaos_soak.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/debug_seed1-21763f22727f5685.d: crates/chaos/tests/debug_seed1.rs
+
+/root/repo/target/debug/deps/debug_seed1-21763f22727f5685: crates/chaos/tests/debug_seed1.rs
+
+crates/chaos/tests/debug_seed1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/evs_properties-ac4d848c424a858e.d: tests/evs_properties.rs
+
+/root/repo/target/debug/deps/evs_properties-ac4d848c424a858e: tests/evs_properties.rs
+
+tests/evs_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/evs_properties-fff85e135408838d.d: tests/evs_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libevs_properties-fff85e135408838d.rmeta: tests/evs_properties.rs Cargo.toml
+
+tests/evs_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig02-11c60281a67b8def.d: crates/bench/src/bin/fig02.rs
+
+/root/repo/target/debug/deps/fig02-11c60281a67b8def: crates/bench/src/bin/fig02.rs
+
+crates/bench/src/bin/fig02.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig02-7787cbbe41414ad0.d: crates/bench/src/bin/fig02.rs
+
+/root/repo/target/debug/deps/fig02-7787cbbe41414ad0: crates/bench/src/bin/fig02.rs
+
+crates/bench/src/bin/fig02.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig02-c5b5273b47f7d77e.d: crates/bench/src/bin/fig02.rs
+
+/root/repo/target/debug/deps/fig02-c5b5273b47f7d77e: crates/bench/src/bin/fig02.rs
+
+crates/bench/src/bin/fig02.rs:

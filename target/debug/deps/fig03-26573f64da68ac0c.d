@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig03-26573f64da68ac0c.d: crates/bench/src/bin/fig03.rs
+
+/root/repo/target/debug/deps/fig03-26573f64da68ac0c: crates/bench/src/bin/fig03.rs
+
+crates/bench/src/bin/fig03.rs:

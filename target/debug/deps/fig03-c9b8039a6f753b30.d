@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig03-c9b8039a6f753b30.d: crates/bench/src/bin/fig03.rs
+
+/root/repo/target/debug/deps/fig03-c9b8039a6f753b30: crates/bench/src/bin/fig03.rs
+
+crates/bench/src/bin/fig03.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig03-f8dda702190f2abe.d: crates/bench/src/bin/fig03.rs
+
+/root/repo/target/debug/deps/fig03-f8dda702190f2abe: crates/bench/src/bin/fig03.rs
+
+crates/bench/src/bin/fig03.rs:

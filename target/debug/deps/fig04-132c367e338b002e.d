@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig04-132c367e338b002e.d: crates/bench/src/bin/fig04.rs
+
+/root/repo/target/debug/deps/fig04-132c367e338b002e: crates/bench/src/bin/fig04.rs
+
+crates/bench/src/bin/fig04.rs:

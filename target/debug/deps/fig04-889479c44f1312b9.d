@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig04-889479c44f1312b9.d: crates/bench/src/bin/fig04.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig04-889479c44f1312b9.rmeta: crates/bench/src/bin/fig04.rs Cargo.toml
+
+crates/bench/src/bin/fig04.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig04-8cc3e8e928e624d1.d: crates/bench/src/bin/fig04.rs
+
+/root/repo/target/debug/deps/fig04-8cc3e8e928e624d1: crates/bench/src/bin/fig04.rs
+
+crates/bench/src/bin/fig04.rs:

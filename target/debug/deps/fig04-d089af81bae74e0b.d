@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig04-d089af81bae74e0b.d: crates/bench/src/bin/fig04.rs
+
+/root/repo/target/debug/deps/fig04-d089af81bae74e0b: crates/bench/src/bin/fig04.rs
+
+crates/bench/src/bin/fig04.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05-33de081fc4d2830c.d: crates/bench/src/bin/fig05.rs
+
+/root/repo/target/debug/deps/fig05-33de081fc4d2830c: crates/bench/src/bin/fig05.rs
+
+crates/bench/src/bin/fig05.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05-8c062302b1764664.d: crates/bench/src/bin/fig05.rs
+
+/root/repo/target/debug/deps/fig05-8c062302b1764664: crates/bench/src/bin/fig05.rs
+
+crates/bench/src/bin/fig05.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05-de7a593d44fcf285.d: crates/bench/src/bin/fig05.rs
+
+/root/repo/target/debug/deps/fig05-de7a593d44fcf285: crates/bench/src/bin/fig05.rs
+
+crates/bench/src/bin/fig05.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig06-79541e32ef783c60.d: crates/bench/src/bin/fig06.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig06-79541e32ef783c60.rmeta: crates/bench/src/bin/fig06.rs Cargo.toml
+
+crates/bench/src/bin/fig06.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06-c808afd59b748a17.d: crates/bench/src/bin/fig06.rs
+
+/root/repo/target/debug/deps/fig06-c808afd59b748a17: crates/bench/src/bin/fig06.rs
+
+crates/bench/src/bin/fig06.rs:

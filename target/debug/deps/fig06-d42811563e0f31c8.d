@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06-d42811563e0f31c8.d: crates/bench/src/bin/fig06.rs
+
+/root/repo/target/debug/deps/fig06-d42811563e0f31c8: crates/bench/src/bin/fig06.rs
+
+crates/bench/src/bin/fig06.rs:

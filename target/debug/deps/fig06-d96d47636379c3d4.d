@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06-d96d47636379c3d4.d: crates/bench/src/bin/fig06.rs
+
+/root/repo/target/debug/deps/fig06-d96d47636379c3d4: crates/bench/src/bin/fig06.rs
+
+crates/bench/src/bin/fig06.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07-39e705892bfb8932.d: crates/bench/src/bin/fig07.rs
+
+/root/repo/target/debug/deps/fig07-39e705892bfb8932: crates/bench/src/bin/fig07.rs
+
+crates/bench/src/bin/fig07.rs:

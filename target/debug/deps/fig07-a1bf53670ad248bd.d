@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07-a1bf53670ad248bd.d: crates/bench/src/bin/fig07.rs
+
+/root/repo/target/debug/deps/fig07-a1bf53670ad248bd: crates/bench/src/bin/fig07.rs
+
+crates/bench/src/bin/fig07.rs:

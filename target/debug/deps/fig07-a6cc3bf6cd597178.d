@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07-a6cc3bf6cd597178.d: crates/bench/src/bin/fig07.rs
+
+/root/repo/target/debug/deps/fig07-a6cc3bf6cd597178: crates/bench/src/bin/fig07.rs
+
+crates/bench/src/bin/fig07.rs:

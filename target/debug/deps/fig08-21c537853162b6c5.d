@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08-21c537853162b6c5.d: crates/bench/src/bin/fig08.rs
+
+/root/repo/target/debug/deps/fig08-21c537853162b6c5: crates/bench/src/bin/fig08.rs
+
+crates/bench/src/bin/fig08.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08-85da70411d591e2c.d: crates/bench/src/bin/fig08.rs
+
+/root/repo/target/debug/deps/fig08-85da70411d591e2c: crates/bench/src/bin/fig08.rs
+
+crates/bench/src/bin/fig08.rs:

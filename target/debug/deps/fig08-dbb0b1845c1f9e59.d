@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08-dbb0b1845c1f9e59.d: crates/bench/src/bin/fig08.rs
+
+/root/repo/target/debug/deps/fig08-dbb0b1845c1f9e59: crates/bench/src/bin/fig08.rs
+
+crates/bench/src/bin/fig08.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09-520748295b6c42ed.d: crates/bench/src/bin/fig09.rs
+
+/root/repo/target/debug/deps/fig09-520748295b6c42ed: crates/bench/src/bin/fig09.rs
+
+crates/bench/src/bin/fig09.rs:

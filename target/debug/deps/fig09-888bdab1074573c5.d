@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09-888bdab1074573c5.d: crates/bench/src/bin/fig09.rs
+
+/root/repo/target/debug/deps/fig09-888bdab1074573c5: crates/bench/src/bin/fig09.rs
+
+crates/bench/src/bin/fig09.rs:

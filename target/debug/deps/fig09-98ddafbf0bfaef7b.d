@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09-98ddafbf0bfaef7b.d: crates/bench/src/bin/fig09.rs
+
+/root/repo/target/debug/deps/fig09-98ddafbf0bfaef7b: crates/bench/src/bin/fig09.rs
+
+crates/bench/src/bin/fig09.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-5d9a5c70726792c1.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-5d9a5c70726792c1: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-6a3dc8b148dfdac7.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-6a3dc8b148dfdac7: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

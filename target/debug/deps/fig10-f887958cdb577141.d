@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-f887958cdb577141.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-f887958cdb577141: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

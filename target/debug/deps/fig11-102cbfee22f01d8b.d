@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-102cbfee22f01d8b.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-102cbfee22f01d8b: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-c4a2d3fcf668589f.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-c4a2d3fcf668589f: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-f6e8aa45ddc83990.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-f6e8aa45ddc83990: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12-27c32b2f0ac4d94b.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/debug/deps/fig12-27c32b2f0ac4d94b: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12-ea4ba827041bfcde.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/debug/deps/fig12-ea4ba827041bfcde: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

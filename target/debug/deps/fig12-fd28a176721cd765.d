@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12-fd28a176721cd765.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/debug/deps/fig12-fd28a176721cd765: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13-0ff27ac53a25ee14.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/debug/deps/fig13-0ff27ac53a25ee14: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13-34f30cff2b637590.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/debug/deps/fig13-34f30cff2b637590: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

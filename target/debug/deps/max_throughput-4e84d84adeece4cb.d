@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/max_throughput-4e84d84adeece4cb.d: crates/bench/src/bin/max_throughput.rs
+
+/root/repo/target/debug/deps/max_throughput-4e84d84adeece4cb: crates/bench/src/bin/max_throughput.rs
+
+crates/bench/src/bin/max_throughput.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/max_throughput-78b65b0ad4ffb7ff.d: crates/bench/src/bin/max_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmax_throughput-78b65b0ad4ffb7ff.rmeta: crates/bench/src/bin/max_throughput.rs Cargo.toml
+
+crates/bench/src/bin/max_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/max_throughput-97c6646266336c83.d: crates/bench/src/bin/max_throughput.rs
+
+/root/repo/target/debug/deps/max_throughput-97c6646266336c83: crates/bench/src/bin/max_throughput.rs
+
+crates/bench/src/bin/max_throughput.rs:

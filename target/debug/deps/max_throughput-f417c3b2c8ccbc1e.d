@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/max_throughput-f417c3b2c8ccbc1e.d: crates/bench/src/bin/max_throughput.rs
+
+/root/repo/target/debug/deps/max_throughput-f417c3b2c8ccbc1e: crates/bench/src/bin/max_throughput.rs
+
+crates/bench/src/bin/max_throughput.rs:

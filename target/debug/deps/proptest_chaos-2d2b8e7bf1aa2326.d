@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_chaos-2d2b8e7bf1aa2326.d: crates/chaos/tests/proptest_chaos.rs
+
+/root/repo/target/debug/deps/proptest_chaos-2d2b8e7bf1aa2326: crates/chaos/tests/proptest_chaos.rs
+
+crates/chaos/tests/proptest_chaos.rs:

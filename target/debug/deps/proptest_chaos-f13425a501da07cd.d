@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_chaos-f13425a501da07cd.d: crates/chaos/tests/proptest_chaos.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_chaos-f13425a501da07cd.rmeta: crates/chaos/tests/proptest_chaos.rs Cargo.toml
+
+crates/chaos/tests/proptest_chaos.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_membership_codec-15712826f42ed043.d: tests/proptest_membership_codec.rs
+
+/root/repo/target/debug/deps/proptest_membership_codec-15712826f42ed043: tests/proptest_membership_codec.rs
+
+tests/proptest_membership_codec.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_membership_codec-65b975696c791fc8.d: tests/proptest_membership_codec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_membership_codec-65b975696c791fc8.rmeta: tests/proptest_membership_codec.rs Cargo.toml
+
+tests/proptest_membership_codec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_protocol-f3964a3e33b164a9.d: tests/proptest_protocol.rs
+
+/root/repo/target/debug/deps/proptest_protocol-f3964a3e33b164a9: tests/proptest_protocol.rs
+
+tests/proptest_protocol.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/protocol-031947cfe16bbfd6.d: crates/bench/benches/protocol.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprotocol-031947cfe16bbfd6.rmeta: crates/bench/benches/protocol.rs Cargo.toml
+
+crates/bench/benches/protocol.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stack_udp-a814c574fdb9d14f.d: tests/stack_udp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstack_udp-a814c574fdb9d14f.rmeta: tests/stack_udp.rs Cargo.toml
+
+tests/stack_udp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

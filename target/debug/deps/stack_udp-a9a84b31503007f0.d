@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stack_udp-a9a84b31503007f0.d: tests/stack_udp.rs
+
+/root/repo/target/debug/deps/stack_udp-a9a84b31503007f0: tests/stack_udp.rs
+
+tests/stack_udp.rs:

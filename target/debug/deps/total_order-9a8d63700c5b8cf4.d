@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/total_order-9a8d63700c5b8cf4.d: tests/total_order.rs
+
+/root/repo/target/debug/deps/total_order-9a8d63700c5b8cf4: tests/total_order.rs
+
+tests/total_order.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/total_order-9a997fd1cd6dab0c.d: tests/total_order.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtotal_order-9a997fd1cd6dab0c.rmeta: tests/total_order.rs Cargo.toml
+
+tests/total_order.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

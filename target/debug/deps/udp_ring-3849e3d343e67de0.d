@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/udp_ring-3849e3d343e67de0.d: crates/transport/tests/udp_ring.rs
+
+/root/repo/target/debug/deps/udp_ring-3849e3d343e67de0: crates/transport/tests/udp_ring.rs
+
+crates/transport/tests/udp_ring.rs:

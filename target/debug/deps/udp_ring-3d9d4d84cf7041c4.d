@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/udp_ring-3d9d4d84cf7041c4.d: crates/transport/tests/udp_ring.rs Cargo.toml
+
+/root/repo/target/debug/deps/libudp_ring-3d9d4d84cf7041c4.rmeta: crates/transport/tests/udp_ring.rs Cargo.toml
+
+crates/transport/tests/udp_ring.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/calibrate-ae6c468b96159209.d: crates/sim/examples/calibrate.rs
+
+/root/repo/target/debug/examples/calibrate-ae6c468b96159209: crates/sim/examples/calibrate.rs
+
+crates/sim/examples/calibrate.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/calibrate-bd988ca0d24144bd.d: crates/sim/examples/calibrate.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcalibrate-bd988ca0d24144bd.rmeta: crates/sim/examples/calibrate.rs Cargo.toml
+
+crates/sim/examples/calibrate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

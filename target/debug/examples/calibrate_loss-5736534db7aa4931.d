@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/calibrate_loss-5736534db7aa4931.d: crates/sim/examples/calibrate_loss.rs
+
+/root/repo/target/debug/examples/calibrate_loss-5736534db7aa4931: crates/sim/examples/calibrate_loss.rs
+
+crates/sim/examples/calibrate_loss.rs:

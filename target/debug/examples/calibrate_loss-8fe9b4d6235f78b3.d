@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/calibrate_loss-8fe9b4d6235f78b3.d: crates/sim/examples/calibrate_loss.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcalibrate_loss-8fe9b4d6235f78b3.rmeta: crates/sim/examples/calibrate_loss.rs Cargo.toml
+
+crates/sim/examples/calibrate_loss.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/figure1_schedule-1d1563386b80fa8c.d: examples/figure1_schedule.rs
+
+/root/repo/target/debug/examples/figure1_schedule-1d1563386b80fa8c: examples/figure1_schedule.rs
+
+examples/figure1_schedule.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/figure1_schedule-d98015577c6a5908.d: examples/figure1_schedule.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfigure1_schedule-d98015577c6a5908.rmeta: examples/figure1_schedule.rs Cargo.toml
+
+examples/figure1_schedule.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/partition_merge-4d2d21c3c785d835.d: examples/partition_merge.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpartition_merge-4d2d21c3c785d835.rmeta: examples/partition_merge.rs Cargo.toml
+
+examples/partition_merge.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

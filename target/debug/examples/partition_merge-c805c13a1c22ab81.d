@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/partition_merge-c805c13a1c22ab81.d: examples/partition_merge.rs
+
+/root/repo/target/debug/examples/partition_merge-c805c13a1c22ab81: examples/partition_merge.rs
+
+examples/partition_merge.rs:

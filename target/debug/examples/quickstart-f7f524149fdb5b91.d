@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-f7f524149fdb5b91.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-f7f524149fdb5b91: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/replicated_kv-41bc2e8b428ac111.d: examples/replicated_kv.rs
+
+/root/repo/target/debug/examples/replicated_kv-41bc2e8b428ac111: examples/replicated_kv.rs
+
+examples/replicated_kv.rs:

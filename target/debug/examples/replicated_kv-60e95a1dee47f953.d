@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/replicated_kv-60e95a1dee47f953.d: examples/replicated_kv.rs Cargo.toml
+
+/root/repo/target/debug/examples/libreplicated_kv-60e95a1dee47f953.rmeta: examples/replicated_kv.rs Cargo.toml
+
+examples/replicated_kv.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/udp_cluster-a2bc813f890cc945.d: examples/udp_cluster.rs
+
+/root/repo/target/debug/examples/udp_cluster-a2bc813f890cc945: examples/udp_cluster.rs
+
+examples/udp_cluster.rs:

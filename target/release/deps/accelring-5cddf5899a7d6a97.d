@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/accelring-5cddf5899a7d6a97.d: src/lib.rs
+
+/root/repo/target/release/deps/libaccelring-5cddf5899a7d6a97.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libaccelring-5cddf5899a7d6a97.rmeta: src/lib.rs
+
+src/lib.rs:

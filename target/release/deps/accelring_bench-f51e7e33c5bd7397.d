@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/accelring_bench-f51e7e33c5bd7397.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libaccelring_bench-f51e7e33c5bd7397.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libaccelring_bench-f51e7e33c5bd7397.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/accelring_chaos-5ceaef35f45d2c5d.d: crates/chaos/src/lib.rs crates/chaos/src/checker.rs crates/chaos/src/hook.rs crates/chaos/src/runner.rs crates/chaos/src/schedule.rs Cargo.toml
+
+/root/repo/target/release/deps/libaccelring_chaos-5ceaef35f45d2c5d.rmeta: crates/chaos/src/lib.rs crates/chaos/src/checker.rs crates/chaos/src/hook.rs crates/chaos/src/runner.rs crates/chaos/src/schedule.rs Cargo.toml
+
+crates/chaos/src/lib.rs:
+crates/chaos/src/checker.rs:
+crates/chaos/src/hook.rs:
+crates/chaos/src/runner.rs:
+crates/chaos/src/schedule.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/accelring_chaos-a3244fa1a9989636.d: crates/chaos/src/lib.rs crates/chaos/src/checker.rs crates/chaos/src/hook.rs crates/chaos/src/runner.rs crates/chaos/src/schedule.rs
+
+/root/repo/target/release/deps/libaccelring_chaos-a3244fa1a9989636.rlib: crates/chaos/src/lib.rs crates/chaos/src/checker.rs crates/chaos/src/hook.rs crates/chaos/src/runner.rs crates/chaos/src/schedule.rs
+
+/root/repo/target/release/deps/libaccelring_chaos-a3244fa1a9989636.rmeta: crates/chaos/src/lib.rs crates/chaos/src/checker.rs crates/chaos/src/hook.rs crates/chaos/src/runner.rs crates/chaos/src/schedule.rs
+
+crates/chaos/src/lib.rs:
+crates/chaos/src/checker.rs:
+crates/chaos/src/hook.rs:
+crates/chaos/src/runner.rs:
+crates/chaos/src/schedule.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/accelring_core-00c6231e86425f1e.d: crates/core/src/lib.rs crates/core/src/buffer.rs crates/core/src/config.rs crates/core/src/flow.rs crates/core/src/message.rs crates/core/src/participant.rs crates/core/src/priority.rs crates/core/src/ring.rs crates/core/src/stats.rs crates/core/src/testing.rs crates/core/src/types.rs crates/core/src/wire.rs
+
+/root/repo/target/release/deps/libaccelring_core-00c6231e86425f1e.rlib: crates/core/src/lib.rs crates/core/src/buffer.rs crates/core/src/config.rs crates/core/src/flow.rs crates/core/src/message.rs crates/core/src/participant.rs crates/core/src/priority.rs crates/core/src/ring.rs crates/core/src/stats.rs crates/core/src/testing.rs crates/core/src/types.rs crates/core/src/wire.rs
+
+/root/repo/target/release/deps/libaccelring_core-00c6231e86425f1e.rmeta: crates/core/src/lib.rs crates/core/src/buffer.rs crates/core/src/config.rs crates/core/src/flow.rs crates/core/src/message.rs crates/core/src/participant.rs crates/core/src/priority.rs crates/core/src/ring.rs crates/core/src/stats.rs crates/core/src/testing.rs crates/core/src/types.rs crates/core/src/wire.rs
+
+crates/core/src/lib.rs:
+crates/core/src/buffer.rs:
+crates/core/src/config.rs:
+crates/core/src/flow.rs:
+crates/core/src/message.rs:
+crates/core/src/participant.rs:
+crates/core/src/priority.rs:
+crates/core/src/ring.rs:
+crates/core/src/stats.rs:
+crates/core/src/testing.rs:
+crates/core/src/types.rs:
+crates/core/src/wire.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/accelring_daemon-046791d971ab49a9.d: crates/daemon/src/lib.rs crates/daemon/src/engine.rs crates/daemon/src/groups.rs crates/daemon/src/packing.rs crates/daemon/src/proto.rs crates/daemon/src/runtime.rs
+
+/root/repo/target/release/deps/libaccelring_daemon-046791d971ab49a9.rlib: crates/daemon/src/lib.rs crates/daemon/src/engine.rs crates/daemon/src/groups.rs crates/daemon/src/packing.rs crates/daemon/src/proto.rs crates/daemon/src/runtime.rs
+
+/root/repo/target/release/deps/libaccelring_daemon-046791d971ab49a9.rmeta: crates/daemon/src/lib.rs crates/daemon/src/engine.rs crates/daemon/src/groups.rs crates/daemon/src/packing.rs crates/daemon/src/proto.rs crates/daemon/src/runtime.rs
+
+crates/daemon/src/lib.rs:
+crates/daemon/src/engine.rs:
+crates/daemon/src/groups.rs:
+crates/daemon/src/packing.rs:
+crates/daemon/src/proto.rs:
+crates/daemon/src/runtime.rs:

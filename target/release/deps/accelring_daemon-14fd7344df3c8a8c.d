@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/accelring_daemon-14fd7344df3c8a8c.d: crates/daemon/src/lib.rs crates/daemon/src/engine.rs crates/daemon/src/groups.rs crates/daemon/src/packing.rs crates/daemon/src/proto.rs crates/daemon/src/runtime.rs Cargo.toml
+
+/root/repo/target/release/deps/libaccelring_daemon-14fd7344df3c8a8c.rmeta: crates/daemon/src/lib.rs crates/daemon/src/engine.rs crates/daemon/src/groups.rs crates/daemon/src/packing.rs crates/daemon/src/proto.rs crates/daemon/src/runtime.rs Cargo.toml
+
+crates/daemon/src/lib.rs:
+crates/daemon/src/engine.rs:
+crates/daemon/src/groups.rs:
+crates/daemon/src/packing.rs:
+crates/daemon/src/proto.rs:
+crates/daemon/src/runtime.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

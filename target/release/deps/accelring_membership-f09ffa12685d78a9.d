@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/accelring_membership-f09ffa12685d78a9.d: crates/membership/src/lib.rs crates/membership/src/config.rs crates/membership/src/daemon.rs crates/membership/src/msg.rs crates/membership/src/testing.rs
+
+/root/repo/target/release/deps/libaccelring_membership-f09ffa12685d78a9.rlib: crates/membership/src/lib.rs crates/membership/src/config.rs crates/membership/src/daemon.rs crates/membership/src/msg.rs crates/membership/src/testing.rs
+
+/root/repo/target/release/deps/libaccelring_membership-f09ffa12685d78a9.rmeta: crates/membership/src/lib.rs crates/membership/src/config.rs crates/membership/src/daemon.rs crates/membership/src/msg.rs crates/membership/src/testing.rs
+
+crates/membership/src/lib.rs:
+crates/membership/src/config.rs:
+crates/membership/src/daemon.rs:
+crates/membership/src/msg.rs:
+crates/membership/src/testing.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/accelring_sim-2499a52072b450f5.d: crates/sim/src/lib.rs crates/sim/src/fabric.rs crates/sim/src/harness.rs crates/sim/src/loss.rs crates/sim/src/metrics.rs crates/sim/src/profiles.rs crates/sim/src/sim.rs crates/sim/src/time.rs
+
+/root/repo/target/release/deps/libaccelring_sim-2499a52072b450f5.rlib: crates/sim/src/lib.rs crates/sim/src/fabric.rs crates/sim/src/harness.rs crates/sim/src/loss.rs crates/sim/src/metrics.rs crates/sim/src/profiles.rs crates/sim/src/sim.rs crates/sim/src/time.rs
+
+/root/repo/target/release/deps/libaccelring_sim-2499a52072b450f5.rmeta: crates/sim/src/lib.rs crates/sim/src/fabric.rs crates/sim/src/harness.rs crates/sim/src/loss.rs crates/sim/src/metrics.rs crates/sim/src/profiles.rs crates/sim/src/sim.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/fabric.rs:
+crates/sim/src/harness.rs:
+crates/sim/src/loss.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/profiles.rs:
+crates/sim/src/sim.rs:
+crates/sim/src/time.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/accelring_transport-2eec6957f9ff1959.d: crates/transport/src/lib.rs crates/transport/src/addr.rs crates/transport/src/node.rs Cargo.toml
+
+/root/repo/target/release/deps/libaccelring_transport-2eec6957f9ff1959.rmeta: crates/transport/src/lib.rs crates/transport/src/addr.rs crates/transport/src/node.rs Cargo.toml
+
+crates/transport/src/lib.rs:
+crates/transport/src/addr.rs:
+crates/transport/src/node.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

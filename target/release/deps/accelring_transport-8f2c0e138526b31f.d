@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/accelring_transport-8f2c0e138526b31f.d: crates/transport/src/lib.rs crates/transport/src/addr.rs crates/transport/src/node.rs
+
+/root/repo/target/release/deps/libaccelring_transport-8f2c0e138526b31f.rlib: crates/transport/src/lib.rs crates/transport/src/addr.rs crates/transport/src/node.rs
+
+/root/repo/target/release/deps/libaccelring_transport-8f2c0e138526b31f.rmeta: crates/transport/src/lib.rs crates/transport/src/addr.rs crates/transport/src/node.rs
+
+crates/transport/src/lib.rs:
+crates/transport/src/addr.rs:
+crates/transport/src/node.rs:

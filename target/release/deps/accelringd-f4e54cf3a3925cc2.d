@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/accelringd-f4e54cf3a3925cc2.d: src/bin/accelringd.rs
+
+/root/repo/target/release/deps/accelringd-f4e54cf3a3925cc2: src/bin/accelringd.rs
+
+src/bin/accelringd.rs:

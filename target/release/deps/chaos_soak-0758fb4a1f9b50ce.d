@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/chaos_soak-0758fb4a1f9b50ce.d: crates/bench/src/bin/chaos_soak.rs
+
+/root/repo/target/release/deps/chaos_soak-0758fb4a1f9b50ce: crates/bench/src/bin/chaos_soak.rs
+
+crates/bench/src/bin/chaos_soak.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/chaos_soak-b9b8278b7caac410.d: crates/bench/src/bin/chaos_soak.rs Cargo.toml
+
+/root/repo/target/release/deps/libchaos_soak-b9b8278b7caac410.rmeta: crates/bench/src/bin/chaos_soak.rs Cargo.toml
+
+crates/bench/src/bin/chaos_soak.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

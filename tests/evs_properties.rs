@@ -25,7 +25,10 @@ fn sequential_crashes_always_reform() {
     for crashed in [4usize, 1] {
         c.crash(crashed);
         c.run_for(60 * MS);
-        assert!(c.all_operational(), "survivors reform after crash of {crashed}");
+        assert!(
+            c.all_operational(),
+            "survivors reform after crash of {crashed}"
+        );
     }
     assert_eq!(c.ring_of(0).len(), 3);
     c.submit(0, Bytes::from_static(b"still alive"), Service::Safe);

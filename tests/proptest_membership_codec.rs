@@ -3,7 +3,9 @@
 use std::collections::BTreeSet;
 
 use accelring::core::{wire, DataMessage, ParticipantId, RingId, Round, Seq, Service};
-use accelring::membership::{decode_control, encode_control, CommitToken, ControlMessage, MemberInfo};
+use accelring::membership::{
+    decode_control, encode_control, CommitToken, ControlMessage, MemberInfo,
+};
 use bytes::Bytes;
 use proptest::prelude::*;
 
@@ -20,14 +22,18 @@ fn ring_id_strategy() -> impl Strategy<Value = RingId> {
 }
 
 fn member_info_strategy() -> impl Strategy<Value = MemberInfo> {
-    (pid_strategy(), ring_id_strategy(), any::<u64>(), any::<u64>()).prop_map(
-        |(pid, old_ring, aru, held)| MemberInfo {
+    (
+        pid_strategy(),
+        ring_id_strategy(),
+        any::<u64>(),
+        any::<u64>(),
+    )
+        .prop_map(|(pid, old_ring, aru, held)| MemberInfo {
             pid,
             old_ring,
             local_aru: Seq::new(aru.min(held)),
             highest_held: Seq::new(held),
-        },
-    )
+        })
 }
 
 fn data_message_strategy() -> impl Strategy<Value = DataMessage> {
@@ -39,16 +45,18 @@ fn data_message_strategy() -> impl Strategy<Value = DataMessage> {
         proptest::collection::vec(any::<u8>(), 0..256),
         any::<bool>(),
     )
-        .prop_map(|(ring_id, seq, pid, round, payload, post_token)| DataMessage {
-            ring_id,
-            seq: Seq::new(seq),
-            pid,
-            round: Round::new(round),
-            service: Service::Safe,
-            post_token,
-            retransmission: false,
-            payload: Bytes::from(payload),
-        })
+        .prop_map(
+            |(ring_id, seq, pid, round, payload, post_token)| DataMessage {
+                ring_id,
+                seq: Seq::new(seq),
+                pid,
+                round: Round::new(round),
+                service: Service::Safe,
+                post_token,
+                retransmission: false,
+                payload: Bytes::from(payload),
+            },
+        )
 }
 
 fn control_strategy() -> impl Strategy<Value = ControlMessage> {
@@ -90,12 +98,22 @@ fn control_strategy() -> impl Strategy<Value = ControlMessage> {
                 msg,
             }
         ),
-        (pid_strategy(), ring_id_strategy()).prop_map(|(sender, new_ring)| {
-            ControlMessage::RecoveryDone { sender, new_ring }
-        }),
-        (pid_strategy(), ring_id_strategy()).prop_map(|(sender, ring_id)| {
-            ControlMessage::Presence { sender, ring_id }
-        }),
+        (
+            pid_strategy(),
+            ring_id_strategy(),
+            ring_id_strategy(),
+            proptest::collection::vec(any::<u64>(), 0..24)
+        )
+            .prop_map(|(sender, new_ring, old_ring, holds)| {
+                ControlMessage::RecoveryDone {
+                    sender,
+                    new_ring,
+                    old_ring,
+                    holds: holds.into_iter().map(Seq::new).collect(),
+                }
+            }),
+        (pid_strategy(), ring_id_strategy())
+            .prop_map(|(sender, ring_id)| { ControlMessage::Presence { sender, ring_id } }),
     ]
 }
 

@@ -2,7 +2,9 @@
 //! workloads and loss patterns.
 
 use accelring::core::testing::{LossRule, TestNet};
-use accelring::core::{wire, DataMessage, ParticipantId, ProtocolConfig, RingId, Round, Seq, Service, Token};
+use accelring::core::{
+    wire, DataMessage, ParticipantId, ProtocolConfig, RingId, Round, Seq, Service, Token,
+};
 use bytes::Bytes;
 use proptest::prelude::*;
 
@@ -55,16 +57,18 @@ fn token_strategy() -> impl Strategy<Value = Token> {
         any::<u32>(),
         proptest::collection::vec(any::<u64>(), 0..64),
     )
-        .prop_map(|(rep, counter, token_id, round, seq, aru_id, fcc, rtr)| Token {
-            ring_id: RingId::new(ParticipantId::new(rep), counter),
-            token_id,
-            round: Round::new(round),
-            seq: Seq::new(seq),
-            aru: Seq::new(seq / 2),
-            aru_id: aru_id.map(ParticipantId::new),
-            fcc,
-            rtr: rtr.into_iter().map(Seq::new).collect(),
-        })
+        .prop_map(
+            |(rep, counter, token_id, round, seq, aru_id, fcc, rtr)| Token {
+                ring_id: RingId::new(ParticipantId::new(rep), counter),
+                token_id,
+                round: Round::new(round),
+                seq: Seq::new(seq),
+                aru: Seq::new(seq / 2),
+                aru_id: aru_id.map(ParticipantId::new),
+                fcc,
+                rtr: rtr.into_iter().map(Seq::new).collect(),
+            },
+        )
 }
 
 proptest! {

@@ -31,8 +31,10 @@ fn wait_for_view(
 ) -> bool {
     let start = Instant::now();
     while start.elapsed() < deadline {
-        if let Ok(ClientEvent::View { group: g, members: m }) =
-            client.events().recv_timeout(Duration::from_millis(200))
+        if let Ok(ClientEvent::View {
+            group: g,
+            members: m,
+        }) = client.events().recv_timeout(Duration::from_millis(200))
         {
             if g == group && m.len() == members {
                 return true;
@@ -87,19 +89,26 @@ fn group_messaging_and_daemon_failure() {
     let mut saw_pruned_view = false;
     while start.elapsed() < Duration::from_secs(20) && !(saw_shrunk_config && saw_pruned_view) {
         match clients[0].events().recv_timeout(Duration::from_millis(200)) {
-            Ok(ClientEvent::Config { daemons, transitional })
-                if !transitional && daemons.len() == 2 => {
-                    saw_shrunk_config = true;
-                }
-            Ok(ClientEvent::View { group, members })
-                if group == "work" && members.len() == 2 => {
-                    saw_pruned_view = true;
-                }
+            Ok(ClientEvent::Config {
+                daemons,
+                transitional,
+            }) if !transitional && daemons.len() == 2 => {
+                saw_shrunk_config = true;
+            }
+            Ok(ClientEvent::View { group, members }) if group == "work" && members.len() == 2 => {
+                saw_pruned_view = true;
+            }
             _ => {}
         }
     }
-    assert!(saw_shrunk_config, "surviving client sees the 2-daemon config");
-    assert!(saw_pruned_view, "dead daemon's client pruned from the group");
+    assert!(
+        saw_shrunk_config,
+        "surviving client sees the 2-daemon config"
+    );
+    assert!(
+        saw_pruned_view,
+        "dead daemon's client pruned from the group"
+    );
 
     // The shrunken ring still orders traffic.
     clients[1]

@@ -65,7 +65,10 @@ fn implementation_overhead_ordering_on_10gb() {
     );
     // Rough magnitudes from the paper: 4.6 / 3.3 / 2.3 Gbps.
     assert!(maxes[0].1 > 3800.0, "library {maxes:?}");
-    assert!(maxes[2].1 > 1800.0 && maxes[2].1 < 3000.0, "spread {maxes:?}");
+    assert!(
+        maxes[2].1 > 1800.0 && maxes[2].1 < 3000.0,
+        "spread {maxes:?}"
+    );
 }
 
 #[test]
@@ -148,7 +151,10 @@ fn distance_of_lossy_pair_increases_latency() {
         spec.network = NetworkProfile::ten_gigabit();
         spec.impl_profile = ImplProfile::daemon();
         spec.protocol = ProtocolConfig::accelerated(20, 15);
-        spec.loss = LossSpec::FromDistance { distance, rate: 0.2 };
+        spec.loss = LossSpec::FromDistance {
+            distance,
+            rate: 0.2,
+        };
         spec.at_rate_mbps(480).run().latency.mean
     };
     let near = latency_at(1);

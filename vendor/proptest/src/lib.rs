@@ -1,0 +1,572 @@
+//! Offline, API-compatible subset of the `proptest` crate.
+//!
+//! Implements the strategy combinators and macros this workspace's property
+//! tests use: `proptest!`, `prop_assert!`, `prop_assert_eq!`, `prop_oneof!`,
+//! `any::<T>()`, `Just`, ranges as strategies, tuple composition,
+//! `prop_map`, and the `collection`/`option` modules. Cases are generated
+//! from a deterministic per-case RNG, so failures are reproducible by
+//! rerunning the test binary. Shrinking is not implemented: a failing case
+//! reports its inputs un-minimized (acceptable for an offline stub — the
+//! full crate is a drop-in replacement when a registry is available).
+
+#![forbid(unsafe_code)]
+
+/// Test-runner configuration and error types.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Configuration accepted by `#![proptest_config(..)]`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of cases to generate per property.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// The RNG handed to strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng(pub StdRng);
+
+    impl TestRng {
+        /// Deterministic RNG for case number `case` of a property.
+        pub fn for_case(case: u64) -> TestRng {
+            TestRng(StdRng::seed_from_u64(
+                0x5EED_CAFE_F00D_D00D ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            ))
+        }
+    }
+
+    /// Failure raised by `prop_assert!`-family macros.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// A failed assertion with this message.
+        pub fn fail(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "{}", self.0)
+        }
+    }
+
+    /// Result type of one generated case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+}
+
+/// Strategies: composable random-value generators.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// A generator of values of type `Value`.
+    ///
+    /// Unlike the real crate there is no value tree / shrinking; `generate`
+    /// directly produces a value from the RNG.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Strategy producing a fixed value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice among alternatives (`prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union of the given alternatives.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `options` is empty.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let idx = rng.0.random_range(0..self.options.len());
+            self.options[idx].generate(rng)
+        }
+    }
+
+    /// Boxes a strategy for use in [`Union::new`] (used by `prop_oneof!`).
+    pub fn boxify<S: Strategy + 'static>(s: S) -> BoxedStrategy<S::Value> {
+        Box::new(s)
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.0.random_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.0.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            rng.0.random_range(self.clone())
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+    tuple_strategy!(A, B, C, D, E, F, G);
+    tuple_strategy!(A, B, C, D, E, F, G, H);
+    tuple_strategy!(A, B, C, D, E, F, G, H, I);
+    tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_uniform {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.0.random()
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            rng.0.random()
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    /// A size range for generated collections.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        min: usize,
+        /// Exclusive.
+        max: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            SizeRange {
+                min: r.start,
+                max: r.end.max(r.start + 1),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { min: n, max: n + 1 }
+        }
+    }
+
+    impl SizeRange {
+        fn sample(&self, rng: &mut TestRng) -> usize {
+            rng.0.random_range(self.min..self.max)
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>`; see [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Generates vectors of `element` with a length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>`; see [`btree_set`].
+    #[derive(Debug, Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let want = self.size.sample(rng);
+            let mut set = BTreeSet::new();
+            // Duplicates shrink the set below `want`; retry a bounded number
+            // of times to respect the minimum size like the real crate.
+            let mut attempts = 0;
+            while set.len() < want && attempts < want * 16 + 16 {
+                set.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            set
+        }
+    }
+
+    /// Generates ordered sets of `element` with a size in `size` (best
+    /// effort if the element domain is too small).
+    pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// `Option` strategies.
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Strategy for `Option<S::Value>`; see [`of`].
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S>(S);
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.0.random_bool(0.5) {
+                Some(self.0.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+
+    /// `None` half the time, `Some(inner)` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+}
+
+/// Everything a property test usually imports.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests. See the crate docs; supports the
+/// `#![proptest_config(expr)]` header and `name(arg in strategy, ..)` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                for case in 0..u64::from(config.cases) {
+                    let mut rng = $crate::test_runner::TestRng::for_case(case);
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    let result: $crate::test_runner::TestCaseResult = (move || {
+                        $body
+                        Ok(())
+                    })();
+                    if let Err(e) = result {
+                        panic!(
+                            "proptest property {} failed at case {}/{}: {}",
+                            stringify!($name),
+                            case,
+                            config.cases,
+                            e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Like `assert!` but failing the current proptest case instead of
+/// panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Like `assert_eq!` but failing the current proptest case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// Like `assert_ne!` but failing the current proptest case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {} (both {:?})",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Uniformly picks one of several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::boxify($strategy)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3u64..17, y in 0usize..4) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y < 4);
+        }
+
+        #[test]
+        fn combinators_compose(
+            v in crate::collection::vec(any::<u8>(), 2..9),
+            o in crate::option::of(1u32..5),
+            pick in prop_oneof![Just(1u8), Just(2u8), (3u8..9).prop_map(|x| x)],
+        ) {
+            prop_assert!((2..9).contains(&v.len()));
+            if let Some(x) = o {
+                prop_assert!((1..5).contains(&x));
+            }
+            prop_assert!((1..9).contains(&pick));
+        }
+
+        #[test]
+        fn sets_hit_min_size(s in crate::collection::btree_set(any::<u16>(), 4..8)) {
+            prop_assert!(s.len() >= 4, "set size {}", s.len());
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use crate::strategy::Strategy;
+        let strat = crate::collection::vec(any::<u64>(), 0..16);
+        let mut a = crate::test_runner::TestRng::for_case(5);
+        let mut b = crate::test_runner::TestRng::for_case(5);
+        assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_report_case_number() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            fn always_fails(x in 0u8..4) {
+                prop_assert!(x > 200, "x is only {}", x);
+            }
+        }
+        always_fails();
+    }
+}
