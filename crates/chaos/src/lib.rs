@@ -38,10 +38,12 @@
 
 pub mod checker;
 pub mod hook;
+pub mod live;
 pub mod runner;
 pub mod schedule;
 
 pub use checker::{check, CheckerInput, MsgId, Violation};
 pub use hook::{ChaosNetHook, NetKnobs};
+pub use live::{live_membership_config, run_live_chaos, LiveChaosConfig};
 pub use runner::{run_chaos, run_to_input, ChaosConfig, ChaosReport, ChaosStats};
 pub use schedule::{FaultEvent, FaultKind, FaultSchedule, ScheduleConfig};

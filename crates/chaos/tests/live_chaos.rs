@@ -1,0 +1,61 @@
+//! Live-path chaos smoke: a fixed-seed fault schedule — packet loss,
+//! churn, partitions, token bursts, and daemon crashes — replayed against
+//! a real localhost UDP ring, with the same EVS checker the virtual-time
+//! harness uses running over what the daemons actually delivered.
+//!
+//! These tests stand up real sockets and threads and inject real faults;
+//! run them single-threaded (`--test-threads=1`) so concurrent rings do
+//! not compete for CPU and skew the wall-clock fault offsets.
+
+use accelring_chaos::{run_live_chaos, FaultKind, FaultSchedule, LiveChaosConfig};
+
+/// The CI seed. Chosen (and pinned) because its schedule exercises the
+/// full fault surface; `schedule_covers_the_fault_surface` below fails if
+/// a generator change ever makes this seed weaker.
+const CI_SEED: u64 = 3;
+
+#[test]
+fn live_smoke_seed_is_evs_clean() {
+    let report = run_live_chaos(LiveChaosConfig::smoke(CI_SEED)).expect("ring stands up");
+    assert!(
+        report.ok(),
+        "live seed {CI_SEED} violated EVS invariants:\n{}",
+        report.render()
+    );
+    assert!(report.stats.events_applied > 0, "no faults applied");
+    assert!(report.stats.submitted > 0, "no workload submitted");
+    assert!(report.stats.delivered > 0, "nothing delivered");
+}
+
+#[test]
+fn schedule_covers_the_fault_surface() {
+    // The acceptance criterion asks for loss + partition + daemon crash
+    // in one live run; pin that property to the CI seed's schedule.
+    let cfg = LiveChaosConfig::smoke(CI_SEED);
+    let schedule = FaultSchedule::generate(cfg.seed, cfg.schedule);
+    let has = |pred: &dyn Fn(&FaultKind) -> bool| schedule.events.iter().any(|e| pred(&e.kind));
+    assert!(
+        has(&|k| matches!(k, FaultKind::SetLoss { .. })),
+        "schedule lacks packet loss"
+    );
+    assert!(
+        has(&|k| matches!(k, FaultKind::Partition(_))),
+        "schedule lacks a partition"
+    );
+    assert!(
+        has(&|k| matches!(k, FaultKind::Crash(_) | FaultKind::CrashTokenHolder)),
+        "schedule lacks a daemon crash"
+    );
+    assert!(
+        has(&|k| matches!(k, FaultKind::TokenBurst(_))),
+        "schedule lacks a token burst"
+    );
+}
+
+#[test]
+fn live_schedule_is_reproducible() {
+    let cfg = LiveChaosConfig::smoke(42);
+    let a = FaultSchedule::generate(cfg.seed, cfg.schedule);
+    let b = FaultSchedule::generate(cfg.seed, cfg.schedule);
+    assert_eq!(a, b, "same seed must give the same live fault schedule");
+}

@@ -77,6 +77,17 @@ pub enum ClientEvent {
         /// Whether this is a transitional configuration.
         transitional: bool,
     },
+    /// Terminal: the daemon can no longer serve this client (its node
+    /// thread died, the daemon is shutting down, or the session was
+    /// superseded). No further events follow. Unlike ordinary events this
+    /// is never shed when a client's event queue is full — runtimes must
+    /// deliver it out of band or block briefly, because a client that
+    /// misses it would wait forever on a dead daemon.
+    Disconnected {
+        /// Human-readable cause (e.g. the panic message of a dead node
+        /// thread, or "daemon shutdown").
+        reason: String,
+    },
 }
 
 /// An effect the runtime must carry out for the engine.
@@ -154,6 +165,14 @@ pub struct GroupEngine {
     next_fragment_id: u64,
     /// One reassembler per sending daemon (fragment ids are per-sender).
     reassemblers: BTreeMap<ParticipantId, Reassembler>,
+    /// Highest session sequence number seen per client *name*, across every
+    /// daemon. Because the ring delivers every daemon the same total order,
+    /// all engines agree on this map, and a resubmitted duplicate (same
+    /// name, same seq — e.g. after a client reconnects to a different
+    /// daemon) is dropped identically everywhere.
+    seen_seqs: BTreeMap<String, u64>,
+    /// Count of sequenced messages dropped as duplicates.
+    duplicates_dropped: u64,
 }
 
 impl GroupEngine {
@@ -174,7 +193,22 @@ impl GroupEngine {
             fragmenter: Fragmenter::new(options.fragment_budget),
             next_fragment_id: 0,
             reassemblers: BTreeMap::new(),
+            seen_seqs: BTreeMap::new(),
+            duplicates_dropped: 0,
         }
+    }
+
+    /// Sequenced messages dropped because their session sequence number was
+    /// already seen (duplicate suppression after client resubmission).
+    pub fn duplicates_dropped(&self) -> u64 {
+        self.duplicates_dropped
+    }
+
+    /// The highest session sequence number this engine has seen for the
+    /// named client, or 0 if none. A reconnecting client resumes stamping
+    /// from above this value.
+    pub fn last_seq(&self, client: &str) -> u64 {
+        self.seen_seqs.get(client).copied().unwrap_or(0)
     }
 
     /// Wraps one encoded group message for the ring: fragmenting when too
@@ -268,6 +302,7 @@ impl GroupEngine {
         self.local_clients.remove(name);
         let encoded = encode_group_message(&GroupMessage {
             sender: id,
+            seq: 0,
             action: GroupAction::Disconnect,
         });
         Ok(self.wrap_submit(encoded, Service::Agreed))
@@ -288,6 +323,7 @@ impl GroupEngine {
         let id = self.require_client(name)?;
         let encoded = encode_group_message(&GroupMessage {
             sender: id,
+            seq: 0,
             action: GroupAction::Join {
                 group: group.to_string(),
             },
@@ -309,6 +345,7 @@ impl GroupEngine {
         let id = self.require_client(name)?;
         let encoded = encode_group_message(&GroupMessage {
             sender: id,
+            seq: 0,
             action: GroupAction::Leave {
                 group: group.to_string(),
             },
@@ -331,6 +368,28 @@ impl GroupEngine {
         payload: Bytes,
         service: Service,
     ) -> Result<Vec<EngineOutput>, EngineError> {
+        self.client_multicast_sequenced(name, groups, payload, service, 0)
+    }
+
+    /// Like [`GroupEngine::client_multicast`], but stamps the message with a
+    /// client-session sequence number for duplicate suppression: if `seq`
+    /// is nonzero and a message with the same sender name and a sequence
+    /// number at least `seq` was already delivered, every engine drops the
+    /// message on delivery. Used by reconnecting clients to safely resubmit
+    /// messages whose fate was unknown when their daemon died.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown clients, invalid names, or a bad group
+    /// count.
+    pub fn client_multicast_sequenced(
+        &mut self,
+        name: &str,
+        groups: &[&str],
+        payload: Bytes,
+        service: Service,
+        seq: u64,
+    ) -> Result<Vec<EngineOutput>, EngineError> {
         if groups.is_empty() || groups.len() > MAX_GROUPS {
             return Err(EngineError::Proto(GroupProtoError::BadGroupCount(
                 groups.len(),
@@ -342,6 +401,7 @@ impl GroupEngine {
         let id = self.require_client(name)?;
         let encoded = encode_group_message(&GroupMessage {
             sender: id,
+            seq,
             action: GroupAction::Data {
                 groups: groups.iter().map(|g| g.to_string()).collect(),
                 payload,
@@ -380,6 +440,17 @@ impl GroupEngine {
         let Ok(msg) = decode_group_message(&mut payload) else {
             return Vec::new();
         };
+        if msg.seq != 0 {
+            // Per-sender FIFO within the total order means a duplicate
+            // (resubmitted) message can only arrive with a seq at or below
+            // the highest already seen for that name.
+            let last = self.seen_seqs.entry(msg.sender.name.clone()).or_insert(0);
+            if msg.seq <= *last {
+                self.duplicates_dropped += 1;
+                return Vec::new();
+            }
+            *last = msg.seq;
+        }
         match msg.action {
             GroupAction::Data { groups, payload } => {
                 // Route to local members of the union of the target groups,
@@ -628,6 +699,7 @@ mod tests {
                 daemon: ParticipantId::new(5),
                 name: "remote".into(),
             },
+            seq: 0,
             action: GroupAction::Join { group: "g".into() },
         }));
         e.on_delivery(&delivery_of(remote_join, Service::Agreed, 99));
@@ -663,6 +735,7 @@ mod tests {
                 daemon: ParticipantId::new(5),
                 name: "remote".into(),
             },
+            seq: 0,
             action: GroupAction::Join { group: "g".into() },
         }));
         e.on_delivery(&delivery_of(remote_join, Service::Agreed, 1));
@@ -820,6 +893,74 @@ mod tests {
             .collect();
         assert!(services.contains(&Service::Agreed));
         assert!(services.contains(&Service::Safe));
+    }
+
+    #[test]
+    fn sequenced_duplicates_dropped_across_daemons() {
+        let mut engines = vec![
+            GroupEngine::new(ParticipantId::new(0)),
+            GroupEngine::new(ParticipantId::new(1)),
+        ];
+        engines[0].client_connect("pub").unwrap();
+        engines[1].client_connect("sub").unwrap();
+        let mut seq = 0;
+        let out = engines[1].client_join("sub", "g").unwrap();
+        propagate(out, &mut engines, &mut seq);
+
+        // First sequenced send delivers normally.
+        let out = engines[0]
+            .client_multicast_sequenced(
+                "pub",
+                &["g"],
+                Bytes::from_static(b"m1"),
+                Service::Agreed,
+                1,
+            )
+            .unwrap();
+        let locals = propagate(out, &mut engines, &mut seq);
+        assert_eq!(locals[1].len(), 1);
+
+        // The same client reconnects at daemon 1 and resubmits seq 1, then
+        // sends seq 2: the duplicate is suppressed everywhere, the new
+        // message goes through.
+        engines[1].client_connect("pub").unwrap();
+        let dup = engines[1]
+            .client_multicast_sequenced(
+                "pub",
+                &["g"],
+                Bytes::from_static(b"m1"),
+                Service::Agreed,
+                1,
+            )
+            .unwrap();
+        let locals = propagate(dup, &mut engines, &mut seq);
+        assert!(locals[1].is_empty(), "duplicate seq must be dropped");
+        assert_eq!(engines[0].duplicates_dropped(), 1);
+        assert_eq!(engines[1].duplicates_dropped(), 1);
+        let fresh = engines[1]
+            .client_multicast_sequenced(
+                "pub",
+                &["g"],
+                Bytes::from_static(b"m2"),
+                Service::Agreed,
+                2,
+            )
+            .unwrap();
+        let locals = propagate(fresh, &mut engines, &mut seq);
+        assert_eq!(locals[1].len(), 1, "next seq delivers");
+        assert_eq!(engines[0].last_seq("pub"), 2);
+
+        // Unsequenced (seq 0) messages are never suppressed.
+        let a = engines[1]
+            .client_multicast("pub", &["g"], Bytes::from_static(b"u"), Service::Agreed)
+            .unwrap();
+        let b = engines[1]
+            .client_multicast("pub", &["g"], Bytes::from_static(b"u"), Service::Agreed)
+            .unwrap();
+        let mut both = a;
+        both.extend(b);
+        let locals = propagate(both, &mut engines, &mut seq);
+        assert_eq!(locals[1].len(), 2, "seq 0 messages always deliver");
     }
 
     #[test]

@@ -63,4 +63,4 @@ pub mod runtime;
 pub use engine::{ClientEvent, EngineError, EngineOptions, EngineOutput, GroupEngine};
 pub use groups::{GroupTable, GroupView};
 pub use proto::{ClientId, GroupAction, GroupMessage, GroupProtoError, MAX_GROUPS, MAX_NAME};
-pub use runtime::{GroupClient, GroupDaemon};
+pub use runtime::{DaemonOptions, DaemonStats, GroupClient, GroupDaemon};

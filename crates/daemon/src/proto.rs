@@ -62,6 +62,13 @@ pub enum GroupAction {
 pub struct GroupMessage {
     /// The client this message is on behalf of.
     pub sender: ClientId,
+    /// Client-session sequence number for duplicate suppression across
+    /// reconnects; `0` means unsequenced (no suppression). Sequenced
+    /// clients stamp data messages from a per-session counter starting at
+    /// 1, and every engine remembers the highest sequence seen per client
+    /// *name* — so a message resubmitted through a different daemon after
+    /// a reconnect is recognized and dropped.
+    pub seq: u64,
     /// The operation.
     pub action: GroupAction,
 }
@@ -129,6 +136,7 @@ pub fn encode_group_message(msg: &GroupMessage) -> Bytes {
     let mut buf = BytesMut::with_capacity(64);
     buf.put_u16_le(msg.sender.daemon.as_u16());
     put_name(&mut buf, &msg.sender.name);
+    buf.put_u64_le(msg.seq);
     match &msg.action {
         GroupAction::Data { groups, payload } => {
             buf.put_u8(ACT_DATA);
@@ -164,6 +172,10 @@ pub fn decode_group_message(buf: &mut Bytes) -> Result<GroupMessage, DecodeError
     let daemon = ParticipantId::new(buf.get_u16_le());
     let name = get_name(buf)?;
     let sender = ClientId { daemon, name };
+    if buf.remaining() < 8 {
+        return Err(DecodeError::Truncated);
+    }
+    let seq = buf.get_u64_le();
     if buf.remaining() < 1 {
         return Err(DecodeError::Truncated);
     }
@@ -207,7 +219,11 @@ pub fn decode_group_message(buf: &mut Bytes) -> Result<GroupMessage, DecodeError
         ACT_DISCONNECT => GroupAction::Disconnect,
         other => return Err(DecodeError::BadKind(other)),
     };
-    Ok(GroupMessage { sender, action })
+    Ok(GroupMessage {
+        sender,
+        seq,
+        action,
+    })
 }
 
 #[cfg(test)]
@@ -230,6 +246,7 @@ mod tests {
     fn data_roundtrip() {
         let msg = GroupMessage {
             sender: client(3, "trader-7"),
+            seq: 0,
             action: GroupAction::Data {
                 groups: vec!["orders".into(), "audit-log".into()],
                 payload: Bytes::from_static(b"BUY 100 XYZ"),
@@ -247,6 +264,7 @@ mod tests {
         ] {
             let msg = GroupMessage {
                 sender: client(0, "c"),
+                seq: 0,
                 action,
             };
             assert_eq!(roundtrip(&msg), msg);
@@ -257,6 +275,7 @@ mod tests {
     fn empty_payload_roundtrip() {
         let msg = GroupMessage {
             sender: client(1, "x"),
+            seq: 7,
             action: GroupAction::Data {
                 groups: vec!["g".into()],
                 payload: Bytes::new(),
@@ -269,6 +288,7 @@ mod tests {
     fn truncation_rejected_everywhere() {
         let msg = GroupMessage {
             sender: client(3, "client"),
+            seq: 42,
             action: GroupAction::Data {
                 groups: vec!["group-a".into()],
                 payload: Bytes::from_static(b"xy"),
@@ -288,6 +308,7 @@ mod tests {
         buf.put_u16_le(0);
         buf.put_u16_le(1);
         buf.put_slice(b"c");
+        buf.put_u64_le(0);
         buf.put_u8(ACT_DATA);
         buf.put_u8(0);
         let mut b = buf.freeze();

@@ -1,17 +1,68 @@
 //! The runnable group daemon: a [`GroupEngine`] pumped by a thread over a
 //! real UDP transport node, serving in-process clients through channels
 //! (the "IPC" of the paper's daemon prototype).
+//!
+//! The pump supervises its transport node: when the node thread dies
+//! (panic, kill switch, or plain exit) every connected client receives a
+//! terminal [`ClientEvent::Disconnected`] instead of silently hanging on
+//! an event channel that will never speak again. Clients can then
+//! reconnect to a surviving daemon and resubmit in-flight messages with
+//! session sequence numbers; the replicated engines drop the duplicates.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use accelring_core::Service;
 use accelring_transport::{AppEvent, NodeHandle};
 use bytes::Bytes;
-use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{
+    bounded, unbounded, Receiver, Select, Sender, TryRecvError, TrySendError,
+};
 
 use crate::engine::{ClientEvent, EngineError, EngineOptions, EngineOutput, GroupEngine};
+
+/// How long the pump will block handing a terminal
+/// [`ClientEvent::Disconnected`] to a slow client before giving up (the
+/// client still observes termination through channel closure).
+const DISCONNECT_SEND_TIMEOUT: Duration = Duration::from_secs(1);
+
+/// Liveness backstop for the pump's select: everything interesting wakes
+/// the select through a channel, so this only bounds how stale the
+/// exported stats can get.
+const IDLE_TICK: Duration = Duration::from_millis(50);
+
+/// Runtime settings for a [`GroupDaemon`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DaemonOptions {
+    /// Packing/fragmentation settings for the group engine.
+    pub engine: EngineOptions,
+    /// Per-client event queue capacity; `None` means unbounded. With a
+    /// bounded queue, a client that stops draining its events sheds
+    /// `Message`/`View`/`Config` events (counted in
+    /// [`DaemonStats::events_shed`]) instead of growing daemon memory
+    /// without bound. The terminal [`ClientEvent::Disconnected`] is never
+    /// shed — the pump blocks briefly to deliver it, and channel closure
+    /// backstops even that.
+    pub client_queue: Option<usize>,
+}
+
+/// Counters exported by a running [`GroupDaemon`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DaemonStats {
+    /// Client events dropped because a client's bounded queue was full.
+    pub events_shed: u64,
+    /// Sequenced messages dropped by this daemon's engine as duplicates.
+    pub duplicates_dropped: u64,
+}
+
+#[derive(Debug, Default)]
+struct SharedStats {
+    events_shed: AtomicU64,
+    duplicates_dropped: AtomicU64,
+}
 
 enum Cmd {
     Connect {
@@ -34,12 +85,16 @@ enum Cmd {
         groups: Vec<String>,
         payload: Bytes,
         service: Service,
+        seq: u64,
         resp: Sender<Result<(), EngineError>>,
     },
     Disconnect {
         name: String,
     },
     Shutdown,
+    ShutdownGraceful {
+        drain: Duration,
+    },
 }
 
 /// A running group daemon: the ordering/membership stack plus the group
@@ -48,54 +103,123 @@ enum Cmd {
 pub struct GroupDaemon {
     cmd_tx: Sender<Cmd>,
     thread: Option<JoinHandle<()>>,
+    options: DaemonOptions,
+    shared: Arc<SharedStats>,
 }
 
 impl GroupDaemon {
     /// Starts the group layer on top of a running transport node with
-    /// default engine options.
+    /// default options.
     pub fn start(node: NodeHandle) -> GroupDaemon {
-        GroupDaemon::start_with_options(node, EngineOptions::default())
+        GroupDaemon::start_with(node, DaemonOptions::default())
     }
 
-    /// Starts the group layer with explicit packing/fragmentation options.
+    /// Starts the group layer with explicit packing/fragmentation options
+    /// and an unbounded client queue.
     pub fn start_with_options(node: NodeHandle, options: EngineOptions) -> GroupDaemon {
+        GroupDaemon::start_with(
+            node,
+            DaemonOptions {
+                engine: options,
+                client_queue: None,
+            },
+        )
+    }
+
+    /// Starts the group layer with full runtime options.
+    pub fn start_with(node: NodeHandle, options: DaemonOptions) -> GroupDaemon {
         let (cmd_tx, cmd_rx) = unbounded();
+        let shared = Arc::new(SharedStats::default());
+        let pump_shared = shared.clone();
         let thread = std::thread::Builder::new()
             .name(format!("group-daemon-{}", node.pid()))
-            .spawn(move || pump(node, cmd_rx, options))
+            .spawn(move || pump(node, cmd_rx, options.engine, pump_shared))
             .expect("spawn group daemon thread");
         GroupDaemon {
             cmd_tx,
             thread: Some(thread),
+            options,
+            shared,
         }
     }
 
-    /// Connects a new local client.
+    /// Connects a new local client with no session history (sequenced
+    /// sends start at 1).
     ///
     /// # Errors
     ///
     /// Returns [`EngineError`] for invalid or duplicate names.
     pub fn connect(&self, name: &str) -> Result<GroupClient, EngineError> {
-        let (event_tx, event_rx) = unbounded();
-        let (resp_tx, resp_rx) = bounded(1);
-        let _ = self.cmd_tx.send(Cmd::Connect {
-            name: name.to_string(),
-            events: event_tx,
-            resp: resp_tx,
-        });
-        resp_rx
-            .recv()
-            .unwrap_or(Err(EngineError::UnknownClient(name.to_string())))?;
+        self.connect_session(name, 0)
+    }
+
+    /// Connects a client resuming an earlier session: its next sequenced
+    /// multicast is stamped `resume_from + 1`. A client reconnecting after
+    /// its daemon died passes the last sequence number it *knows* was
+    /// accepted, then re-sends everything after it with
+    /// [`GroupClient::resubmit`]; engines drop whatever actually made it
+    /// through the first time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] for invalid or duplicate names, or if the
+    /// daemon is no longer running.
+    pub fn connect_session(
+        &self,
+        name: &str,
+        resume_from: u64,
+    ) -> Result<GroupClient, EngineError> {
+        let event_rx = {
+            let (event_tx, event_rx) = match self.options.client_queue {
+                Some(cap) => bounded(cap),
+                None => unbounded(),
+            };
+            let (resp_tx, resp_rx) = bounded(1);
+            let _ = self.cmd_tx.send(Cmd::Connect {
+                name: name.to_string(),
+                events: event_tx,
+                resp: resp_tx,
+            });
+            resp_rx
+                .recv()
+                .unwrap_or(Err(EngineError::UnknownClient(name.to_string())))?;
+            event_rx
+        };
         Ok(GroupClient {
             name: name.to_string(),
             cmd_tx: self.cmd_tx.clone(),
             event_rx,
+            next_seq: AtomicU64::new(resume_from),
         })
     }
 
-    /// Stops the daemon thread (clients become inert).
+    /// Current runtime counters.
+    pub fn stats(&self) -> DaemonStats {
+        DaemonStats {
+            events_shed: self.shared.events_shed.load(Ordering::Relaxed),
+            duplicates_dropped: self.shared.duplicates_dropped.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops the daemon thread immediately. Connected clients receive
+    /// [`ClientEvent::Disconnected`]; no departure courtesy is extended to
+    /// the ring (peers detect the loss via token-loss timeout).
     pub fn shutdown(mut self) {
         let _ = self.cmd_tx.send(Cmd::Shutdown);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    /// Gracefully drains and leaves: pending submissions and deliveries
+    /// are flushed (bounded by `drain`), then the node announces its
+    /// departure so survivors reform after one gather round instead of
+    /// waiting out the token-loss timeout; the departure's configuration
+    /// change prunes this daemon's clients from group views everywhere.
+    /// Local clients receive their final deliveries, then
+    /// [`ClientEvent::Disconnected`].
+    pub fn shutdown_graceful(mut self, drain: Duration) {
+        let _ = self.cmd_tx.send(Cmd::ShutdownGraceful { drain });
         if let Some(t) = self.thread.take() {
             let _ = t.join();
         }
@@ -117,6 +241,9 @@ pub struct GroupClient {
     name: String,
     cmd_tx: Sender<Cmd>,
     event_rx: Receiver<ClientEvent>,
+    /// Last session sequence number handed out by
+    /// [`GroupClient::multicast_sequenced`].
+    next_seq: AtomicU64,
 }
 
 impl GroupClient {
@@ -125,9 +252,18 @@ impl GroupClient {
         &self.name
     }
 
-    /// The stream of messages, views, and configuration notices.
+    /// The stream of messages, views, configuration notices, and the
+    /// terminal [`ClientEvent::Disconnected`]. The channel closing without
+    /// one also means the daemon is gone.
     pub fn events(&self) -> &Receiver<ClientEvent> {
         &self.event_rx
+    }
+
+    /// The last sequence number stamped by
+    /// [`GroupClient::multicast_sequenced`] (or the resume watermark if
+    /// none yet). Persist this across reconnects.
+    pub fn last_seq(&self) -> u64 {
+        self.next_seq.load(Ordering::Relaxed)
     }
 
     fn call(
@@ -167,7 +303,10 @@ impl GroupClient {
         })
     }
 
-    /// Multicasts to one or more groups with cross-group total ordering.
+    /// Multicasts to one or more groups with cross-group total ordering
+    /// (unsequenced: a resubmission after a daemon failure could be
+    /// delivered twice; use [`GroupClient::multicast_sequenced`] when that
+    /// matters).
     ///
     /// # Errors
     ///
@@ -178,11 +317,59 @@ impl GroupClient {
         payload: Bytes,
         service: Service,
     ) -> Result<(), EngineError> {
+        self.send_with_seq(groups, payload, service, 0)
+    }
+
+    /// Multicasts with the session's next sequence number stamped on the
+    /// message, returning that number. If this daemon later dies with the
+    /// message's fate unknown, reconnect elsewhere and
+    /// [`GroupClient::resubmit`] with the same number: every engine drops
+    /// the copy it has already delivered.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] for invalid names or group counts.
+    pub fn multicast_sequenced(
+        &self,
+        groups: &[&str],
+        payload: Bytes,
+        service: Service,
+    ) -> Result<u64, EngineError> {
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        self.send_with_seq(groups, payload, service, seq)?;
+        Ok(seq)
+    }
+
+    /// Re-sends a message under an explicit session sequence number after
+    /// a reconnect. Delivered at most once ring-wide: duplicates of an
+    /// already-delivered sequence number are suppressed by every engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] for invalid names or group counts.
+    pub fn resubmit(
+        &self,
+        seq: u64,
+        groups: &[&str],
+        payload: Bytes,
+        service: Service,
+    ) -> Result<(), EngineError> {
+        self.send_with_seq(groups, payload, service, seq)
+    }
+
+    fn send_with_seq(
+        &self,
+        groups: &[&str],
+        payload: Bytes,
+        service: Service,
+        seq: u64,
+    ) -> Result<(), EngineError> {
         self.call(|resp| Cmd::Multicast {
             name: self.name.clone(),
             groups: groups.iter().map(|g| g.to_string()).collect(),
             payload,
             service,
+            seq,
             resp,
         })
     }
@@ -195,13 +382,25 @@ impl GroupClient {
     }
 }
 
-fn pump(node: NodeHandle, cmd_rx: Receiver<Cmd>, options: EngineOptions) {
-    let mut engine = GroupEngine::with_options(node.pid(), options);
-    let mut client_channels: HashMap<String, Sender<ClientEvent>> = HashMap::new();
+/// Why the pump loop ended.
+enum Exit {
+    /// Immediate shutdown: no ring courtesy.
+    Immediate,
+    /// Graceful shutdown: drain and announce departure.
+    Graceful(Duration),
+    /// The transport node is dead (panic, kill, or exit).
+    NodeDead(String),
+}
 
-    let dispatch = |engine_outputs: Vec<EngineOutput>,
-                    channels: &HashMap<String, Sender<ClientEvent>>| {
-        for out in engine_outputs {
+struct Pump {
+    engine: GroupEngine,
+    channels: HashMap<String, Sender<ClientEvent>>,
+    shared: Arc<SharedStats>,
+}
+
+impl Pump {
+    fn dispatch(&mut self, outputs: Vec<EngineOutput>, node: &NodeHandle) {
+        for out in outputs {
             match out {
                 EngineOutput::Submit { payload, service } => {
                     // Engine traffic is low-rate control fan-out; a full
@@ -210,70 +409,188 @@ fn pump(node: NodeHandle, cmd_rx: Receiver<Cmd>, options: EngineOptions) {
                     let _ = node.submit(payload, service);
                 }
                 EngineOutput::Local { client, event } => {
-                    if let Some(tx) = channels.get(&client) {
-                        let _ = tx.send(event);
+                    if let Some(tx) = self.channels.get(&client) {
+                        if let Err(TrySendError::Full(_)) = tx.try_send(event) {
+                            self.shared.events_shed.fetch_add(1, Ordering::Relaxed);
+                        }
                     }
                 }
             }
         }
+    }
+
+    /// Handles one client command; `Some` ends the pump loop.
+    fn handle_cmd(&mut self, cmd: Cmd, node: &NodeHandle) -> Option<Exit> {
+        match cmd {
+            Cmd::Connect { name, events, resp } => {
+                let result = self.engine.client_connect(&name);
+                if result.is_ok() {
+                    self.channels.insert(name, events);
+                }
+                let _ = resp.send(result);
+            }
+            Cmd::Join { name, group, resp } => {
+                let result = self.engine.client_join(&name, &group);
+                let _ = resp.send(result.map(|o| self.dispatch(o, node)));
+            }
+            Cmd::Leave { name, group, resp } => {
+                let result = self.engine.client_leave(&name, &group);
+                let _ = resp.send(result.map(|o| self.dispatch(o, node)));
+            }
+            Cmd::Multicast {
+                name,
+                groups,
+                payload,
+                service,
+                seq,
+                resp,
+            } => {
+                let refs: Vec<&str> = groups.iter().map(String::as_str).collect();
+                let result = self
+                    .engine
+                    .client_multicast_sequenced(&name, &refs, payload, service, seq);
+                let _ = resp.send(result.map(|o| self.dispatch(o, node)));
+            }
+            Cmd::Disconnect { name } => {
+                if let Ok(outputs) = self.engine.client_disconnect(&name) {
+                    self.dispatch(outputs, node);
+                }
+                self.channels.remove(&name);
+            }
+            Cmd::Shutdown => return Some(Exit::Immediate),
+            Cmd::ShutdownGraceful { drain } => {
+                // Only flush partially packed payloads here. Clients are
+                // deliberately NOT disconnected through the engine: their
+                // routing state must survive the drain so deliveries that
+                // complete during it still reach them. Survivors prune
+                // this daemon's clients via the departure's configuration
+                // change, exactly as they would after a crash — just
+                // sooner, thanks to the leave announcement.
+                let flushed = self.engine.flush();
+                self.dispatch(flushed, node);
+                return Some(Exit::Graceful(drain));
+            }
+        }
+        None
+    }
+
+    fn on_ring_event(&mut self, ev: AppEvent, node: &NodeHandle) {
+        match ev {
+            AppEvent::Delivered(d) => {
+                let outputs = self.engine.on_delivery(&d);
+                self.dispatch(outputs, node);
+            }
+            AppEvent::Config(c) => {
+                let outputs = self.engine.on_config_change(&c);
+                self.dispatch(outputs, node);
+            }
+            // Handled by the callers (reason needed for Disconnected).
+            AppEvent::Fault { .. } => {}
+        }
+    }
+
+    /// Sends the terminal event to every connected client, blocking
+    /// briefly per slow client. Channel closure (the pump exiting) covers
+    /// anyone who still missed it.
+    fn broadcast_disconnected(&self, reason: &str) {
+        for tx in self.channels.values() {
+            let _ = tx.send_timeout(
+                ClientEvent::Disconnected {
+                    reason: reason.to_string(),
+                },
+                DISCONNECT_SEND_TIMEOUT,
+            );
+        }
+    }
+
+    fn export_stats(&self) {
+        self.shared
+            .duplicates_dropped
+            .store(self.engine.duplicates_dropped(), Ordering::Relaxed);
+    }
+}
+
+fn pump(node: NodeHandle, cmd_rx: Receiver<Cmd>, options: EngineOptions, shared: Arc<SharedStats>) {
+    let mut p = Pump {
+        engine: GroupEngine::with_options(node.pid(), options),
+        channels: HashMap::new(),
+        shared,
     };
 
-    loop {
-        // Client commands.
-        while let Ok(cmd) = cmd_rx.try_recv() {
-            match cmd {
-                Cmd::Connect { name, events, resp } => {
-                    let result = engine.client_connect(&name);
-                    if result.is_ok() {
-                        client_channels.insert(name, events);
+    // Block on whichever channel speaks first — no polling spin. Channel
+    // disconnection (a dead node thread drops its event sender) also wakes
+    // the select, so supervision needs no timeout-based liveness probe.
+    let exit = 'pump: loop {
+        {
+            let mut sel = Select::new();
+            sel.recv(&cmd_rx);
+            sel.recv(node.events());
+            let _ = sel.ready_timeout(IDLE_TICK);
+        }
+
+        loop {
+            match cmd_rx.try_recv() {
+                Ok(cmd) => {
+                    if let Some(exit) = p.handle_cmd(cmd, &node) {
+                        break 'pump exit;
                     }
-                    let _ = resp.send(result);
                 }
-                Cmd::Join { name, group, resp } => {
-                    let result = engine.client_join(&name, &group);
-                    let _ = resp.send(result.map(|o| dispatch(o, &client_channels)));
-                }
-                Cmd::Leave { name, group, resp } => {
-                    let result = engine.client_leave(&name, &group);
-                    let _ = resp.send(result.map(|o| dispatch(o, &client_channels)));
-                }
-                Cmd::Multicast {
-                    name,
-                    groups,
-                    payload,
-                    service,
-                    resp,
-                } => {
-                    let refs: Vec<&str> = groups.iter().map(String::as_str).collect();
-                    let result = engine.client_multicast(&name, &refs, payload, service);
-                    let _ = resp.send(result.map(|o| dispatch(o, &client_channels)));
-                }
-                Cmd::Disconnect { name } => {
-                    if let Ok(outputs) = engine.client_disconnect(&name) {
-                        dispatch(outputs, &client_channels);
-                    }
-                    client_channels.remove(&name);
-                }
-                Cmd::Shutdown => return,
+                Err(TryRecvError::Empty) => break,
+                // Every daemon and client handle dropped without Shutdown.
+                Err(TryRecvError::Disconnected) => break 'pump Exit::Immediate,
             }
         }
         // Close any partially packed payloads so buffered client messages
         // are not held hostage waiting for more traffic.
-        let flushed = engine.flush();
-        dispatch(flushed, &client_channels);
+        let flushed = p.engine.flush();
+        p.dispatch(flushed, &node);
 
-        // Ring events.
-        match node.events().recv_timeout(Duration::from_millis(1)) {
-            Ok(AppEvent::Delivered(d)) => {
-                let outputs = engine.on_delivery(&d);
-                dispatch(outputs, &client_channels);
+        loop {
+            match node.events().try_recv() {
+                Ok(AppEvent::Fault { reason }) => break 'pump Exit::NodeDead(reason),
+                Ok(ev) => p.on_ring_event(ev, &node),
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    break 'pump Exit::NodeDead("node thread exited".to_string());
+                }
             }
-            Ok(AppEvent::Config(c)) => {
-                let outputs = engine.on_config_change(&c);
-                dispatch(outputs, &client_channels);
+        }
+        p.export_stats();
+    };
+
+    match exit {
+        Exit::Immediate => {
+            p.broadcast_disconnected("daemon shutdown");
+            node.shutdown();
+        }
+        Exit::Graceful(drain) => {
+            // The node flushes pending work, announces its departure, and
+            // exits; deliveries produced during the drain still reach the
+            // clients before their terminal event.
+            let rx = node.leave(drain);
+            while let Ok(ev) = rx.try_recv() {
+                match ev {
+                    AppEvent::Fault { .. } => break,
+                    AppEvent::Delivered(d) => {
+                        let outputs = p.engine.on_delivery(&d);
+                        for out in outputs {
+                            if let EngineOutput::Local { client, event } = out {
+                                if let Some(tx) = p.channels.get(&client) {
+                                    if let Err(TrySendError::Full(_)) = tx.try_send(event) {
+                                        p.shared.events_shed.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    AppEvent::Config(_) => {}
+                }
             }
-            Err(RecvTimeoutError::Timeout) => {}
-            Err(RecvTimeoutError::Disconnected) => return,
+            p.broadcast_disconnected("daemon shutdown");
+        }
+        Exit::NodeDead(reason) => {
+            p.broadcast_disconnected(&reason);
         }
     }
+    p.export_stats();
 }

@@ -352,6 +352,46 @@ impl MembershipDaemon {
         self.shift_to_gather(now, out);
     }
 
+    /// Announces a clean departure from the ring.
+    ///
+    /// Broadcasts a join message that lists this process in its own fail
+    /// set. By Totem's reciprocity rule peers cannot keep a processor that
+    /// has failed them, so every receiver immediately fails the sender and
+    /// regathers — the survivors reform after one gather-settle plus
+    /// consensus round instead of waiting out the full token-loss timeout.
+    /// No new control-message kind is needed; the departure rides the
+    /// ordinary join exchange.
+    ///
+    /// Only meaningful while Operational (a daemon mid-formation just
+    /// exits and lets the exchange converge without it); a no-op in any
+    /// other state. The caller should flush the outputs and then stop
+    /// feeding the daemon: it is left in a departed state and must not be
+    /// reused.
+    pub fn announce_leave(&mut self, out: &mut Vec<Output>) {
+        if !self.started || self.state != StateKind::Operational {
+            return;
+        }
+        self.gather_epoch += 1;
+        self.max_ring_counter = self
+            .max_ring_counter
+            .max(self.participant.ring().id().counter());
+        let mut proc_set: BTreeSet<ParticipantId> =
+            self.participant.ring().members().iter().copied().collect();
+        proc_set.insert(self.pid);
+        let mut fail_set = BTreeSet::new();
+        fail_set.insert(self.pid);
+        out.push(Output::SendControl {
+            to: None,
+            msg: ControlMessage::Join {
+                sender: self.pid,
+                proc_set,
+                fail_set,
+                ring_counter: self.max_ring_counter,
+                epoch: self.gather_epoch,
+            },
+        });
+    }
+
     /// Processes one input at time `now` (nanoseconds, same clock as the
     /// timer deadlines), appending effects to `out`.
     pub fn handle(&mut self, now: u64, input: Input, out: &mut Vec<Output>) {
@@ -1182,6 +1222,67 @@ mod tests {
         );
         assert_eq!(d.state(), StateKind::Gather);
         assert!(d.stats().gathers >= 2);
+    }
+
+    #[test]
+    fn announce_leave_broadcasts_self_failing_join() {
+        let mut d = daemon(0);
+        let mut out = Vec::new();
+        d.start(0, &mut out);
+        let (_, _) = form_singleton(&mut d);
+        assert_eq!(d.state(), StateKind::Operational);
+        out.clear();
+        d.announce_leave(&mut out);
+        let me = ParticipantId::new(0);
+        assert!(
+            out.iter().any(|o| matches!(
+                o,
+                Output::SendControl {
+                    to: None,
+                    msg: ControlMessage::Join { sender, fail_set, .. }
+                } if *sender == me && fail_set.contains(&me)
+            )),
+            "leave must broadcast a join listing ourselves as failed"
+        );
+    }
+
+    #[test]
+    fn announce_leave_is_noop_while_gathering() {
+        let mut d = daemon(0);
+        let mut out = Vec::new();
+        d.start(0, &mut out);
+        assert_eq!(d.state(), StateKind::Gather);
+        out.clear();
+        d.announce_leave(&mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn peers_fail_a_clean_leaver_without_token_loss() {
+        // A leaver's self-failing join makes an operational peer regather
+        // and put the leaver in its fail set immediately (reciprocity),
+        // without waiting for the token-loss timer.
+        let mut d = daemon(0);
+        let mut out = Vec::new();
+        d.start(0, &mut out);
+        let (_, t0) = form_singleton(&mut d);
+        assert_eq!(d.state(), StateKind::Operational);
+        out.clear();
+        let leaver = ParticipantId::new(7);
+        d.handle(
+            t0 + 1,
+            Input::Control(ControlMessage::Join {
+                sender: leaver,
+                proc_set: [ParticipantId::new(0), leaver].into_iter().collect(),
+                fail_set: [leaver].into_iter().collect(),
+                ring_counter: 0,
+                epoch: 1,
+            }),
+            &mut out,
+        );
+        assert_eq!(d.state(), StateKind::Gather);
+        let (_, fail, _) = d.gather_view();
+        assert!(fail.contains(&leaver), "reciprocity fails the leaver");
     }
 
     #[test]

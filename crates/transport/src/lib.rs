@@ -34,35 +34,102 @@
 #![warn(missing_docs)]
 
 pub mod addr;
+pub mod fault;
 pub mod node;
+pub mod socket;
 
 pub use addr::{AddressBook, NodeAddr};
-pub use node::{AppEvent, BoundNode, NodeHandle, SubmitError, TransportError, TransportStats};
+pub use fault::{FaultPlane, FaultPlaneStats, GilbertElliott, InterposedSocket, SocketClass};
+pub use node::{
+    AppEvent, BoundNode, KillSwitch, NodeHandle, NodeOptions, SubmitError, TransportError,
+    TransportStats,
+};
+pub use socket::DatagramSocket;
+
+use std::sync::Arc;
 
 use accelring_core::{ParticipantId, ProtocolConfig};
 use accelring_membership::MembershipConfig;
+
+/// How many times binding one participant's sockets is retried before the
+/// whole ring spawn is failed (ephemeral-port collisions are transient).
+pub const BIND_ATTEMPTS: usize = 3;
+
+/// Binds a node's sockets, retrying transient bind failures a bounded
+/// number of times.
+///
+/// # Errors
+///
+/// Returns [`TransportError::Bind`] naming the participant that could not
+/// come up after [`BIND_ATTEMPTS`] tries.
+pub fn bind_with_retry(pid: ParticipantId, ip: &str) -> Result<BoundNode, TransportError> {
+    let mut last = None;
+    for _ in 0..BIND_ATTEMPTS {
+        match BoundNode::bind(pid, ip) {
+            Ok(b) => return Ok(b),
+            Err(TransportError::Io(e)) => last = Some(e),
+            Err(other) => return Err(other),
+        }
+    }
+    Err(TransportError::Bind {
+        pid,
+        attempts: BIND_ATTEMPTS,
+        source: last.unwrap_or_else(|| std::io::Error::other("bind failed")),
+    })
+}
 
 /// Convenience: binds and starts `n` daemons on 127.0.0.1 with ephemeral
 /// ports, fully meshed, and returns their handles.
 ///
 /// # Errors
 ///
-/// Returns [`TransportError`] if any socket operation fails.
+/// Returns [`TransportError`] if any socket operation fails;
+/// [`TransportError::Bind`] identifies the participant whose sockets could
+/// not be bound.
 pub fn spawn_local_ring(
     n: u16,
     protocol: ProtocolConfig,
     membership: MembershipConfig,
 ) -> Result<Vec<NodeHandle>, TransportError> {
+    spawn_local_ring_with(n, protocol, membership, None)
+}
+
+/// Like [`spawn_local_ring`], but routes every node's traffic through the
+/// given [`FaultPlane`] (registered with the ring's address book before
+/// any node starts).
+///
+/// # Errors
+///
+/// Returns [`TransportError`] if any socket operation fails.
+pub fn spawn_local_ring_with(
+    n: u16,
+    protocol: ProtocolConfig,
+    membership: MembershipConfig,
+    plane: Option<Arc<FaultPlane>>,
+) -> Result<Vec<NodeHandle>, TransportError> {
     let bound: Vec<BoundNode> = (0..n)
-        .map(|i| BoundNode::bind(ParticipantId::new(i), "127.0.0.1"))
+        .map(|i| bind_with_retry(ParticipantId::new(i), "127.0.0.1"))
         .collect::<Result<_, _>>()?;
     let addrs: Vec<NodeAddr> = bound
         .iter()
         .map(BoundNode::addr)
         .collect::<Result<_, _>>()?;
     let book = AddressBook::new(addrs);
+    if let Some(plane) = &plane {
+        plane.register_book(&book);
+    }
     bound
         .into_iter()
-        .map(|b| b.start(book.clone(), protocol, membership))
+        .map(|b| {
+            b.start_with(
+                book.clone(),
+                protocol,
+                membership,
+                NodeOptions {
+                    plane: plane.clone(),
+                    restore_ring_counter: 0,
+                },
+            )
+        })
         .collect()
 }

@@ -4,22 +4,33 @@
 //! the paper's single-threaded daemon implementations: two non-blocking UDP
 //! sockets (token and data), read in the protocol's priority order, plus a
 //! command channel from local clients.
+//!
+//! The loop is built to keep running — or, when it cannot, to fail loudly:
+//! a panic anywhere in the protocol stack is caught at the thread boundary,
+//! counted in [`TransportStats::thread_panics`], and surfaced to the
+//! application as a terminal [`AppEvent::Fault`]; a graceful
+//! [`NodeHandle::leave`] drains pending traffic and announces the departure
+//! so survivors reform without waiting out the token-loss timeout.
 
 use std::io::ErrorKind;
 use std::net::{SocketAddr, UdpSocket};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use accelring_core::{wire, Delivery, ParticipantId, ProtocolConfig, Service};
 use accelring_membership::{
-    decode_control, encode_control, ConfigChange, Input, MembershipConfig, MembershipDaemon, Output,
+    decode_control, encode_control, ConfigChange, Input, MembershipConfig, MembershipDaemon,
+    Output, StateKind,
 };
 use bytes::Bytes;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TryRecvError, TrySendError};
 
 use crate::addr::{AddressBook, NodeAddr};
+use crate::fault::{FaultPlane, InterposedSocket, SocketClass};
+use crate::socket::DatagramSocket;
 
 /// Largest datagram the transport accepts (64 KiB UDP limit).
 const MAX_DATAGRAM: usize = 65_536;
@@ -40,6 +51,7 @@ struct StatsInner {
     send_errors: AtomicU64,
     submissions: AtomicU64,
     submissions_shed: AtomicU64,
+    thread_panics: AtomicU64,
 }
 
 /// A point-in-time copy of a node's transport counters.
@@ -57,6 +69,9 @@ pub struct TransportStats {
     pub submissions: u64,
     /// Client submissions the daemon's own pending queue refused.
     pub submissions_shed: u64,
+    /// Protocol-thread panics caught at the thread boundary (each one is
+    /// terminal for the node and accompanied by an [`AppEvent::Fault`]).
+    pub thread_panics: u64,
 }
 
 impl StatsInner {
@@ -68,7 +83,41 @@ impl StatsInner {
             send_errors: self.send_errors.load(Ordering::Relaxed),
             submissions: self.submissions.load(Ordering::Relaxed),
             submissions_shed: self.submissions_shed.load(Ordering::Relaxed),
+            thread_panics: self.thread_panics.load(Ordering::Relaxed),
         }
+    }
+}
+
+/// Membership observability published by the event loop after every step
+/// (relaxed atomics: cheap, point-in-time, possibly one step stale).
+#[derive(Debug, Default)]
+struct RingInfoInner {
+    state: AtomicU8,
+    rings_formed: AtomicU64,
+    tokens_retransmitted: AtomicU64,
+    ring_counter: AtomicU64,
+}
+
+const STATE_OPERATIONAL: u8 = 0;
+const STATE_GATHER: u8 = 1;
+const STATE_COMMIT: u8 = 2;
+const STATE_RECOVER: u8 = 3;
+
+fn state_to_u8(s: StateKind) -> u8 {
+    match s {
+        StateKind::Operational => STATE_OPERATIONAL,
+        StateKind::Gather => STATE_GATHER,
+        StateKind::Commit => STATE_COMMIT,
+        StateKind::Recover => STATE_RECOVER,
+    }
+}
+
+fn state_from_u8(v: u8) -> StateKind {
+    match v {
+        STATE_OPERATIONAL => StateKind::Operational,
+        STATE_GATHER => StateKind::Gather,
+        STATE_COMMIT => StateKind::Commit,
+        _ => StateKind::Recover,
     }
 }
 
@@ -99,11 +148,19 @@ pub enum AppEvent {
     Delivered(Delivery),
     /// An EVS configuration change.
     Config(ConfigChange),
+    /// The protocol thread died (panic caught at the thread boundary).
+    /// Terminal: no further events follow and the node must be restarted.
+    Fault {
+        /// The panic payload, as text.
+        reason: String,
+    },
 }
 
 #[derive(Debug)]
 enum Command {
     Submit(Bytes, Service),
+    #[doc(hidden)]
+    InjectPanic,
 }
 
 /// Errors from starting a transport node.
@@ -113,6 +170,16 @@ pub enum TransportError {
     Io(std::io::Error),
     /// The local participant id is missing from the address book.
     NotInAddressBook(ParticipantId),
+    /// Binding a specific participant's sockets failed even after retries;
+    /// identifies *which* ring member could not come up.
+    Bind {
+        /// The participant whose sockets failed to bind.
+        pid: ParticipantId,
+        /// How many attempts were made.
+        attempts: usize,
+        /// The last bind error.
+        source: std::io::Error,
+    },
 }
 
 impl std::fmt::Display for TransportError {
@@ -122,6 +189,14 @@ impl std::fmt::Display for TransportError {
             TransportError::NotInAddressBook(p) => {
                 write!(f, "participant {p} is not in the address book")
             }
+            TransportError::Bind {
+                pid,
+                attempts,
+                source,
+            } => write!(
+                f,
+                "binding sockets for participant {pid} failed after {attempts} attempts: {source}"
+            ),
         }
     }
 }
@@ -131,6 +206,7 @@ impl std::error::Error for TransportError {
         match self {
             TransportError::Io(e) => Some(e),
             TransportError::NotInAddressBook(_) => None,
+            TransportError::Bind { source, .. } => Some(source),
         }
     }
 }
@@ -139,6 +215,18 @@ impl From<std::io::Error> for TransportError {
     fn from(e: std::io::Error) -> Self {
         TransportError::Io(e)
     }
+}
+
+/// Start-time options beyond the protocol and membership configuration.
+#[derive(Debug, Clone, Default)]
+pub struct NodeOptions {
+    /// Route every send through this fault plane (chaos testing).
+    pub plane: Option<Arc<FaultPlane>>,
+    /// Stable-storage ring counter from a previous incarnation, so a
+    /// restarted daemon never reuses a ring id (see
+    /// [`MembershipDaemon::max_ring_counter`]). Read it from the dead
+    /// handle via [`NodeHandle::ring_counter`].
+    pub restore_ring_counter: u64,
 }
 
 /// A daemon with bound sockets whose addresses can be shared with peers
@@ -198,7 +286,7 @@ impl BoundNode {
         })
     }
 
-    /// Starts the event loop on its own thread.
+    /// Starts the event loop on its own thread with default options.
     ///
     /// # Errors
     ///
@@ -210,33 +298,97 @@ impl BoundNode {
         protocol: ProtocolConfig,
         membership: MembershipConfig,
     ) -> Result<NodeHandle, TransportError> {
+        self.start_with(book, protocol, membership, NodeOptions::default())
+    }
+
+    /// Starts the event loop with explicit [`NodeOptions`] (fault plane,
+    /// restored ring counter).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the sockets cannot be made non-blocking or the
+    /// node is missing from `book`.
+    pub fn start_with(
+        self,
+        book: AddressBook,
+        protocol: ProtocolConfig,
+        membership: MembershipConfig,
+        options: NodeOptions,
+    ) -> Result<NodeHandle, TransportError> {
         if book.get(self.pid).is_none() {
             return Err(TransportError::NotInAddressBook(self.pid));
         }
         self.data_socket.set_nonblocking(true)?;
         self.token_socket.set_nonblocking(true)?;
+        let pid = self.pid;
+        let (data_socket, token_socket): (Box<dyn DatagramSocket>, Box<dyn DatagramSocket>) =
+            match &options.plane {
+                Some(plane) => (
+                    Box::new(InterposedSocket::new(
+                        self.data_socket,
+                        pid,
+                        SocketClass::Data,
+                        Arc::clone(plane),
+                    )),
+                    Box::new(InterposedSocket::new(
+                        self.token_socket,
+                        pid,
+                        SocketClass::Token,
+                        Arc::clone(plane),
+                    )),
+                ),
+                None => (Box::new(self.data_socket), Box::new(self.token_socket)),
+            };
         let (cmd_tx, cmd_rx) = bounded(COMMAND_QUEUE_CAPACITY);
         let (event_tx, event_rx) = unbounded();
         let stop = Arc::new(AtomicBool::new(false));
-        let stop2 = Arc::clone(&stop);
+        let leave = Arc::new(AtomicBool::new(false));
+        let drain_ns = Arc::new(AtomicU64::new(0));
         let stats = Arc::new(StatsInner::default());
-        let stats2 = Arc::clone(&stats);
-        let pid = self.pid;
+        let ring_info = Arc::new(RingInfoInner::default());
+        let thread_ctx = (
+            Arc::clone(&stop),
+            Arc::clone(&leave),
+            Arc::clone(&drain_ns),
+            Arc::clone(&stats),
+            Arc::clone(&ring_info),
+            event_tx.clone(),
+        );
         let thread = std::thread::Builder::new()
             .name(format!("accelring-{pid}"))
             .spawn(move || {
-                run_loop(
+                let (stop, leave, drain_ns, stats, ring_info, fault_tx) = thread_ctx;
+                let mut daemon = MembershipDaemon::new(pid, protocol, membership);
+                daemon.restore_ring_counter(options.restore_ring_counter);
+                let mut event_loop = EventLoop {
                     pid,
-                    self.data_socket,
-                    self.token_socket,
+                    data_socket,
+                    token_socket,
+                    fanout: book.fanout_data(pid),
                     book,
-                    protocol,
-                    membership,
+                    daemon,
                     cmd_rx,
                     event_tx,
-                    stop2,
-                    stats2,
-                );
+                    stop,
+                    leave,
+                    drain_ns,
+                    stats: Arc::clone(&stats),
+                    ring_info,
+                    start: Instant::now(),
+                };
+                // The loop must never take the whole process down: a panic
+                // in the protocol stack is caught here, counted, and
+                // reported as a terminal fault event.
+                let result = std::panic::catch_unwind(AssertUnwindSafe(|| event_loop.run()));
+                if let Err(payload) = result {
+                    stats.thread_panics.fetch_add(1, Ordering::Relaxed);
+                    let reason = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".to_string());
+                    let _ = fault_tx.send(AppEvent::Fault { reason });
+                }
             })
             .expect("spawn daemon thread");
         Ok(NodeHandle {
@@ -244,9 +396,33 @@ impl BoundNode {
             cmd_tx,
             event_rx,
             stop,
+            leave,
+            drain_ns,
             stats,
+            ring_info,
             thread: Some(thread),
         })
+    }
+}
+
+/// A clonable kill handle for a node, obtainable before the [`NodeHandle`]
+/// is handed off (e.g. to a group daemon). Killing stops the event loop
+/// abruptly — no drain, no departure announcement — which is exactly what
+/// crash tests want.
+#[derive(Debug, Clone)]
+pub struct KillSwitch {
+    stop: Arc<AtomicBool>,
+}
+
+impl KillSwitch {
+    /// Asks the event loop to exit at its next iteration.
+    pub fn kill(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the kill was already requested.
+    pub fn is_killed(&self) -> bool {
+        self.stop.load(Ordering::Relaxed)
     }
 }
 
@@ -257,7 +433,10 @@ pub struct NodeHandle {
     cmd_tx: Sender<Command>,
     event_rx: Receiver<AppEvent>,
     stop: Arc<AtomicBool>,
+    leave: Arc<AtomicBool>,
+    drain_ns: Arc<AtomicU64>,
     stats: Arc<StatsInner>,
+    ring_info: Arc<RingInfoInner>,
     thread: Option<JoinHandle<()>>,
 }
 
@@ -287,9 +466,52 @@ impl NodeHandle {
         self.stats.snapshot()
     }
 
+    /// The membership state the event loop last published.
+    pub fn membership_state(&self) -> StateKind {
+        state_from_u8(self.ring_info.state.load(Ordering::Relaxed))
+    }
+
+    /// Regular configurations installed so far (membership counter).
+    pub fn rings_formed(&self) -> u64 {
+        self.ring_info.rings_formed.load(Ordering::Relaxed)
+    }
+
+    /// Tokens resent by the retransmit timer (membership counter).
+    pub fn tokens_retransmitted(&self) -> u64 {
+        self.ring_info.tokens_retransmitted.load(Ordering::Relaxed)
+    }
+
+    /// The highest ring counter this node has used or observed — Totem's
+    /// stable-storage value. Pass it to a restarted incarnation via
+    /// [`NodeOptions::restore_ring_counter`]; valid even after the thread
+    /// has exited (it keeps the last published value).
+    pub fn ring_counter(&self) -> u64 {
+        self.ring_info.ring_counter.load(Ordering::Relaxed)
+    }
+
     /// The stream of deliveries and configuration changes.
     pub fn events(&self) -> &Receiver<AppEvent> {
         &self.event_rx
+    }
+
+    /// A clonable kill handle usable after this `NodeHandle` was moved
+    /// elsewhere (abrupt stop: no drain, no departure announcement).
+    pub fn killswitch(&self) -> KillSwitch {
+        KillSwitch {
+            stop: Arc::clone(&self.stop),
+        }
+    }
+
+    /// Whether the event-loop thread is still running.
+    pub fn is_alive(&self) -> bool {
+        self.thread.as_ref().is_some_and(|t| !t.is_finished())
+    }
+
+    /// Forces a panic inside the event loop (fault-injection hook for
+    /// tests of the panic containment path).
+    #[doc(hidden)]
+    pub fn inject_panic(&self) {
+        let _ = self.cmd_tx.send(Command::InjectPanic);
     }
 
     /// Asks the event loop to stop and waits for the thread to exit.
@@ -298,6 +520,24 @@ impl NodeHandle {
         if let Some(t) = self.thread.take() {
             let _ = t.join();
         }
+    }
+
+    /// Leaves the ring gracefully: stops accepting new submissions, keeps
+    /// the protocol running until pending submissions and buffered
+    /// deliveries drain (bounded by `drain`), then broadcasts a departure
+    /// announcement so survivors reform after one gather round instead of
+    /// waiting out the token-loss timeout, and exits.
+    ///
+    /// Returns the event receiver so the caller can collect deliveries
+    /// that were produced during the drain.
+    pub fn leave(mut self, drain: Duration) -> Receiver<AppEvent> {
+        self.drain_ns
+            .store(drain.as_nanos() as u64, Ordering::Relaxed);
+        self.leave.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+        self.event_rx.clone()
     }
 }
 
@@ -310,89 +550,109 @@ impl Drop for NodeHandle {
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn run_loop(
+/// Everything the daemon thread owns; `run` is the thread body.
+struct EventLoop {
     pid: ParticipantId,
-    data_socket: UdpSocket,
-    token_socket: UdpSocket,
+    data_socket: Box<dyn DatagramSocket>,
+    token_socket: Box<dyn DatagramSocket>,
     book: AddressBook,
-    protocol: ProtocolConfig,
-    membership: MembershipConfig,
+    fanout: Vec<SocketAddr>,
+    daemon: MembershipDaemon,
     cmd_rx: Receiver<Command>,
     event_tx: Sender<AppEvent>,
     stop: Arc<AtomicBool>,
+    leave: Arc<AtomicBool>,
+    drain_ns: Arc<AtomicU64>,
     stats: Arc<StatsInner>,
-) {
-    let start = Instant::now();
-    let now_ns = |start: &Instant| -> u64 { start.elapsed().as_nanos() as u64 };
-    let mut daemon = MembershipDaemon::new(pid, protocol, membership);
-    let mut outputs = Vec::new();
-    daemon.start(now_ns(&start), &mut outputs);
-    let fanout = book.fanout_data(pid);
-    flush(
-        pid,
-        &mut outputs,
-        &data_socket,
-        &token_socket,
-        &book,
-        &fanout,
-        &event_tx,
-        &stats,
-    );
+    ring_info: Arc<RingInfoInner>,
+    start: Instant,
+}
 
-    let mut buf = vec![0u8; MAX_DATAGRAM];
-    loop {
-        if stop.load(Ordering::Relaxed) {
-            return;
+impl EventLoop {
+    fn now_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+
+    fn run(&mut self) {
+        let mut outputs = Vec::new();
+        let mut buf = vec![0u8; MAX_DATAGRAM];
+        let now = self.now_ns();
+        self.daemon.start(now, &mut outputs);
+        self.flush(&mut outputs);
+        loop {
+            if self.stop.load(Ordering::Relaxed) {
+                self.publish_ring_info();
+                return;
+            }
+            if self.leave.load(Ordering::Relaxed) {
+                self.drain_and_leave(&mut outputs, &mut buf);
+                return;
+            }
+            let did_work = self.step(&mut outputs, &mut buf, true);
+            self.publish_ring_info();
+            if !did_work {
+                std::thread::sleep(IDLE_SLEEP);
+            }
         }
+    }
+
+    /// One iteration: client commands (when accepted), one datagram per
+    /// socket pass in priority order, due timers. Returns whether anything
+    /// happened.
+    fn step(&mut self, outputs: &mut Vec<Output>, buf: &mut [u8], accept_commands: bool) -> bool {
         let mut did_work = false;
 
         // 1. Client commands.
-        loop {
-            match cmd_rx.try_recv() {
-                Ok(Command::Submit(payload, service)) => {
-                    // The daemon sheds when its own pending queue is full
-                    // (the client saw backpressure at the channel already);
-                    // count it rather than dropping silently.
-                    match daemon.submit(payload, service) {
-                        Ok(()) => stats.submissions.fetch_add(1, Ordering::Relaxed),
-                        Err(_) => stats.submissions_shed.fetch_add(1, Ordering::Relaxed),
-                    };
-                    did_work = true;
+        if accept_commands {
+            loop {
+                match self.cmd_rx.try_recv() {
+                    Ok(Command::Submit(payload, service)) => {
+                        // The daemon sheds when its own pending queue is full
+                        // (the client saw backpressure at the channel already);
+                        // count it rather than dropping silently.
+                        match self.daemon.submit(payload, service) {
+                            Ok(()) => self.stats.submissions.fetch_add(1, Ordering::Relaxed),
+                            Err(_) => self.stats.submissions_shed.fetch_add(1, Ordering::Relaxed),
+                        };
+                        did_work = true;
+                    }
+                    Ok(Command::InjectPanic) => {
+                        panic!("fault injection: panic requested by test")
+                    }
+                    Err(TryRecvError::Empty) => break,
+                    Err(TryRecvError::Disconnected) => {
+                        // Every handle is gone; stop at the top of the loop.
+                        self.stop.store(true, Ordering::Relaxed);
+                        break;
+                    }
                 }
-                Err(TryRecvError::Empty) => break,
-                Err(TryRecvError::Disconnected) => return,
             }
         }
 
         // 2. Sockets, in protocol priority order (Section III-D): when the
         //    token has priority, drain the token socket first.
-        let token_first = daemon.token_has_priority();
-        let order: [&UdpSocket; 2] = if token_first {
-            [&token_socket, &data_socket]
+        let token_first = self.daemon.token_has_priority();
+        for pick_token in if token_first {
+            [true, false]
         } else {
-            [&data_socket, &token_socket]
-        };
-        for socket in order {
-            match socket.recv_from(&mut buf) {
+            [false, true]
+        } {
+            let socket: &dyn DatagramSocket = if pick_token {
+                self.token_socket.as_ref()
+            } else {
+                self.data_socket.as_ref()
+            };
+            match socket.recv_from(buf) {
                 Ok((len, _from)) => {
                     did_work = true;
-                    stats.datagrams_rx.fetch_add(1, Ordering::Relaxed);
+                    self.stats.datagrams_rx.fetch_add(1, Ordering::Relaxed);
                     let mut datagram = Bytes::copy_from_slice(&buf[..len]);
                     if let Some(input) = parse_datagram(&mut datagram) {
-                        daemon.handle(now_ns(&start), input, &mut outputs);
-                        flush(
-                            pid,
-                            &mut outputs,
-                            &data_socket,
-                            &token_socket,
-                            &book,
-                            &fanout,
-                            &event_tx,
-                            &stats,
-                        );
+                        let now = self.now_ns();
+                        self.daemon.handle(now, input, outputs);
+                        self.flush(outputs);
                     } else {
-                        stats.decode_failures.fetch_add(1, Ordering::Relaxed);
+                        self.stats.decode_failures.fetch_add(1, Ordering::Relaxed);
                     }
                     break; // re-evaluate priority after every datagram
                 }
@@ -403,32 +663,129 @@ fn run_loop(
                 Err(e) if e.kind() == ErrorKind::WouldBlock => {}
                 Err(e) if e.kind() == ErrorKind::Interrupted => {}
                 Err(_) => {
-                    stats.recv_errors.fetch_add(1, Ordering::Relaxed);
+                    self.stats.recv_errors.fetch_add(1, Ordering::Relaxed);
                 }
             }
         }
 
         // 3. Timers.
-        while let Some((deadline, kind)) = daemon.next_timer() {
-            if deadline > now_ns(&start) {
+        while let Some((deadline, kind)) = self.daemon.next_timer() {
+            if deadline > self.now_ns() {
                 break;
             }
-            daemon.handle(now_ns(&start), Input::Timer(kind), &mut outputs);
-            flush(
-                pid,
-                &mut outputs,
-                &data_socket,
-                &token_socket,
-                &book,
-                &fanout,
-                &event_tx,
-                &stats,
-            );
+            let now = self.now_ns();
+            self.daemon.handle(now, Input::Timer(kind), outputs);
+            self.flush(outputs);
             did_work = true;
         }
 
-        if !did_work {
-            std::thread::sleep(IDLE_SLEEP);
+        did_work
+    }
+
+    /// Graceful departure: keep the protocol running (without new client
+    /// commands) until our send queue has gone onto the ring and the
+    /// receive buffer has delivered, bounded by the drain budget; then
+    /// announce the departure (twice — it rides UDP) so peers fail us by
+    /// reciprocity and reform after one gather round.
+    fn drain_and_leave(&mut self, outputs: &mut Vec<Output>, buf: &mut [u8]) {
+        // Submissions already queued when the leave flag was set were
+        // accepted from the caller's point of view, so they drain out;
+        // only commands arriving after this point are refused.
+        loop {
+            match self.cmd_rx.try_recv() {
+                Ok(Command::Submit(payload, service)) => {
+                    match self.daemon.submit(payload, service) {
+                        Ok(()) => self.stats.submissions.fetch_add(1, Ordering::Relaxed),
+                        Err(_) => self.stats.submissions_shed.fetch_add(1, Ordering::Relaxed),
+                    };
+                }
+                Ok(Command::InjectPanic) => panic!("fault injection: panic requested by test"),
+                Err(_) => break,
+            }
+        }
+        self.flush(outputs);
+        let deadline = Instant::now() + Duration::from_nanos(self.drain_ns.load(Ordering::Relaxed));
+        while Instant::now() < deadline {
+            let drained = self.daemon.state() == StateKind::Operational
+                && self.daemon.participant().send_queue_len() == 0
+                && self.daemon.participant().buffered() == 0;
+            if drained {
+                break;
+            }
+            if !self.step(outputs, buf, false) {
+                std::thread::sleep(IDLE_SLEEP);
+            }
+        }
+        self.daemon.announce_leave(outputs);
+        self.flush(outputs);
+        self.daemon.announce_leave(outputs);
+        self.flush(outputs);
+        self.publish_ring_info();
+    }
+
+    fn publish_ring_info(&self) {
+        let stats = self.daemon.stats();
+        self.ring_info
+            .state
+            .store(state_to_u8(self.daemon.state()), Ordering::Relaxed);
+        self.ring_info
+            .rings_formed
+            .store(stats.rings_formed, Ordering::Relaxed);
+        self.ring_info
+            .tokens_retransmitted
+            .store(stats.tokens_retransmitted, Ordering::Relaxed);
+        self.ring_info
+            .ring_counter
+            .store(self.daemon.max_ring_counter(), Ordering::Relaxed);
+    }
+
+    fn flush(&self, outputs: &mut Vec<Output>) {
+        // UDP send failures are not retried (the protocol's retransmission
+        // machinery owns recovery) but they are counted.
+        let send = |socket: &dyn DatagramSocket, encoded: &[u8], addr: SocketAddr| {
+            if socket.send_to(encoded, addr).is_err() {
+                self.stats.send_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        };
+        for output in outputs.drain(..) {
+            match output {
+                Output::Multicast(msg) => {
+                    let encoded = wire::encode_data(&msg);
+                    for addr in &self.fanout {
+                        send(self.data_socket.as_ref(), &encoded, *addr);
+                    }
+                }
+                Output::SendToken { to, token } => {
+                    let encoded = wire::encode_token(&token);
+                    if let Some(peer) = self.book.get(to) {
+                        send(self.token_socket.as_ref(), &encoded, peer.token);
+                    }
+                }
+                Output::SendControl { to, msg } => {
+                    let encoded = encode_control(&msg);
+                    match to {
+                        Some(to) => {
+                            if to == self.pid {
+                                continue;
+                            }
+                            if let Some(peer) = self.book.get(to) {
+                                send(self.data_socket.as_ref(), &encoded, peer.data);
+                            }
+                        }
+                        None => {
+                            for addr in &self.fanout {
+                                send(self.data_socket.as_ref(), &encoded, *addr);
+                            }
+                        }
+                    }
+                }
+                Output::Deliver(d) => {
+                    let _ = self.event_tx.send(AppEvent::Delivered(d));
+                }
+                Output::ConfigChange(c) => {
+                    let _ = self.event_tx.send(AppEvent::Config(c));
+                }
+            }
         }
     }
 }
@@ -438,65 +795,5 @@ fn parse_datagram(datagram: &mut Bytes) -> Option<Input> {
         wire::Kind::Data => Some(Input::Data(wire::decode_data_body(datagram).ok()?)),
         wire::Kind::Token => Some(Input::Token(wire::decode_token_body(datagram).ok()?)),
         wire::Kind::Opaque => Some(Input::Control(decode_control(datagram).ok()?)),
-    }
-}
-
-#[allow(clippy::too_many_arguments)]
-fn flush(
-    pid: ParticipantId,
-    outputs: &mut Vec<Output>,
-    data_socket: &UdpSocket,
-    token_socket: &UdpSocket,
-    book: &AddressBook,
-    fanout: &[SocketAddr],
-    event_tx: &Sender<AppEvent>,
-    stats: &StatsInner,
-) {
-    // UDP send failures are not retried (the protocol's retransmission
-    // machinery owns recovery) but they are counted.
-    let send = |socket: &UdpSocket, encoded: &[u8], addr: SocketAddr| {
-        if socket.send_to(encoded, addr).is_err() {
-            stats.send_errors.fetch_add(1, Ordering::Relaxed);
-        }
-    };
-    for output in outputs.drain(..) {
-        match output {
-            Output::Multicast(msg) => {
-                let encoded = wire::encode_data(&msg);
-                for addr in fanout {
-                    send(data_socket, &encoded, *addr);
-                }
-            }
-            Output::SendToken { to, token } => {
-                let encoded = wire::encode_token(&token);
-                if let Some(peer) = book.get(to) {
-                    send(token_socket, &encoded, peer.token);
-                }
-            }
-            Output::SendControl { to, msg } => {
-                let encoded = encode_control(&msg);
-                match to {
-                    Some(to) => {
-                        if to == pid {
-                            continue;
-                        }
-                        if let Some(peer) = book.get(to) {
-                            send(data_socket, &encoded, peer.data);
-                        }
-                    }
-                    None => {
-                        for addr in fanout {
-                            send(data_socket, &encoded, *addr);
-                        }
-                    }
-                }
-            }
-            Output::Deliver(d) => {
-                let _ = event_tx.send(AppEvent::Delivered(d));
-            }
-            Output::ConfigChange(c) => {
-                let _ = event_tx.send(AppEvent::Config(c));
-            }
-        }
     }
 }

@@ -1,0 +1,41 @@
+//! The socket abstraction the event loop runs on.
+//!
+//! The daemon thread never talks to [`std::net::UdpSocket`] directly; it
+//! sends and receives through this trait so a fault-injecting interposer
+//! (see [`crate::fault`]) can slot underneath it without the protocol code
+//! noticing. Production nodes use plain UDP sockets; chaos tests wrap the
+//! same sockets in [`crate::fault::InterposedSocket`].
+
+use std::net::{SocketAddr, UdpSocket};
+
+/// A non-blocking datagram endpoint, as seen by the event loop.
+///
+/// Implementations must already be in non-blocking mode: `recv_from` on an
+/// empty socket returns [`std::io::ErrorKind::WouldBlock`].
+pub trait DatagramSocket: Send + std::fmt::Debug {
+    /// Sends one datagram to `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error; the event loop counts (and
+    /// survives) failures rather than retrying.
+    fn send_to(&self, buf: &[u8], addr: SocketAddr) -> std::io::Result<usize>;
+
+    /// Receives one datagram.
+    ///
+    /// # Errors
+    ///
+    /// `WouldBlock` when no datagram is waiting; other errors are counted
+    /// by the event loop.
+    fn recv_from(&self, buf: &mut [u8]) -> std::io::Result<(usize, SocketAddr)>;
+}
+
+impl DatagramSocket for UdpSocket {
+    fn send_to(&self, buf: &[u8], addr: SocketAddr) -> std::io::Result<usize> {
+        UdpSocket::send_to(self, buf, addr)
+    }
+
+    fn recv_from(&self, buf: &mut [u8]) -> std::io::Result<(usize, SocketAddr)> {
+        UdpSocket::recv_from(self, buf)
+    }
+}

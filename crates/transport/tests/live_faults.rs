@@ -1,0 +1,217 @@
+//! Live fault-path tests: real sockets and threads, with faults injected
+//! through the [`FaultPlane`] interposer or the node's own fault hooks.
+//!
+//! The tests serialize themselves through a file-local mutex: each times
+//! a real ring against real timeouts, and concurrent rings skew each
+//! other's clocks.
+
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use accelring_core::{ProtocolConfig, Service};
+use accelring_membership::MembershipConfig;
+use accelring_transport::{spawn_local_ring_with, AppEvent, FaultPlane, NodeHandle};
+use bytes::Bytes;
+
+/// Serializes the tests in this file even under the default parallel test
+/// runner: each spins a real ring against real timers, and concurrent
+/// rings starve each other of CPU on small machines.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Base wall-clock config used by the transport test suite.
+fn test_membership_config() -> MembershipConfig {
+    MembershipConfig {
+        token_loss_timeout: 300_000_000,      // 300 ms
+        token_retransmit_timeout: 80_000_000, // 80 ms
+        join_interval: 30_000_000,            // 30 ms
+        consensus_timeout: 250_000_000,       // 250 ms
+        commit_timeout: 250_000_000,          // 250 ms
+        recovery_timeout: 1_000_000_000,      // 1 s
+        presence_interval: 100_000_000,       // 100 ms
+        gather_settle: 60_000_000,            // 60 ms
+    }
+}
+
+/// Waits until `handle` reports a regular configuration of exactly
+/// `members` members, returning how long it took.
+fn await_ring_of(handle: &NodeHandle, members: usize, deadline: Duration) -> Option<Duration> {
+    let start = Instant::now();
+    while start.elapsed() < deadline {
+        match handle.events().recv_timeout(Duration::from_millis(50)) {
+            Ok(AppEvent::Config(c)) if !c.transitional && c.members.len() == members => {
+                return Some(start.elapsed());
+            }
+            Ok(_) | Err(_) => {}
+        }
+    }
+    None
+}
+
+#[test]
+fn graceful_leave_reforms_faster_than_token_loss_timeout() {
+    let _serial = serial();
+    // A deliberately huge token-loss timeout: if the survivors only
+    // noticed the departure by losing the token, reformation would take
+    // at least 5 seconds. The departure announcement must beat that.
+    let mut membership = test_membership_config();
+    membership.token_loss_timeout = 5_000_000_000; // 5 s
+
+    let mut handles =
+        spawn_local_ring_with(3, ProtocolConfig::accelerated(20, 15), membership, None)
+            .expect("spawn ring");
+    assert!(
+        await_ring_of(&handles[0], 3, Duration::from_secs(10)).is_some(),
+        "ring of 3 must form"
+    );
+
+    let leaver = handles.pop().expect("three handles");
+    let t0 = Instant::now();
+    let _drained = leaver.leave(Duration::from_millis(200));
+    let reform = await_ring_of(&handles[0], 2, Duration::from_secs(6))
+        .expect("survivors must reform after a graceful leave");
+    let total = t0.elapsed();
+    assert!(
+        total < Duration::from_millis(2500),
+        "announced departure must reform well before the 5 s token-loss \
+         timeout; took {total:?} (config seen after {reform:?})"
+    );
+
+    // The reformed pair still orders traffic.
+    handles[0]
+        .submit(Bytes::from_static(b"after the leave"), Service::Agreed)
+        .expect("submit");
+    let start = Instant::now();
+    let mut delivered = false;
+    while start.elapsed() < Duration::from_secs(5) && !delivered {
+        if let Ok(AppEvent::Delivered(d)) =
+            handles[1].events().recv_timeout(Duration::from_millis(50))
+        {
+            delivered = &d.payload[..] == b"after the leave";
+        }
+    }
+    assert!(delivered, "survivors still deliver after the leave");
+}
+
+#[test]
+fn token_socket_loss_is_repaired_by_retransmit_not_reformation() {
+    let _serial = serial();
+    // Room for several retransmit rounds (80 ms each) before token loss
+    // would be declared.
+    let mut membership = test_membership_config();
+    membership.token_loss_timeout = 1_200_000_000; // 1.2 s
+
+    let plane = Arc::new(FaultPlane::new(7));
+    let handles = spawn_local_ring_with(
+        3,
+        ProtocolConfig::accelerated(20, 15),
+        membership,
+        Some(Arc::clone(&plane)),
+    )
+    .expect("spawn ring");
+    assert!(
+        await_ring_of(&handles[0], 3, Duration::from_secs(10)).is_some(),
+        "ring of 3 must form"
+    );
+    // Node 0's Config event races the slowest node's Recover→Operational
+    // transition; drops armed mid-recovery would hit recovery tokens,
+    // which the Operational retransmit timer does not cover.
+    let start = Instant::now();
+    while start.elapsed() < Duration::from_secs(5)
+        && !handles
+            .iter()
+            .all(|h| h.membership_state() == accelring_membership::StateKind::Operational)
+    {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    std::thread::sleep(Duration::from_millis(200));
+    let rings_before: u64 = handles.iter().map(NodeHandle::rings_formed).sum();
+
+    // Eat the next few token transmissions — data packets are untouched.
+    // A dropped token silences the rotation (the successor never sees
+    // it), so only the holder's retransmit timer can revive it; each
+    // revival is eaten too until the budget runs out, which is why the
+    // budget drains at retransmit-timer cadence rather than instantly.
+    plane.drop_next_tokens(3);
+    let start = Instant::now();
+    loop {
+        let retransmits: u64 = handles.iter().map(NodeHandle::tokens_retransmitted).sum();
+        if retransmits > 0 && plane.stats().tokens_dropped >= 3 {
+            break;
+        }
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "retransmit timer never fired: plane={:?} retransmits={retransmits}",
+            plane.stats()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // The revived token still orders traffic — and the ring never reformed.
+    handles[1]
+        .submit(Bytes::from_static(b"through the gap"), Service::Agreed)
+        .expect("submit");
+    let start = Instant::now();
+    let mut delivered = false;
+    while start.elapsed() < Duration::from_secs(8) && !delivered {
+        if let Ok(AppEvent::Delivered(d)) =
+            handles[2].events().recv_timeout(Duration::from_millis(50))
+        {
+            delivered = &d.payload[..] == b"through the gap";
+        }
+    }
+    assert!(delivered, "delivery must complete after the token revives");
+
+    let rings_after: u64 = handles.iter().map(NodeHandle::rings_formed).sum();
+    assert_eq!(
+        rings_before, rings_after,
+        "token-socket loss must be repaired without reforming the ring"
+    );
+}
+
+#[test]
+fn panic_in_event_loop_is_contained_and_reported() {
+    let _serial = serial();
+    let handles = spawn_local_ring_with(
+        3,
+        ProtocolConfig::accelerated(20, 15),
+        test_membership_config(),
+        None,
+    )
+    .expect("spawn ring");
+    assert!(
+        await_ring_of(&handles[0], 3, Duration::from_secs(10)).is_some(),
+        "ring of 3 must form"
+    );
+
+    handles[1].inject_panic();
+
+    // The panic is caught, counted, and surfaced as a terminal event.
+    let start = Instant::now();
+    let mut fault_reason = None;
+    while start.elapsed() < Duration::from_secs(5) && fault_reason.is_none() {
+        if let Ok(AppEvent::Fault { reason }) =
+            handles[1].events().recv_timeout(Duration::from_millis(50))
+        {
+            fault_reason = Some(reason);
+        }
+    }
+    let reason = fault_reason.expect("panic must surface as AppEvent::Fault");
+    assert!(
+        reason.contains("fault injection"),
+        "fault event carries the panic context, got: {reason}"
+    );
+    assert_eq!(handles[1].stats().thread_panics, 1);
+
+    // The process survives and the other daemons keep running; they will
+    // reform without the dead node once its token silence is noticed.
+    assert!(handles[0].is_alive());
+    assert!(handles[2].is_alive());
+    assert!(
+        await_ring_of(&handles[0], 2, Duration::from_secs(10)).is_some(),
+        "survivors reform after a peer's thread panics"
+    );
+}

@@ -37,6 +37,7 @@ fn collect_deliveries(
         match handle.events().recv_timeout(Duration::from_millis(100)) {
             Ok(AppEvent::Delivered(d)) => got.push((d.sender.as_u16(), d.payload)),
             Ok(AppEvent::Config(_)) => {}
+            Ok(AppEvent::Fault { reason }) => panic!("node thread died: {reason}"),
             Err(_) => {}
         }
     }

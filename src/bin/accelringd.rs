@@ -221,6 +221,10 @@ fn main() {
                         c.transitional
                     );
                 }
+                Ok(AppEvent::Fault { reason }) => {
+                    eprintln!("daemon thread died: {reason}");
+                    std::process::exit(1);
+                }
                 Err(_) => {
                     eprintln!("timed out after {delivered} deliveries");
                     std::process::exit(1);
@@ -247,6 +251,10 @@ fn main() {
                     c.members.len(),
                     c.transitional
                 ),
+                Ok(AppEvent::Fault { reason }) => {
+                    eprintln!("daemon thread died: {reason}");
+                    return;
+                }
                 Err(_) => return,
             }
         });

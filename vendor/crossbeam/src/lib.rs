@@ -2,7 +2,8 @@
 //!
 //! Only `crossbeam::channel` is provided: multi-producer multi-consumer
 //! bounded and unbounded channels with the blocking, non-blocking, and
-//! timeout receive forms the transport and daemon runtimes use. Built on a
+//! timeout receive forms the transport and daemon runtimes use, plus a
+//! [`channel::Select`] readiness multiplexer over receivers. Built on a
 //! `Mutex<VecDeque>` plus condvars — not lock-free like the real crate, but
 //! semantically equivalent for these use sites.
 
@@ -15,10 +16,36 @@ pub mod channel {
     use std::sync::{Arc, Condvar, Mutex};
     use std::time::{Duration, Instant};
 
+    /// A latch a [`Select`] parks on; channels it observes trip it whenever
+    /// receive-readiness may have changed (message pushed, or last sender
+    /// gone).
+    #[derive(Default)]
+    struct SelectWaker {
+        signaled: Mutex<bool>,
+        cv: Condvar,
+    }
+
+    impl SelectWaker {
+        fn wake(&self) {
+            *self.signaled.lock().unwrap() = true;
+            self.cv.notify_all();
+        }
+    }
+
     struct State<T> {
         queue: VecDeque<T>,
         senders: usize,
         receivers: usize,
+        /// Wakers of selects currently parked on this channel.
+        observers: Vec<Arc<SelectWaker>>,
+    }
+
+    impl<T> State<T> {
+        fn notify_observers(&self) {
+            for w in &self.observers {
+                w.wake();
+            }
+        }
     }
 
     struct Chan<T> {
@@ -36,6 +63,7 @@ pub mod channel {
                 queue: VecDeque::new(),
                 senders: 1,
                 receivers: 1,
+                observers: Vec::new(),
             }),
             recv_ready: Condvar::new(),
             send_ready: Condvar::new(),
@@ -106,6 +134,35 @@ pub mod channel {
         }
     }
     impl<T> std::error::Error for TrySendError<T> {}
+
+    /// Error returned by [`Sender::send_timeout`].
+    #[derive(PartialEq, Eq, Clone, Copy)]
+    pub enum SendTimeoutError<T> {
+        /// The channel was still at capacity when the timeout elapsed.
+        Timeout(T),
+        /// All receivers are gone.
+        Disconnected(T),
+    }
+
+    impl<T> fmt::Debug for SendTimeoutError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                SendTimeoutError::Timeout(_) => write!(f, "Timeout(..)"),
+                SendTimeoutError::Disconnected(_) => write!(f, "Disconnected(..)"),
+            }
+        }
+    }
+    impl<T> fmt::Display for SendTimeoutError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                SendTimeoutError::Timeout(_) => write!(f, "timed out sending on a full channel"),
+                SendTimeoutError::Disconnected(_) => {
+                    write!(f, "sending on a disconnected channel")
+                }
+            }
+        }
+    }
+    impl<T> std::error::Error for SendTimeoutError<T> {}
 
     /// Error returned by [`Receiver::recv`] when the channel is empty and
     /// all senders are gone.
@@ -186,6 +243,7 @@ pub mod channel {
             let mut st = self.chan.state.lock().unwrap();
             st.senders -= 1;
             if st.senders == 0 {
+                st.notify_observers();
                 self.chan.recv_ready.notify_all();
             }
         }
@@ -211,6 +269,43 @@ pub mod channel {
                 }
             }
             st.queue.push_back(msg);
+            st.notify_observers();
+            self.chan.recv_ready.notify_one();
+            Ok(())
+        }
+
+        /// Sends, blocking at most `timeout` while a bounded channel is
+        /// full.
+        ///
+        /// # Errors
+        ///
+        /// [`SendTimeoutError::Timeout`] if still full at the deadline,
+        /// [`SendTimeoutError::Disconnected`] if all receivers are gone.
+        pub fn send_timeout(&self, msg: T, timeout: Duration) -> Result<(), SendTimeoutError<T>> {
+            let deadline = Instant::now() + timeout;
+            let mut st = self.chan.state.lock().unwrap();
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendTimeoutError::Disconnected(msg));
+                }
+                match self.chan.cap {
+                    Some(cap) if st.queue.len() >= cap => {
+                        let now = Instant::now();
+                        if now >= deadline {
+                            return Err(SendTimeoutError::Timeout(msg));
+                        }
+                        let (guard, _res) = self
+                            .chan
+                            .send_ready
+                            .wait_timeout(st, deadline - now)
+                            .unwrap();
+                        st = guard;
+                    }
+                    _ => break,
+                }
+            }
+            st.queue.push_back(msg);
+            st.notify_observers();
             self.chan.recv_ready.notify_one();
             Ok(())
         }
@@ -232,6 +327,7 @@ pub mod channel {
                 }
             }
             st.queue.push_back(msg);
+            st.notify_observers();
             self.chan.recv_ready.notify_one();
             Ok(())
         }
@@ -372,6 +468,135 @@ pub mod channel {
         }
     }
 
+    /// Type-erased view of a receiver a [`Select`] can park on.
+    trait SelectTarget {
+        fn attach(&self, waker: &Arc<SelectWaker>);
+        fn detach(&self, waker: &Arc<SelectWaker>);
+        /// A receive operation would not block: a message is queued, or
+        /// the channel is disconnected (receive returns an error).
+        fn ready(&self) -> bool;
+    }
+
+    impl<T> SelectTarget for Receiver<T> {
+        fn attach(&self, waker: &Arc<SelectWaker>) {
+            self.chan
+                .state
+                .lock()
+                .unwrap()
+                .observers
+                .push(Arc::clone(waker));
+        }
+
+        fn detach(&self, waker: &Arc<SelectWaker>) {
+            self.chan
+                .state
+                .lock()
+                .unwrap()
+                .observers
+                .retain(|o| !Arc::ptr_eq(o, waker));
+        }
+
+        fn ready(&self) -> bool {
+            let st = self.chan.state.lock().unwrap();
+            !st.queue.is_empty() || st.senders == 0
+        }
+    }
+
+    /// Error returned by [`Select::ready_timeout`] when no operation
+    /// becomes ready before the deadline.
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    pub struct ReadyTimeoutError;
+
+    impl fmt::Display for ReadyTimeoutError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "timed out waiting for a ready operation")
+        }
+    }
+    impl std::error::Error for ReadyTimeoutError {}
+
+    /// Readiness multiplexer over receive operations (the subset of the
+    /// real crate's `Select` this workspace uses): register receivers with
+    /// [`Select::recv`], then block in [`Select::ready`] /
+    /// [`Select::ready_timeout`] until one of them would not block. The
+    /// caller then completes the operation itself with `try_recv`.
+    #[must_use]
+    pub struct Select<'a> {
+        targets: Vec<&'a dyn SelectTarget>,
+    }
+
+    impl fmt::Debug for Select<'_> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "Select {{ {} targets }}", self.targets.len())
+        }
+    }
+
+    impl Default for Select<'_> {
+        fn default() -> Self {
+            Select::new()
+        }
+    }
+
+    impl<'a> Select<'a> {
+        /// Creates an empty selector.
+        pub fn new() -> Select<'a> {
+            Select {
+                targets: Vec::new(),
+            }
+        }
+
+        /// Registers a receive operation, returning its index.
+        pub fn recv<T>(&mut self, rx: &'a Receiver<T>) -> usize {
+            self.targets.push(rx);
+            self.targets.len() - 1
+        }
+
+        /// Blocks until some registered operation is ready; returns its
+        /// index. Readiness is a snapshot: complete the operation with the
+        /// non-blocking form and handle `Empty` (another receiver may have
+        /// won the race).
+        pub fn ready(&mut self) -> usize {
+            loop {
+                if let Ok(i) = self.ready_timeout(Duration::from_secs(86_400)) {
+                    return i;
+                }
+            }
+        }
+
+        /// Blocks up to `timeout` for a ready operation.
+        ///
+        /// # Errors
+        ///
+        /// [`ReadyTimeoutError`] if nothing became ready in time.
+        pub fn ready_timeout(&mut self, timeout: Duration) -> Result<usize, ReadyTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            // Register before scanning: any message pushed after the scan
+            // trips the waker, any pushed before is seen by the scan.
+            let waker = Arc::new(SelectWaker::default());
+            for t in &self.targets {
+                t.attach(&waker);
+            }
+            let result = loop {
+                if let Some(i) = self.targets.iter().position(|t| t.ready()) {
+                    break Ok(i);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    break Err(ReadyTimeoutError);
+                }
+                let mut signaled = waker.signaled.lock().unwrap();
+                if !*signaled {
+                    let (guard, _res) = waker.cv.wait_timeout(signaled, deadline - now).unwrap();
+                    signaled = guard;
+                }
+                *signaled = false;
+            };
+            for t in &self.targets {
+                t.detach(&waker);
+            }
+            result
+        }
+    }
+
     #[cfg(test)]
     mod tests {
         use super::*;
@@ -403,6 +628,59 @@ pub mod channel {
             assert_eq!(rx.recv(), Ok(2));
             assert_eq!(rx.recv(), Ok(3));
             assert!(rx.recv().is_err());
+        }
+
+        #[test]
+        fn select_wakes_on_send_from_another_thread() {
+            let (tx_a, rx_a) = unbounded::<u8>();
+            let (_tx_b, rx_b) = unbounded::<u8>();
+            let t = std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(20));
+                tx_a.send(7).unwrap();
+            });
+            let mut sel = Select::new();
+            let ia = sel.recv(&rx_a);
+            let _ib = sel.recv(&rx_b);
+            let ready = sel.ready_timeout(Duration::from_secs(5)).unwrap();
+            assert_eq!(ready, ia);
+            assert_eq!(rx_a.try_recv(), Ok(7));
+            t.join().unwrap();
+        }
+
+        #[test]
+        fn select_reports_disconnection_as_ready() {
+            let (tx, rx) = unbounded::<u8>();
+            drop(tx);
+            let mut sel = Select::new();
+            sel.recv(&rx);
+            assert!(sel.ready_timeout(Duration::from_millis(100)).is_ok());
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        }
+
+        #[test]
+        fn select_times_out_when_idle() {
+            let (_tx, rx) = unbounded::<u8>();
+            let mut sel = Select::new();
+            sel.recv(&rx);
+            assert_eq!(
+                sel.ready_timeout(Duration::from_millis(10)),
+                Err(ReadyTimeoutError)
+            );
+        }
+
+        #[test]
+        fn send_timeout_full_and_disconnected() {
+            let (tx, rx) = bounded(1);
+            tx.send_timeout(1, Duration::from_millis(5)).unwrap();
+            assert_eq!(
+                tx.send_timeout(2, Duration::from_millis(5)),
+                Err(SendTimeoutError::Timeout(2))
+            );
+            drop(rx);
+            assert_eq!(
+                tx.send_timeout(3, Duration::from_millis(5)),
+                Err(SendTimeoutError::Disconnected(3))
+            );
         }
 
         #[test]
