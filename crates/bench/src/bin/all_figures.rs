@@ -8,6 +8,7 @@ use accelring_sim::NetworkProfile;
 fn main() {
     let q = Quality::from_env();
     println!("{}", format_max_throughput(&max_throughput_table(q)));
+    println!("{}", format_multiring_scaling(&multiring_scaling_table(q)));
     println!(
         "{}",
         format_table(

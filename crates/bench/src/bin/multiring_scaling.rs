@@ -1,0 +1,12 @@
+//! Multi-ring scaling: aggregate ordered throughput at R = 1, 2, 4
+//! rings on the 1 Gb and 10 Gb profiles, with the deterministic merge
+//! replayed over every ring's delivery stream. Honors
+//! ACCELRING_BENCH_QUALITY.
+use accelring_bench::{format_multiring_scaling, multiring_scaling_table, Quality};
+
+fn main() {
+    print!(
+        "{}",
+        format_multiring_scaling(&multiring_scaling_table(Quality::from_env()))
+    );
+}

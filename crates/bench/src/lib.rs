@@ -5,10 +5,12 @@
 //! on the deterministic simulator, plus ablation studies of the design
 //! choices called out in DESIGN.md.
 //!
-//! One binary per figure (`fig02` … `fig13`, `max_throughput`, and the
-//! `ablate_*` studies) prints the figure's series as an aligned table;
-//! `all_figures` runs everything and emits the markdown embedded in
-//! EXPERIMENTS.md.
+//! One binary per figure (`fig02` … `fig13`, `max_throughput`,
+//! `multiring_scaling`, and the `ablate_*` studies) prints the figure's
+//! series as an aligned table; `all_figures` runs everything and emits
+//! the markdown embedded in EXPERIMENTS.md. The chaos soaks
+//! (`chaos_soak`, `multiring_soak`) sweep seeded fault schedules and
+//! exit non-zero on any invariant violation.
 //!
 //! Set `ACCELRING_BENCH_QUALITY=full` for publication-length measurement
 //! windows (the default `quick` keeps every binary under a minute).
@@ -17,6 +19,7 @@
 #![warn(missing_docs)]
 
 use accelring_core::{PriorityMethod, ProtocolConfig, RtrPolicy, Service, Variant};
+use accelring_multiring::{run_scaling, ScalingSpec};
 use accelring_sim::{
     Curve, CurvePoint, ExperimentSpec, ImplProfile, LossSpec, NetworkProfile, SimDuration, Workload,
 };
@@ -435,6 +438,81 @@ pub fn ablate_switch_buffer(q: Quality) -> Vec<(u64, f64, f64, u64)> {
         ));
     }
     rows
+}
+
+/// One multi-ring scaling measurement: aggregate ordered throughput at
+/// R rings on one network, with the deterministic merge replayed over
+/// every ring's delivery stream.
+#[derive(Debug, Clone)]
+pub struct MultiRingScalingRow {
+    /// Network name.
+    pub network: &'static str,
+    /// Number of independent rings.
+    pub rings: u16,
+    /// Sum of the rings' ordered goodput in Mbps.
+    pub aggregate_mbps: f64,
+    /// Aggregate relative to the single-ring baseline on this network.
+    pub speedup: f64,
+    /// Goodput of the merged observer's released stream in Mbps.
+    pub merged_mbps: f64,
+    /// Mean extra latency the merge gate adds, microseconds.
+    pub mean_merge_lag_us: f64,
+    /// Worst merge-gate latency observed, microseconds.
+    pub max_merge_lag_us: f64,
+}
+
+/// Multi-ring scaling: aggregate ordered throughput at R = 1, 2, 4
+/// rings of 8 daemons each, saturating 1350-byte senders, on both
+/// network profiles. Each point also replays the merged observer and
+/// reports the merge gate's cost (Multi-Ring Paxos' deterministic
+/// merge layered over Accelerated Ring shards).
+pub fn multiring_scaling_table(q: Quality) -> Vec<MultiRingScalingRow> {
+    let mut rows = Vec::new();
+    for (net_name, network) in [
+        ("1Gb", NetworkProfile::gigabit()),
+        ("10Gb", NetworkProfile::ten_gigabit()),
+    ] {
+        let mut baseline = None;
+        for rings in [1u16, 2, 4] {
+            let mut spec = ScalingSpec::baseline(rings, network);
+            spec.warmup = q.warmup();
+            spec.measure = q.measure();
+            let point = run_scaling(&spec);
+            let aggregate = point.aggregate_goodput_mbps();
+            let base = *baseline.get_or_insert(aggregate);
+            rows.push(MultiRingScalingRow {
+                network: net_name,
+                rings,
+                aggregate_mbps: aggregate,
+                speedup: aggregate / base,
+                merged_mbps: point.merged_goodput_mbps(),
+                mean_merge_lag_us: point.mean_merge_lag_us,
+                max_merge_lag_us: point.max_merge_lag_us,
+            });
+        }
+    }
+    rows
+}
+
+/// Formats the multi-ring scaling table.
+pub fn format_multiring_scaling(rows: &[MultiRingScalingRow]) -> String {
+    let mut out = String::from(
+        "# Multi-ring scaling (aggregate ordered throughput, saturating senders)\n\
+         network  rings  aggregate Mbps   speedup  merged Mbps  merge lag mean/max us\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:>7} {:>6} {:>15.1} {:>8.2}x {:>12.1} {:>12.1} / {:<10.1}\n",
+            r.network,
+            r.rings,
+            r.aggregate_mbps,
+            r.speedup,
+            r.merged_mbps,
+            r.mean_merge_lag_us,
+            r.max_merge_lag_us
+        ));
+    }
+    out
 }
 
 #[cfg(test)]

@@ -29,6 +29,12 @@
 //!   everywhere.
 //! - `reconvergence` — after the final heal, all daemons are operational
 //!   in one identical ring containing everyone.
+//!
+//! Multi-ring runs additionally use [`check_cross_ring_agreement`]:
+//!
+//! - `cross-ring-order` — observers merging the same set of rings see
+//!   their commonly delivered messages in the same relative order, even
+//!   when those messages were ordered on different rings.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
@@ -439,6 +445,77 @@ fn check_virtual_synchrony(parsed: &Parsed, v: &mut Vec<Violation>) {
             }
         }
     }
+}
+
+/// One entry of an observer's *merged* multi-ring delivery stream: the
+/// ring that ordered the message, and the message identity.
+pub type RingMsg = (u16, MsgId);
+
+/// `cross-ring-order`: any two observers that fold the same set of rings
+/// through the deterministic merge must see their commonly delivered
+/// messages in the same relative order — the multi-ring analogue of
+/// `agreed-order`, over the merged stream instead of one ring's journal.
+///
+/// `observers` is one merged stream per observer, labelled with the
+/// observer's node index for diagnostics. Duplicate `(ring, msg)`
+/// entries within one stream are collapsed to their first occurrence
+/// (duplicates are the per-ring checker's problem, and must not cascade
+/// into spurious order violations here).
+pub fn check_cross_ring_agreement(observers: &[(usize, Vec<RingMsg>)]) -> Vec<Violation> {
+    let mut v = Vec::new();
+    let seqs: Vec<(usize, Vec<RingMsg>)> = observers
+        .iter()
+        .map(|(node, stream)| {
+            let mut seen = BTreeSet::new();
+            let firsts = stream
+                .iter()
+                .filter(|e| seen.insert(**e))
+                .copied()
+                .collect();
+            (*node, firsts)
+        })
+        .collect();
+    let sets: Vec<BTreeSet<RingMsg>> = seqs
+        .iter()
+        .map(|(_, s)| s.iter().copied().collect())
+        .collect();
+    for i in 0..seqs.len() {
+        for j in i + 1..seqs.len() {
+            let (node_i, seq_i) = &seqs[i];
+            let (node_j, seq_j) = &seqs[j];
+            let common: Vec<RingMsg> = seq_i
+                .iter()
+                .filter(|e| sets[j].contains(e))
+                .copied()
+                .collect();
+            let other: Vec<RingMsg> = seq_j
+                .iter()
+                .filter(|e| sets[i].contains(e))
+                .copied()
+                .collect();
+            if common != other {
+                let at = common
+                    .iter()
+                    .zip(&other)
+                    .position(|(a, b)| a != b)
+                    .unwrap_or(common.len().min(other.len()));
+                let show = |e: Option<&RingMsg>| {
+                    e.map(|(r, id)| format!("ring{r}/{id}"))
+                        .unwrap_or_else(|| "<end>".to_string())
+                };
+                v.push(Violation {
+                    invariant: "cross-ring-order",
+                    detail: format!(
+                        "observers {node_i} and {node_j} disagree on the merged order at \
+                         common position {at}: {} vs {}",
+                        show(common.get(at)),
+                        show(other.get(at))
+                    ),
+                });
+            }
+        }
+    }
+    v
 }
 
 /// `self-delivery`: every post-quiescence probe reaches every node.

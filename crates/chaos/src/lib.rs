@@ -42,8 +42,10 @@ pub mod live;
 pub mod runner;
 pub mod schedule;
 
-pub use checker::{check, CheckerInput, MsgId, Violation};
+pub use checker::{check, check_cross_ring_agreement, CheckerInput, MsgId, RingMsg, Violation};
 pub use hook::{ChaosNetHook, NetKnobs};
 pub use live::{live_membership_config, run_live_chaos, LiveChaosConfig};
-pub use runner::{run_chaos, run_to_input, ChaosConfig, ChaosReport, ChaosStats};
+pub use runner::{
+    run_chaos, run_schedule_to_input, run_to_input, ChaosConfig, ChaosReport, ChaosStats,
+};
 pub use schedule::{FaultEvent, FaultKind, FaultSchedule, ScheduleConfig};

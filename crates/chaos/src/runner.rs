@@ -171,9 +171,32 @@ pub fn run_to_input(cfg: ChaosConfig) -> (CheckerInput, FaultSchedule) {
     (input, schedule)
 }
 
+/// Replays an explicit — possibly transformed — schedule instead of
+/// generating one from `cfg.seed`, and returns the raw checker input
+/// plus run counters. This is the entry point the multi-ring chaos
+/// harness uses: it shields its merged-stream observers with
+/// [`FaultSchedule::shield`] and splices in ring-targeted faults before
+/// replaying each ring.
+///
+/// `cfg.seed` still seeds the workload and the network hook, so the run
+/// remains fully deterministic in `(cfg, schedule)`.
+pub fn run_schedule_to_input(
+    cfg: ChaosConfig,
+    schedule: &FaultSchedule,
+) -> (CheckerInput, ChaosStats) {
+    let (input, _, stats) = execute_schedule(cfg, schedule.clone());
+    (input, stats)
+}
+
 fn execute(cfg: ChaosConfig) -> (CheckerInput, FaultSchedule, ChaosStats) {
+    execute_schedule(cfg, FaultSchedule::generate(cfg.seed, cfg.schedule))
+}
+
+fn execute_schedule(
+    cfg: ChaosConfig,
+    schedule: FaultSchedule,
+) -> (CheckerInput, FaultSchedule, ChaosStats) {
     let n = cfg.nodes as usize;
-    let schedule = FaultSchedule::generate(cfg.seed, cfg.schedule);
     let knobs = Rc::new(RefCell::new(NetKnobs::quiet()));
     let mut cluster = Cluster::new(
         cfg.nodes,
@@ -189,7 +212,9 @@ fn execute(cfg: ChaosConfig) -> (CheckerInput, FaultSchedule, ChaosStats) {
     let mut stats = ChaosStats::default();
 
     // Let the initial ring form before the first fault or submission.
-    cluster.run_for(cfg.schedule.warmup_ns);
+    // (The schedule's own warmup, in case it was built from a different
+    // shape than `cfg.schedule`.)
+    cluster.run_for(schedule.config.warmup_ns);
     let mut next_submit = cluster.now() + cfg.submit_gap_ns;
 
     for event in &schedule.events {

@@ -175,6 +175,81 @@ impl FaultSchedule {
         }
     }
 
+    /// Returns a copy of this schedule with the given nodes shielded
+    /// from process-level faults, for runs where designated observers
+    /// must stay up (e.g. the merged-stream observers of a multi-ring
+    /// chaos run, which need complete journals to compare).
+    ///
+    /// Process faults aimed at a protected node are deterministically
+    /// remapped onto an unprotected one (`unprotected[i % len]`), so the
+    /// fault density is preserved. [`FaultKind::CrashTokenHolder`] —
+    /// which could resolve to a protected node at fire time — becomes a
+    /// token burst of equivalent disruption. Partitions keep all
+    /// protected nodes together in the first group, so they share every
+    /// configuration change. Network-level faults (loss, churn, token
+    /// bursts) pass through untouched: shielded nodes still live on the
+    /// same degraded network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every node would be protected (nothing left to fault).
+    pub fn shield(&self, protected: &[usize]) -> FaultSchedule {
+        let shielded: BTreeSet<usize> = protected.iter().copied().collect();
+        let unprotected: Vec<usize> = (0..self.config.nodes)
+            .filter(|i| !shielded.contains(i))
+            .collect();
+        assert!(
+            !unprotected.is_empty(),
+            "cannot shield every node of the schedule"
+        );
+        let map = |i: usize| -> usize {
+            if shielded.contains(&i) {
+                unprotected[i % unprotected.len()]
+            } else {
+                i
+            }
+        };
+        let events = self
+            .events
+            .iter()
+            .map(|e| {
+                let kind = match &e.kind {
+                    FaultKind::Crash(i) => FaultKind::Crash(map(*i)),
+                    FaultKind::Restart(i) => FaultKind::Restart(map(*i)),
+                    FaultKind::Pause(i) => FaultKind::Pause(map(*i)),
+                    FaultKind::Resume(i) => FaultKind::Resume(map(*i)),
+                    FaultKind::CrashTokenHolder => FaultKind::TokenBurst(3),
+                    FaultKind::Partition(groups) => {
+                        let mut first: Vec<usize> = shielded.iter().copied().collect();
+                        let mut rest: Vec<Vec<usize>> = Vec::new();
+                        for (gi, g) in groups.iter().enumerate() {
+                            let kept: Vec<usize> = g
+                                .iter()
+                                .copied()
+                                .filter(|n| !shielded.contains(n))
+                                .collect();
+                            if gi == 0 {
+                                first.extend(kept);
+                            } else if !kept.is_empty() {
+                                rest.push(kept);
+                            }
+                        }
+                        let mut out = vec![first];
+                        out.append(&mut rest);
+                        FaultKind::Partition(out)
+                    }
+                    other => other.clone(),
+                };
+                FaultEvent { at: e.at, kind }
+            })
+            .collect();
+        FaultSchedule {
+            seed: self.seed,
+            config: self.config,
+            events,
+        }
+    }
+
     /// The compact replayable trace: one line per event, preceded by the
     /// seed. This is what violation reports embed.
     pub fn trace(&self) -> String {
@@ -352,6 +427,53 @@ mod tests {
                 _ => {}
             }
         }
+    }
+
+    #[test]
+    fn shield_never_faults_protected_nodes() {
+        let s = FaultSchedule::generate(7, ScheduleConfig::soak(6, 3_000)).shield(&[0, 1]);
+        for e in &s.events {
+            match &e.kind {
+                FaultKind::Crash(i)
+                | FaultKind::Restart(i)
+                | FaultKind::Pause(i)
+                | FaultKind::Resume(i) => {
+                    assert!(*i >= 2, "process fault hit protected node {i} at {}", e.at)
+                }
+                FaultKind::CrashTokenHolder => {
+                    panic!("crash-token-holder survived shielding at {}", e.at)
+                }
+                FaultKind::Partition(groups) => {
+                    assert!(
+                        groups[0].contains(&0) && groups[0].contains(&1),
+                        "partition separated the protected pair: {groups:?}"
+                    );
+                    for g in &groups[1..] {
+                        assert!(!g.contains(&0) && !g.contains(&1));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn shield_is_deterministic_and_preserves_times() {
+        let base = FaultSchedule::generate(11, ScheduleConfig::smoke(5));
+        let a = base.shield(&[0, 1]);
+        let b = base.shield(&[0, 1]);
+        assert_eq!(a, b);
+        assert_eq!(a.events.len(), base.events.len());
+        for (orig, shielded) in base.events.iter().zip(&a.events) {
+            assert_eq!(orig.at, shielded.at);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot shield every node")]
+    fn shield_rejects_protecting_everyone() {
+        let s = FaultSchedule::generate(1, ScheduleConfig::smoke(3));
+        let _ = s.shield(&[0, 1, 2]);
     }
 
     #[test]

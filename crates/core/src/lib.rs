@@ -56,6 +56,7 @@
 //! | [`config`] | III-A | windows, variants, builder |
 //! | [`flow`] | III-B1/2 | flow-control arithmetic |
 //! | [`buffer`] | III-B4, III-C | receive buffer and delivery engine |
+//! | [`mclock`] | — | multi-ring merge clocks (λ slots, ring indices) |
 //! | [`priority`] | III-D | token/data priority policies |
 //! | [`ring`] | II | ring membership view |
 //! | [`participant`] | III | the protocol state machine |
@@ -67,6 +68,7 @@
 pub mod buffer;
 pub mod config;
 pub mod flow;
+pub mod mclock;
 pub mod message;
 pub mod participant;
 pub mod priority;
@@ -80,10 +82,11 @@ pub use buffer::Delivery;
 pub use config::{
     ConfigError, PriorityMethod, ProtocolConfig, ProtocolConfigBuilder, RtrPolicy, Variant,
 };
+pub use mclock::{epoch_base, LambdaClock, MergeKey, RingIdx};
 pub use message::{DataMessage, Token};
 pub use participant::{Action, Participant, QueueFullError, RecoverySnapshot, MAX_RTR_ENTRIES};
 pub use ring::{Ring, RingError};
-pub use stats::Stats;
+pub use stats::{PerRingStats, Stats};
 pub use types::{ParticipantId, RingId, Round, Seq, Service};
 pub use wire::DecodeError;
 

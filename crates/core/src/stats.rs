@@ -43,6 +43,92 @@ impl Stats {
     pub fn delivered_total(&self) -> u64 {
         self.delivered_agreed + self.delivered_safe
     }
+
+    /// Adds every counter of `other` into `self`.
+    ///
+    /// Used to aggregate counters across participants of one ring, or
+    /// across the rings of a multi-ring deployment.
+    pub fn absorb(&mut self, other: &Stats) {
+        self.tokens_processed += other.tokens_processed;
+        self.stale_tokens_dropped += other.stale_tokens_dropped;
+        self.messages_sent += other.messages_sent;
+        self.retransmissions_sent += other.retransmissions_sent;
+        self.retransmissions_requested += other.retransmissions_requested;
+        self.messages_received += other.messages_received;
+        self.duplicate_messages += other.duplicate_messages;
+        self.foreign_dropped += other.foreign_dropped;
+        self.delivered_agreed += other.delivered_agreed;
+        self.delivered_safe += other.delivered_safe;
+        self.discarded += other.discarded;
+        self.submitted += other.submitted;
+        self.submit_rejected += other.submit_rejected;
+    }
+}
+
+/// Protocol counters broken out by ring index in a multi-ring
+/// deployment.
+///
+/// Soak bins and the daemon report use this to attribute throughput and
+/// delivery counts to the ring that ordered them, while [`total`]
+/// collapses the breakdown for headline numbers.
+///
+/// [`total`]: PerRingStats::total
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PerRingStats {
+    rings: Vec<Stats>,
+}
+
+impl PerRingStats {
+    /// Counters pre-sized for `rings` rings (all zero).
+    pub fn new(rings: usize) -> Self {
+        Self {
+            rings: vec![Stats::default(); rings],
+        }
+    }
+
+    /// Number of rings tracked so far.
+    pub fn rings(&self) -> usize {
+        self.rings.len()
+    }
+
+    /// The counters for one ring, zero if the ring was never touched.
+    pub fn ring(&self, ring: crate::mclock::RingIdx) -> Stats {
+        self.rings.get(ring.as_usize()).copied().unwrap_or_default()
+    }
+
+    /// Mutable counters for one ring, growing the table on demand.
+    pub fn ring_mut(&mut self, ring: crate::mclock::RingIdx) -> &mut Stats {
+        let idx = ring.as_usize();
+        if idx >= self.rings.len() {
+            self.rings.resize(idx + 1, Stats::default());
+        }
+        &mut self.rings[idx]
+    }
+
+    /// Adds `other`'s counters into the matching rings of `self`.
+    pub fn absorb(&mut self, other: &PerRingStats) {
+        for (idx, stats) in other.rings.iter().enumerate() {
+            self.ring_mut(crate::mclock::RingIdx::new(idx as u16))
+                .absorb(stats);
+        }
+    }
+
+    /// All rings' counters summed into one [`Stats`].
+    pub fn total(&self) -> Stats {
+        let mut sum = Stats::default();
+        for s in &self.rings {
+            sum.absorb(s);
+        }
+        sum
+    }
+
+    /// Iterates `(ring index, counters)` pairs in ring order.
+    pub fn iter(&self) -> impl Iterator<Item = (crate::mclock::RingIdx, &Stats)> {
+        self.rings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (crate::mclock::RingIdx::new(i as u16), s))
+    }
 }
 
 #[cfg(test)]
@@ -64,5 +150,57 @@ mod tests {
             ..Stats::default()
         };
         assert_eq!(s.delivered_total(), 7);
+    }
+
+    #[test]
+    fn absorb_sums_every_counter() {
+        let mut a = Stats {
+            tokens_processed: 1,
+            messages_sent: 2,
+            delivered_agreed: 3,
+            submit_rejected: 4,
+            ..Stats::default()
+        };
+        let b = Stats {
+            tokens_processed: 10,
+            messages_sent: 20,
+            delivered_safe: 30,
+            submitted: 40,
+            ..Stats::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.tokens_processed, 11);
+        assert_eq!(a.messages_sent, 22);
+        assert_eq!(a.delivered_total(), 33);
+        assert_eq!(a.submitted, 40);
+        assert_eq!(a.submit_rejected, 4);
+    }
+
+    #[test]
+    fn per_ring_stats_grow_and_total() {
+        use crate::mclock::RingIdx;
+        let mut per = PerRingStats::new(1);
+        per.ring_mut(RingIdx::new(0)).delivered_agreed = 5;
+        per.ring_mut(RingIdx::new(2)).delivered_agreed = 7;
+        assert_eq!(per.rings(), 3);
+        assert_eq!(per.ring(RingIdx::new(1)), Stats::default());
+        assert_eq!(per.ring(RingIdx::new(9)), Stats::default());
+        assert_eq!(per.total().delivered_agreed, 12);
+        let labels: Vec<String> = per.iter().map(|(r, _)| r.to_string()).collect();
+        assert_eq!(labels, ["ring0", "ring1", "ring2"]);
+    }
+
+    #[test]
+    fn per_ring_absorb_aligns_by_ring() {
+        use crate::mclock::RingIdx;
+        let mut a = PerRingStats::new(2);
+        a.ring_mut(RingIdx::new(0)).submitted = 1;
+        let mut b = PerRingStats::new(3);
+        b.ring_mut(RingIdx::new(0)).submitted = 2;
+        b.ring_mut(RingIdx::new(2)).submitted = 3;
+        a.absorb(&b);
+        assert_eq!(a.ring(RingIdx::new(0)).submitted, 3);
+        assert_eq!(a.ring(RingIdx::new(2)).submitted, 3);
+        assert_eq!(a.total().submitted, 6);
     }
 }

@@ -173,6 +173,10 @@ pub struct GroupEngine {
     seen_seqs: BTreeMap<String, u64>,
     /// Count of sequenced messages dropped as duplicates.
     duplicates_dropped: u64,
+    /// Members of the last regular configuration. A regular configuration
+    /// that adds daemons is a merge of previously partitioned components,
+    /// and triggers the local-membership re-announcement.
+    known_daemons: BTreeSet<ParticipantId>,
 }
 
 impl GroupEngine {
@@ -195,6 +199,7 @@ impl GroupEngine {
             reassemblers: BTreeMap::new(),
             seen_seqs: BTreeMap::new(),
             duplicates_dropped: 0,
+            known_daemons: BTreeSet::new(),
         }
     }
 
@@ -478,7 +483,7 @@ impl GroupEngine {
             }
             GroupAction::Join { group } => {
                 let view = self.groups.join(&group, msg.sender);
-                self.views_to_outputs(view.into_iter().collect())
+                self.views_to_outputs(vec![view])
             }
             GroupAction::Leave { group } => {
                 let view = self.groups.leave(&group, &msg.sender);
@@ -494,6 +499,14 @@ impl GroupEngine {
     /// Processes an EVS configuration change: clients of daemons that left
     /// the configuration are pruned from every group, and all local clients
     /// are notified.
+    ///
+    /// A regular configuration that *adds* daemons is a merge of
+    /// previously partitioned components whose group tables diverged
+    /// (each side pruned the other's clients). Every daemon then
+    /// re-announces its own local clients' memberships as ordered joins:
+    /// joins are idempotent at the replicas, so all tables reconverge,
+    /// and the resulting views tell every member the group is whole
+    /// again. The outputs may therefore include [`EngineOutput::Submit`]s.
     pub fn on_config_change(&mut self, change: &ConfigChange) -> Vec<EngineOutput> {
         let mut out = Vec::new();
         for client in &self.local_clients {
@@ -508,6 +521,25 @@ impl GroupEngine {
         if !change.transitional {
             let views = self.groups.retain_daemons(&change.members);
             out.extend(self.views_to_outputs(views));
+            let merged = !self.known_daemons.is_empty()
+                && change
+                    .members
+                    .iter()
+                    .any(|m| !self.known_daemons.contains(m));
+            if merged {
+                for (group, id) in self.groups.memberships_of_daemon(self.pid) {
+                    if !self.local_clients.contains(&id.name) {
+                        continue;
+                    }
+                    let encoded = encode_group_message(&GroupMessage {
+                        sender: id,
+                        seq: 0,
+                        action: GroupAction::Join { group },
+                    });
+                    out.extend(self.wrap_submit(encoded, Service::Agreed));
+                }
+            }
+            self.known_daemons = change.members.iter().cloned().collect();
         }
         out
     }
@@ -724,6 +756,78 @@ mod tests {
             .iter()
             .any(|e| matches!(e, ClientEvent::Config { .. })));
         assert!(events.iter().any(|e| matches!(e, ClientEvent::View { .. })));
+    }
+
+    #[test]
+    fn merging_config_reannounces_local_memberships() {
+        // Two daemons, one local client each, both in "g"; a partition
+        // prunes each side's view of the other, and the healing
+        // (merging) configuration makes both engines re-announce their
+        // local joins so the replicated tables reconverge.
+        let d0 = ParticipantId::new(0);
+        let d1 = ParticipantId::new(1);
+        let mut engines = vec![GroupEngine::new(d0), GroupEngine::new(d1)];
+        engines[0].client_connect("a").unwrap();
+        engines[1].client_connect("b").unwrap();
+        let mut seq = 0;
+        for (e, c) in [(0usize, "a"), (1, "b")] {
+            let out = engines[e].client_join(c, "g").unwrap();
+            propagate(out, &mut engines, &mut seq);
+        }
+        let full = |counter| ConfigChange {
+            ring_id: RingId::new(d0, counter),
+            members: vec![d0, d1],
+            transitional: false,
+        };
+        // Installing the first configuration re-announces nothing.
+        for e in &mut engines {
+            assert!(!e
+                .on_config_change(&full(4))
+                .iter()
+                .any(|o| matches!(o, EngineOutput::Submit { .. })));
+        }
+        // Partition: each engine alone. Shrinking re-announces nothing.
+        for (i, e) in engines.iter_mut().enumerate() {
+            let alone = ConfigChange {
+                ring_id: RingId::new(ParticipantId::new(i as u16), 8),
+                members: vec![ParticipantId::new(i as u16)],
+                transitional: false,
+            };
+            assert!(!e
+                .on_config_change(&alone)
+                .iter()
+                .any(|o| matches!(o, EngineOutput::Submit { .. })));
+            assert_eq!(e.groups().members("g").len(), 1, "far side pruned");
+        }
+        // Heal: both engines re-announce their local member, and
+        // replaying the announcements through the total order restores
+        // the full view everywhere.
+        let mut announced = Vec::new();
+        for e in &mut engines {
+            let outputs = e.on_config_change(&full(12));
+            announced.extend(
+                outputs
+                    .into_iter()
+                    .filter(|o| matches!(o, EngineOutput::Submit { .. })),
+            );
+        }
+        assert_eq!(
+            announced.len(),
+            2,
+            "each daemon re-announces its local join"
+        );
+        let locals = propagate(announced, &mut engines, &mut seq);
+        for e in &engines {
+            assert_eq!(e.groups().members("g").len(), 2, "tables reconverge");
+        }
+        for (i, name) in ["a", "b"].iter().enumerate() {
+            assert!(
+                locals[i].iter().any(|(c, ev)| c == *name
+                    && matches!(ev, ClientEvent::View { group, members }
+                        if group == "g" && members.len() == 2)),
+                "{name} hears the restored two-member view"
+            );
+        }
     }
 
     #[test]

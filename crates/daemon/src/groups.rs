@@ -62,17 +62,21 @@ impl GroupTable {
         self.groups.is_empty()
     }
 
-    /// Applies a join; returns the new view if membership changed.
-    pub fn join(&mut self, group: &str, client: ClientId) -> Option<GroupView> {
+    /// Applies a join and returns the resulting view.
+    ///
+    /// Idempotent: a duplicate join leaves the membership untouched and
+    /// returns the current view as a confirmation. This matters when a
+    /// shard rebalance moves a group to a new ring and every daemon
+    /// re-submits joins for its local members — replayed joins must
+    /// converge instead of being treated as errors or dropped silently
+    /// (the joining client still needs its view).
+    pub fn join(&mut self, group: &str, client: ClientId) -> GroupView {
         let set = self.groups.entry(group.to_string()).or_default();
-        if set.insert(client.clone()) {
-            Some(GroupView {
-                group: group.to_string(),
-                members: set.iter().cloned().collect(),
-                cause: Some(client),
-            })
-        } else {
-            None
+        set.insert(client.clone());
+        GroupView {
+            group: group.to_string(),
+            members: set.iter().cloned().collect(),
+            cause: Some(client),
         }
     }
 
@@ -106,6 +110,22 @@ impl GroupTable {
         affected
             .into_iter()
             .filter_map(|g| self.leave(&g, client))
+            .collect()
+    }
+
+    /// Every `(group, client)` membership of clients attached to
+    /// `daemon`, in deterministic `(group, client)` order — what a daemon
+    /// re-announces through the total order when a configuration merge
+    /// reunites components with divergent tables.
+    pub fn memberships_of_daemon(&self, daemon: ParticipantId) -> Vec<(String, ClientId)> {
+        self.groups
+            .iter()
+            .flat_map(|(group, members)| {
+                members
+                    .iter()
+                    .filter(|c| c.daemon == daemon)
+                    .map(move |c| (group.clone(), c.clone()))
+            })
             .collect()
     }
 
@@ -143,10 +163,10 @@ mod tests {
         let mut t = GroupTable::new();
         let a = client(0, "a");
         let b = client(1, "b");
-        let v1 = t.join("g", a.clone()).unwrap();
+        let v1 = t.join("g", a.clone());
         assert_eq!(v1.members, vec![a.clone()]);
         assert_eq!(v1.cause, Some(a.clone()));
-        let v2 = t.join("g", b.clone()).unwrap();
+        let v2 = t.join("g", b.clone());
         assert_eq!(v2.members.len(), 2);
         let v3 = t.leave("g", &a).unwrap();
         assert_eq!(v3.members, vec![b.clone()]);
@@ -155,11 +175,14 @@ mod tests {
     }
 
     #[test]
-    fn duplicate_join_is_a_noop() {
+    fn duplicate_join_is_idempotent() {
         let mut t = GroupTable::new();
         let a = client(0, "a");
-        assert!(t.join("g", a.clone()).is_some());
-        assert!(t.join("g", a).is_none());
+        let first = t.join("g", a.clone());
+        let second = t.join("g", a.clone());
+        // The replayed join changes nothing but still confirms the view.
+        assert_eq!(first, second);
+        assert_eq!(t.members("g"), vec![a]);
     }
 
     #[test]
@@ -207,6 +230,67 @@ mod tests {
         assert!(members.iter().all(|c| c.daemon != ParticipantId::new(1)));
         // Prune views have no causing client.
         assert_eq!(views[0].cause, None.or(views[0].cause.clone()));
+    }
+
+    #[test]
+    fn retain_daemons_with_everyone_alive_is_a_noop() {
+        let mut t = GroupTable::new();
+        t.join("g", client(0, "a"));
+        t.join("g", client(1, "b"));
+        let views = t.retain_daemons(&[ParticipantId::new(0), ParticipantId::new(1)]);
+        assert!(views.is_empty());
+        assert_eq!(t.members("g").len(), 2);
+    }
+
+    #[test]
+    fn rejoin_after_retain_daemons_restores_membership() {
+        // Shard reassignment replays joins on the group's new ring: a
+        // daemon that was pruned by a configuration change and came back
+        // re-joins its clients, and the replay must produce full views.
+        let mut t = GroupTable::new();
+        let a = client(0, "a");
+        let b = client(1, "b");
+        t.join("g", a.clone());
+        t.join("g", b.clone());
+        t.retain_daemons(&[ParticipantId::new(1)]);
+        assert_eq!(t.members("g"), vec![b.clone()]);
+        let v = t.join("g", a.clone());
+        assert_eq!(v.members, vec![a.clone(), b.clone()]);
+        // The surviving member's replayed join is also harmless.
+        let v = t.join("g", b.clone());
+        assert_eq!(v.members, vec![a, b]);
+    }
+
+    #[test]
+    fn remove_client_then_retain_daemons_is_stable() {
+        // A disconnect racing a configuration change must not double-prune
+        // or resurrect: remove_client empties the client out, and a later
+        // retain_daemons for the same daemon reports nothing new.
+        let mut t = GroupTable::new();
+        let a = client(0, "a");
+        t.join("g1", a.clone());
+        t.join("g2", a.clone());
+        t.join("g2", client(1, "b"));
+        let first = t.remove_client(&a);
+        assert_eq!(first.len(), 2);
+        let second = t.retain_daemons(&[ParticipantId::new(1)]);
+        assert!(second.is_empty());
+        assert_eq!(t.group_names(), vec!["g2".to_string()]);
+    }
+
+    #[test]
+    fn retain_daemons_then_remove_client_reports_once() {
+        let mut t = GroupTable::new();
+        let a = client(0, "a");
+        let b = client(1, "b");
+        t.join("g", a.clone());
+        t.join("g", b.clone());
+        let pruned = t.retain_daemons(&[ParticipantId::new(1)]);
+        assert_eq!(pruned.len(), 1);
+        assert_eq!(pruned[0].members, vec![b]);
+        // The departed client is fully gone; an explicit disconnect for it
+        // afterwards has nothing left to report.
+        assert!(t.remove_client(&a).is_empty());
     }
 
     #[test]

@@ -26,6 +26,46 @@ pub const TAG_PACKED: u8 = 0xA1;
 pub const TAG_FRAGMENT: u8 = 0xA2;
 /// Tag byte identifying a bare (neither packed nor fragmented) payload.
 pub const TAG_BARE: u8 = 0xA0;
+/// Tag byte reserved for multi-ring merge ticks (idle-ring skip
+/// messages).
+///
+/// Tick payloads ride the total order like any other message so their
+/// token round advances every observer's merge watermark, but they carry
+/// no client data: [`unpack`] rejects the tag, so the group engine drops
+/// them without emitting client events.
+pub const TAG_TICK: u8 = 0xA3;
+
+/// A minimal tick payload: just the reserved tag byte.
+pub fn tick_payload() -> Bytes {
+    Bytes::from_static(&[TAG_TICK])
+}
+
+/// A tick payload carrying a configuration-epoch hint: the highest
+/// ring-id counter the submitting daemon has seen across *all* its
+/// rings. Ordered on a ring whose own configurations lag, it lets every
+/// observer of that ring align its merge clock past the faster rings'
+/// epoch bases at the same point of the stream.
+pub fn tick_payload_with_epoch(epoch: u64) -> Bytes {
+    let mut buf = Vec::with_capacity(9);
+    buf.push(TAG_TICK);
+    buf.extend_from_slice(&epoch.to_be_bytes());
+    Bytes::from(buf)
+}
+
+/// Recognizes a tick payload, returning the epoch hint it carries
+/// (zero for the minimal epochless form). `None` for anything that is
+/// not a tick.
+pub fn parse_tick(payload: &[u8]) -> Option<u64> {
+    match payload {
+        [TAG_TICK] => Some(0),
+        [TAG_TICK, rest @ ..] if rest.len() == 8 => {
+            let mut be = [0u8; 8];
+            be.copy_from_slice(rest);
+            Some(u64::from_be_bytes(be))
+        }
+        _ => None,
+    }
+}
 
 /// Coalesces small payloads into packets of at most `budget` bytes.
 ///
@@ -329,6 +369,33 @@ impl Reassembler {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn tick_payloads_are_rejected_by_unpack() {
+        // Ticks must never surface as client messages: the engine's
+        // delivery path unpacks every ring payload and drops undecodable
+        // ones, so the reserved tag guarantees ticks stay invisible.
+        let tick = tick_payload();
+        assert_eq!(tick[0], TAG_TICK);
+        assert!(matches!(unpack(tick), Err(DecodeError::BadKind(TAG_TICK))));
+    }
+
+    #[test]
+    fn epoch_ticks_round_trip_and_stay_unpackable() {
+        let tick = tick_payload_with_epoch(0x1234_5678_9abc);
+        assert_eq!(parse_tick(&tick), Some(0x1234_5678_9abc));
+        assert_eq!(parse_tick(&tick_payload()), Some(0));
+        assert_eq!(parse_tick(b"plain data"), None);
+        assert_eq!(parse_tick(&[]), None);
+        assert!(matches!(unpack(tick), Err(DecodeError::BadKind(TAG_TICK))));
+    }
+
+    #[test]
+    fn tick_tag_collides_with_no_framing_tag() {
+        assert_ne!(TAG_TICK, TAG_BARE);
+        assert_ne!(TAG_TICK, TAG_PACKED);
+        assert_ne!(TAG_TICK, TAG_FRAGMENT);
+    }
 
     #[test]
     fn packer_coalesces_until_budget() {

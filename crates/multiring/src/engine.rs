@@ -1,0 +1,740 @@
+//! The multi-ring routing engine: one [`GroupEngine`] per ring, a
+//! [`ShardMap`] deciding which ring orders which group, and a [`Merger`]
+//! folding the R delivery streams back into one total order.
+//!
+//! Like [`GroupEngine`], the [`MultiRingEngine`] is pure: runtimes feed
+//! it client commands plus each ring's deliveries and configuration
+//! changes, and carry out the [`MultiOutput`]s — submissions now carry
+//! the ring they must be ordered on, and local client events come out
+//! already merged across rings. Every daemon running the same shard map
+//! over the same per-ring streams emits client events in the same merged
+//! order, which is the whole point.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use accelring_core::{Delivery, ParticipantId, PerRingStats, RingIdx, Service};
+use accelring_daemon::{ClientEvent, EngineError, EngineOptions, EngineOutput, GroupEngine};
+use accelring_membership::ConfigChange;
+use bytes::Bytes;
+
+use crate::merge::{MergedEntry, Merger};
+use crate::shard::{ShardMap, ShardMove};
+
+/// An effect the runtime must carry out for the multi-ring engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MultiOutput {
+    /// Submit this payload for totally ordered multicast on one ring.
+    Submit {
+        /// The ring that must order it.
+        ring: RingIdx,
+        /// Encoded group message.
+        payload: Bytes,
+        /// Requested service.
+        service: Service,
+    },
+    /// Hand an event to a local client (already cross-ring merged).
+    Local {
+        /// The local client's name.
+        client: String,
+        /// The event.
+        event: ClientEvent,
+    },
+}
+
+/// Errors from multi-ring client operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MultiRingError {
+    /// The underlying per-ring engine rejected the operation.
+    Engine(EngineError),
+    /// A multicast addressed groups sharded onto different rings. One
+    /// message is ordered by exactly one ring (as in Multi-Ring Paxos);
+    /// the caller must split the send or co-locate the groups with
+    /// [`ShardMap::assign`].
+    CrossRing {
+        /// The offending group list.
+        groups: Vec<String>,
+        /// The distinct rings they map to.
+        rings: Vec<RingIdx>,
+    },
+}
+
+impl std::fmt::Display for MultiRingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MultiRingError::Engine(e) => write!(f, "{e}"),
+            MultiRingError::CrossRing { groups, rings } => {
+                write!(
+                    f,
+                    "groups {groups:?} span rings {rings:?}; a multicast must target one ring"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for MultiRingError {}
+
+impl From<EngineError> for MultiRingError {
+    fn from(e: EngineError) -> Self {
+        MultiRingError::Engine(e)
+    }
+}
+
+/// The per-daemon multi-ring engine.
+#[derive(Debug)]
+pub struct MultiRingEngine {
+    shards: ShardMap,
+    engines: Vec<GroupEngine>,
+    merger: Merger<Vec<EngineOutput>>,
+    /// Groups each local client has joined (join minus leave), used to
+    /// replay joins when a rebalance moves a group to a new ring.
+    local_joins: BTreeMap<String, BTreeSet<String>>,
+    stats: PerRingStats,
+}
+
+impl MultiRingEngine {
+    /// Creates the engine for daemon `pid` over `shards.rings()` rings,
+    /// pacing the merge at `lambda` token rounds per merge slot.
+    pub fn new(pid: ParticipantId, shards: ShardMap, lambda: u64) -> MultiRingEngine {
+        Self::with_options(pid, shards, lambda, EngineOptions::default())
+    }
+
+    /// Like [`MultiRingEngine::new`] with explicit packing options for
+    /// the per-ring engines.
+    pub fn with_options(
+        pid: ParticipantId,
+        shards: ShardMap,
+        lambda: u64,
+        options: EngineOptions,
+    ) -> MultiRingEngine {
+        let rings = shards.rings();
+        MultiRingEngine {
+            shards,
+            engines: (0..rings)
+                .map(|_| GroupEngine::with_options(pid, options))
+                .collect(),
+            merger: Merger::new(rings, lambda),
+            local_joins: BTreeMap::new(),
+            stats: PerRingStats::new(rings as usize),
+        }
+    }
+
+    /// Number of rings this engine routes over.
+    pub fn rings(&self) -> u16 {
+        self.shards.rings()
+    }
+
+    /// The shard map in force.
+    pub fn shards(&self) -> &ShardMap {
+        &self.shards
+    }
+
+    /// The ring that orders `group` under the current shard map.
+    pub fn ring_of(&self, group: &str) -> RingIdx {
+        self.shards.ring_of(group)
+    }
+
+    /// Per-ring delivery/submission counters, maintained from the
+    /// streams this engine has processed.
+    pub fn stats(&self) -> &PerRingStats {
+        &self.stats
+    }
+
+    /// Read access to one ring's engine (tests, reports).
+    pub fn ring_engine(&self, ring: RingIdx) -> &GroupEngine {
+        &self.engines[ring.as_usize()]
+    }
+
+    /// Rings whose lagging watermark currently blocks the merged stream;
+    /// the runtime orders skip ticks on them (leader only) so an idle
+    /// ring cannot stall the merge.
+    pub fn blocking_rings(&self) -> Vec<RingIdx> {
+        self.merger.blocking_rings()
+    }
+
+    /// Sequenced messages dropped as duplicates, summed over rings.
+    pub fn duplicates_dropped(&self) -> u64 {
+        self.engines
+            .iter()
+            .map(GroupEngine::duplicates_dropped)
+            .sum()
+    }
+
+    /// The highest session sequence number seen for `client` on the ring
+    /// that orders `group`-less traffic — across all rings, the max.
+    pub fn last_seq(&self, client: &str) -> u64 {
+        self.engines
+            .iter()
+            .map(|e| e.last_seq(client))
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn ring_for_groups(&self, groups: &[&str]) -> Result<RingIdx, MultiRingError> {
+        let mut rings: Vec<RingIdx> = groups.iter().map(|g| self.shards.ring_of(g)).collect();
+        rings.sort_unstable();
+        rings.dedup();
+        match rings.as_slice() {
+            [one] => Ok(*one),
+            _ => Err(MultiRingError::CrossRing {
+                groups: groups.iter().map(|g| g.to_string()).collect(),
+                rings,
+            }),
+        }
+    }
+
+    fn submits(&mut self, ring: RingIdx, outputs: Vec<EngineOutput>) -> Vec<MultiOutput> {
+        outputs
+            .into_iter()
+            .map(|out| match out {
+                EngineOutput::Submit { payload, service } => {
+                    self.stats.ring_mut(ring).submitted += 1;
+                    MultiOutput::Submit {
+                        ring,
+                        payload,
+                        service,
+                    }
+                }
+                // Client operations only ever produce submissions; local
+                // events flow exclusively from deliveries, which keeps
+                // every client-visible event inside the merged order.
+                EngineOutput::Local { client, event } => MultiOutput::Local { client, event },
+            })
+            .collect()
+    }
+
+    /// Registers a local client on every ring (its groups may shard
+    /// anywhere).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid or duplicate names.
+    pub fn client_connect(&mut self, name: &str) -> Result<(), MultiRingError> {
+        for (i, engine) in self.engines.iter_mut().enumerate() {
+            if let Err(e) = engine.client_connect(name) {
+                // Roll back the rings already joined so a failed connect
+                // leaves no trace.
+                for engine in self.engines.iter_mut().take(i) {
+                    let _ = engine.client_disconnect(name);
+                }
+                return Err(e.into());
+            }
+        }
+        Ok(())
+    }
+
+    /// Unregisters a local client; departures are multicast on every
+    /// ring so all replicas prune it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MultiRingError::Engine`] if not connected.
+    pub fn client_disconnect(&mut self, name: &str) -> Result<Vec<MultiOutput>, MultiRingError> {
+        let mut out = Vec::new();
+        for ring in 0..self.engines.len() {
+            let outputs = self.engines[ring].client_disconnect(name)?;
+            out.extend(self.submits(RingIdx::new(ring as u16), outputs));
+        }
+        self.local_joins.remove(name);
+        Ok(out)
+    }
+
+    /// The named client joins `group` on the ring the shard map routes
+    /// it to.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown clients or invalid group names.
+    pub fn client_join(
+        &mut self,
+        name: &str,
+        group: &str,
+    ) -> Result<Vec<MultiOutput>, MultiRingError> {
+        let ring = self.shards.ring_of(group);
+        let outputs = self.engines[ring.as_usize()].client_join(name, group)?;
+        self.local_joins
+            .entry(name.to_string())
+            .or_default()
+            .insert(group.to_string());
+        Ok(self.submits(ring, outputs))
+    }
+
+    /// The named client leaves `group`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown clients or invalid group names.
+    pub fn client_leave(
+        &mut self,
+        name: &str,
+        group: &str,
+    ) -> Result<Vec<MultiOutput>, MultiRingError> {
+        let ring = self.shards.ring_of(group);
+        let outputs = self.engines[ring.as_usize()].client_leave(name, group)?;
+        if let Some(joined) = self.local_joins.get_mut(name) {
+            joined.remove(group);
+        }
+        Ok(self.submits(ring, outputs))
+    }
+
+    /// Multicasts `payload` to one or more groups. All target groups
+    /// must shard onto the same ring — one message is ordered by exactly
+    /// one ring.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MultiRingError::CrossRing`] when the groups span rings,
+    /// or the per-ring engine's error otherwise.
+    pub fn client_multicast(
+        &mut self,
+        name: &str,
+        groups: &[&str],
+        payload: Bytes,
+        service: Service,
+    ) -> Result<Vec<MultiOutput>, MultiRingError> {
+        self.client_multicast_sequenced(name, groups, payload, service, 0)
+    }
+
+    /// Like [`MultiRingEngine::client_multicast`] with a client-session
+    /// sequence number for duplicate suppression. A given sender name
+    /// must keep a group set on one ring for suppression to apply (the
+    /// seen-sequence map is per ring).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MultiRingError::CrossRing`] when the groups span rings,
+    /// or the per-ring engine's error otherwise.
+    pub fn client_multicast_sequenced(
+        &mut self,
+        name: &str,
+        groups: &[&str],
+        payload: Bytes,
+        service: Service,
+        seq: u64,
+    ) -> Result<Vec<MultiOutput>, MultiRingError> {
+        let ring = self.ring_for_groups(groups)?;
+        let outputs = self.engines[ring.as_usize()]
+            .client_multicast_sequenced(name, groups, payload, service, seq)?;
+        Ok(self.submits(ring, outputs))
+    }
+
+    /// Closes partially filled packed payloads on every ring.
+    pub fn flush(&mut self) -> Vec<MultiOutput> {
+        let mut out = Vec::new();
+        for ring in 0..self.engines.len() {
+            let outputs = self.engines[ring].flush();
+            out.extend(self.submits(RingIdx::new(ring as u16), outputs));
+        }
+        out
+    }
+
+    fn release(&mut self, released: Vec<MergedEntry<Vec<EngineOutput>>>) -> Vec<MultiOutput> {
+        released
+            .into_iter()
+            .flat_map(|entry| entry.into_item())
+            .map(|out| match out {
+                EngineOutput::Local { client, event } => MultiOutput::Local { client, event },
+                // Deliveries never produce submissions.
+                EngineOutput::Submit { payload, service } => MultiOutput::Submit {
+                    ring: RingIdx::new(0),
+                    payload,
+                    service,
+                },
+            })
+            .collect()
+    }
+
+    /// Processes one ordered delivery from `ring`, producing merged
+    /// local client events. Every delivery — including skip ticks and
+    /// undecodable payloads — advances the ring's merge watermark, so
+    /// idle-ring ticks unblock the other rings' streams by construction.
+    pub fn on_delivery(&mut self, ring: RingIdx, delivery: &Delivery) -> Vec<MultiOutput> {
+        let stats = self.stats.ring_mut(ring);
+        if delivery.service.requires_stability() {
+            stats.delivered_safe += 1;
+        } else {
+            stats.delivered_agreed += 1;
+        }
+        if let Some(epoch) = accelring_daemon::packing::parse_tick(&delivery.payload) {
+            // Skip ticks carry the highest configuration counter seen
+            // across rings: aligning this ring's clock to that epoch
+            // base keeps an idle, never-reforming ring from stalling
+            // the merge behind a reformed ring's epoch.
+            let released = self.merger.advance_to(ring, epoch, delivery.round);
+            return self.release(released);
+        }
+        let outputs = self.engines[ring.as_usize()].on_delivery(delivery);
+        let released = if outputs.is_empty() {
+            self.merger.advance(ring, delivery.round)
+        } else {
+            self.merger.push(ring, delivery.round, outputs)
+        };
+        self.release(released)
+    }
+
+    /// Processes an EVS configuration change on one ring. A regular
+    /// configuration fences the ring's position in the merged stream; a
+    /// transitional configuration is a plain merged notification.
+    pub fn on_config_change(&mut self, ring: RingIdx, change: &ConfigChange) -> Vec<MultiOutput> {
+        let outputs = self.engines[ring.as_usize()].on_config_change(change);
+        // A merging configuration makes the engine re-announce its local
+        // memberships (see [`GroupEngine::on_config_change`]): those are
+        // submissions for *this* ring and leave immediately; only
+        // client-visible events enter the merged stream.
+        let (resubmits, locals): (Vec<_>, Vec<_>) = outputs
+            .into_iter()
+            .partition(|o| matches!(o, EngineOutput::Submit { .. }));
+        let mut out = self.submits(ring, resubmits);
+        let released = if change.transitional {
+            self.merger.push_now(ring, locals)
+        } else {
+            self.merger
+                .push_fence(ring, change.ring_id.counter(), locals)
+        };
+        out.extend(self.release(released));
+        out
+    }
+
+    /// Reacts to the death of entire rings: groups mapped to rings
+    /// outside `live` are re-sharded onto the survivors, dead rings are
+    /// retired from the merge gate, and joins for this daemon's clients
+    /// in moved groups are replayed on their new rings (idempotent at
+    /// the replicas, so every daemon may replay its own).
+    ///
+    /// Returns the moves and the submissions to carry out.
+    pub fn apply_rebalance(&mut self, live: &[RingIdx]) -> (Vec<ShardMove>, Vec<MultiOutput>) {
+        let mut groups: BTreeSet<String> = BTreeSet::new();
+        for engine in &self.engines {
+            groups.extend(engine.groups().group_names());
+        }
+        for joined in self.local_joins.values() {
+            groups.extend(joined.iter().cloned());
+        }
+        let groups: Vec<String> = groups.into_iter().collect();
+        let moves = self.shards.rebalance(&groups, live);
+        let mut out = Vec::new();
+        for ring in 0..self.rings() {
+            let ring = RingIdx::new(ring);
+            if !live.contains(&ring) {
+                let released = self.merger.retire(ring);
+                out.extend(self.release(released));
+            }
+        }
+        let replays: Vec<(String, String, RingIdx)> = moves
+            .iter()
+            .flat_map(|mv| {
+                self.local_joins
+                    .iter()
+                    .filter(|(_, joined)| joined.contains(&mv.group))
+                    .map(|(client, _)| (client.clone(), mv.group.clone(), mv.to))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        for (client, group, ring) in replays {
+            if let Ok(outputs) = self.engines[ring.as_usize()].client_join(&client, &group) {
+                out.extend(self.submits(ring, outputs));
+            }
+        }
+        (moves, out)
+    }
+
+    /// Flushes everything still held in the merger, in merge order.
+    /// Only sound when no ring will deliver again (shutdown, offline
+    /// journal replay).
+    pub fn finish(&mut self) -> Vec<MultiOutput> {
+        let released = self.merger.finish();
+        self.release(released)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accelring_core::{Round, Seq};
+
+    const LEFT_RING: RingIdx = RingIdx::new(0);
+    const RIGHT_RING: RingIdx = RingIdx::new(1);
+
+    fn two_ring_shards() -> ShardMap {
+        let mut shards = ShardMap::new(2);
+        shards.assign("left", LEFT_RING);
+        shards.assign("right", RIGHT_RING);
+        shards
+    }
+
+    fn engine(pid: u16) -> MultiRingEngine {
+        let mut e = MultiRingEngine::new(ParticipantId::new(pid), two_ring_shards(), 1);
+        e.client_connect(&format!("c{pid}")).unwrap();
+        e
+    }
+
+    fn submit_payloads(outputs: &[MultiOutput]) -> Vec<(RingIdx, Bytes, Service)> {
+        outputs
+            .iter()
+            .filter_map(|o| match o {
+                MultiOutput::Submit {
+                    ring,
+                    payload,
+                    service,
+                } => Some((*ring, payload.clone(), *service)),
+                MultiOutput::Local { .. } => None,
+            })
+            .collect()
+    }
+
+    fn delivery(seq: u64, sender: u16, round: u64, payload: Bytes, service: Service) -> Delivery {
+        Delivery {
+            seq: Seq::new(seq),
+            sender: ParticipantId::new(sender),
+            round: Round::new(round),
+            service,
+            payload,
+        }
+    }
+
+    fn messages(outputs: &[MultiOutput]) -> Vec<String> {
+        outputs
+            .iter()
+            .filter_map(|o| match o {
+                MultiOutput::Local {
+                    event: ClientEvent::Message { payload, .. },
+                    ..
+                } => Some(String::from_utf8_lossy(payload).into_owned()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn joins_route_to_the_sharded_ring() {
+        let mut e = engine(0);
+        let out = e.client_join("c0", "left").unwrap();
+        assert_eq!(submit_payloads(&out)[0].0, LEFT_RING);
+        let out = e.client_join("c0", "right").unwrap();
+        assert_eq!(submit_payloads(&out)[0].0, RIGHT_RING);
+        assert_eq!(e.stats().ring(LEFT_RING).submitted, 1);
+        assert_eq!(e.stats().ring(RIGHT_RING).submitted, 1);
+    }
+
+    #[test]
+    fn cross_ring_multicast_is_rejected() {
+        let mut e = engine(0);
+        let err = e
+            .client_multicast(
+                "c0",
+                &["left", "right"],
+                Bytes::from_static(b"x"),
+                Service::Agreed,
+            )
+            .unwrap_err();
+        assert!(matches!(err, MultiRingError::CrossRing { .. }));
+        // Same-ring multi-group multicast is fine.
+        let mut shards = two_ring_shards();
+        shards.assign("also-left", LEFT_RING);
+        let mut e = MultiRingEngine::new(ParticipantId::new(0), shards, 1);
+        e.client_connect("c0").unwrap();
+        let out = e
+            .client_multicast(
+                "c0",
+                &["left", "also-left"],
+                Bytes::from_static(b"x"),
+                Service::Agreed,
+            )
+            .unwrap();
+        assert_eq!(submit_payloads(&out)[0].0, LEFT_RING);
+    }
+
+    #[test]
+    fn disconnect_submits_on_every_ring() {
+        let mut e = engine(0);
+        let out = e.client_disconnect("c0").unwrap();
+        let rings: Vec<RingIdx> = submit_payloads(&out).iter().map(|s| s.0).collect();
+        assert_eq!(rings, vec![LEFT_RING, RIGHT_RING]);
+    }
+
+    /// Drives two observer engines with the same per-ring streams in
+    /// different arrival interleavings and returns both merged message
+    /// sequences.
+    fn merged_orders_for(
+        interleave_a: &[usize],
+        interleave_b: &[usize],
+    ) -> (Vec<String>, Vec<String>) {
+        // Build the two per-ring streams once, from a third engine's
+        // submissions: two messages on "left", two on "right".
+        let mut sender = engine(9);
+        let mut streams: Vec<Vec<Delivery>> = vec![Vec::new(), Vec::new()];
+        let mut seqs = [0u64, 0u64];
+        let mut feed = |ring: RingIdx, round: u64, outs: Vec<MultiOutput>| {
+            for (r, payload, service) in submit_payloads(&outs) {
+                assert_eq!(r, ring);
+                let i = ring.as_usize();
+                seqs[i] += 1;
+                streams[i].push(delivery(seqs[i], 9, round, payload, service));
+            }
+        };
+        feed(LEFT_RING, 0, sender.client_join("c9", "left").unwrap());
+        feed(RIGHT_RING, 0, sender.client_join("c9", "right").unwrap());
+        feed(
+            LEFT_RING,
+            1,
+            sender
+                .client_multicast("c9", &["left"], Bytes::from_static(b"L1"), Service::Agreed)
+                .unwrap(),
+        );
+        feed(
+            RIGHT_RING,
+            1,
+            sender
+                .client_multicast("c9", &["right"], Bytes::from_static(b"R1"), Service::Agreed)
+                .unwrap(),
+        );
+        feed(
+            LEFT_RING,
+            2,
+            sender
+                .client_multicast("c9", &["left"], Bytes::from_static(b"L2"), Service::Agreed)
+                .unwrap(),
+        );
+        feed(
+            RIGHT_RING,
+            3,
+            sender
+                .client_multicast("c9", &["right"], Bytes::from_static(b"R2"), Service::Agreed)
+                .unwrap(),
+        );
+
+        let run = |order: &[usize]| {
+            let mut obs = MultiRingEngine::new(ParticipantId::new(9), two_ring_shards(), 1);
+            obs.client_connect("c9").unwrap();
+            let mut idx = [0usize, 0usize];
+            let mut got = Vec::new();
+            for &ring in order {
+                if idx[ring] < streams[ring].len() {
+                    let d = &streams[ring][idx[ring]];
+                    idx[ring] += 1;
+                    got.extend(messages(&obs.on_delivery(RingIdx::new(ring as u16), d)));
+                }
+            }
+            got.extend(messages(&obs.finish()));
+            got
+        };
+        (run(interleave_a), run(interleave_b))
+    }
+
+    #[test]
+    fn merged_client_order_is_arrival_invariant() {
+        let (a, b) = merged_orders_for(&[0, 0, 0, 1, 1, 1], &[1, 1, 1, 0, 0, 0]);
+        assert_eq!(a.len(), 4, "all four data messages must surface");
+        assert_eq!(a, b, "merged order must not depend on arrival timing");
+        let (c, d) = merged_orders_for(&[0, 1, 0, 1, 0, 1], &[1, 0, 0, 1, 1, 0]);
+        assert_eq!(a, c);
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn tick_deliveries_advance_the_merge_without_events() {
+        let mut e = engine(0);
+        // Feed the join so c0 is a member of "right".
+        let join = e.client_join("c0", "right").unwrap();
+        let (ring, payload, service) = submit_payloads(&join)[0].clone();
+        assert!(e
+            .on_delivery(ring, &delivery(1, 0, 0, payload, service))
+            .is_empty()); // blocked: ring 0 floor still at 0
+                          // A data message on "right" at round 2 is blocked by idle ring 0.
+        let m = e
+            .client_multicast("c0", &["right"], Bytes::from_static(b"hi"), Service::Agreed)
+            .unwrap();
+        let (ring, payload, service) = submit_payloads(&m)[0].clone();
+        assert!(e
+            .on_delivery(ring, &delivery(2, 0, 2, payload, service))
+            .is_empty());
+        assert_eq!(e.blocking_rings(), vec![LEFT_RING]);
+        // Ticks ordered on ring 0 (tag rejected by unpack → no outputs)
+        // advance the watermark and release everything.
+        let tick = accelring_daemon::packing::tick_payload();
+        let out = e.on_delivery(LEFT_RING, &delivery(1, 0, 3, tick, Service::Agreed));
+        assert_eq!(messages(&out), vec!["hi"]);
+        assert!(e.blocking_rings().is_empty());
+    }
+
+    #[test]
+    fn regular_config_fences_the_merged_stream() {
+        let mut e = engine(0);
+        let change = ConfigChange {
+            ring_id: accelring_core::RingId::new(ParticipantId::new(0), 1),
+            members: vec![ParticipantId::new(0)],
+            transitional: false,
+        };
+        let out = e.on_config_change(RIGHT_RING, &change);
+        // The fence releases immediately (both rings at slot 0 and ring 1
+        // fences after anything ring 0 could still say at slot 0 — but
+        // ring 0's floor equals the slot, so the Config event is held
+        // until ring 0 passes slot 0).
+        assert!(out.is_empty());
+        let out = e.on_delivery(
+            LEFT_RING,
+            &delivery(
+                1,
+                0,
+                1,
+                accelring_daemon::packing::tick_payload(),
+                Service::Agreed,
+            ),
+        );
+        assert!(out.iter().any(|o| matches!(
+            o,
+            MultiOutput::Local {
+                event: ClientEvent::Config {
+                    transitional: false,
+                    ..
+                },
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn rebalance_moves_groups_and_replays_joins() {
+        let mut e = engine(0);
+        for out in e.client_join("c0", "right").unwrap() {
+            if let MultiOutput::Submit {
+                ring,
+                payload,
+                service,
+            } = out
+            {
+                e.on_delivery(ring, &delivery(1, 0, 0, payload, service));
+            }
+        }
+        // Ring 1 dies; "right" must move to ring 0 and c0's join replay
+        // must target ring 0.
+        let (moves, out) = e.apply_rebalance(&[LEFT_RING]);
+        assert_eq!(moves.len(), 1);
+        assert_eq!(moves[0].group, "right");
+        assert_eq!(moves[0].to, LEFT_RING);
+        assert_eq!(e.ring_of("right"), LEFT_RING);
+        let subs = submit_payloads(&out);
+        assert_eq!(subs.len(), 1, "one replayed join");
+        assert_eq!(subs[0].0, LEFT_RING);
+        // The retired ring no longer gates the merge.
+        let m = e
+            .client_multicast("c0", &["right"], Bytes::from_static(b"x"), Service::Agreed)
+            .unwrap();
+        let (ring, payload, service) = submit_payloads(&m)[0].clone();
+        // Deliver the replayed join first so membership exists on ring 0.
+        let (jr, jp, js) = subs[0].clone();
+        e.on_delivery(jr, &delivery(1, 0, 1, jp, js));
+        let out = e.on_delivery(ring, &delivery(2, 0, 2, payload, service));
+        assert_eq!(messages(&out), vec!["x"]);
+    }
+
+    #[test]
+    fn failed_connect_rolls_back_all_rings() {
+        let mut e = engine(0);
+        // "c0" exists on every ring; reconnecting must fail and leave
+        // the engines consistent.
+        assert!(e.client_connect("c0").is_err());
+        assert!(e.client_disconnect("c0").is_ok());
+        assert!(e.client_connect("c0").is_ok());
+    }
+}

@@ -1,0 +1,48 @@
+//! # accelring-multiring
+//!
+//! Multi-ring sharded ordering over the Accelerated Ring stack, after
+//! Multi-Ring Paxos (Marandi et al.) and its stretched variant (Benz et
+//! al.): R independent rings each order their own shard of the group
+//! space, and a deterministic λ-paced merge folds the R totally ordered
+//! streams back into one — so a client subscribed to groups on
+//! different rings still observes a single total order, while aggregate
+//! ordering throughput scales with R instead of being capped by one
+//! token rotation.
+//!
+//! The subsystem has four pieces:
+//!
+//! * [`ShardMap`] — deterministic group→ring placement: FNV-1a hash by
+//!   default, explicit pins on demand, and a deterministic rebalance
+//!   that moves a dead ring's groups to the survivors identically at
+//!   every daemon.
+//! * [`Merger`] — the deterministic merge. Each ring's deliveries are
+//!   stamped with λ-quantized merge slots derived from token rounds
+//!   (intrinsic to the message, identical at every observer), and
+//!   entries release in global `(slot, ring)` order. Idle rings are
+//!   kept from stalling the merge by ordered skip ticks; EVS view
+//!   changes appear as explicit fences in the merged stream.
+//! * [`MultiRingEngine`] — the routed daemon layer: one
+//!   [`accelring_daemon::GroupEngine`] per ring, submissions routed by
+//!   the shard map (a multicast's groups must share a ring), and local
+//!   client events released through the merger.
+//! * Runtimes — the deterministic scaling harness over
+//!   `accelring-sim` fabrics ([`scaling`]), the chaos harness with the
+//!   cross-ring order-agreement invariant ([`chaos`]), and the live
+//!   UDP daemon over real sockets ([`live`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chaos;
+pub mod engine;
+pub mod live;
+pub mod merge;
+pub mod scaling;
+pub mod shard;
+
+pub use chaos::{run_multiring_chaos, MultiRingChaosConfig, MultiRingReport};
+pub use engine::{MultiOutput, MultiRingEngine, MultiRingError};
+pub use live::{MultiRingClient, MultiRingDaemon, MultiRingOptions};
+pub use merge::{MergedEntry, Merger};
+pub use scaling::{run_scaling, ScalingPoint, ScalingSpec};
+pub use shard::{ShardMap, ShardMove};

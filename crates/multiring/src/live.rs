@@ -1,0 +1,517 @@
+//! The runnable multi-ring daemon: a [`MultiRingEngine`] pumped by one
+//! thread over R real UDP transport nodes (one per ring), serving
+//! in-process clients through channels — the multi-ring analogue of
+//! `accelring_daemon::GroupDaemon`.
+//!
+//! The pump routes every submission to the ring the shard map chose,
+//! feeds each ring's deliveries and configuration changes into the
+//! deterministic merge, and hands clients their events in the merged
+//! cross-ring total order. When any ring's node dies (panic, kill
+//! switch, or plain exit) every connected client receives a terminal
+//! [`ClientEvent::Disconnected`] — a multi-ring daemon without all of
+//! its rings cannot keep its merge promise.
+//!
+//! ## Idle-ring skip ticks
+//!
+//! The merge cannot release past a ring that is silent: nothing proves
+//! the silent ring will not later order a message with a smaller merge
+//! slot. Daemons whose node holds participant id 0 on a blocking ring
+//! submit *skip ticks* on it — ordered no-ops carrying the highest
+//! regular-configuration counter seen across all rings
+//! ([`accelring_daemon::packing::tick_payload_with_epoch`]). Being
+//! ordered on the lagging ring makes the advance intrinsic to that
+//! ring's stream: every observer aligns the ring's λ-clock identically,
+//! and a ring that never reformed catches up to a reformed ring's
+//! epoch base.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use accelring_core::{ParticipantId, RingIdx, Service};
+use accelring_daemon::packing::tick_payload_with_epoch;
+use accelring_daemon::{ClientEvent, EngineOptions};
+use accelring_transport::{AppEvent, NodeHandle};
+use bytes::Bytes;
+use crossbeam::channel::{bounded, unbounded, Receiver, Select, Sender, TryRecvError};
+
+use crate::engine::{MultiOutput, MultiRingEngine, MultiRingError};
+use crate::shard::ShardMap;
+
+/// How long the pump blocks handing a terminal
+/// [`ClientEvent::Disconnected`] to a slow client before giving up.
+const DISCONNECT_SEND_TIMEOUT: Duration = Duration::from_secs(1);
+
+/// Runtime settings for a [`MultiRingDaemon`].
+#[derive(Debug, Clone, Copy)]
+pub struct MultiRingOptions {
+    /// Packing/fragmentation settings for the per-ring engines.
+    pub engine: EngineOptions,
+    /// Merge pace: token rounds per merge slot.
+    pub lambda: u64,
+    /// How often the tick leader checks for blocking rings and orders a
+    /// skip tick on them. Bounds the merge latency an idle ring adds.
+    pub tick_interval: Duration,
+}
+
+impl Default for MultiRingOptions {
+    fn default() -> Self {
+        MultiRingOptions {
+            engine: EngineOptions::default(),
+            lambda: 1,
+            tick_interval: Duration::from_millis(25),
+        }
+    }
+}
+
+enum Cmd {
+    Connect {
+        name: String,
+        events: Sender<ClientEvent>,
+        resp: Sender<Result<(), MultiRingError>>,
+    },
+    Join {
+        name: String,
+        group: String,
+        resp: Sender<Result<(), MultiRingError>>,
+    },
+    Leave {
+        name: String,
+        group: String,
+        resp: Sender<Result<(), MultiRingError>>,
+    },
+    Multicast {
+        name: String,
+        groups: Vec<String>,
+        payload: Bytes,
+        service: Service,
+        seq: u64,
+        resp: Sender<Result<(), MultiRingError>>,
+    },
+    Disconnect {
+        name: String,
+    },
+    Shutdown,
+}
+
+/// A running multi-ring daemon: one transport node per ring plus the
+/// routing engine, serving local clients in the merged order.
+#[derive(Debug)]
+pub struct MultiRingDaemon {
+    cmd_tx: Sender<Cmd>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MultiRingDaemon {
+    /// Starts the multi-ring layer over one running transport node per
+    /// ring (`nodes[k]` is this daemon's node on ring `k`) with default
+    /// options.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is empty, its length disagrees with
+    /// `shards.rings()`, or the nodes carry different participant ids —
+    /// one daemon must be the same participant on every ring.
+    pub fn start(nodes: Vec<NodeHandle>, shards: ShardMap) -> MultiRingDaemon {
+        MultiRingDaemon::start_with(nodes, shards, MultiRingOptions::default())
+    }
+
+    /// Starts the multi-ring layer with explicit options.
+    ///
+    /// # Panics
+    ///
+    /// As [`MultiRingDaemon::start`].
+    pub fn start_with(
+        nodes: Vec<NodeHandle>,
+        shards: ShardMap,
+        options: MultiRingOptions,
+    ) -> MultiRingDaemon {
+        assert!(!nodes.is_empty(), "a multi-ring daemon needs rings");
+        assert_eq!(
+            nodes.len(),
+            shards.rings() as usize,
+            "one node per shard-map ring"
+        );
+        let pid = nodes[0].pid();
+        assert!(
+            nodes.iter().all(|n| n.pid() == pid),
+            "one daemon must be the same participant on every ring"
+        );
+        let (cmd_tx, cmd_rx) = unbounded();
+        let thread = std::thread::Builder::new()
+            .name(format!("multiring-daemon-{pid}"))
+            .spawn(move || pump(nodes, shards, cmd_rx, options))
+            .expect("spawn multi-ring daemon thread");
+        MultiRingDaemon {
+            cmd_tx,
+            thread: Some(thread),
+        }
+    }
+
+    /// Connects a new local client with no session history.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MultiRingError`] for invalid or duplicate names.
+    pub fn connect(&self, name: &str) -> Result<MultiRingClient, MultiRingError> {
+        let (event_tx, event_rx) = unbounded();
+        let (resp_tx, resp_rx) = bounded(1);
+        let _ = self.cmd_tx.send(Cmd::Connect {
+            name: name.to_string(),
+            events: event_tx,
+            resp: resp_tx,
+        });
+        resp_rx.recv().unwrap_or(Err(MultiRingError::Engine(
+            accelring_daemon::EngineError::UnknownClient(name.to_string()),
+        )))?;
+        Ok(MultiRingClient {
+            name: name.to_string(),
+            cmd_tx: self.cmd_tx.clone(),
+            event_rx,
+            next_seq: AtomicU64::new(0),
+        })
+    }
+
+    /// Stops the daemon thread and every ring node. Connected clients
+    /// receive [`ClientEvent::Disconnected`].
+    pub fn shutdown(mut self) {
+        let _ = self.cmd_tx.send(Cmd::Shutdown);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for MultiRingDaemon {
+    fn drop(&mut self) {
+        let _ = self.cmd_tx.send(Cmd::Shutdown);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// A client connected to a local [`MultiRingDaemon`]. Its event stream
+/// is the daemon's merged cross-ring total order, filtered to this
+/// client's groups.
+#[derive(Debug)]
+pub struct MultiRingClient {
+    name: String,
+    cmd_tx: Sender<Cmd>,
+    event_rx: Receiver<ClientEvent>,
+    next_seq: AtomicU64,
+}
+
+impl MultiRingClient {
+    /// This client's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The merged stream of messages, views, configuration notices, and
+    /// the terminal [`ClientEvent::Disconnected`].
+    pub fn events(&self) -> &Receiver<ClientEvent> {
+        &self.event_rx
+    }
+
+    fn call(
+        &self,
+        make: impl FnOnce(Sender<Result<(), MultiRingError>>) -> Cmd,
+    ) -> Result<(), MultiRingError> {
+        let (resp_tx, resp_rx) = bounded(1);
+        let _ = self.cmd_tx.send(make(resp_tx));
+        resp_rx.recv().unwrap_or(Err(MultiRingError::Engine(
+            accelring_daemon::EngineError::UnknownClient(self.name.clone()),
+        )))
+    }
+
+    /// Joins a group on whichever ring the shard map routes it to.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MultiRingError`] for invalid group names.
+    pub fn join(&self, group: &str) -> Result<(), MultiRingError> {
+        self.call(|resp| Cmd::Join {
+            name: self.name.clone(),
+            group: group.to_string(),
+            resp,
+        })
+    }
+
+    /// Leaves a group.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MultiRingError`] for invalid group names.
+    pub fn leave(&self, group: &str) -> Result<(), MultiRingError> {
+        self.call(|resp| Cmd::Leave {
+            name: self.name.clone(),
+            group: group.to_string(),
+            resp,
+        })
+    }
+
+    /// Multicasts to one or more groups; all targets must shard onto the
+    /// same ring.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MultiRingError::CrossRing`] when the groups span rings,
+    /// or the engine's error otherwise.
+    pub fn multicast(
+        &self,
+        groups: &[&str],
+        payload: Bytes,
+        service: Service,
+    ) -> Result<(), MultiRingError> {
+        self.send_with_seq(groups, payload, service, 0)
+    }
+
+    /// Like [`MultiRingClient::multicast`] with the session's next
+    /// sequence number stamped on for duplicate suppression; returns it.
+    ///
+    /// # Errors
+    ///
+    /// As [`MultiRingClient::multicast`].
+    pub fn multicast_sequenced(
+        &self,
+        groups: &[&str],
+        payload: Bytes,
+        service: Service,
+    ) -> Result<u64, MultiRingError> {
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        self.send_with_seq(groups, payload, service, seq)?;
+        Ok(seq)
+    }
+
+    fn send_with_seq(
+        &self,
+        groups: &[&str],
+        payload: Bytes,
+        service: Service,
+        seq: u64,
+    ) -> Result<(), MultiRingError> {
+        self.call(|resp| Cmd::Multicast {
+            name: self.name.clone(),
+            groups: groups.iter().map(|g| g.to_string()).collect(),
+            payload,
+            service,
+            seq,
+            resp,
+        })
+    }
+
+    /// Disconnects, leaving every group.
+    pub fn disconnect(self) {
+        let _ = self.cmd_tx.send(Cmd::Disconnect {
+            name: self.name.clone(),
+        });
+    }
+}
+
+/// Why the pump loop ended.
+enum Exit {
+    Shutdown,
+    RingDead { ring: RingIdx, reason: String },
+}
+
+struct Pump {
+    engine: MultiRingEngine,
+    channels: HashMap<String, Sender<ClientEvent>>,
+    /// Highest regular-configuration counter seen on any ring; carried
+    /// by skip ticks so lagging rings align to the newest epoch base.
+    max_epoch: u64,
+}
+
+impl Pump {
+    fn dispatch(&mut self, outputs: Vec<MultiOutput>, nodes: &[NodeHandle]) {
+        for out in outputs {
+            match out {
+                MultiOutput::Submit {
+                    ring,
+                    payload,
+                    service,
+                } => {
+                    let _ = nodes[ring.as_usize()].submit(payload, service);
+                }
+                MultiOutput::Local { client, event } => {
+                    if let Some(tx) = self.channels.get(&client) {
+                        let _ = tx.send(event);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Handles one client command; `true` ends the pump loop.
+    fn handle_cmd(&mut self, cmd: Cmd, nodes: &[NodeHandle]) -> bool {
+        match cmd {
+            Cmd::Connect { name, events, resp } => {
+                let result = self.engine.client_connect(&name);
+                if result.is_ok() {
+                    self.channels.insert(name, events);
+                }
+                let _ = resp.send(result);
+            }
+            Cmd::Join { name, group, resp } => {
+                let result = self.engine.client_join(&name, &group);
+                let _ = resp.send(result.map(|o| self.dispatch(o, nodes)));
+            }
+            Cmd::Leave { name, group, resp } => {
+                let result = self.engine.client_leave(&name, &group);
+                let _ = resp.send(result.map(|o| self.dispatch(o, nodes)));
+            }
+            Cmd::Multicast {
+                name,
+                groups,
+                payload,
+                service,
+                seq,
+                resp,
+            } => {
+                let refs: Vec<&str> = groups.iter().map(String::as_str).collect();
+                let result = self
+                    .engine
+                    .client_multicast_sequenced(&name, &refs, payload, service, seq);
+                let _ = resp.send(result.map(|o| self.dispatch(o, nodes)));
+            }
+            Cmd::Disconnect { name } => {
+                if let Ok(outputs) = self.engine.client_disconnect(&name) {
+                    self.dispatch(outputs, nodes);
+                }
+                self.channels.remove(&name);
+            }
+            Cmd::Shutdown => return true,
+        }
+        false
+    }
+
+    fn broadcast_disconnected(&self, reason: &str) {
+        for tx in self.channels.values() {
+            let _ = tx.send_timeout(
+                ClientEvent::Disconnected {
+                    reason: reason.to_string(),
+                },
+                DISCONNECT_SEND_TIMEOUT,
+            );
+        }
+    }
+}
+
+fn pump(
+    nodes: Vec<NodeHandle>,
+    shards: ShardMap,
+    cmd_rx: Receiver<Cmd>,
+    options: MultiRingOptions,
+) {
+    let mut p = Pump {
+        engine: MultiRingEngine::with_options(
+            nodes[0].pid(),
+            shards,
+            options.lambda,
+            options.engine,
+        ),
+        channels: HashMap::new(),
+        max_epoch: 0,
+    };
+    // When each ring last delivered anything (ticks included): the
+    // idleness clock pacing this daemon's skip ticks.
+    let mut last_delivery = vec![Instant::now(); nodes.len()];
+
+    let exit = 'pump: loop {
+        {
+            let mut sel = Select::new();
+            sel.recv(&cmd_rx);
+            for node in &nodes {
+                sel.recv(node.events());
+            }
+            let _ = sel.ready_timeout(options.tick_interval);
+        }
+
+        loop {
+            match cmd_rx.try_recv() {
+                Ok(cmd) => {
+                    if p.handle_cmd(cmd, &nodes) {
+                        break 'pump Exit::Shutdown;
+                    }
+                }
+                Err(TryRecvError::Empty) => break,
+                // Every daemon and client handle dropped without Shutdown.
+                Err(TryRecvError::Disconnected) => break 'pump Exit::Shutdown,
+            }
+        }
+        // Close partially packed payloads so buffered client messages are
+        // not held hostage waiting for more traffic.
+        let flushed = p.engine.flush();
+        p.dispatch(flushed, &nodes);
+
+        for k in 0..nodes.len() {
+            let ring = RingIdx::new(k as u16);
+            loop {
+                match nodes[k].events().try_recv() {
+                    Ok(AppEvent::Delivered(d)) => {
+                        last_delivery[k] = Instant::now();
+                        let outputs = p.engine.on_delivery(ring, &d);
+                        p.dispatch(outputs, &nodes);
+                    }
+                    Ok(AppEvent::Config(c)) => {
+                        if !c.transitional {
+                            p.max_epoch = p.max_epoch.max(c.ring_id.counter());
+                        }
+                        let outputs = p.engine.on_config_change(ring, &c);
+                        p.dispatch(outputs, &nodes);
+                    }
+                    Ok(AppEvent::Fault { reason }) => {
+                        break 'pump Exit::RingDead { ring, reason };
+                    }
+                    Err(TryRecvError::Empty) => break,
+                    Err(TryRecvError::Disconnected) => {
+                        break 'pump Exit::RingDead {
+                            ring,
+                            reason: "node thread exited".to_string(),
+                        };
+                    }
+                }
+            }
+        }
+
+        // Skip ticks, the Multi-Ring Paxos coordinator-skip rule: the
+        // participant-0 daemon orders an epoch-carrying no-op on any
+        // ring that has been silent for a tick interval, whether or not
+        // its *own* merge is blocked — other daemons' mergers may be
+        // waiting on the idle ring even when this one has nothing
+        // queued. The tick's delivery resets the idleness clock, so a
+        // persistently idle ring costs one tiny ordered message per
+        // interval; being ordered on the ring makes the advance (and
+        // the epoch alignment of a never-reforming ring) intrinsic to
+        // the ring's stream, identical at every observer.
+        if nodes[0].pid() == ParticipantId::new(0) {
+            for (k, last) in last_delivery.iter_mut().enumerate() {
+                if last.elapsed() >= options.tick_interval {
+                    let _ = nodes[k].submit(tick_payload_with_epoch(p.max_epoch), Service::Agreed);
+                    // Also reset on submission: while the ring cannot
+                    // order (reforming, partitioned), at most one tick
+                    // per interval is queued, not one per loop spin.
+                    *last = Instant::now();
+                }
+            }
+        }
+    };
+
+    match exit {
+        Exit::Shutdown => {
+            p.broadcast_disconnected("daemon shutdown");
+            for node in nodes {
+                node.shutdown();
+            }
+        }
+        Exit::RingDead { ring, reason } => {
+            p.broadcast_disconnected(&format!("{ring} died: {reason}"));
+            for node in nodes {
+                if node.is_alive() {
+                    node.shutdown();
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! The shard map: which ring orders which group.
+//!
+//! Every daemon holds an identical [`ShardMap`]; a group's ring is a pure
+//! function of the map's state, so routing needs no coordination. By
+//! default a group hashes to a ring (FNV-1a mod R — stable, seedless,
+//! identical on every daemon); explicit placements override the hash for
+//! operators who want to co-locate hot groups or balance by hand, exactly
+//! like Multi-Ring Paxos' static group-to-ring assignment.
+//!
+//! When a ring loses all its daemons, [`ShardMap::rebalance`] reassigns
+//! its groups to the surviving rings deterministically, so every daemon
+//! that observes the same ring death computes the same new placement.
+
+use std::collections::BTreeMap;
+
+use accelring_core::RingIdx;
+
+/// One group's move during a rebalance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMove {
+    /// The group that moved.
+    pub group: String,
+    /// The ring it was assigned to before.
+    pub from: RingIdx,
+    /// The ring that now orders it.
+    pub to: RingIdx,
+}
+
+/// Deterministic group-to-ring assignment for an R-ring deployment.
+#[derive(Debug, Clone)]
+pub struct ShardMap {
+    rings: u16,
+    overrides: BTreeMap<String, RingIdx>,
+}
+
+/// FNV-1a, the classic seedless string hash: stable across platforms and
+/// processes, which is what makes hash placement coordination-free.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl ShardMap {
+    /// A map over `rings` rings with pure hash placement.
+    ///
+    /// Zero rings is clamped to one (a single-ring deployment is just the
+    /// ordinary daemon stack).
+    pub fn new(rings: u16) -> ShardMap {
+        ShardMap {
+            rings: rings.max(1),
+            overrides: BTreeMap::new(),
+        }
+    }
+
+    /// Number of rings in the deployment.
+    pub fn rings(&self) -> u16 {
+        self.rings
+    }
+
+    /// Pins `group` to `ring`, overriding hash placement.
+    ///
+    /// Out-of-range rings are reduced mod R so a stale placement can never
+    /// route outside the deployment.
+    pub fn assign(&mut self, group: &str, ring: RingIdx) {
+        self.overrides
+            .insert(group.to_string(), RingIdx::new(ring.as_u16() % self.rings));
+    }
+
+    /// Drops an explicit placement, returning `group` to hash placement.
+    pub fn unassign(&mut self, group: &str) {
+        self.overrides.remove(group);
+    }
+
+    /// The ring that orders `group`.
+    pub fn ring_of(&self, group: &str) -> RingIdx {
+        if let Some(r) = self.overrides.get(group) {
+            return *r;
+        }
+        RingIdx::new((fnv1a(group) % u64::from(self.rings)) as u16)
+    }
+
+    /// The explicit placements currently in force, sorted by group.
+    pub fn placements(&self) -> Vec<(String, RingIdx)> {
+        self.overrides
+            .iter()
+            .map(|(g, r)| (g.clone(), *r))
+            .collect()
+    }
+
+    /// Reassigns every one of `groups` that currently maps to a ring
+    /// outside `live`, pinning it to a surviving ring chosen by hash.
+    ///
+    /// Deterministic: every daemon that calls this with the same group
+    /// set and live-ring set installs identical placements. Returns the
+    /// moves so the caller can replay group state onto the new rings.
+    pub fn rebalance(&mut self, groups: &[String], live: &[RingIdx]) -> Vec<ShardMove> {
+        let mut live: Vec<RingIdx> = live
+            .iter()
+            .filter(|r| r.as_u16() < self.rings)
+            .copied()
+            .collect();
+        live.sort_unstable();
+        live.dedup();
+        if live.is_empty() {
+            return Vec::new();
+        }
+        let mut moves = Vec::new();
+        for group in groups {
+            let from = self.ring_of(group);
+            if live.contains(&from) {
+                continue;
+            }
+            let to = live[(fnv1a(group) % live.len() as u64) as usize];
+            self.overrides.insert(group.clone(), to);
+            moves.push(ShardMove {
+                group: group.clone(),
+                from,
+                to,
+            });
+        }
+        moves
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_placement_is_stable_and_in_range() {
+        let m = ShardMap::new(4);
+        for g in ["chat", "audit", "metrics", "a", "b", "c"] {
+            let r = m.ring_of(g);
+            assert!(r.as_u16() < 4);
+            assert_eq!(r, m.ring_of(g), "placement must be a pure function");
+        }
+        // Identically configured maps agree.
+        let m2 = ShardMap::new(4);
+        assert_eq!(m.ring_of("chat"), m2.ring_of("chat"));
+    }
+
+    #[test]
+    fn hash_placement_spreads_groups() {
+        let m = ShardMap::new(4);
+        let mut used = std::collections::BTreeSet::new();
+        for i in 0..64 {
+            used.insert(m.ring_of(&format!("group-{i}")));
+        }
+        assert!(used.len() > 1, "64 groups must not all hash to one ring");
+    }
+
+    #[test]
+    fn explicit_assignment_overrides_hash() {
+        let mut m = ShardMap::new(4);
+        m.assign("chat", RingIdx::new(3));
+        assert_eq!(m.ring_of("chat"), RingIdx::new(3));
+        m.unassign("chat");
+        assert_eq!(m.ring_of("chat"), ShardMap::new(4).ring_of("chat"));
+    }
+
+    #[test]
+    fn assignment_wraps_out_of_range_rings() {
+        let mut m = ShardMap::new(2);
+        m.assign("g", RingIdx::new(7));
+        assert_eq!(m.ring_of("g"), RingIdx::new(1));
+    }
+
+    #[test]
+    fn zero_rings_clamps_to_single_ring() {
+        let m = ShardMap::new(0);
+        assert_eq!(m.rings(), 1);
+        assert_eq!(m.ring_of("anything"), RingIdx::new(0));
+    }
+
+    #[test]
+    fn rebalance_moves_only_dead_ring_groups() {
+        let mut m = ShardMap::new(2);
+        m.assign("left", RingIdx::new(0));
+        m.assign("right", RingIdx::new(1));
+        let groups = vec!["left".to_string(), "right".to_string()];
+        let moves = m.rebalance(&groups, &[RingIdx::new(0)]);
+        assert_eq!(
+            moves,
+            vec![ShardMove {
+                group: "right".to_string(),
+                from: RingIdx::new(1),
+                to: RingIdx::new(0),
+            }]
+        );
+        assert_eq!(m.ring_of("left"), RingIdx::new(0));
+        assert_eq!(m.ring_of("right"), RingIdx::new(0));
+    }
+
+    #[test]
+    fn rebalance_is_deterministic_across_replicas() {
+        let groups: Vec<String> = (0..20).map(|i| format!("g{i}")).collect();
+        let live = [RingIdx::new(1), RingIdx::new(3)];
+        let mut a = ShardMap::new(4);
+        let mut b = ShardMap::new(4);
+        let ma = a.rebalance(&groups, &live);
+        let mb = b.rebalance(&groups, &live);
+        assert_eq!(ma, mb);
+        for g in &groups {
+            assert_eq!(a.ring_of(g), b.ring_of(g));
+            assert!(live.contains(&a.ring_of(g)));
+        }
+    }
+
+    #[test]
+    fn rebalance_with_no_live_rings_is_a_noop() {
+        let mut m = ShardMap::new(2);
+        let before = m.ring_of("g");
+        assert!(m.rebalance(&["g".to_string()], &[]).is_empty());
+        assert_eq!(m.ring_of("g"), before);
+    }
+}

@@ -48,5 +48,5 @@ pub use harness::{Curve, CurvePoint, ExperimentResult, ExperimentSpec};
 pub use loss::{LossSpec, LossState};
 pub use metrics::{LatencyRecorder, LatencyStats};
 pub use profiles::{ImplProfile, NetworkProfile};
-pub use sim::{RunCounters, SimOutcome, Simulator, Workload};
+pub use sim::{DeliveryRecord, RunCounters, SimOutcome, Simulator, Workload};
 pub use time::{SimDuration, SimTime};

@@ -5,7 +5,8 @@ use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
 
 use accelring_core::{
-    Action, DataMessage, Delivery, Participant, ProtocolConfig, Ring, Service, Stats, Token,
+    Action, DataMessage, Delivery, Participant, ProtocolConfig, Ring, Round, Seq, Service, Stats,
+    Token,
 };
 use bytes::Bytes;
 use rand::rngs::StdRng;
@@ -78,6 +79,20 @@ struct SimNode {
     inject_interval: SimDuration,
 }
 
+/// One delivery observed at node 0, for offline stream processing (the
+/// multi-ring merge harness replays these through its merger).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeliveryRecord {
+    /// Simulated delivery time in nanoseconds.
+    pub at_ns: u64,
+    /// Token round the message was initiated in (the merge key input).
+    pub round: Round,
+    /// Ring sequence number of the message.
+    pub seq: Seq,
+    /// Payload length in bytes.
+    pub payload_len: usize,
+}
+
 /// Aggregated outcome counters of a simulation run.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct RunCounters {
@@ -117,6 +132,9 @@ pub struct Simulator {
     /// rotation durations (ns) — the paper's per-round quantity.
     last_rotation_mark: Option<SimTime>,
     rotations_ns: Vec<u64>,
+    /// When set, every delivery at node 0 is appended here (enabled by
+    /// [`Simulator::with_node0_log`]).
+    node0_log: Option<Vec<DeliveryRecord>>,
 }
 
 impl Simulator {
@@ -190,7 +208,16 @@ impl Simulator {
             now: SimTime::ZERO,
             last_rotation_mark: None,
             rotations_ns: Vec::new(),
+            node0_log: None,
         }
+    }
+
+    /// Enables recording of every delivery observed at node 0 into
+    /// [`SimOutcome::node0_log`] (off by default; the log can be large).
+    #[must_use]
+    pub fn with_node0_log(mut self) -> Simulator {
+        self.node0_log = Some(Vec::new());
+        self
     }
 
     fn schedule(&mut self, time: SimTime, kind: EventKind) {
@@ -298,6 +325,7 @@ impl Simulator {
             measure: self.measure,
             nodes: self.nodes.len(),
             rotations_ns: self.rotations_ns,
+            node0_log: self.node0_log.unwrap_or_default(),
         }
     }
 
@@ -383,7 +411,7 @@ impl Simulator {
                 }
                 Action::Deliver(d) => {
                     t += self.profile.deliver_cost;
-                    self.record_delivery(&d, t);
+                    self.record_delivery(idx, &d, t);
                 }
                 Action::Discard { .. } => {}
             }
@@ -407,7 +435,17 @@ impl Simulator {
         }
     }
 
-    fn record_delivery(&mut self, d: &Delivery, at: SimTime) {
+    fn record_delivery(&mut self, idx: usize, d: &Delivery, at: SimTime) {
+        if idx == 0 {
+            if let Some(log) = &mut self.node0_log {
+                log.push(DeliveryRecord {
+                    at_ns: at.as_nanos(),
+                    round: d.round,
+                    seq: d.seq,
+                    payload_len: d.payload.len(),
+                });
+            }
+        }
         self.counters.delivered_total += 1;
         let start = SimTime::ZERO + self.warmup;
         let stop = start + self.measure;
@@ -445,6 +483,9 @@ pub struct SimOutcome {
     /// Durations of complete token rotations observed during the
     /// measurement window, in nanoseconds.
     pub rotations_ns: Vec<u64>,
+    /// Deliveries observed at node 0, in delivery order (empty unless the
+    /// run was built with [`Simulator::with_node0_log`]).
+    pub node0_log: Vec<DeliveryRecord>,
 }
 
 impl SimOutcome {
@@ -609,6 +650,38 @@ mod tests {
             (goodput - 200e6).abs() / 200e6 < 0.08,
             "goodput {goodput:.0} should stay near offered rate under 5% loss"
         );
+    }
+
+    #[test]
+    fn node0_log_records_ordered_deliveries() {
+        let out = Simulator::new(
+            4,
+            ProtocolConfig::accelerated(20, 15),
+            NetworkProfile::gigabit(),
+            ImplProfile::daemon(),
+            LossSpec::None,
+            Workload::FixedRate {
+                aggregate_bps: 50_000_000,
+            },
+            1350,
+            Service::Agreed,
+            SimDuration::from_millis(10),
+            SimDuration::from_millis(30),
+            42,
+        )
+        .with_node0_log()
+        .run();
+        assert!(!out.node0_log.is_empty(), "log must capture deliveries");
+        // Node 0 delivers in ring order: seqs strictly increase, rounds
+        // and timestamps never decrease.
+        for w in out.node0_log.windows(2) {
+            assert!(w[1].seq > w[0].seq);
+            assert!(w[1].round >= w[0].round);
+            assert!(w[1].at_ns >= w[0].at_ns);
+        }
+        // Off by default.
+        let plain = quick_sim(ProtocolConfig::accelerated(20, 15), 50, Service::Agreed);
+        assert!(plain.node0_log.is_empty());
     }
 
     #[test]

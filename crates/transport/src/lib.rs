@@ -133,3 +133,32 @@ pub fn spawn_local_ring_with(
         })
         .collect()
 }
+
+/// Binds and starts `rings` independent localhost rings of `n` daemons
+/// each — the transport of a multi-ring sharded deployment. Returns
+/// `handles[ring][node]`.
+///
+/// `planes[ring]`, when present, routes that ring's traffic (and only
+/// that ring's) through the given [`FaultPlane`] — faults are inherently
+/// ring-targeted: partitioning ring 1 never perturbs ring 0. Rings
+/// beyond `planes.len()` run fault-free.
+///
+/// # Errors
+///
+/// Returns [`TransportError`] if any socket operation fails;
+/// [`TransportError::Bind`] identifies the participant whose sockets
+/// could not be bound.
+pub fn spawn_local_multiring(
+    rings: u16,
+    n: u16,
+    protocol: ProtocolConfig,
+    membership: MembershipConfig,
+    planes: &[Option<Arc<FaultPlane>>],
+) -> Result<Vec<Vec<NodeHandle>>, TransportError> {
+    (0..rings)
+        .map(|k| {
+            let plane = planes.get(k as usize).cloned().flatten();
+            spawn_local_ring_with(n, protocol, membership, plane)
+        })
+        .collect()
+}
