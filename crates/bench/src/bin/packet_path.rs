@@ -1,0 +1,426 @@
+//! Hot-datapath microbenchmark: the batched (`recvmmsg`/`sendmmsg`,
+//! pooled, encode-once) packet path against the legacy one-syscall-per-
+//! datagram path, on a real localhost UDP ring under saturating senders.
+//!
+//! ```text
+//! cargo run --release --bin packet_path
+//! cargo run --release --bin packet_path -- --nodes 4 --secs 3
+//! ```
+//!
+//! Reports datagrams/sec, syscalls/datagram, average batch size, and pool
+//! hit rate per path, prints the speedup, and writes the whole run as
+//! `BENCH_packet_path.json`. Exits non-zero if either path saw wire
+//! decode errors or leaked pooled buffers — the CI smoke gate.
+//! Honors `ACCELRING_BENCH_QUALITY` (`quick`/`full`) for the default
+//! measurement window.
+
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use accelring_bench::Quality;
+use accelring_core::{ParticipantId, ProtocolConfig, Service};
+use accelring_membership::{MembershipConfig, StateKind};
+use accelring_transport::{
+    bind_with_retry, AddressBook, AppEvent, BoundNode, Datapath, NodeAddr, NodeHandle, NodeOptions,
+    SubmitError, TransportError,
+};
+use bytes::Bytes;
+
+/// Payload size, the paper's standard 1350-byte datagram.
+const PAYLOAD_LEN: usize = 1350;
+
+/// How long to wait for the ring to form before giving up.
+const FORM_TIMEOUT: Duration = Duration::from_secs(10);
+
+struct Args {
+    nodes: u16,
+    secs: f64,
+    window: u32,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        nodes: 4,
+        secs: match Quality::from_env() {
+            Quality::Quick => 2.0,
+            Quality::Full => 8.0,
+        },
+        window: 30,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--nodes" => {
+                args.nodes = value("--nodes")?
+                    .parse()
+                    .map_err(|e| format!("--nodes: {e}"))?;
+            }
+            "--secs" => {
+                args.secs = value("--secs")?
+                    .parse()
+                    .map_err(|e| format!("--secs: {e}"))?;
+            }
+            "--window" => {
+                args.window = value("--window")?
+                    .parse()
+                    .map_err(|e| format!("--window: {e}"))?;
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.nodes < 2 {
+        return Err(format!("--nodes: need at least 2, got {}", args.nodes));
+    }
+    if args.window < 1 {
+        return Err("--window: need at least 1".to_string());
+    }
+    Ok(args)
+}
+
+/// One path's measured numbers.
+struct PathResult {
+    label: &'static str,
+    elapsed_secs: f64,
+    datagrams: u64,
+    syscalls: u64,
+    delivered: u64,
+    decode_failures: u64,
+    send_errors: u64,
+    pool_hits: u64,
+    pool_misses: u64,
+    pool_outstanding: u64,
+    token_retransmits: u64,
+    rings_reformed: u64,
+    submissions_shed: u64,
+}
+
+impl PathResult {
+    fn datagrams_per_sec(&self) -> f64 {
+        self.datagrams as f64 / self.elapsed_secs
+    }
+
+    fn syscalls_per_datagram(&self) -> f64 {
+        if self.datagrams == 0 {
+            return 0.0;
+        }
+        self.syscalls as f64 / self.datagrams as f64
+    }
+
+    fn avg_batch(&self) -> f64 {
+        if self.syscalls == 0 {
+            return 0.0;
+        }
+        self.datagrams as f64 / self.syscalls as f64
+    }
+
+    fn pool_hit_rate(&self) -> f64 {
+        let total = self.pool_hits + self.pool_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.pool_hits as f64 / total as f64
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"datagrams\": {}, \"syscalls\": {}, \"elapsed_secs\": {:.3}, \
+             \"datagrams_per_sec\": {:.1}, \"syscalls_per_datagram\": {:.4}, \
+             \"avg_batch\": {:.2}, \"delivered\": {}, \"decode_failures\": {}, \
+             \"send_errors\": {}, \"pool_hits\": {}, \"pool_misses\": {}, \
+             \"pool_hit_rate\": {:.4}, \"pool_outstanding\": {}, \
+             \"token_retransmits\": {}, \"rings_reformed\": {}, \
+             \"submissions_shed\": {}}}",
+            self.datagrams,
+            self.syscalls,
+            self.elapsed_secs,
+            self.datagrams_per_sec(),
+            self.syscalls_per_datagram(),
+            self.avg_batch(),
+            self.delivered,
+            self.decode_failures,
+            self.send_errors,
+            self.pool_hits,
+            self.pool_misses,
+            self.pool_hit_rate(),
+            self.pool_outstanding,
+            self.token_retransmits,
+            self.rings_reformed,
+            self.submissions_shed,
+        )
+    }
+}
+
+/// Spawns a fully meshed localhost ring running the given datapath.
+fn spawn_ring(n: u16, window: u32, datapath: Datapath) -> Result<Vec<NodeHandle>, TransportError> {
+    let bound: Vec<BoundNode> = (0..n)
+        .map(|i| bind_with_retry(ParticipantId::new(i), "127.0.0.1"))
+        .collect::<Result<_, _>>()?;
+    let addrs: Vec<NodeAddr> = bound
+        .iter()
+        .map(BoundNode::addr)
+        .collect::<Result<_, _>>()?;
+    let book = AddressBook::new(addrs);
+    bound
+        .into_iter()
+        .map(|b| {
+            b.start_with(
+                book.clone(),
+                ProtocolConfig::accelerated(window, window),
+                MembershipConfig::for_wall_clock(),
+                NodeOptions {
+                    datapath,
+                    ..NodeOptions::default()
+                },
+            )
+        })
+        .collect()
+}
+
+fn await_operational(handles: &[NodeHandle]) -> Result<(), String> {
+    let deadline = Instant::now() + FORM_TIMEOUT;
+    while Instant::now() < deadline {
+        if handles
+            .iter()
+            .all(|h| h.membership_state() == StateKind::Operational)
+        {
+            return Ok(());
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    Err("ring did not reach Operational in time".to_string())
+}
+
+/// Runs one path: forms a ring, saturates it from every node for `secs`
+/// of wall clock while draining deliveries, and returns the hot-path
+/// counter deltas over the measurement window.
+fn run_path(label: &'static str, args: &Args, datapath: Datapath) -> Result<PathResult, String> {
+    let handles =
+        spawn_ring(args.nodes, args.window, datapath).map_err(|e| format!("spawn: {e}"))?;
+    await_operational(&handles)?;
+    let probes: Vec<_> = handles.iter().map(NodeHandle::probe).collect();
+
+    let stop = AtomicBool::new(false);
+    let delivered = AtomicU64::new(0);
+    let payload = Bytes::from(vec![0x5au8; PAYLOAD_LEN]);
+
+    // Warm up briefly so ring formation traffic and pool cold misses are
+    // outside the measured window.
+    let warmup = Duration::from_millis(250);
+    let measure = Duration::from_secs_f64(args.secs);
+
+    let (start_stats, rings_before): (Vec<_>, u64) = std::thread::scope(|s| {
+        // Saturating submitter per node. The command queue holds 4096
+        // entries, so sleeping (rather than spinning) on backpressure
+        // keeps it full without stealing timeslices from the event loops
+        // — essential on small machines where everything shares cores.
+        for h in &handles {
+            let stop = &stop;
+            let payload = payload.clone();
+            s.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    match h.submit(payload.clone(), Service::Agreed) {
+                        Ok(()) => {}
+                        Err(SubmitError::Backlogged) => {
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                        Err(SubmitError::Stopped) => break,
+                    }
+                }
+            });
+        }
+        // Drainer per node: deliveries must be consumed (and their pooled
+        // payload slices dropped) or daemon memory grows without bound.
+        // One blocking wait, then an exhaustive drain, per wakeup.
+        for h in &handles {
+            let stop = &stop;
+            let delivered = &delivered;
+            s.spawn(move || loop {
+                match h.events().recv_timeout(Duration::from_millis(50)) {
+                    Ok(ev) => {
+                        let mut n = matches!(ev, AppEvent::Delivered(_)) as u64;
+                        while let Ok(ev) = h.events().try_recv() {
+                            n += matches!(ev, AppEvent::Delivered(_)) as u64;
+                        }
+                        delivered.fetch_add(n, Ordering::Relaxed);
+                    }
+                    Err(_) => {
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                    }
+                }
+            });
+        }
+
+        std::thread::sleep(warmup);
+        let start_stats: Vec<_> = probes.iter().map(|p| p.stats()).collect();
+        let rings_before = handles.iter().map(NodeHandle::rings_formed).sum::<u64>();
+        delivered.store(0, Ordering::Relaxed);
+        std::thread::sleep(measure);
+        stop.store(true, Ordering::Relaxed);
+        (start_stats, rings_before)
+    });
+    let end_stats: Vec<_> = probes.iter().map(|p| p.stats()).collect();
+
+    let mut datagrams = 0u64;
+    let mut syscalls = 0u64;
+    let mut decode_failures = 0u64;
+    let mut send_errors = 0u64;
+    let mut pool_hits = 0u64;
+    let mut pool_misses = 0u64;
+    let mut submissions_shed = 0u64;
+    for (a, b) in start_stats.iter().zip(&end_stats) {
+        submissions_shed += b.submissions_shed - a.submissions_shed;
+        datagrams +=
+            (b.hot.datagrams_rx - a.hot.datagrams_rx) + (b.hot.datagrams_tx - a.hot.datagrams_tx);
+        syscalls +=
+            (b.hot.syscalls_rx - a.hot.syscalls_rx) + (b.hot.syscalls_tx - a.hot.syscalls_tx);
+        decode_failures += b.decode_failures - a.decode_failures;
+        send_errors += b.send_errors - a.send_errors;
+        pool_hits += b.hot.pool_hits - a.hot.pool_hits;
+        pool_misses += b.hot.pool_misses - a.hot.pool_misses;
+    }
+    let delivered_count = delivered.load(Ordering::Relaxed);
+    let token_retransmits = handles
+        .iter()
+        .map(NodeHandle::tokens_retransmitted)
+        .sum::<u64>();
+    let rings_reformed = handles
+        .iter()
+        .map(NodeHandle::rings_formed)
+        .sum::<u64>()
+        .saturating_sub(rings_before);
+
+    // Tear the ring down and verify every pooled buffer came home: the
+    // event channels die with the handles, dropping any payload slices
+    // still pinning pool leases.
+    for h in handles {
+        h.shutdown();
+    }
+    let leak_deadline = Instant::now() + Duration::from_secs(2);
+    let mut outstanding = probes.iter().map(|p| p.pool_outstanding()).sum::<u64>();
+    while outstanding > 0 && Instant::now() < leak_deadline {
+        std::thread::sleep(Duration::from_millis(10));
+        outstanding = probes.iter().map(|p| p.pool_outstanding()).sum();
+    }
+
+    Ok(PathResult {
+        label,
+        elapsed_secs: measure.as_secs_f64(),
+        datagrams,
+        syscalls,
+        delivered: delivered_count,
+        decode_failures,
+        send_errors,
+        pool_hits,
+        pool_misses,
+        pool_outstanding: outstanding,
+        token_retransmits,
+        rings_reformed,
+        submissions_shed,
+    })
+}
+
+fn print_row(r: &PathResult) {
+    println!(
+        "{:>13}  {:>12.0} dgrams/s  {:>7.4} syscalls/dgram  {:>6.2} avg batch  \
+         {:>9} delivered  {:>5.1}% pool hits  {:>5} token rexmt  {:>3} reforms",
+        r.label,
+        r.datagrams_per_sec(),
+        r.syscalls_per_datagram(),
+        r.avg_batch(),
+        r.delivered,
+        r.pool_hit_rate() * 100.0,
+        r.token_retransmits,
+        r.rings_reformed,
+    );
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("packet_path: {e}");
+            eprintln!("usage: packet_path [--nodes N] [--secs S] [--window W]");
+            return ExitCode::from(2);
+        }
+    };
+
+    println!(
+        "# packet_path: {} nodes, window {}, {}B payloads, {:.1}s per path, saturating senders",
+        args.nodes, args.window, PAYLOAD_LEN, args.secs
+    );
+
+    let old = match run_path("per_datagram", &args, Datapath::PerDatagram) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("packet_path: per-datagram path: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print_row(&old);
+    let new = match run_path("batched", &args, Datapath::Batched) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("packet_path: batched path: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print_row(&new);
+
+    let speedup = if old.datagrams_per_sec() > 0.0 {
+        new.datagrams_per_sec() / old.datagrams_per_sec()
+    } else {
+        0.0
+    };
+    println!(
+        "speedup: {speedup:.2}x datagrams/sec ({:.4} -> {:.4} syscalls/datagram)",
+        old.syscalls_per_datagram(),
+        new.syscalls_per_datagram(),
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"packet_path\",\n  \"nodes\": {},\n  \"window\": {},\n  \
+         \"payload_len\": {},\n  \
+         \"measure_secs\": {:.1},\n  \"per_datagram\": {},\n  \"batched\": {},\n  \
+         \"speedup_datagrams_per_sec\": {:.3}\n}}\n",
+        args.nodes,
+        args.window,
+        PAYLOAD_LEN,
+        args.secs,
+        old.json(),
+        new.json(),
+        speedup,
+    );
+    if let Err(e) = std::fs::write("BENCH_packet_path.json", &json) {
+        eprintln!("packet_path: writing BENCH_packet_path.json: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    // CI smoke gate: a decode error means the zero-copy parse corrupted
+    // the wire; a leaked lease means a pooled buffer never came home.
+    let mut failed = false;
+    for r in [&old, &new] {
+        if r.decode_failures > 0 {
+            eprintln!(
+                "packet_path: {} path saw {} wire decode errors",
+                r.label, r.decode_failures
+            );
+            failed = true;
+        }
+        if r.pool_outstanding > 0 {
+            eprintln!(
+                "packet_path: {} path leaked {} pooled buffers",
+                r.label, r.pool_outstanding
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        return ExitCode::FAILURE;
+    }
+    println!("packet_path: clean (no decode errors, no pool leaks)");
+    ExitCode::SUCCESS
+}

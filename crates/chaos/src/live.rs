@@ -158,7 +158,7 @@ impl LiveRun {
                     cfg.membership,
                     NodeOptions {
                         plane: Some(plane.clone()),
-                        restore_ring_counter: 0,
+                        ..NodeOptions::default()
                     },
                 )?;
                 Ok(Slot {
@@ -252,6 +252,7 @@ impl LiveRun {
             NodeOptions {
                 plane: Some(self.plane.clone()),
                 restore_ring_counter: self.slots[i].ring_counter,
+                ..NodeOptions::default()
             },
         )?;
         self.slots[i].events = handle.events().clone();

@@ -1,13 +1,266 @@
 //! The receive buffer: ordered message storage, local aru tracking, and the
 //! delivery engine for Agreed and Safe services (Sections III-B4 and III-C
-//! of the paper).
+//! of the paper) — plus the recycling [`BufferPool`] arena that backs the
+//! zero-copy datapath of the live transport.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
-use bytes::Bytes;
+use bytes::{BufMut, Bytes, Recycle};
 
 use crate::message::DataMessage;
 use crate::types::{ParticipantId, Round, Seq, Service};
+
+/// Snapshot of a [`BufferPool`]'s counters.
+///
+/// `outstanding` is the leak detector: after a node has shut down and every
+/// delivery has been drained (dropping the payload slices that pin pooled
+/// buffers), it must read zero.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Acquisitions served from the free list.
+    pub hits: u64,
+    /// Acquisitions that had to allocate a fresh buffer.
+    pub misses: u64,
+    /// Buffers returned to the pool (lease drop or last-reference recycle).
+    pub returned: u64,
+    /// Returned buffers dropped because the free list was full.
+    pub trimmed: u64,
+    /// Leases (or frozen [`Bytes`] still alive) not yet returned.
+    pub outstanding: u64,
+    /// Buffers currently parked on the free list.
+    pub free: u64,
+}
+
+#[derive(Debug)]
+struct PoolInner {
+    free: Mutex<Vec<Vec<u8>>>,
+    buf_capacity: usize,
+    max_free: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    returned: AtomicU64,
+    trimmed: AtomicU64,
+    outstanding: AtomicU64,
+}
+
+impl PoolInner {
+    fn give_back(&self, buf: Vec<u8>) {
+        self.outstanding.fetch_sub(1, Ordering::Relaxed);
+        self.returned.fetch_add(1, Ordering::Relaxed);
+        let mut free = self.free.lock().expect("pool free list poisoned");
+        if free.len() < self.max_free && buf.capacity() >= self.buf_capacity {
+            free.push(buf);
+        } else {
+            self.trimmed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Recycle for PoolInner {
+    fn recycle(&self, buf: Vec<u8>) {
+        self.give_back(buf);
+    }
+}
+
+/// A recycling arena of fixed-capacity byte buffers for the transport hot
+/// path.
+///
+/// Received datagrams are read straight into pooled buffers and parsed in
+/// place; encoded outputs are written into pooled buffers and sent without
+/// an intermediate `Vec`. Freezing a lease produces a [`Bytes`] whose
+/// backing storage returns to the pool when the *last* reference drops —
+/// payload slices retained by the protocol's [`RecvBuffer`] keep the buffer
+/// leased until the message is discarded.
+///
+/// The pool is cheap to clone (it is an [`Arc`] handle) and safe to share
+/// across threads; recycling may fire on whatever thread drops the last
+/// reference.
+///
+/// # Examples
+///
+/// ```
+/// use accelring_core::buffer::BufferPool;
+/// use bytes::BufMut;
+///
+/// let pool = BufferPool::new(1024, 8);
+/// let mut lease = pool.acquire();
+/// lease.put_slice(b"datagram");
+/// let frozen = lease.freeze();
+/// assert_eq!(pool.stats().outstanding, 1);
+/// drop(frozen);
+/// assert_eq!(pool.stats().outstanding, 0);
+/// assert_eq!(pool.stats().free, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BufferPool {
+    inner: Arc<PoolInner>,
+}
+
+impl BufferPool {
+    /// Creates a pool handing out buffers of at least `buf_capacity` bytes,
+    /// parking at most `max_free` idle buffers.
+    pub fn new(buf_capacity: usize, max_free: usize) -> BufferPool {
+        BufferPool {
+            inner: Arc::new(PoolInner {
+                free: Mutex::new(Vec::new()),
+                buf_capacity,
+                max_free,
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+                returned: AtomicU64::new(0),
+                trimmed: AtomicU64::new(0),
+                outstanding: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Capacity of the buffers this pool hands out.
+    pub fn buf_capacity(&self) -> usize {
+        self.inner.buf_capacity
+    }
+
+    /// Takes a buffer from the free list, or allocates one on a miss.
+    ///
+    /// The buffer's *contents and length* are whatever its previous user
+    /// left behind — call [`BufLease::clear`] before encoding into it, or
+    /// [`BufLease::recv_space`] to get a full-capacity receive window.
+    pub fn acquire(&self) -> BufLease {
+        let recycled = self
+            .inner
+            .free
+            .lock()
+            .expect("pool free list poisoned")
+            .pop();
+        let buf = match recycled {
+            Some(buf) => {
+                self.inner.hits.fetch_add(1, Ordering::Relaxed);
+                buf
+            }
+            None => {
+                self.inner.misses.fetch_add(1, Ordering::Relaxed);
+                Vec::with_capacity(self.inner.buf_capacity)
+            }
+        };
+        self.inner.outstanding.fetch_add(1, Ordering::Relaxed);
+        BufLease {
+            buf: Some(buf),
+            pool: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Leases (or frozen buffers) not yet returned to the pool.
+    pub fn outstanding(&self) -> u64 {
+        self.inner.outstanding.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the pool counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            hits: self.inner.hits.load(Ordering::Relaxed),
+            misses: self.inner.misses.load(Ordering::Relaxed),
+            returned: self.inner.returned.load(Ordering::Relaxed),
+            trimmed: self.inner.trimmed.load(Ordering::Relaxed),
+            outstanding: self.inner.outstanding.load(Ordering::Relaxed),
+            free: self
+                .inner
+                .free
+                .lock()
+                .expect("pool free list poisoned")
+                .len() as u64,
+        }
+    }
+}
+
+/// A pooled buffer checked out of a [`BufferPool`].
+///
+/// Write into it through [`BufMut`] (encode path) or via
+/// [`recv_space`](BufLease::recv_space) (receive path), then
+/// [`freeze`](BufLease::freeze) /
+/// [`freeze_prefix`](BufLease::freeze_prefix) it into a [`Bytes`] that
+/// recycles on last drop. Dropping an unfrozen lease returns the buffer
+/// immediately.
+#[derive(Debug)]
+pub struct BufLease {
+    buf: Option<Vec<u8>>,
+    pool: Arc<PoolInner>,
+}
+
+impl BufLease {
+    fn buf_mut(&mut self) -> &mut Vec<u8> {
+        self.buf
+            .as_mut()
+            .expect("lease buffer present until freeze")
+    }
+
+    /// Number of bytes currently written.
+    pub fn len(&self) -> usize {
+        self.buf.as_ref().map_or(0, Vec::len)
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Resets the write position to the start (capacity is kept).
+    pub fn clear(&mut self) {
+        self.buf_mut().clear();
+    }
+
+    /// A full-capacity mutable window for `recv` to scribble into.
+    ///
+    /// Extends the buffer to its pool capacity (zero-filling only bytes
+    /// that have never been written — a buffer cycling through the receive
+    /// path stays at full length, so steady-state acquisitions do no
+    /// memset).
+    pub fn recv_space(&mut self) -> &mut [u8] {
+        let cap = self.pool.buf_capacity;
+        let buf = self.buf_mut();
+        if buf.len() < cap {
+            buf.resize(cap, 0);
+        }
+        &mut buf[..]
+    }
+
+    /// The bytes written so far.
+    pub fn written(&self) -> &[u8] {
+        self.buf.as_deref().unwrap_or(&[])
+    }
+
+    /// Freezes the whole written length into a recycling [`Bytes`].
+    pub fn freeze(mut self) -> Bytes {
+        let buf = self.buf.take().expect("lease buffer present until freeze");
+        Bytes::with_recycler(buf, Arc::clone(&self.pool) as Arc<dyn Recycle>)
+    }
+
+    /// Freezes only the first `len` bytes (the received datagram) into a
+    /// recycling [`Bytes`]; the full buffer still returns to the pool when
+    /// the last slice drops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` exceeds the written length.
+    pub fn freeze_prefix(self, len: usize) -> Bytes {
+        assert!(len <= self.len(), "freeze_prefix past written length");
+        self.freeze().slice(..len)
+    }
+}
+
+impl BufMut for BufLease {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.buf_mut().extend_from_slice(src);
+    }
+}
+
+impl Drop for BufLease {
+    fn drop(&mut self) {
+        if let Some(buf) = self.buf.take() {
+            self.pool.give_back(buf);
+        }
+    }
+}
 
 /// A message handed to the application, in total order.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -383,6 +636,78 @@ mod tests {
         b.insert(msg(4, Service::Agreed));
         assert!(b.get(Seq::new(4)).is_some());
         assert!(b.get(Seq::new(5)).is_none());
+    }
+
+    #[test]
+    fn pool_hits_after_recycle() {
+        let pool = BufferPool::new(256, 4);
+        let lease = pool.acquire();
+        assert_eq!(pool.stats().misses, 1);
+        drop(lease);
+        let stats = pool.stats();
+        assert_eq!(stats.returned, 1);
+        assert_eq!(stats.free, 1);
+        let _again = pool.acquire();
+        assert_eq!(pool.stats().hits, 1);
+    }
+
+    #[test]
+    fn frozen_bytes_recycle_on_last_reference() {
+        let pool = BufferPool::new(256, 4);
+        let mut lease = pool.acquire();
+        use bytes::BufMut;
+        lease.put_slice(b"header|payload");
+        let frozen = lease.freeze_prefix(6);
+        assert_eq!(&frozen[..], b"header");
+        let slice = frozen.slice(1..3);
+        drop(frozen);
+        assert_eq!(pool.stats().outstanding, 1, "slice pins the buffer");
+        drop(slice);
+        let stats = pool.stats();
+        assert_eq!(stats.outstanding, 0);
+        assert_eq!(stats.free, 1);
+    }
+
+    #[test]
+    fn pool_trims_beyond_max_free() {
+        let pool = BufferPool::new(64, 1);
+        let a = pool.acquire();
+        let b = pool.acquire();
+        drop(a);
+        drop(b);
+        let stats = pool.stats();
+        assert_eq!(stats.free, 1);
+        assert_eq!(stats.trimmed, 1);
+        assert_eq!(stats.outstanding, 0);
+    }
+
+    #[test]
+    fn recv_space_is_full_capacity_and_sticky() {
+        let pool = BufferPool::new(128, 4);
+        let mut lease = pool.acquire();
+        assert_eq!(lease.recv_space().len(), 128);
+        lease.recv_space()[..5].copy_from_slice(b"hello");
+        let datagram = lease.freeze_prefix(5);
+        assert_eq!(&datagram[..], b"hello");
+        drop(datagram);
+        // The recycled buffer keeps its full length: no re-zeroing.
+        let mut again = pool.acquire();
+        assert_eq!(again.len(), 128);
+        assert_eq!(again.recv_space().len(), 128);
+    }
+
+    #[test]
+    fn clear_supports_encode_reuse() {
+        use bytes::BufMut;
+        let pool = BufferPool::new(64, 4);
+        let mut lease = pool.acquire();
+        lease.put_slice(b"first");
+        drop(lease);
+        let mut lease = pool.acquire();
+        lease.clear();
+        lease.put_slice(b"second");
+        assert_eq!(lease.written(), b"second");
+        assert_eq!(lease.freeze(), "second");
     }
 
     #[test]

@@ -78,7 +78,7 @@ pub mod testing;
 pub mod types;
 pub mod wire;
 
-pub use buffer::Delivery;
+pub use buffer::{BufLease, BufferPool, Delivery, PoolStats};
 pub use config::{
     ConfigError, PriorityMethod, ProtocolConfig, ProtocolConfigBuilder, RtrPolicy, Variant,
 };
@@ -86,7 +86,7 @@ pub use mclock::{epoch_base, LambdaClock, MergeKey, RingIdx};
 pub use message::{DataMessage, Token};
 pub use participant::{Action, Participant, QueueFullError, RecoverySnapshot, MAX_RTR_ENTRIES};
 pub use ring::{Ring, RingError};
-pub use stats::{PerRingStats, Stats};
+pub use stats::{HotPathStats, PerRingStats, Stats};
 pub use types::{ParticipantId, RingId, Round, Seq, Service};
 pub use wire::DecodeError;
 

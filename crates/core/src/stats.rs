@@ -65,6 +65,67 @@ impl Stats {
     }
 }
 
+/// Datapath counters for a live transport node: syscall batching
+/// efficiency, buffer-pool behaviour, and copy volume on the packet hot
+/// path.
+///
+/// The `packet_path` microbench derives its headline numbers
+/// (datagrams/sec, syscalls/datagram, average batch size) from these.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HotPathStats {
+    /// Datagrams received.
+    pub datagrams_rx: u64,
+    /// Datagrams sent (counted per destination, after fanout).
+    pub datagrams_tx: u64,
+    /// `recv`-side syscalls issued (one `recvmmsg` counts once).
+    pub syscalls_rx: u64,
+    /// `send`-side syscalls issued (one `sendmmsg` counts once).
+    pub syscalls_tx: u64,
+    /// Buffer-pool acquisitions served from the free list.
+    pub pool_hits: u64,
+    /// Buffer-pool acquisitions that had to allocate.
+    pub pool_misses: u64,
+    /// Payload bytes memcpy'd on the hot path (zero in the batched,
+    /// pooled datapath; the legacy per-datagram path copies every
+    /// received packet once).
+    pub bytes_copied: u64,
+}
+
+impl HotPathStats {
+    /// Syscalls per datagram across both directions (the batching win:
+    /// 1.0 for the per-datagram path, below 0.25 at saturation with
+    /// batches of 4+).
+    pub fn syscalls_per_datagram(&self) -> f64 {
+        let datagrams = self.datagrams_rx + self.datagrams_tx;
+        if datagrams == 0 {
+            return 0.0;
+        }
+        (self.syscalls_rx + self.syscalls_tx) as f64 / datagrams as f64
+    }
+
+    /// Average datagrams moved per syscall (the batch size actually
+    /// achieved).
+    pub fn datagrams_per_syscall(&self) -> f64 {
+        let syscalls = self.syscalls_rx + self.syscalls_tx;
+        if syscalls == 0 {
+            return 0.0;
+        }
+        (self.datagrams_rx + self.datagrams_tx) as f64 / syscalls as f64
+    }
+
+    /// Adds every counter of `other` into `self` (aggregation across the
+    /// nodes of a ring or the rings of a deployment).
+    pub fn absorb(&mut self, other: &HotPathStats) {
+        self.datagrams_rx += other.datagrams_rx;
+        self.datagrams_tx += other.datagrams_tx;
+        self.syscalls_rx += other.syscalls_rx;
+        self.syscalls_tx += other.syscalls_tx;
+        self.pool_hits += other.pool_hits;
+        self.pool_misses += other.pool_misses;
+        self.bytes_copied += other.bytes_copied;
+    }
+}
+
 /// Protocol counters broken out by ring index in a multi-ring
 /// deployment.
 ///
@@ -188,6 +249,25 @@ mod tests {
         assert_eq!(per.total().delivered_agreed, 12);
         let labels: Vec<String> = per.iter().map(|(r, _)| r.to_string()).collect();
         assert_eq!(labels, ["ring0", "ring1", "ring2"]);
+    }
+
+    #[test]
+    fn hot_path_ratios() {
+        let hp = HotPathStats {
+            datagrams_rx: 60,
+            datagrams_tx: 40,
+            syscalls_rx: 15,
+            syscalls_tx: 10,
+            ..HotPathStats::default()
+        };
+        assert!((hp.syscalls_per_datagram() - 0.25).abs() < 1e-9);
+        assert!((hp.datagrams_per_syscall() - 4.0).abs() < 1e-9);
+        assert_eq!(HotPathStats::default().syscalls_per_datagram(), 0.0);
+        assert_eq!(HotPathStats::default().datagrams_per_syscall(), 0.0);
+        let mut sum = hp;
+        sum.absorb(&hp);
+        assert_eq!(sum.datagrams_rx, 120);
+        assert_eq!(sum.syscalls_tx, 20);
     }
 
     #[test]

@@ -92,13 +92,13 @@ impl std::error::Error for DecodeError {}
 
 const ARU_ID_NONE: u16 = u16::MAX;
 
-fn put_envelope(buf: &mut BytesMut, kind: Kind) {
+fn put_envelope(buf: &mut impl BufMut, kind: Kind) {
     buf.put_u32_le(MAGIC);
     buf.put_u8(VERSION);
     buf.put_u8(kind as u8);
 }
 
-fn put_ring_id(buf: &mut BytesMut, ring_id: RingId) {
+fn put_ring_id(buf: &mut impl BufMut, ring_id: RingId) {
     buf.put_u16_le(ring_id.representative().as_u16());
     buf.put_u64_le(ring_id.counter());
 }
@@ -163,8 +163,15 @@ pub fn decode_kind(buf: &mut impl Buf) -> Result<Kind, DecodeError> {
 /// ```
 pub fn encode_data(msg: &DataMessage) -> Bytes {
     let mut buf = BytesMut::with_capacity(DATA_HEADER_LEN + msg.payload.len());
-    put_envelope(&mut buf, Kind::Data);
-    put_ring_id(&mut buf, msg.ring_id);
+    encode_data_into(msg, &mut buf);
+    buf.freeze()
+}
+
+/// Encodes a data message into any [`BufMut`] sink — the zero-allocation
+/// path used by the transport to encode straight into pooled buffers.
+pub fn encode_data_into(msg: &DataMessage, buf: &mut impl BufMut) {
+    put_envelope(buf, Kind::Data);
+    put_ring_id(buf, msg.ring_id);
     buf.put_u64_le(msg.seq.as_u64());
     buf.put_u16_le(msg.pid.as_u16());
     buf.put_u64_le(msg.round.as_u64());
@@ -173,7 +180,6 @@ pub fn encode_data(msg: &DataMessage) -> Bytes {
     buf.put_u8(flags);
     buf.put_u32_le(msg.payload.len() as u32);
     buf.put_slice(&msg.payload);
-    buf.freeze()
 }
 
 /// Decodes a data message, consuming the envelope too.
@@ -227,8 +233,15 @@ pub fn decode_data_body(buf: &mut Bytes) -> Result<DataMessage, DecodeError> {
 /// Encodes a token into a fresh buffer.
 pub fn encode_token(token: &Token) -> Bytes {
     let mut buf = BytesMut::with_capacity(token_wire_len(token.rtr.len()));
-    put_envelope(&mut buf, Kind::Token);
-    put_ring_id(&mut buf, token.ring_id);
+    encode_token_into(token, &mut buf);
+    buf.freeze()
+}
+
+/// Encodes a token into any [`BufMut`] sink — the zero-allocation path
+/// used by the transport to encode straight into pooled buffers.
+pub fn encode_token_into(token: &Token, buf: &mut impl BufMut) {
+    put_envelope(buf, Kind::Token);
+    put_ring_id(buf, token.ring_id);
     buf.put_u64_le(token.token_id);
     buf.put_u64_le(token.round.as_u64());
     buf.put_u64_le(token.seq.as_u64());
@@ -239,7 +252,6 @@ pub fn encode_token(token: &Token) -> Bytes {
     for seq in &token.rtr {
         buf.put_u64_le(seq.as_u64());
     }
-    buf.freeze()
 }
 
 /// Decodes a token, consuming the envelope too.
@@ -302,9 +314,14 @@ pub fn decode_token_body(buf: &mut Bytes) -> Result<Token, DecodeError> {
 /// with the standard envelope so it can share the data socket.
 pub fn encode_opaque(payload: &[u8]) -> Bytes {
     let mut buf = BytesMut::with_capacity(ENVELOPE_LEN + payload.len());
-    put_envelope(&mut buf, Kind::Opaque);
-    buf.put_slice(payload);
+    encode_opaque_into(payload, &mut buf);
     buf.freeze()
+}
+
+/// Frames an opaque payload into any [`BufMut`] sink.
+pub fn encode_opaque_into(payload: &[u8], buf: &mut impl BufMut) {
+    put_envelope(buf, Kind::Opaque);
+    buf.put_slice(payload);
 }
 
 #[cfg(test)]

@@ -16,7 +16,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use accelring_core::Service;
-use accelring_transport::{AppEvent, NodeHandle};
+use accelring_transport::{AppEvent, NodeHandle, TransportProbe, TransportStats};
 use bytes::Bytes;
 use crossbeam::channel::{
     bounded, unbounded, Receiver, Select, Sender, TryRecvError, TrySendError,
@@ -105,6 +105,7 @@ pub struct GroupDaemon {
     thread: Option<JoinHandle<()>>,
     options: DaemonOptions,
     shared: Arc<SharedStats>,
+    probe: TransportProbe,
 }
 
 impl GroupDaemon {
@@ -131,6 +132,9 @@ impl GroupDaemon {
         let (cmd_tx, cmd_rx) = unbounded();
         let shared = Arc::new(SharedStats::default());
         let pump_shared = shared.clone();
+        // Taken before the handle moves into the pump thread: the probe
+        // keeps the transport counters readable for the daemon's lifetime.
+        let probe = node.probe();
         let thread = std::thread::Builder::new()
             .name(format!("group-daemon-{}", node.pid()))
             .spawn(move || pump(node, cmd_rx, options.engine, pump_shared))
@@ -140,6 +144,7 @@ impl GroupDaemon {
             thread: Some(thread),
             options,
             shared,
+            probe,
         }
     }
 
@@ -199,6 +204,19 @@ impl GroupDaemon {
             events_shed: self.shared.events_shed.load(Ordering::Relaxed),
             duplicates_dropped: self.shared.duplicates_dropped.load(Ordering::Relaxed),
         }
+    }
+
+    /// A snapshot of the underlying transport node's counters (datagrams,
+    /// syscalls, pool hits — the hot-path efficiency numbers), readable
+    /// even though the node handle lives inside the pump thread.
+    pub fn transport_stats(&self) -> TransportStats {
+        self.probe.stats()
+    }
+
+    /// A clonable probe onto the node's transport counters and buffer
+    /// pools, outliving this daemon's shutdown (useful for leak checks).
+    pub fn transport_probe(&self) -> TransportProbe {
+        self.probe.clone()
     }
 
     /// Stops the daemon thread immediately. Connected clients receive

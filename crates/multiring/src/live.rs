@@ -31,7 +31,7 @@ use std::time::{Duration, Instant};
 use accelring_core::{ParticipantId, RingIdx, Service};
 use accelring_daemon::packing::tick_payload_with_epoch;
 use accelring_daemon::{ClientEvent, EngineOptions};
-use accelring_transport::{AppEvent, NodeHandle};
+use accelring_transport::{AppEvent, NodeHandle, TransportProbe, TransportStats};
 use bytes::Bytes;
 use crossbeam::channel::{bounded, unbounded, Receiver, Select, Sender, TryRecvError};
 
@@ -100,6 +100,7 @@ enum Cmd {
 pub struct MultiRingDaemon {
     cmd_tx: Sender<Cmd>,
     thread: Option<std::thread::JoinHandle<()>>,
+    probes: Vec<TransportProbe>,
 }
 
 impl MultiRingDaemon {
@@ -138,6 +139,9 @@ impl MultiRingDaemon {
             "one daemon must be the same participant on every ring"
         );
         let (cmd_tx, cmd_rx) = unbounded();
+        // Taken before the handles move into the pump thread: one probe
+        // per ring keeps the transport counters readable from outside.
+        let probes: Vec<TransportProbe> = nodes.iter().map(NodeHandle::probe).collect();
         let thread = std::thread::Builder::new()
             .name(format!("multiring-daemon-{pid}"))
             .spawn(move || pump(nodes, shards, cmd_rx, options))
@@ -145,7 +149,21 @@ impl MultiRingDaemon {
         MultiRingDaemon {
             cmd_tx,
             thread: Some(thread),
+            probes,
         }
+    }
+
+    /// Per-ring snapshots of the underlying transport nodes' counters
+    /// (`stats[k]` is this daemon's node on ring `k`), readable even
+    /// though the node handles live inside the pump thread.
+    pub fn transport_stats(&self) -> Vec<TransportStats> {
+        self.probes.iter().map(TransportProbe::stats).collect()
+    }
+
+    /// Clonable per-ring probes onto transport counters and buffer pools,
+    /// outliving this daemon's shutdown (useful for leak checks).
+    pub fn transport_probes(&self) -> Vec<TransportProbe> {
+        self.probes.clone()
     }
 
     /// Connects a new local client with no session history.

@@ -30,11 +30,12 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use accelring_core::ParticipantId;
+use bytes::Bytes;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::addr::AddressBook;
-use crate::socket::DatagramSocket;
+use crate::socket::{DatagramSocket, RecvOutcome, RecvSlot, SendOutcome};
 
 /// Which of a node's two sockets a packet left on. The token travels on
 /// its own socket (Section III-D), so targeting a class targets a traffic
@@ -362,7 +363,10 @@ impl FaultPlane {
 struct Held {
     release: Instant,
     seq: u64,
-    buf: Vec<u8>,
+    /// The datagram, held as a cheap reference-counted slice: on the
+    /// batched send path this is a clone of the pooled encode buffer, so
+    /// delaying or reordering a packet costs no copy.
+    buf: Bytes,
     dest: SocketAddr,
 }
 
@@ -432,6 +436,18 @@ impl InterposedSocket {
             let _ = self.inner.send_to(&h.buf, h.dest);
         }
     }
+
+    fn hold(&self, buf: Bytes, dest: SocketAddr, delay: Duration) {
+        let mut held = self.held.lock().unwrap_or_else(|e| e.into_inner());
+        held.seq += 1;
+        let seq = held.seq;
+        held.heap.push(Reverse(Held {
+            release: Instant::now() + delay,
+            seq,
+            buf,
+            dest,
+        }));
+    }
 }
 
 impl DatagramSocket for InterposedSocket {
@@ -445,15 +461,7 @@ impl DatagramSocket for InterposedSocket {
                     result = Err(e);
                 }
             } else {
-                let mut held = self.held.lock().unwrap_or_else(|e| e.into_inner());
-                held.seq += 1;
-                let seq = held.seq;
-                held.heap.push(Reverse(Held {
-                    release: Instant::now() + delay,
-                    seq,
-                    buf: buf.to_vec(),
-                    dest: addr,
-                }));
+                self.hold(Bytes::copy_from_slice(buf), addr, delay);
             }
         }
         result
@@ -462,6 +470,46 @@ impl DatagramSocket for InterposedSocket {
     fn recv_from(&self, buf: &mut [u8]) -> std::io::Result<(usize, SocketAddr)> {
         self.release_due();
         self.inner.recv_from(buf)
+    }
+
+    /// Batched send with per-datagram fate: the plane is consulted for
+    /// every datagram exactly as on the single-send path (loss, partition,
+    /// duplication, and delay semantics are identical), and the surviving
+    /// immediate copies go to the wire in one `sendmmsg` burst.
+    fn send_batch(&self, batch: &[(Bytes, SocketAddr)]) -> SendOutcome {
+        self.release_due();
+        let mut wire: Vec<(Bytes, SocketAddr)> = Vec::with_capacity(batch.len());
+        for (buf, addr) in batch {
+            let fate = self.plane.fate(self.from, *addr, self.class);
+            for delay in fate.copies {
+                if delay.is_zero() {
+                    wire.push((buf.clone(), *addr));
+                } else {
+                    self.hold(buf.clone(), *addr, delay);
+                }
+            }
+        }
+        let inner_out = self.inner.send_batch(&wire);
+        // Fate-dropped and delayed datagrams count as sent: from the
+        // node's perspective they entered the network.
+        SendOutcome {
+            sent: batch.len().saturating_sub(inner_out.errors),
+            errors: inner_out.errors,
+            syscalls: inner_out.syscalls,
+        }
+    }
+
+    fn recv_batch(&self, slots: &mut [RecvSlot<'_>]) -> std::io::Result<RecvOutcome> {
+        self.release_due();
+        self.inner.recv_batch(slots)
+    }
+
+    /// Sleeping on the inner fd is sound for held (delayed) datagrams
+    /// too: the event loop's idle wait is capped well below any chaos
+    /// schedule's delay granularity, so a due release is never stalled
+    /// longer than the fixed-quantum doze it replaces.
+    fn poll_fd(&self) -> Option<i32> {
+        self.inner.poll_fd()
     }
 }
 
@@ -602,6 +650,92 @@ mod tests {
         plane.partition(&[vec![0], vec![1]]);
         let foreign: SocketAddr = "127.0.0.1:9".parse().unwrap();
         assert!(!plane.fate(0, foreign, SocketClass::Data).copies.is_empty());
+    }
+
+    #[test]
+    fn batched_send_consults_fate_per_datagram() {
+        let a = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let b = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let c = UdpSocket::bind("127.0.0.1:0").unwrap();
+        for s in [&a, &b, &c] {
+            s.set_nonblocking(true).unwrap();
+        }
+        let addrs = vec![
+            NodeAddr {
+                pid: ParticipantId::new(0),
+                data: a.local_addr().unwrap(),
+                token: a.local_addr().unwrap(),
+            },
+            NodeAddr {
+                pid: ParticipantId::new(1),
+                data: b.local_addr().unwrap(),
+                token: b.local_addr().unwrap(),
+            },
+            NodeAddr {
+                pid: ParticipantId::new(2),
+                data: c.local_addr().unwrap(),
+                token: c.local_addr().unwrap(),
+            },
+        ];
+        let book = AddressBook::new(addrs);
+        let plane = FaultPlane::new(10);
+        plane.register_book(&book);
+        // Blackhole 0→1; 0→2 stays clean. One batch fanning out to both
+        // must deliver to 2 only, while still reporting both as "sent".
+        plane.block_one_way(0, 1);
+        let dest_b = b.local_addr().unwrap();
+        let dest_c = c.local_addr().unwrap();
+        let sock =
+            InterposedSocket::new(a, ParticipantId::new(0), SocketClass::Data, plane.clone());
+        let batch = vec![
+            (Bytes::from_static(b"to-b"), dest_b),
+            (Bytes::from_static(b"to-c"), dest_c),
+        ];
+        let out = sock.send_batch(&batch);
+        assert_eq!(out.sent, 2);
+        assert_eq!(out.errors, 0);
+        std::thread::sleep(Duration::from_millis(20));
+        let mut buf = [0u8; 16];
+        assert!(b.recv_from(&mut buf).is_err(), "partitioned link");
+        let (len, _) = c.recv_from(&mut buf).unwrap();
+        assert_eq!(&buf[..len], b"to-c");
+        assert_eq!(plane.stats().partition_dropped, 1);
+    }
+
+    #[test]
+    fn batched_send_holds_delayed_copies_without_copying() {
+        let a = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let b = UdpSocket::bind("127.0.0.1:0").unwrap();
+        a.set_nonblocking(true).unwrap();
+        b.set_nonblocking(true).unwrap();
+        let addrs = vec![
+            NodeAddr {
+                pid: ParticipantId::new(0),
+                data: a.local_addr().unwrap(),
+                token: a.local_addr().unwrap(),
+            },
+            NodeAddr {
+                pid: ParticipantId::new(1),
+                data: b.local_addr().unwrap(),
+                token: b.local_addr().unwrap(),
+            },
+        ];
+        let book = AddressBook::new(addrs);
+        let plane = FaultPlane::new(11);
+        plane.register_book(&book);
+        plane.set_churn(0.0, 1.0, Duration::from_millis(10));
+        let dest = b.local_addr().unwrap();
+        let sock =
+            InterposedSocket::new(a, ParticipantId::new(0), SocketClass::Data, plane.clone());
+        let out = sock.send_batch(&[(Bytes::from_static(b"late"), dest)]);
+        assert_eq!(out.sent, 1);
+        let mut buf = [0u8; 16];
+        assert!(b.recv_from(&mut buf).is_err(), "held back");
+        std::thread::sleep(Duration::from_millis(25));
+        let _ = sock.recv_from(&mut buf); // any touch releases due packets
+        std::thread::sleep(Duration::from_millis(5));
+        let (len, _) = b.recv_from(&mut buf).unwrap();
+        assert_eq!(&buf[..len], b"late");
     }
 
     #[test]

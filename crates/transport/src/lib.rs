@@ -30,21 +30,26 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+// Unsafe is denied everywhere except the `mmsg` syscall shim, which opts
+// back in module-wide (and is the only unsafe code in the workspace).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod addr;
 pub mod fault;
+#[cfg(target_os = "linux")]
+#[allow(unsafe_code)]
+mod mmsg;
 pub mod node;
 pub mod socket;
 
 pub use addr::{AddressBook, NodeAddr};
 pub use fault::{FaultPlane, FaultPlaneStats, GilbertElliott, InterposedSocket, SocketClass};
 pub use node::{
-    AppEvent, BoundNode, KillSwitch, NodeHandle, NodeOptions, SubmitError, TransportError,
-    TransportStats,
+    AppEvent, BoundNode, Datapath, KillSwitch, NodeHandle, NodeOptions, SubmitError,
+    TransportError, TransportProbe, TransportStats,
 };
-pub use socket::DatagramSocket;
+pub use socket::{DatagramSocket, RecvOutcome, RecvSlot, SendOutcome};
 
 use std::sync::Arc;
 
@@ -127,7 +132,7 @@ pub fn spawn_local_ring_with(
                 membership,
                 NodeOptions {
                     plane: plane.clone(),
-                    restore_ring_counter: 0,
+                    ..NodeOptions::default()
                 },
             )
         })

@@ -20,7 +20,10 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use accelring_core::{wire, Delivery, ParticipantId, ProtocolConfig, Service};
+use accelring_core::{
+    wire, BufLease, BufferPool, Delivery, HotPathStats, ParticipantId, PoolStats, ProtocolConfig,
+    Service,
+};
 use accelring_membership::{
     decode_control, encode_control, ConfigChange, Input, MembershipConfig, MembershipDaemon,
     Output, StateKind,
@@ -30,7 +33,7 @@ use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TryRecvError, Try
 
 use crate::addr::{AddressBook, NodeAddr};
 use crate::fault::{FaultPlane, InterposedSocket, SocketClass};
-use crate::socket::DatagramSocket;
+use crate::socket::{DatagramSocket, RecvSlot, SendOutcome};
 
 /// Largest datagram the transport accepts (64 KiB UDP limit).
 const MAX_DATAGRAM: usize = 65_536;
@@ -40,12 +43,43 @@ const IDLE_SLEEP: Duration = Duration::from_micros(200);
 /// [`SubmitError::Backlogged`] instead of unbounded memory growth when the
 /// ring cannot keep up with local submitters.
 const COMMAND_QUEUE_CAPACITY: usize = 4096;
+/// Datagrams drained from one socket per poll iteration on the batched
+/// path. Token priority is re-evaluated between batches, so a burst of
+/// data traffic can defer the token by at most this many datagrams.
+const RECV_BATCH: usize = 32;
+/// Idle buffers each pool parks for reuse. Sized so the working set —
+/// the batched receive leases plus every payload slice the protocol
+/// retains until delivery (each pins its whole pooled buffer) — cycles
+/// through the free list instead of falling through to the allocator.
+const POOL_MAX_FREE: usize = 512;
+/// Requested socket buffer depth. Gathered sends deliver a whole
+/// window's fanout in one burst; see
+/// [`deepen_socket_buffers`] for why the kernel default is too shallow.
+const SOCKET_BUFFER_BYTES: i32 = 512 << 10;
+
+/// Best-effort deepening of both sockets' kernel buffers (Linux only; a
+/// no-op elsewhere). See `mmsg::set_buffer_sizes` for the rationale.
+fn deepen_socket_buffers(data: &UdpSocket, token: &UdpSocket) {
+    #[cfg(target_os = "linux")]
+    {
+        crate::mmsg::set_buffer_sizes(data, SOCKET_BUFFER_BYTES);
+        crate::mmsg::set_buffer_sizes(token, SOCKET_BUFFER_BYTES);
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        let _ = (data, token);
+    }
+}
 
 /// Counters exported by a running node; every anomaly the event loop
 /// swallows (it must keep running) is visible here instead of vanishing.
 #[derive(Debug, Default)]
 struct StatsInner {
     datagrams_rx: AtomicU64,
+    datagrams_tx: AtomicU64,
+    syscalls_rx: AtomicU64,
+    syscalls_tx: AtomicU64,
+    bytes_copied: AtomicU64,
     decode_failures: AtomicU64,
     recv_errors: AtomicU64,
     send_errors: AtomicU64,
@@ -63,7 +97,8 @@ pub struct TransportStats {
     pub decode_failures: u64,
     /// `recv` failures other than `WouldBlock`.
     pub recv_errors: u64,
-    /// `send_to` failures.
+    /// Send failures, counted per failed destination (a partially failed
+    /// fanout counts each refusing peer, not the flush).
     pub send_errors: u64,
     /// Client submissions accepted into the daemon.
     pub submissions: u64,
@@ -72,18 +107,30 @@ pub struct TransportStats {
     /// Protocol-thread panics caught at the thread boundary (each one is
     /// terminal for the node and accompanied by an [`AppEvent::Fault`]).
     pub thread_panics: u64,
+    /// Hot-datapath counters: syscall batching, pool behaviour, copies.
+    pub hot: HotPathStats,
 }
 
 impl StatsInner {
     fn snapshot(&self) -> TransportStats {
+        let datagrams_rx = self.datagrams_rx.load(Ordering::Relaxed);
         TransportStats {
-            datagrams_rx: self.datagrams_rx.load(Ordering::Relaxed),
+            datagrams_rx,
             decode_failures: self.decode_failures.load(Ordering::Relaxed),
             recv_errors: self.recv_errors.load(Ordering::Relaxed),
             send_errors: self.send_errors.load(Ordering::Relaxed),
             submissions: self.submissions.load(Ordering::Relaxed),
             submissions_shed: self.submissions_shed.load(Ordering::Relaxed),
             thread_panics: self.thread_panics.load(Ordering::Relaxed),
+            hot: HotPathStats {
+                datagrams_rx,
+                datagrams_tx: self.datagrams_tx.load(Ordering::Relaxed),
+                syscalls_rx: self.syscalls_rx.load(Ordering::Relaxed),
+                syscalls_tx: self.syscalls_tx.load(Ordering::Relaxed),
+                pool_hits: 0,   // filled from the pools by the callers
+                pool_misses: 0, // that hold the pool handles
+                bytes_copied: self.bytes_copied.load(Ordering::Relaxed),
+            },
         }
     }
 }
@@ -217,6 +264,21 @@ impl From<std::io::Error> for TransportError {
     }
 }
 
+/// How the event loop moves datagrams (see DESIGN.md section 10).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Datapath {
+    /// `recvmmsg`/`sendmmsg` bursts over pooled zero-copy buffers: recv
+    /// drains up to [`RECV_BATCH`] datagrams per poll, every multicast is
+    /// encoded once, and each flush gathers the whole fanout plus any
+    /// pending token send into per-socket syscall bursts.
+    #[default]
+    Batched,
+    /// The legacy loop — one syscall and one heap copy per datagram, one
+    /// datagram per poll iteration — preserved as the baseline the
+    /// `packet_path` microbench compares against.
+    PerDatagram,
+}
+
 /// Start-time options beyond the protocol and membership configuration.
 #[derive(Debug, Clone, Default)]
 pub struct NodeOptions {
@@ -227,6 +289,8 @@ pub struct NodeOptions {
     /// [`MembershipDaemon::max_ring_counter`]). Read it from the dead
     /// handle via [`NodeHandle::ring_counter`].
     pub restore_ring_counter: u64,
+    /// Which datapath the event loop runs (batched by default).
+    pub datapath: Datapath,
 }
 
 /// A daemon with bound sockets whose addresses can be shared with peers
@@ -266,10 +330,12 @@ impl BoundNode {
         data: SocketAddr,
         token: SocketAddr,
     ) -> Result<BoundNode, TransportError> {
+        let data_socket = UdpSocket::bind(data)?;
+        let token_socket = UdpSocket::bind(token)?;
         Ok(BoundNode {
             pid,
-            data_socket: UdpSocket::bind(data)?,
-            token_socket: UdpSocket::bind(token)?,
+            data_socket,
+            token_socket,
         })
     }
 
@@ -318,6 +384,12 @@ impl BoundNode {
         if book.get(self.pid).is_none() {
             return Err(TransportError::NotInAddressBook(self.pid));
         }
+        // Gathered bursts need kernel buffers deep enough to absorb a
+        // whole fanout at once; the legacy datapath keeps the kernel
+        // defaults it was designed around.
+        if options.datapath == Datapath::Batched {
+            deepen_socket_buffers(&self.data_socket, &self.token_socket);
+        }
         self.data_socket.set_nonblocking(true)?;
         self.token_socket.set_nonblocking(true)?;
         let pid = self.pid;
@@ -346,6 +418,9 @@ impl BoundNode {
         let drain_ns = Arc::new(AtomicU64::new(0));
         let stats = Arc::new(StatsInner::default());
         let ring_info = Arc::new(RingInfoInner::default());
+        let recv_pool = BufferPool::new(MAX_DATAGRAM, POOL_MAX_FREE);
+        let send_pool = BufferPool::new(MAX_DATAGRAM, POOL_MAX_FREE);
+        let datapath = options.datapath;
         let thread_ctx = (
             Arc::clone(&stop),
             Arc::clone(&leave),
@@ -353,11 +428,14 @@ impl BoundNode {
             Arc::clone(&stats),
             Arc::clone(&ring_info),
             event_tx.clone(),
+            recv_pool.clone(),
+            send_pool.clone(),
         );
         let thread = std::thread::Builder::new()
             .name(format!("accelring-{pid}"))
             .spawn(move || {
-                let (stop, leave, drain_ns, stats, ring_info, fault_tx) = thread_ctx;
+                let (stop, leave, drain_ns, stats, ring_info, fault_tx, recv_pool, send_pool) =
+                    thread_ctx;
                 let mut daemon = MembershipDaemon::new(pid, protocol, membership);
                 daemon.restore_ring_counter(options.restore_ring_counter);
                 let mut event_loop = EventLoop {
@@ -368,6 +446,7 @@ impl BoundNode {
                     book,
                     daemon,
                     cmd_rx,
+                    pending_submit: None,
                     event_tx,
                     stop,
                     leave,
@@ -375,6 +454,16 @@ impl BoundNode {
                     stats: Arc::clone(&stats),
                     ring_info,
                     start: Instant::now(),
+                    datapath,
+                    recv_pool,
+                    send_pool,
+                    recv_leases: Vec::new(),
+                    data_batch: Vec::new(),
+                    token_batch: Vec::new(),
+                    scratch: match datapath {
+                        Datapath::PerDatagram => vec![0u8; MAX_DATAGRAM],
+                        Datapath::Batched => Vec::new(),
+                    },
                 };
                 // The loop must never take the whole process down: a panic
                 // in the protocol stack is caught here, counted, and
@@ -400,8 +489,44 @@ impl BoundNode {
             drain_ns,
             stats,
             ring_info,
+            recv_pool,
+            send_pool,
             thread: Some(thread),
         })
+    }
+}
+
+/// A clonable, thread-safe window onto a node's transport counters and
+/// buffer pools, usable after the [`NodeHandle`] itself has been moved
+/// into a pump thread (the daemon and multi-ring runtimes hand these out).
+#[derive(Debug, Clone)]
+pub struct TransportProbe {
+    stats: Arc<StatsInner>,
+    recv_pool: BufferPool,
+    send_pool: BufferPool,
+}
+
+impl TransportProbe {
+    /// A snapshot of the node's transport counters, pool counters
+    /// included.
+    pub fn stats(&self) -> TransportStats {
+        let mut s = self.stats.snapshot();
+        let (recv, send) = (self.recv_pool.stats(), self.send_pool.stats());
+        s.hot.pool_hits = recv.hits + send.hits;
+        s.hot.pool_misses = recv.misses + send.misses;
+        s
+    }
+
+    /// Counters of the receive-side and send-side buffer pools.
+    pub fn pool_stats(&self) -> (PoolStats, PoolStats) {
+        (self.recv_pool.stats(), self.send_pool.stats())
+    }
+
+    /// Pooled buffers still leased out across both pools. After the node
+    /// has shut down and every delivery has been dropped, a nonzero value
+    /// is a leak.
+    pub fn pool_outstanding(&self) -> u64 {
+        self.recv_pool.outstanding() + self.send_pool.outstanding()
     }
 }
 
@@ -437,6 +562,8 @@ pub struct NodeHandle {
     drain_ns: Arc<AtomicU64>,
     stats: Arc<StatsInner>,
     ring_info: Arc<RingInfoInner>,
+    recv_pool: BufferPool,
+    send_pool: BufferPool,
     thread: Option<JoinHandle<()>>,
 }
 
@@ -444,6 +571,15 @@ impl NodeHandle {
     /// The daemon's participant id.
     pub fn pid(&self) -> ParticipantId {
         self.pid
+    }
+
+    /// A clonable counters/pools probe that outlives moves of this handle.
+    pub fn probe(&self) -> TransportProbe {
+        TransportProbe {
+            stats: Arc::clone(&self.stats),
+            recv_pool: self.recv_pool.clone(),
+            send_pool: self.send_pool.clone(),
+        }
     }
 
     /// Submits a message for totally ordered multicast.
@@ -461,9 +597,15 @@ impl NodeHandle {
         }
     }
 
-    /// A snapshot of the node's transport counters.
+    /// A snapshot of the node's transport counters, pool counters
+    /// included.
     pub fn stats(&self) -> TransportStats {
-        self.stats.snapshot()
+        self.probe().stats()
+    }
+
+    /// Counters of the receive-side and send-side buffer pools.
+    pub fn pool_stats(&self) -> (PoolStats, PoolStats) {
+        (self.recv_pool.stats(), self.send_pool.stats())
     }
 
     /// The membership state the event loop last published.
@@ -559,6 +701,11 @@ struct EventLoop {
     fanout: Vec<SocketAddr>,
     daemon: MembershipDaemon,
     cmd_rx: Receiver<Command>,
+    /// A submission the daemon refused (send queue full), held here and
+    /// retried before the command queue is read again. While it waits,
+    /// the queue backs up and clients see [`SubmitError::Backlogged`] —
+    /// backpressure instead of a silent shed.
+    pending_submit: Option<(Bytes, Service)>,
     event_tx: Sender<AppEvent>,
     stop: Arc<AtomicBool>,
     leave: Arc<AtomicBool>,
@@ -566,6 +713,17 @@ struct EventLoop {
     stats: Arc<StatsInner>,
     ring_info: Arc<RingInfoInner>,
     start: Instant,
+    datapath: Datapath,
+    recv_pool: BufferPool,
+    send_pool: BufferPool,
+    /// Pre-acquired receive leases, topped up to [`RECV_BATCH`] before
+    /// every batched poll so an idle poll costs zero pool traffic.
+    recv_leases: Vec<BufLease>,
+    /// Reused scratch for the batched flush (capacity persists).
+    data_batch: Vec<(Bytes, SocketAddr)>,
+    token_batch: Vec<(Bytes, SocketAddr)>,
+    /// Legacy per-datagram receive buffer (empty on the batched path).
+    scratch: Vec<u8>,
 }
 
 impl EventLoop {
@@ -575,7 +733,6 @@ impl EventLoop {
 
     fn run(&mut self) {
         let mut outputs = Vec::new();
-        let mut buf = vec![0u8; MAX_DATAGRAM];
         let now = self.now_ns();
         self.daemon.start(now, &mut outputs);
         self.flush(&mut outputs);
@@ -585,35 +742,95 @@ impl EventLoop {
                 return;
             }
             if self.leave.load(Ordering::Relaxed) {
-                self.drain_and_leave(&mut outputs, &mut buf);
+                self.drain_and_leave(&mut outputs);
                 return;
             }
-            let did_work = self.step(&mut outputs, &mut buf, true);
+            let did_work = self.step(&mut outputs, true);
             self.publish_ring_info();
             if !did_work {
-                std::thread::sleep(IDLE_SLEEP);
+                self.idle_wait();
             }
         }
     }
 
-    /// One iteration: client commands (when accepted), one datagram per
-    /// socket pass in priority order, due timers. Returns whether anything
-    /// happened.
-    fn step(&mut self, outputs: &mut Vec<Output>, buf: &mut [u8], accept_commands: bool) -> bool {
+    /// Idle wait: parks until a datagram lands on either socket, the next
+    /// protocol timer is due, or [`IDLE_SLEEP`] passes, whichever is
+    /// first. On a busy ring the token is in flight precisely when the
+    /// loop has drained its sockets, so a fixed-quantum doze here would
+    /// quantize the entire rotation to the sleep granularity; parking on
+    /// the descriptors wakes the loop the moment the token lands.
+    ///
+    /// The legacy baseline keeps the original fixed-quantum doze.
+    fn idle_wait(&self) {
+        if self.datapath == Datapath::PerDatagram {
+            std::thread::sleep(IDLE_SLEEP);
+            return;
+        }
+        let mut timeout = IDLE_SLEEP;
+        if let Some((deadline, _)) = self.daemon.next_timer() {
+            timeout = timeout.min(Duration::from_nanos(deadline.saturating_sub(self.now_ns())));
+        }
+        if timeout.is_zero() {
+            return;
+        }
+        #[cfg(target_os = "linux")]
+        if let (Some(data), Some(token)) = (self.data_socket.poll_fd(), self.token_socket.poll_fd())
+        {
+            crate::mmsg::wait_readable(&[data, token], timeout);
+            return;
+        }
+        std::thread::sleep(timeout);
+    }
+
+    /// One iteration: client commands (when accepted), one receive batch
+    /// from the sockets in priority order, due timers. Returns whether
+    /// anything happened.
+    fn step(&mut self, outputs: &mut Vec<Output>, accept_commands: bool) -> bool {
         let mut did_work = false;
 
         // 1. Client commands.
+        //
+        //    Batched (the shipping datapath): a submission the daemon
+        //    refuses (send queue full) is parked in `pending_submit` and
+        //    the queue is left alone until it fits — the command channel
+        //    backs up, clients see `Backlogged`, and this loop spends its
+        //    cycles on the sockets instead of shedding a firehose one
+        //    command at a time.
+        //
+        //    PerDatagram (the legacy baseline): the original behavior,
+        //    kept bit-for-bit for the packet_path benchmark — drain the
+        //    whole queue every step and shed whatever the daemon refuses.
         if accept_commands {
-            loop {
+            if let Some((payload, service)) = self.pending_submit.take() {
+                match self.daemon.submit(payload.clone(), service) {
+                    Ok(()) => {
+                        self.stats.submissions.fetch_add(1, Ordering::Relaxed);
+                        did_work = true;
+                    }
+                    Err(_) => self.pending_submit = Some((payload, service)),
+                }
+            }
+            while self.pending_submit.is_none() {
                 match self.cmd_rx.try_recv() {
                     Ok(Command::Submit(payload, service)) => {
-                        // The daemon sheds when its own pending queue is full
-                        // (the client saw backpressure at the channel already);
-                        // count it rather than dropping silently.
-                        match self.daemon.submit(payload, service) {
-                            Ok(()) => self.stats.submissions.fetch_add(1, Ordering::Relaxed),
-                            Err(_) => self.stats.submissions_shed.fetch_add(1, Ordering::Relaxed),
-                        };
+                        match self.datapath {
+                            Datapath::Batched => {
+                                match self.daemon.submit(payload.clone(), service) {
+                                    Ok(()) => {
+                                        self.stats.submissions.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                    Err(_) => self.pending_submit = Some((payload, service)),
+                                }
+                            }
+                            Datapath::PerDatagram => match self.daemon.submit(payload, service) {
+                                Ok(()) => {
+                                    self.stats.submissions.fetch_add(1, Ordering::Relaxed);
+                                }
+                                Err(_) => {
+                                    self.stats.submissions_shed.fetch_add(1, Ordering::Relaxed);
+                                }
+                            },
+                        }
                         did_work = true;
                     }
                     Ok(Command::InjectPanic) => {
@@ -630,41 +847,22 @@ impl EventLoop {
         }
 
         // 2. Sockets, in protocol priority order (Section III-D): when the
-        //    token has priority, drain the token socket first.
+        //    token has priority, drain the token socket first. One bounded
+        //    batch per iteration, so priority is re-evaluated between
+        //    batches rather than starving the token behind a data flood.
         let token_first = self.daemon.token_has_priority();
         for pick_token in if token_first {
             [true, false]
         } else {
             [false, true]
         } {
-            let socket: &dyn DatagramSocket = if pick_token {
-                self.token_socket.as_ref()
-            } else {
-                self.data_socket.as_ref()
+            let received = match self.datapath {
+                Datapath::Batched => self.recv_burst(pick_token, outputs),
+                Datapath::PerDatagram => self.recv_single(pick_token, outputs),
             };
-            match socket.recv_from(buf) {
-                Ok((len, _from)) => {
-                    did_work = true;
-                    self.stats.datagrams_rx.fetch_add(1, Ordering::Relaxed);
-                    let mut datagram = Bytes::copy_from_slice(&buf[..len]);
-                    if let Some(input) = parse_datagram(&mut datagram) {
-                        let now = self.now_ns();
-                        self.daemon.handle(now, input, outputs);
-                        self.flush(outputs);
-                    } else {
-                        self.stats.decode_failures.fetch_add(1, Ordering::Relaxed);
-                    }
-                    break; // re-evaluate priority after every datagram
-                }
-                // An empty non-blocking socket is the steady state, not an
-                // error. Everything else (ECONNREFUSED from a peer's ICMP
-                // port-unreachable, EMSGSIZE, ...) is counted: the loop must
-                // survive it, but it must not vanish.
-                Err(e) if e.kind() == ErrorKind::WouldBlock => {}
-                Err(e) if e.kind() == ErrorKind::Interrupted => {}
-                Err(_) => {
-                    self.stats.recv_errors.fetch_add(1, Ordering::Relaxed);
-                }
+            if received > 0 {
+                did_work = true;
+                break; // re-evaluate priority after every batch
             }
         }
 
@@ -682,15 +880,125 @@ impl EventLoop {
         did_work
     }
 
+    /// Batched receive: drain up to [`RECV_BATCH`] datagrams from one
+    /// socket in as few syscalls as the platform allows, parse each in
+    /// place from its pooled buffer, then flush all resulting output as
+    /// gathered bursts. Returns the number of datagrams received.
+    fn recv_burst(&mut self, pick_token: bool, outputs: &mut Vec<Output>) -> usize {
+        while self.recv_leases.len() < RECV_BATCH {
+            self.recv_leases.push(self.recv_pool.acquire());
+        }
+        let (outcome, lens) = {
+            let leases = &mut self.recv_leases;
+            let socket: &dyn DatagramSocket = if pick_token {
+                self.token_socket.as_ref()
+            } else {
+                self.data_socket.as_ref()
+            };
+            let mut slots: Vec<RecvSlot<'_>> = leases
+                .iter_mut()
+                .map(|l| RecvSlot::new(l.recv_space()))
+                .collect();
+            let outcome = socket.recv_batch(&mut slots);
+            // Filled slots form a prefix; remember their datagram lengths.
+            let lens: Vec<usize> = slots
+                .iter()
+                .take_while(|s| s.addr.is_some())
+                .map(|s| s.len)
+                .collect();
+            (outcome, lens)
+        };
+        let outcome = match outcome {
+            Ok(o) => o,
+            Err(e) if e.kind() == ErrorKind::Interrupted => return 0,
+            Err(_) => {
+                // The loop must survive recv errors (ECONNREFUSED from a
+                // peer's ICMP port-unreachable, ...) but not hide them.
+                self.stats.recv_errors.fetch_add(1, Ordering::Relaxed);
+                return 0;
+            }
+        };
+        self.stats
+            .syscalls_rx
+            .fetch_add(outcome.syscalls, Ordering::Relaxed);
+        if outcome.received == 0 {
+            return 0;
+        }
+        self.stats
+            .datagrams_rx
+            .fetch_add(outcome.received as u64, Ordering::Relaxed);
+        let used: Vec<BufLease> = self.recv_leases.drain(..outcome.received).collect();
+        for (lease, len) in used.into_iter().zip(lens) {
+            // Freeze only the datagram prefix: the parse reads in place
+            // and any payload slice keeps the pooled buffer leased until
+            // the protocol discards the message.
+            let mut datagram = lease.freeze_prefix(len);
+            if let Some(input) = parse_datagram(&mut datagram) {
+                let now = self.now_ns();
+                self.daemon.handle(now, input, outputs);
+            } else {
+                self.stats.decode_failures.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.flush(outputs);
+        outcome.received
+    }
+
+    /// Legacy receive: one syscall, one datagram, one heap copy. Returns
+    /// 1 if a datagram was processed.
+    fn recv_single(&mut self, pick_token: bool, outputs: &mut Vec<Output>) -> usize {
+        let result = {
+            let buf = &mut self.scratch;
+            let socket: &dyn DatagramSocket = if pick_token {
+                self.token_socket.as_ref()
+            } else {
+                self.data_socket.as_ref()
+            };
+            socket.recv_from(buf)
+        };
+        self.stats.syscalls_rx.fetch_add(1, Ordering::Relaxed);
+        match result {
+            Ok((len, _from)) => {
+                self.stats.datagrams_rx.fetch_add(1, Ordering::Relaxed);
+                self.stats
+                    .bytes_copied
+                    .fetch_add(len as u64, Ordering::Relaxed);
+                let mut datagram = Bytes::copy_from_slice(&self.scratch[..len]);
+                if let Some(input) = parse_datagram(&mut datagram) {
+                    let now = self.now_ns();
+                    self.daemon.handle(now, input, outputs);
+                    self.flush(outputs);
+                } else {
+                    self.stats.decode_failures.fetch_add(1, Ordering::Relaxed);
+                }
+                1
+            }
+            // An empty non-blocking socket is the steady state, not an
+            // error.
+            Err(e) if e.kind() == ErrorKind::WouldBlock => 0,
+            Err(e) if e.kind() == ErrorKind::Interrupted => 0,
+            Err(_) => {
+                self.stats.recv_errors.fetch_add(1, Ordering::Relaxed);
+                0
+            }
+        }
+    }
+
     /// Graceful departure: keep the protocol running (without new client
     /// commands) until our send queue has gone onto the ring and the
     /// receive buffer has delivered, bounded by the drain budget; then
     /// announce the departure (twice — it rides UDP) so peers fail us by
     /// reciprocity and reform after one gather round.
-    fn drain_and_leave(&mut self, outputs: &mut Vec<Output>, buf: &mut [u8]) {
+    fn drain_and_leave(&mut self, outputs: &mut Vec<Output>) {
         // Submissions already queued when the leave flag was set were
         // accepted from the caller's point of view, so they drain out;
         // only commands arriving after this point are refused.
+        if let Some((payload, service)) = self.pending_submit.take() {
+            match self.daemon.submit(payload, service) {
+                Ok(()) => self.stats.submissions.fetch_add(1, Ordering::Relaxed),
+                Err(_) => self.stats.submissions_shed.fetch_add(1, Ordering::Relaxed),
+            };
+        }
         loop {
             match self.cmd_rx.try_recv() {
                 Ok(Command::Submit(payload, service)) => {
@@ -712,8 +1020,8 @@ impl EventLoop {
             if drained {
                 break;
             }
-            if !self.step(outputs, buf, false) {
-                std::thread::sleep(IDLE_SLEEP);
+            if !self.step(outputs, false) {
+                self.idle_wait();
             }
         }
         self.daemon.announce_leave(outputs);
@@ -739,26 +1047,137 @@ impl EventLoop {
             .store(self.daemon.max_ring_counter(), Ordering::Relaxed);
     }
 
-    fn flush(&self, outputs: &mut Vec<Output>) {
-        // UDP send failures are not retried (the protocol's retransmission
-        // machinery owns recovery) but they are counted.
-        let send = |socket: &dyn DatagramSocket, encoded: &[u8], addr: SocketAddr| {
-            if socket.send_to(encoded, addr).is_err() {
+    fn flush(&mut self, outputs: &mut Vec<Output>) {
+        match self.datapath {
+            Datapath::Batched => self.flush_batched(outputs),
+            Datapath::PerDatagram => self.flush_per_datagram(outputs),
+        }
+    }
+
+    /// Folds a batch send's outcome into the hot-path counters. UDP send
+    /// failures are not retried (the protocol's retransmission machinery
+    /// owns recovery) but they are counted per failing destination.
+    fn record_send(&self, out: SendOutcome) {
+        self.stats
+            .datagrams_tx
+            .fetch_add(out.sent as u64, Ordering::Relaxed);
+        self.stats
+            .syscalls_tx
+            .fetch_add(out.syscalls, Ordering::Relaxed);
+        self.stats
+            .send_errors
+            .fetch_add(out.errors as u64, Ordering::Relaxed);
+    }
+
+    /// Batched flush: each multicast is encoded exactly once into a pooled
+    /// buffer, its fanout becomes cheap [`Bytes`] clones of that one
+    /// encoding, and the whole output burst — token first, then data —
+    /// leaves in as few syscalls as [`DatagramSocket::send_batch`] can
+    /// manage. The token burst goes out before the data burst: Accelerated
+    /// Ring releases the token before the multicast completes (paper
+    /// Section III-B), so the successor starts its protocol work while our
+    /// data is still leaving.
+    fn flush_batched(&mut self, outputs: &mut Vec<Output>) {
+        let mut data_batch = std::mem::take(&mut self.data_batch);
+        let mut token_batch = std::mem::take(&mut self.token_batch);
+        for output in outputs.drain(..) {
+            match output {
+                Output::Multicast(msg) => {
+                    let mut lease = self.send_pool.acquire();
+                    lease.clear();
+                    wire::encode_data_into(&msg, &mut lease);
+                    let encoded = lease.freeze();
+                    for addr in &self.fanout {
+                        data_batch.push((encoded.clone(), *addr));
+                    }
+                }
+                Output::SendToken { to, token } => {
+                    let mut lease = self.send_pool.acquire();
+                    lease.clear();
+                    wire::encode_token_into(&token, &mut lease);
+                    if let Some(peer) = self.book.get(to) {
+                        token_batch.push((lease.freeze(), peer.token));
+                    }
+                }
+                Output::SendControl { to, msg } => {
+                    // Control traffic is rare (membership transitions); it
+                    // rides the data burst but skips the pool.
+                    let encoded = encode_control(&msg);
+                    match to {
+                        Some(to) => {
+                            if to == self.pid {
+                                continue;
+                            }
+                            if let Some(peer) = self.book.get(to) {
+                                data_batch.push((encoded, peer.data));
+                            }
+                        }
+                        None => {
+                            for addr in &self.fanout {
+                                data_batch.push((encoded.clone(), *addr));
+                            }
+                        }
+                    }
+                }
+                Output::Deliver(d) => {
+                    let _ = self.event_tx.send(AppEvent::Delivered(d));
+                }
+                Output::ConfigChange(c) => {
+                    let _ = self.event_tx.send(AppEvent::Config(c));
+                }
+            }
+        }
+        if !token_batch.is_empty() {
+            let out = self.token_socket.send_batch(&token_batch);
+            self.record_send(out);
+            token_batch.clear();
+        }
+        if !data_batch.is_empty() {
+            let out = self.data_socket.send_batch(&data_batch);
+            self.record_send(out);
+            data_batch.clear();
+        }
+        // Hand the (emptied, capacity-bearing) scratch vectors back.
+        self.data_batch = data_batch;
+        self.token_batch = token_batch;
+    }
+
+    /// Sends one datagram on the legacy path, counting the syscall and any
+    /// error.
+    fn send_single(&self, socket: &dyn DatagramSocket, encoded: &[u8], addr: SocketAddr) {
+        self.stats.syscalls_tx.fetch_add(1, Ordering::Relaxed);
+        match socket.send_to(encoded, addr) {
+            Ok(_) => {
+                self.stats.datagrams_tx.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
                 self.stats.send_errors.fetch_add(1, Ordering::Relaxed);
             }
-        };
+        }
+    }
+
+    /// Legacy flush: one fresh encode per datagram, one syscall per
+    /// datagram — the baseline the packet_path benchmark measures against.
+    fn flush_per_datagram(&mut self, outputs: &mut Vec<Output>) {
         for output in outputs.drain(..) {
             match output {
                 Output::Multicast(msg) => {
                     let encoded = wire::encode_data(&msg);
+                    self.stats.bytes_copied.fetch_add(
+                        (encoded.len() * self.fanout.len()) as u64,
+                        Ordering::Relaxed,
+                    );
                     for addr in &self.fanout {
-                        send(self.data_socket.as_ref(), &encoded, *addr);
+                        self.send_single(self.data_socket.as_ref(), &encoded, *addr);
                     }
                 }
                 Output::SendToken { to, token } => {
                     let encoded = wire::encode_token(&token);
+                    self.stats
+                        .bytes_copied
+                        .fetch_add(encoded.len() as u64, Ordering::Relaxed);
                     if let Some(peer) = self.book.get(to) {
-                        send(self.token_socket.as_ref(), &encoded, peer.token);
+                        self.send_single(self.token_socket.as_ref(), &encoded, peer.token);
                     }
                 }
                 Output::SendControl { to, msg } => {
@@ -769,12 +1188,12 @@ impl EventLoop {
                                 continue;
                             }
                             if let Some(peer) = self.book.get(to) {
-                                send(self.data_socket.as_ref(), &encoded, peer.data);
+                                self.send_single(self.data_socket.as_ref(), &encoded, peer.data);
                             }
                         }
                         None => {
                             for addr in &self.fanout {
-                                send(self.data_socket.as_ref(), &encoded, *addr);
+                                self.send_single(self.data_socket.as_ref(), &encoded, *addr);
                             }
                         }
                     }

@@ -6,6 +6,12 @@
 //! ([`BytesMut`]), and the [`Buf`]/[`BufMut`] cursor traits with the
 //! little-endian accessors the wire codec needs. Semantics (including
 //! panics on out-of-range reads) match the real crate for this subset.
+//!
+//! One deliberate extension beyond the real crate's API:
+//! [`Bytes::with_recycler`] attaches a [`Recycle`] hook invoked with the
+//! backing `Vec<u8>` when the last reference drops, which is what lets
+//! `accelring-core`'s buffer pool reclaim datagram buffers the moment the
+//! protocol discards the last message slice pointing into them.
 
 #![forbid(unsafe_code)]
 
@@ -15,10 +21,34 @@ use std::hash::{Hash, Hasher};
 use std::ops::{Bound, Deref, DerefMut, RangeBounds};
 use std::sync::Arc;
 
+/// A sink for the backing storage of a dropped [`Bytes`]: called exactly
+/// once, with the full `Vec` (capacity intact), when the last reference
+/// to a buffer created by [`Bytes::with_recycler`] goes away.
+pub trait Recycle: Send + Sync {
+    /// Takes back the backing store of a fully dropped buffer.
+    fn recycle(&self, buf: Vec<u8>);
+}
+
+/// The shared backing store of a [`Bytes`]: the storage plus an optional
+/// recycling hook that fires when the last reference drops.
+#[derive(Default)]
+struct Shared {
+    data: Vec<u8>,
+    recycler: Option<Arc<dyn Recycle>>,
+}
+
+impl Drop for Shared {
+    fn drop(&mut self) {
+        if let Some(r) = self.recycler.take() {
+            r.recycle(std::mem::take(&mut self.data));
+        }
+    }
+}
+
 /// A cheaply clonable, immutable, contiguous slice of memory.
 #[derive(Clone, Default)]
 pub struct Bytes {
-    data: Arc<Vec<u8>>,
+    data: Arc<Shared>,
     start: usize,
     end: usize,
 }
@@ -27,6 +57,21 @@ impl Bytes {
     /// Creates an empty `Bytes`.
     pub fn new() -> Bytes {
         Bytes::default()
+    }
+
+    /// Wraps `v` with a recycling hook: when the last clone/slice of the
+    /// returned buffer drops, `recycler.recycle` receives the backing
+    /// `Vec` (with its capacity intact) for reuse.
+    pub fn with_recycler(v: Vec<u8>, recycler: Arc<dyn Recycle>) -> Bytes {
+        let end = v.len();
+        Bytes {
+            data: Arc::new(Shared {
+                data: v,
+                recycler: Some(recycler),
+            }),
+            start: 0,
+            end,
+        }
     }
 
     /// Creates `Bytes` from a static slice (copied; the real crate borrows,
@@ -51,7 +96,7 @@ impl Bytes {
     }
 
     fn as_slice(&self) -> &[u8] {
-        &self.data[self.start..self.end]
+        &self.data.data[self.start..self.end]
     }
 
     /// Returns a sub-slice sharing the underlying storage.
@@ -131,7 +176,10 @@ impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Bytes {
         let end = v.len();
         Bytes {
-            data: Arc::new(v),
+            data: Arc::new(Shared {
+                data: v,
+                recycler: None,
+            }),
             start: 0,
             end,
         }
@@ -470,5 +518,33 @@ mod tests {
     fn advance_past_end_panics() {
         let mut b = Bytes::from_static(b"ab");
         b.advance(3);
+    }
+
+    #[test]
+    fn recycler_fires_once_on_last_drop() {
+        use std::sync::Mutex;
+
+        #[derive(Default)]
+        struct Sink(Mutex<Vec<Vec<u8>>>);
+        impl Recycle for Sink {
+            fn recycle(&self, buf: Vec<u8>) {
+                self.0.lock().unwrap().push(buf);
+            }
+        }
+
+        let sink = Arc::new(Sink::default());
+        let mut v = Vec::with_capacity(64);
+        v.extend_from_slice(b"pooled datagram");
+        let b = Bytes::with_recycler(v, sink.clone());
+        // Clones and slices share the backing store; no recycle yet.
+        let payload = b.slice(7..);
+        let clone = b.clone();
+        drop(b);
+        drop(clone);
+        assert!(sink.0.lock().unwrap().is_empty(), "slice still alive");
+        drop(payload);
+        let got = sink.0.lock().unwrap();
+        assert_eq!(got.len(), 1, "recycled exactly once");
+        assert!(got[0].capacity() >= 64, "capacity survives the round trip");
     }
 }
