@@ -37,12 +37,14 @@
 #![warn(missing_docs)]
 
 pub mod checker;
+pub mod churn;
 pub mod hook;
 pub mod live;
 pub mod runner;
 pub mod schedule;
 
 pub use checker::{check, check_cross_ring_agreement, CheckerInput, MsgId, RingMsg, Violation};
+pub use churn::{check_churn_handoff, ChurnConfig, ChurnEvent, ChurnKind, ChurnSchedule};
 pub use hook::{ChaosNetHook, NetKnobs};
 pub use live::{live_membership_config, run_live_chaos, LiveChaosConfig};
 pub use runner::{

@@ -19,7 +19,7 @@ use std::collections::BTreeSet;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use accelring_core::{ParticipantId, ProtocolConfig, Service};
+use accelring_core::{Backoff, ParticipantId, ProtocolConfig, Service};
 use accelring_membership::testing::NodeEvent;
 use accelring_membership::{MembershipConfig, StateKind};
 use accelring_transport::{
@@ -229,15 +229,21 @@ impl LiveRun {
         self.marks[i].push(self.journals[i].len());
         let addr = self.addrs[i];
         // The old sockets close when the killed thread drops them; the
-        // ports can take a beat to come free again.
+        // ports can take a beat to come free again. Jittered backoff
+        // keeps simultaneous restarts from hammering the same instant.
         let mut bound = None;
-        for _ in 0..50 {
+        let mut backoff = Backoff::new(
+            Duration::from_millis(5),
+            Duration::from_millis(100),
+            u64::from(addr.pid.as_u16()),
+        );
+        while backoff.attempts() < 50 {
             match BoundNode::bind_addrs(addr.pid, addr.data, addr.token) {
                 Ok(b) => {
                     bound = Some(b);
                     break;
                 }
-                Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                Err(_) => std::thread::sleep(backoff.next_delay()),
             }
         }
         let bound = bound.ok_or(TransportError::Bind {

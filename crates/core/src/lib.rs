@@ -65,6 +65,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backoff;
 pub mod buffer;
 pub mod config;
 pub mod flow;
@@ -78,6 +79,7 @@ pub mod testing;
 pub mod types;
 pub mod wire;
 
+pub use backoff::Backoff;
 pub use buffer::{BufLease, BufferPool, Delivery, PoolStats};
 pub use config::{
     ConfigError, PriorityMethod, ProtocolConfig, ProtocolConfigBuilder, RtrPolicy, Variant,

@@ -34,6 +34,131 @@ pub const TAG_BARE: u8 = 0xA0;
 /// no client data: [`unpack`] rejects the tag, so the group engine drops
 /// them without emitting client events.
 pub const TAG_TICK: u8 = 0xA3;
+/// Tag byte reserved for multi-ring group-migration control messages.
+///
+/// Like ticks, migration fences travel through each ring's total order
+/// so every observer applies the migration state transition at the same
+/// point of the ring's stream — the whole determinism argument rests on
+/// it. [`unpack`] rejects the tag, so a plain single-ring group engine
+/// drops them silently.
+pub const TAG_MIG: u8 = 0xA4;
+
+/// Phase of the group-migration handshake a [`MigMsg`] drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigOp {
+    /// Ordered on the **source** ring: the handoff fence. Delivery
+    /// freezes the group on the source; everything the source orders
+    /// for the group after this point is dropped identically everywhere.
+    Start,
+    /// Ordered on the **target** ring by each daemon once it has
+    /// replayed its local members' joins there: proof the target can
+    /// order traffic and that this daemon's members are present.
+    Ready,
+    /// Ordered on the **source** ring once the readiness barrier is
+    /// met: the commit decision. Racing with [`MigOp::Abort`] on the
+    /// same stream, so whichever is delivered first wins — at every
+    /// observer identically.
+    Commit,
+    /// Ordered on the **source** ring by the abort escalation (target
+    /// partitioned, readiness never achieved): reopens the group on the
+    /// source and flushes held traffic back to it.
+    Abort,
+    /// Ordered on the **new home** ring after a commit: unfreezes the
+    /// group there (a no-op unless an earlier migration away from that
+    /// ring had frozen it — the back-migration case).
+    Open,
+}
+
+impl MigOp {
+    fn to_u8(self) -> u8 {
+        match self {
+            MigOp::Start => 1,
+            MigOp::Ready => 2,
+            MigOp::Commit => 3,
+            MigOp::Abort => 4,
+            MigOp::Open => 5,
+        }
+    }
+
+    fn from_u8(b: u8) -> Option<MigOp> {
+        Some(match b {
+            1 => MigOp::Start,
+            2 => MigOp::Ready,
+            3 => MigOp::Commit,
+            4 => MigOp::Abort,
+            5 => MigOp::Open,
+            _ => return None,
+        })
+    }
+}
+
+/// One group-migration control message, ordered on a ring like any
+/// other payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MigMsg {
+    /// Handshake phase.
+    pub op: MigOp,
+    /// The migrating group.
+    pub group: String,
+    /// Source ring index.
+    pub from: u16,
+    /// Target ring index.
+    pub to: u16,
+    /// Participant id of the daemon that submitted this message (the
+    /// readiness barrier counts distinct senders).
+    pub sender: u16,
+}
+
+/// Encodes a migration control message:
+/// `[TAG_MIG, op, from(2 LE), to(2 LE), sender(2 LE), group bytes]`.
+pub fn mig_payload(msg: &MigMsg) -> Bytes {
+    let mut buf = BytesMut::with_capacity(8 + msg.group.len());
+    buf.put_u8(TAG_MIG);
+    buf.put_u8(msg.op.to_u8());
+    buf.put_u16_le(msg.from);
+    buf.put_u16_le(msg.to);
+    buf.put_u16_le(msg.sender);
+    buf.put_slice(msg.group.as_bytes());
+    buf.freeze()
+}
+
+/// Recognizes a migration control payload; `None` for anything else
+/// (including malformed migration frames — a daemon must survive a
+/// misbehaving peer, so garbage degrades to a dropped delivery).
+pub fn parse_mig(payload: &[u8]) -> Option<MigMsg> {
+    if payload.len() < 8 || payload[0] != TAG_MIG {
+        return None;
+    }
+    let op = MigOp::from_u8(payload[1])?;
+    let from = u16::from_le_bytes([payload[2], payload[3]]);
+    let to = u16::from_le_bytes([payload[4], payload[5]]);
+    let sender = u16::from_le_bytes([payload[6], payload[7]]);
+    let group = std::str::from_utf8(&payload[8..]).ok()?.to_string();
+    if group.is_empty() {
+        return None;
+    }
+    Some(MigMsg {
+        op,
+        group,
+        from,
+        to,
+        sender,
+    })
+}
+
+/// Re-wraps already-unpacked messages as one packed ring payload,
+/// without a budget: the messages were on the wire together already
+/// (the migration filter uses this to re-frame the survivors of a
+/// partially frozen packed delivery).
+pub fn pack_all(messages: &[Bytes]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(1 + messages.iter().map(|m| 4 + m.len()).sum::<usize>());
+    buf.put_u8(TAG_PACKED);
+    for m in messages {
+        buf.put_u32_le(m.len() as u32);
+        buf.put_slice(m);
+    }
+    buf.freeze()
+}
 
 /// A minimal tick payload: just the reserved tag byte.
 pub fn tick_payload() -> Bytes {
@@ -395,6 +520,61 @@ mod tests {
         assert_ne!(TAG_TICK, TAG_BARE);
         assert_ne!(TAG_TICK, TAG_PACKED);
         assert_ne!(TAG_TICK, TAG_FRAGMENT);
+        assert_ne!(TAG_MIG, TAG_BARE);
+        assert_ne!(TAG_MIG, TAG_PACKED);
+        assert_ne!(TAG_MIG, TAG_FRAGMENT);
+        assert_ne!(TAG_MIG, TAG_TICK);
+    }
+
+    #[test]
+    fn mig_payloads_round_trip_and_stay_unpackable() {
+        for op in [
+            MigOp::Start,
+            MigOp::Ready,
+            MigOp::Commit,
+            MigOp::Abort,
+            MigOp::Open,
+        ] {
+            let msg = MigMsg {
+                op,
+                group: "hot-shard".to_string(),
+                from: 0,
+                to: 3,
+                sender: 7,
+            };
+            let payload = mig_payload(&msg);
+            assert_eq!(parse_mig(&payload), Some(msg));
+            // The group engine must never surface a migration frame as a
+            // client message.
+            assert!(matches!(
+                unpack(payload),
+                Err(DecodeError::BadKind(TAG_MIG))
+            ));
+        }
+    }
+
+    #[test]
+    fn parse_mig_rejects_garbage() {
+        assert_eq!(parse_mig(&[]), None);
+        assert_eq!(parse_mig(b"plain data"), None);
+        assert_eq!(parse_mig(&[TAG_MIG, 1, 0, 0, 0, 1]), None); // truncated
+        assert_eq!(parse_mig(&[TAG_MIG, 9, 0, 0, 0, 1, 0, 0, b'g']), None); // bad op
+        assert_eq!(parse_mig(&[TAG_MIG, 1, 0, 0, 0, 1, 0, 0]), None); // empty group
+        assert_eq!(parse_mig(&tick_payload()), None);
+        // Non-UTF8 group bytes.
+        assert_eq!(parse_mig(&[TAG_MIG, 1, 0, 0, 0, 1, 0, 0, 0xFF]), None);
+    }
+
+    #[test]
+    fn pack_all_round_trips_survivors() {
+        let msgs = vec![
+            Bytes::from_static(b"one"),
+            Bytes::from_static(b""),
+            Bytes::from_static(b"three"),
+        ];
+        assert_eq!(unpack(pack_all(&msgs)).unwrap(), msgs);
+        // An empty survivor set still frames validly (zero messages).
+        assert_eq!(unpack(pack_all(&[])).unwrap(), Vec::<Bytes>::new());
     }
 
     #[test]

@@ -13,11 +13,16 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use accelring_core::{Delivery, ParticipantId, PerRingStats, RingIdx, Service};
-use accelring_daemon::{ClientEvent, EngineError, EngineOptions, EngineOutput, GroupEngine};
+use accelring_daemon::packing::{self, MigMsg, MigOp};
+use accelring_daemon::proto::decode_group_message;
+use accelring_daemon::{
+    ClientEvent, EngineError, EngineOptions, EngineOutput, GroupAction, GroupEngine, GroupMessage,
+};
 use accelring_membership::ConfigChange;
 use bytes::Bytes;
 
 use crate::merge::{MergedEntry, Merger};
+use crate::migrate::{HeldSend, Migration, MigrationCounters};
 use crate::shard::{ShardMap, ShardMove};
 
 /// An effect the runtime must carry out for the multi-ring engine.
@@ -56,6 +61,14 @@ pub enum MultiRingError {
         /// The distinct rings they map to.
         rings: Vec<RingIdx>,
     },
+    /// A migration request was rejected before it touched the wire
+    /// (nonexistent or retired target, group already migrating, …).
+    Migration {
+        /// The group that was asked to move.
+        group: String,
+        /// Why it cannot.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for MultiRingError {
@@ -67,6 +80,9 @@ impl std::fmt::Display for MultiRingError {
                     f,
                     "groups {groups:?} span rings {rings:?}; a multicast must target one ring"
                 )
+            }
+            MultiRingError::Migration { group, reason } => {
+                write!(f, "cannot migrate group {group:?}: {reason}")
             }
         }
     }
@@ -89,6 +105,28 @@ pub struct MultiRingEngine {
     /// Groups each local client has joined (join minus leave), used to
     /// replay joins when a rebalance moves a group to a new ring.
     local_joins: BTreeMap<String, BTreeSet<String>>,
+    /// Per-ring migration fences: a group in `frozen[r]` has its data
+    /// messages dropped when ring `r` orders them. Mutated *only* by
+    /// deliveries from ring `r`'s own total order (Start adds on the
+    /// source, Abort removes on the source, Open removes on the target),
+    /// so every observer of the same streams drops the same messages —
+    /// the zero-gap/zero-overlap argument rests on this.
+    frozen: Vec<BTreeSet<String>>,
+    /// In-flight migrations, keyed by group. Each entry lives on its
+    /// own `(group, from)` stream: created by a Start ordered on `from`,
+    /// removed by the Commit/Abort ordered on `from`. A group can
+    /// briefly hold *two* entries at an observer consuming the rings
+    /// with cross-ring skew — a back-migration's Start (on the new
+    /// source ring) seen before the previous handoff's Commit (on the
+    /// old one) — which is exactly why the key cannot be the group
+    /// alone: each decision must find *its* entry by `(from, to)`.
+    migrations: BTreeMap<String, Vec<Migration>>,
+    /// Readiness proofs delivered on a target ring before this observer
+    /// processed the source ring's Start (cross-ring processing skew),
+    /// keyed by `(group, from, to)` so a parked proof can only ever be
+    /// consumed by the Start of the same migration direction.
+    pending_ready: BTreeMap<(String, u16, u16), BTreeSet<u16>>,
+    counters: MigrationCounters,
     stats: PerRingStats,
 }
 
@@ -115,8 +153,16 @@ impl MultiRingEngine {
                 .collect(),
             merger: Merger::new(rings, lambda),
             local_joins: BTreeMap::new(),
+            frozen: (0..rings).map(|_| BTreeSet::new()).collect(),
+            migrations: BTreeMap::new(),
+            pending_ready: BTreeMap::new(),
+            counters: MigrationCounters::default(),
             stats: PerRingStats::new(rings as usize),
         }
+    }
+
+    fn pid(&self) -> ParticipantId {
+        self.engines[0].pid()
     }
 
     /// Number of rings this engine routes over.
@@ -150,6 +196,120 @@ impl MultiRingEngine {
     /// ring cannot stall the merge.
     pub fn blocking_rings(&self) -> Vec<RingIdx> {
         self.merger.blocking_rings()
+    }
+
+    /// Migration lifecycle counters this engine has accumulated.
+    pub fn migration_counters(&self) -> MigrationCounters {
+        self.counters
+    }
+
+    /// The migrations currently in flight: `(group, from, to)` triples.
+    /// The runtime polls this to drive abort timers.
+    pub fn migrations_in_flight(&self) -> Vec<(String, RingIdx, RingIdx)> {
+        self.migrations
+            .values()
+            .flatten()
+            .map(|m| (m.group.clone(), m.from, m.to))
+            .collect()
+    }
+
+    /// The in-flight migration of `group`, if any (tests, reports).
+    /// Under cross-ring skew a group can hold more than one entry; this
+    /// returns the one fencing the group's current local home if
+    /// present, else the newest.
+    pub fn migration(&self, group: &str) -> Option<&Migration> {
+        let home = self.shards.ring_of(group);
+        let v = self.migrations.get(group)?;
+        v.iter().find(|m| m.from == home).or_else(|| v.last())
+    }
+
+    /// Whether `group` is behind a migration fence on `ring` (its data
+    /// ordered by that ring is being dropped).
+    pub fn is_frozen(&self, ring: RingIdx, group: &str) -> bool {
+        self.frozen[ring.as_usize()].contains(group)
+    }
+
+    /// Starts an online migration of `group` to ring `to`: returns the
+    /// Start fence to submit on the group's current (source) ring. State
+    /// changes only when the fence comes back through the source ring's
+    /// total order, so a lost submission is simply a migration that
+    /// never began.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MultiRingError::Migration`] if the target does not
+    /// exist, is the current ring, or is retired, or if the group is
+    /// already migrating or still fenced from an earlier handoff.
+    pub fn begin_migration(
+        &mut self,
+        group: &str,
+        to: RingIdx,
+    ) -> Result<Vec<MultiOutput>, MultiRingError> {
+        let reject = |reason: String| MultiRingError::Migration {
+            group: group.to_string(),
+            reason,
+        };
+        accelring_daemon::proto::validate_name(group).map_err(|e| reject(e.to_string()))?;
+        let from = self.shards.ring_of(group);
+        if to.as_u16() >= self.rings() {
+            return Err(reject(format!(
+                "target ring {} does not exist",
+                to.as_u16()
+            )));
+        }
+        if to == from {
+            return Err(reject(format!(
+                "group already lives on ring {}",
+                to.as_u16()
+            )));
+        }
+        if self.shards.is_retired(to) {
+            return Err(reject(format!("target ring {} is retired", to.as_u16())));
+        }
+        if self.migrations.contains_key(group) {
+            return Err(reject("a migration is already in flight".to_string()));
+        }
+        if self.frozen[from.as_usize()].contains(group) {
+            return Err(reject(format!("group is fenced on ring {}", from.as_u16())));
+        }
+        Ok(self.submit_mig(from, MigOp::Start, group, from, to))
+    }
+
+    /// Escalates an in-flight migration to abort: returns the Abort to
+    /// submit on the source ring (where it races the commit — whichever
+    /// the ring orders first wins, identically at every observer). The
+    /// runtime calls this when the readiness barrier misses its
+    /// deadline, e.g. because the target ring partitioned. No-op if the
+    /// group is not migrating.
+    pub fn abort_migration(&mut self, group: &str) -> Vec<MultiOutput> {
+        let Some(m) = self.migration(group) else {
+            return Vec::new();
+        };
+        let (from, to) = (m.from, m.to);
+        self.submit_mig(from, MigOp::Abort, group, from, to)
+    }
+
+    fn submit_mig(
+        &mut self,
+        ring: RingIdx,
+        op: MigOp,
+        group: &str,
+        from: RingIdx,
+        to: RingIdx,
+    ) -> Vec<MultiOutput> {
+        let payload = packing::mig_payload(&MigMsg {
+            op,
+            group: group.to_string(),
+            from: from.as_u16(),
+            to: to.as_u16(),
+            sender: self.pid().as_u16(),
+        });
+        self.stats.ring_mut(ring).submitted += 1;
+        vec![MultiOutput::Submit {
+            ring,
+            payload,
+            service: Service::Agreed,
+        }]
     }
 
     /// Sequenced messages dropped as duplicates, summed over rings.
@@ -313,6 +473,32 @@ impl MultiRingEngine {
         seq: u64,
     ) -> Result<Vec<MultiOutput>, MultiRingError> {
         let ring = self.ring_for_groups(groups)?;
+        // A send into a migrating group is held, not submitted: the
+        // commit or abort decision flushes it to whichever ring ends up
+        // owning the group, after the handoff point in that ring's
+        // order. (Only for known clients — errors must still surface.)
+        if let Some(mig_group) = groups.iter().find(|g| self.migrations.contains_key(**g)) {
+            if self.engines[ring.as_usize()]
+                .local_clients()
+                .iter()
+                .any(|c| c == name)
+            {
+                let held = HeldSend {
+                    client: name.to_string(),
+                    groups: groups.iter().map(|g| g.to_string()).collect(),
+                    payload,
+                    service,
+                    seq,
+                };
+                let mig_group = (*mig_group).to_string();
+                self.holding_migration_mut(&mig_group)
+                    .expect("checked above")
+                    .held
+                    .push(held);
+                self.counters.redirected += 1;
+                return Ok(Vec::new());
+            }
+        }
         let outputs = self.engines[ring.as_usize()]
             .client_multicast_sequenced(name, groups, payload, service, seq)?;
         Ok(self.submits(ring, outputs))
@@ -363,6 +549,36 @@ impl MultiRingEngine {
             let released = self.merger.advance_to(ring, epoch, delivery.round);
             return self.release(released);
         }
+        if let Some(mig) = packing::parse_mig(&delivery.payload) {
+            // Migration control rides the total order so every observer
+            // applies the state transition at the same stream position;
+            // like a tick, it advances the merge watermark and emits no
+            // client events of its own.
+            let mut out = self.on_mig_delivery(ring, &mig);
+            let released = self.merger.advance(ring, delivery.round);
+            out.extend(self.release(released));
+            return out;
+        }
+        match self.filter_frozen(ring, &delivery.payload, delivery.service) {
+            Some((None, mut out)) => {
+                // Everything in the delivery was fenced: pure watermark.
+                let released = self.merger.advance(ring, delivery.round);
+                out.extend(self.release(released));
+                out
+            }
+            Some((Some(payload), mut out)) => {
+                let survivor = Delivery {
+                    payload,
+                    ..delivery.clone()
+                };
+                out.extend(self.deliver_to_engine(ring, &survivor));
+                out
+            }
+            None => self.deliver_to_engine(ring, delivery),
+        }
+    }
+
+    fn deliver_to_engine(&mut self, ring: RingIdx, delivery: &Delivery) -> Vec<MultiOutput> {
         let outputs = self.engines[ring.as_usize()].on_delivery(delivery);
         let released = if outputs.is_empty() {
             self.merger.advance(ring, delivery.round)
@@ -370,6 +586,345 @@ impl MultiRingEngine {
             self.merger.push(ring, delivery.round, outputs)
         };
         self.release(released)
+    }
+
+    /// Applies the migration fence to one ring payload. Data messages
+    /// whose target groups are *all* frozen on `ring` are dropped —
+    /// identically at every observer, because the frozen sets are a pure
+    /// function of the ring streams — and this daemon's own dropped
+    /// sends are recovered into the migration's held queue (or rerouted
+    /// outright if the decision already landed).
+    ///
+    /// Returns `None` when the delivery passes untouched; otherwise the
+    /// re-framed survivor payload (`None` = wholly fenced) plus any
+    /// redirect submissions. Fragments bypass the fence (they reassemble
+    /// identically everywhere, so determinism holds; the assembled
+    /// message leaks past the fence exactly once — a documented
+    /// limitation for large messages in migrating groups).
+    fn filter_frozen(
+        &mut self,
+        ring: RingIdx,
+        payload: &Bytes,
+        service: Service,
+    ) -> Option<(Option<Bytes>, Vec<MultiOutput>)> {
+        if self.frozen[ring.as_usize()].is_empty() {
+            return None;
+        }
+        let msgs = packing::unpack(payload.clone()).ok()?;
+        let mut survivors = Vec::with_capacity(msgs.len());
+        let mut out = Vec::new();
+        let mut fenced = false;
+        for m in msgs {
+            let mut cursor = m.clone();
+            let keep = match decode_group_message(&mut cursor) {
+                Ok(gm) => {
+                    let frozen_all = matches!(
+                        &gm.action,
+                        GroupAction::Data { groups, .. }
+                            if !groups.is_empty()
+                                && groups
+                                    .iter()
+                                    .all(|g| self.frozen[ring.as_usize()].contains(g))
+                    );
+                    if frozen_all {
+                        fenced = true;
+                        if gm.sender.daemon == self.pid() {
+                            out.extend(self.redirect_own(gm, service));
+                        }
+                        false
+                    } else {
+                        // Membership changes and partially frozen
+                        // multi-group sends pass through: deterministic
+                        // either way, and the commit replay reconciles
+                        // membership on the new home ring.
+                        true
+                    }
+                }
+                Err(_) => true,
+            };
+            if keep {
+                survivors.push(m);
+            }
+        }
+        if !fenced {
+            return None;
+        }
+        let survivor_payload = if survivors.is_empty() {
+            None
+        } else {
+            Some(packing::pack_all(&survivors))
+        };
+        Some((survivor_payload, out))
+    }
+
+    /// Recovers one of this daemon's own sends that the fence dropped.
+    fn redirect_own(&mut self, gm: GroupMessage, service: Service) -> Vec<MultiOutput> {
+        let GroupMessage {
+            sender,
+            seq,
+            action: GroupAction::Data { groups, payload },
+        } = gm
+        else {
+            return Vec::new();
+        };
+        self.counters.redirected += 1;
+        if let Some(g) = groups.iter().find(|g| self.migrations.contains_key(*g)) {
+            let g = g.clone();
+            self.holding_migration_mut(&g)
+                .expect("checked above")
+                .held
+                .push(HeldSend {
+                    client: sender.name,
+                    groups,
+                    payload,
+                    service,
+                    seq,
+                });
+            return Vec::new();
+        }
+        // The commit (or abort) already landed and removed the
+        // migration: the shard map knows the group's home — resubmit
+        // there directly. Duplicate suppression makes this exactly-once
+        // even if the original also surfaces somewhere.
+        let refs: Vec<&str> = groups.iter().map(String::as_str).collect();
+        self.client_multicast_sequenced(&sender.name, &refs, payload, service, seq)
+            .unwrap_or_default()
+    }
+
+    /// Applies one ordered migration control message. Deliveries on the
+    /// wrong ring, duplicates, and stale decisions are ignored — the
+    /// first decision a stream orders wins, at every observer alike.
+    fn on_mig_delivery(&mut self, ring: RingIdx, mig: &MigMsg) -> Vec<MultiOutput> {
+        let rings = self.rings();
+        if mig.from >= rings || mig.to >= rings || mig.from == mig.to {
+            return Vec::new();
+        }
+        let (from, to) = (RingIdx::new(mig.from), RingIdx::new(mig.to));
+        match mig.op {
+            MigOp::Start => {
+                // Guarded only by *source-stream-pure* state: the fence
+                // set of `from` and whether an entry with this `from`
+                // already exists (both mutated solely by this ring's
+                // deliveries). In particular the group having *some*
+                // entry is NOT a reason to ignore — under cross-ring
+                // skew a back-migration's Start arrives here while the
+                // previous handoff's entry (sourced on the other ring)
+                // is still open, and ignoring it would leave this ring
+                // unfenced, double-delivering everything past the fence.
+                if ring != from
+                    || self.frozen[from.as_usize()].contains(&mig.group)
+                    || self
+                        .migrations
+                        .get(&mig.group)
+                        .is_some_and(|v| v.iter().any(|m| m.from == from))
+                {
+                    return Vec::new();
+                }
+                self.counters.started += 1;
+                self.frozen[from.as_usize()].insert(mig.group.clone());
+                // The barrier: every daemon hosting a member at the
+                // fence point must prove itself on the target ring. The
+                // source ring's table is a pure function of the source
+                // stream, so `expected` is identical everywhere.
+                let expected: BTreeSet<u16> = self.engines[from.as_usize()]
+                    .groups()
+                    .members(&mig.group)
+                    .iter()
+                    .map(|c| c.daemon.as_u16())
+                    .collect();
+                let ready = self
+                    .pending_ready
+                    .remove(&(mig.group.clone(), mig.from, mig.to))
+                    .unwrap_or_default();
+                self.migrations
+                    .entry(mig.group.clone())
+                    .or_default()
+                    .push(Migration {
+                        group: mig.group.clone(),
+                        from,
+                        to,
+                        expected,
+                        ready,
+                        held: Vec::new(),
+                        commit_requested: false,
+                    });
+                let mut out = self.replay_joins_onto(&mig.group, to);
+                // Sender-FIFO puts this daemon's Ready after its join
+                // replays in the target ring's order: when the barrier
+                // is met, every member join is already ordered on the
+                // target, which is the zero-gap guarantee.
+                out.extend(self.submit_mig(to, MigOp::Ready, &mig.group, from, to));
+                out.extend(self.maybe_commit(&mig.group, from, to));
+                out
+            }
+            MigOp::Ready => {
+                if ring != to {
+                    return Vec::new();
+                }
+                let matched = self
+                    .migrations
+                    .get_mut(&mig.group)
+                    .and_then(|v| v.iter_mut().find(|m| m.from == from && m.to == to))
+                    .map(|m| m.ready.insert(mig.sender))
+                    .is_some();
+                if matched {
+                    return self.maybe_commit(&mig.group, from, to);
+                }
+                // Cross-ring skew: this observer has not yet processed
+                // the source ring's Start. Park the proof under the full
+                // migration direction so only that Start consumes it.
+                self.pending_ready
+                    .entry((mig.group.clone(), mig.from, mig.to))
+                    .or_default()
+                    .insert(mig.sender);
+                Vec::new()
+            }
+            MigOp::Commit => {
+                if ring != from {
+                    return Vec::new();
+                }
+                let Some(m) = self.remove_migration(&mig.group, from, to) else {
+                    return Vec::new(); // duplicate / already decided
+                };
+                self.counters.committed += 1;
+                self.pending_ready
+                    .remove(&(mig.group.clone(), mig.from, mig.to));
+                self.shards.migrate_pin(&mig.group, to);
+                // The group stays frozen on the source: its fence only
+                // reopens if a later migration brings the group back and
+                // its Open is ordered here.
+                let mut out = self.replay_joins_onto(&mig.group, to);
+                out.extend(self.replay_leaves_onto(&mig.group, to));
+                out.extend(self.submit_mig(to, MigOp::Open, &mig.group, from, to));
+                out.extend(self.flush_held(m.held));
+                out
+            }
+            MigOp::Abort => {
+                if ring != from {
+                    return Vec::new();
+                }
+                let Some(m) = self.remove_migration(&mig.group, from, to) else {
+                    return Vec::new(); // lost the race against a commit
+                };
+                self.counters.aborted += 1;
+                self.pending_ready
+                    .remove(&(mig.group.clone(), mig.from, mig.to));
+                self.frozen[from.as_usize()].remove(&mig.group);
+                // Held sends flush back to the source, which never
+                // stopped serving the group's order.
+                self.flush_held(m.held)
+            }
+            MigOp::Open => {
+                if ring != to {
+                    return Vec::new();
+                }
+                // Ordered on the group's new home: reopen it there (a
+                // no-op unless an earlier migration away from this ring
+                // had fenced it — the back-migration case).
+                self.frozen[to.as_usize()].remove(&mig.group);
+                Vec::new()
+            }
+        }
+    }
+
+    /// The entry a held client send for `group` lands in when any
+    /// migration of it is in flight: the one fencing the group's
+    /// current local home if present (its decision is the one that
+    /// flushes toward the final owner), else the newest entry. `None`
+    /// only when no entry exists.
+    fn holding_migration_mut(&mut self, group: &str) -> Option<&mut Migration> {
+        let home = self.shards.ring_of(group);
+        let v = self.migrations.get_mut(group)?;
+        if let Some(i) = v.iter().position(|m| m.from == home) {
+            v.get_mut(i)
+        } else {
+            v.last_mut()
+        }
+    }
+
+    /// Removes and returns the in-flight entry of `group` matching the
+    /// exact `(from, to)` direction, dropping the group key once its
+    /// last entry is gone.
+    fn remove_migration(&mut self, group: &str, from: RingIdx, to: RingIdx) -> Option<Migration> {
+        let v = self.migrations.get_mut(group)?;
+        let i = v.iter().position(|m| m.from == from && m.to == to)?;
+        let m = v.remove(i);
+        if v.is_empty() {
+            self.migrations.remove(group);
+        }
+        Some(m)
+    }
+
+    /// Submits the commit decision once the readiness barrier is met
+    /// (at most once per daemon; delivery-side dedup handles the rest).
+    fn maybe_commit(&mut self, group: &str, from: RingIdx, to: RingIdx) -> Vec<MultiOutput> {
+        let Some(m) = self
+            .migrations
+            .get_mut(group)
+            .and_then(|v| v.iter_mut().find(|m| m.from == from && m.to == to))
+        else {
+            return Vec::new();
+        };
+        if m.commit_requested || !m.barrier_met() {
+            return Vec::new();
+        }
+        m.commit_requested = true;
+        self.submit_mig(from, MigOp::Commit, group, from, to)
+    }
+
+    /// Replays this daemon's local joins of `group` onto `ring`
+    /// (idempotent at the replicas, like the rebalance replay).
+    fn replay_joins_onto(&mut self, group: &str, ring: RingIdx) -> Vec<MultiOutput> {
+        let clients: Vec<String> = self
+            .local_joins
+            .iter()
+            .filter(|(_, joined)| joined.contains(group))
+            .map(|(client, _)| client.clone())
+            .collect();
+        let mut out = Vec::new();
+        for client in clients {
+            if let Ok(outputs) = self.engines[ring.as_usize()].client_join(&client, group) {
+                out.extend(self.submits(ring, outputs));
+            }
+        }
+        out
+    }
+
+    /// Reconciles mid-migration leavers: a local client that left the
+    /// group after the Start replay joined it on the target must leave
+    /// there too.
+    fn replay_leaves_onto(&mut self, group: &str, ring: RingIdx) -> Vec<MultiOutput> {
+        let pid = self.pid();
+        let stale: Vec<String> = self.engines[ring.as_usize()]
+            .groups()
+            .members(group)
+            .into_iter()
+            .filter(|c| c.daemon == pid)
+            .map(|c| c.name)
+            .filter(|name| !matches!(self.local_joins.get(name), Some(j) if j.contains(group)))
+            .collect();
+        let mut out = Vec::new();
+        for client in stale {
+            if let Ok(outputs) = self.engines[ring.as_usize()].client_leave(&client, group) {
+                out.extend(self.submits(ring, outputs));
+            }
+        }
+        out
+    }
+
+    /// Resubmits held sends through the normal routing path (the shard
+    /// map now points at the group's post-decision home).
+    fn flush_held(&mut self, held: Vec<HeldSend>) -> Vec<MultiOutput> {
+        let mut out = Vec::new();
+        for h in held {
+            let refs: Vec<&str> = h.groups.iter().map(String::as_str).collect();
+            if let Ok(outputs) =
+                self.client_multicast_sequenced(&h.client, &refs, h.payload, h.service, h.seq)
+            {
+                out.extend(outputs);
+            }
+        }
+        out
     }
 
     /// Processes an EVS configuration change on one ring. A regular
@@ -411,6 +966,34 @@ impl MultiRingEngine {
             groups.extend(joined.iter().cloned());
         }
         let groups: Vec<String> = groups.into_iter().collect();
+        // Migrations whose *source* ring died lose the stream that
+        // carries their commit/abort decision: cancel them locally and
+        // let the held sends chase the rebalanced map below. (A dead
+        // *target* ring is left to the runtime's abort escalation — the
+        // Abort travels the still-alive source stream, keeping the
+        // unfreeze deterministic.)
+        let doomed: Vec<(String, RingIdx, RingIdx)> = self
+            .migrations
+            .values()
+            .flatten()
+            .filter(|m| !live.contains(&m.from))
+            .map(|m| (m.group.clone(), m.from, m.to))
+            .collect();
+        let mut orphaned = Vec::new();
+        for (group, from, to) in doomed {
+            if let Some(m) = self.remove_migration(&group, from, to) {
+                self.counters.aborted += 1;
+                orphaned.extend(m.held);
+            }
+        }
+        self.pending_ready
+            .retain(|(_, from, _), _| live.contains(&RingIdx::new(*from)));
+        for ring in 0..self.rings() {
+            let ring = RingIdx::new(ring);
+            if !live.contains(&ring) {
+                self.frozen[ring.as_usize()].clear();
+            }
+        }
         let moves = self.shards.rebalance(&groups, live);
         let mut out = Vec::new();
         for ring in 0..self.rings() {
@@ -435,6 +1018,7 @@ impl MultiRingEngine {
                 out.extend(self.submits(ring, outputs));
             }
         }
+        out.extend(self.flush_held(orphaned));
         (moves, out)
     }
 
@@ -726,6 +1310,386 @@ mod tests {
         e.on_delivery(jr, &delivery(1, 0, 1, jp, js));
         let out = e.on_delivery(ring, &delivery(2, 0, 2, payload, service));
         assert_eq!(messages(&out), vec!["x"]);
+    }
+
+    fn mig_shards() -> ShardMap {
+        let mut shards = ShardMap::new(2);
+        shards.assign("hot", LEFT_RING);
+        shards.assign("cold", RIGHT_RING);
+        shards
+    }
+
+    /// Two daemons (pids 0 and 1), one local client each, over two
+    /// shared ring streams. Submissions are ordered in emission order —
+    /// the harness *is* the ring — and deliveries feed back into both
+    /// engines until quiescent, so the full migration handshake
+    /// (Start → join replays → Ready → Commit → Open → held flush) runs
+    /// exactly as it would across a live deployment.
+    struct Net {
+        engines: Vec<MultiRingEngine>,
+        streams: Vec<Vec<Delivery>>,
+        cursors: Vec<[usize; 2]>,
+        /// `(client, message)` per daemon, in merged delivery order.
+        got: Vec<Vec<(String, String)>>,
+        /// Submissions to this ring vanish (a partitioned target).
+        blackhole: Option<RingIdx>,
+    }
+
+    impl Net {
+        fn new() -> Net {
+            let mut engines: Vec<MultiRingEngine> = (0..2)
+                .map(|pid| MultiRingEngine::new(ParticipantId::new(pid), mig_shards(), 1))
+                .collect();
+            engines[0].client_connect("a").unwrap();
+            engines[1].client_connect("b").unwrap();
+            Net {
+                engines,
+                streams: vec![Vec::new(), Vec::new()],
+                cursors: vec![[0; 2]; 2],
+                got: vec![Vec::new(); 2],
+                blackhole: None,
+            }
+        }
+
+        fn apply(&mut self, daemon: usize, outs: Vec<MultiOutput>) {
+            for o in outs {
+                match o {
+                    MultiOutput::Submit {
+                        ring,
+                        payload,
+                        service,
+                    } => {
+                        if Some(ring) == self.blackhole {
+                            continue;
+                        }
+                        let s = &mut self.streams[ring.as_usize()];
+                        let seq = s.len() as u64 + 1;
+                        s.push(delivery(seq, daemon as u16, seq, payload, service));
+                    }
+                    MultiOutput::Local {
+                        client,
+                        event: ClientEvent::Message { payload, .. },
+                    } => {
+                        self.got[daemon]
+                            .push((client, String::from_utf8_lossy(&payload).into_owned()));
+                    }
+                    MultiOutput::Local { .. } => {}
+                }
+            }
+        }
+
+        fn drain(&mut self) {
+            loop {
+                let mut progressed = false;
+                for d in 0..self.engines.len() {
+                    for r in 0..2 {
+                        while self.cursors[d][r] < self.streams[r].len() {
+                            let del = self.streams[r][self.cursors[d][r]].clone();
+                            self.cursors[d][r] += 1;
+                            let outs = self.engines[d].on_delivery(RingIdx::new(r as u16), &del);
+                            self.apply(d, outs);
+                            progressed = true;
+                        }
+                    }
+                }
+                if !progressed {
+                    break;
+                }
+            }
+        }
+
+        fn finish(&mut self) {
+            for d in 0..self.engines.len() {
+                let outs = self.engines[d].finish();
+                self.apply(d, outs);
+            }
+        }
+
+        fn messages_of(&self, daemon: usize) -> Vec<String> {
+            self.got[daemon].iter().map(|(_, m)| m.clone()).collect()
+        }
+    }
+
+    /// Runs the canonical migration scenario to completion and returns
+    /// the harness (streams hold the full per-ring histories).
+    fn committed_migration_net() -> Net {
+        let mut net = Net::new();
+        let outs = net.engines[0].client_join("a", "hot").unwrap();
+        net.apply(0, outs);
+        let outs = net.engines[1].client_join("b", "hot").unwrap();
+        net.apply(1, outs);
+        net.drain();
+        for (i, m) in ["m1", "m2"].iter().enumerate() {
+            let outs = net.engines[0]
+                .client_multicast_sequenced(
+                    "a",
+                    &["hot"],
+                    Bytes::from(m.to_string()),
+                    Service::Agreed,
+                    i as u64 + 1,
+                )
+                .unwrap();
+            net.apply(0, outs);
+        }
+        net.drain();
+        // Operator triggers the migration from daemon 0; a racing send
+        // is submitted before daemon 0 processes the fence, so it is
+        // ordered on the source *behind* the fence and must be
+        // recovered, not lost and not duplicated.
+        let outs = net.engines[0].begin_migration("hot", RIGHT_RING).unwrap();
+        net.apply(0, outs);
+        let outs = net.engines[0]
+            .client_multicast_sequenced(
+                "a",
+                &["hot"],
+                Bytes::from_static(b"m3"),
+                Service::Agreed,
+                3,
+            )
+            .unwrap();
+        net.apply(0, outs);
+        net.drain();
+        // Post-commit traffic routes to the new home.
+        let outs = net.engines[1]
+            .client_multicast_sequenced(
+                "b",
+                &["hot"],
+                Bytes::from_static(b"m4"),
+                Service::Agreed,
+                1,
+            )
+            .unwrap();
+        assert!(
+            matches!(
+                outs[0],
+                MultiOutput::Submit {
+                    ring: RIGHT_RING,
+                    ..
+                }
+            ),
+            "post-commit sends must route to the target ring"
+        );
+        net.apply(1, outs);
+        net.drain();
+        net.finish();
+        net
+    }
+
+    #[test]
+    fn migration_commits_with_zero_gap_and_exactly_once_delivery() {
+        let net = committed_migration_net();
+        for e in &net.engines {
+            assert_eq!(e.ring_of("hot"), RIGHT_RING, "pin must move to target");
+            let c = e.migration_counters();
+            assert_eq!((c.started, c.committed, c.aborted), (1, 1, 0));
+            assert!(e.is_frozen(LEFT_RING, "hot"), "source stays fenced");
+            assert!(!e.is_frozen(RIGHT_RING, "hot"));
+            assert!(e.migrations_in_flight().is_empty());
+        }
+        assert_eq!(net.engines[0].migration_counters().redirected, 1);
+        assert_eq!(net.engines[1].migration_counters().redirected, 0);
+        // Gap-free, overlap-free, identically ordered at both members.
+        let want = vec!["m1", "m2", "m3", "m4"];
+        assert_eq!(net.messages_of(0), want, "daemon 0 (client a)");
+        assert_eq!(net.messages_of(1), want, "daemon 1 (client b)");
+    }
+
+    #[test]
+    fn migration_handoff_is_arrival_interleaving_invariant() {
+        // Replay the recorded per-ring histories of a committed
+        // migration into fresh observers under skewed arrival orders —
+        // including target-ring-first, which lands Ready and Open before
+        // the Start fence — and demand the same merged order every time.
+        let net = committed_migration_net();
+        let streams = net.streams.clone();
+        let replay = |order: &[usize]| -> Vec<String> {
+            let mut e = MultiRingEngine::new(ParticipantId::new(0), mig_shards(), 1);
+            e.client_connect("a").unwrap();
+            let _ = e.client_join("a", "hot");
+            let mut idx = [0usize; 2];
+            let mut got = Vec::new();
+            let mut deliver = |e: &mut MultiRingEngine, ring: usize, idx: &mut [usize; 2]| {
+                if idx[ring] < streams[ring].len() {
+                    let d = streams[ring][idx[ring]].clone();
+                    idx[ring] += 1;
+                    got_extend(&mut got, &e.on_delivery(RingIdx::new(ring as u16), &d));
+                }
+            };
+            for &ring in order {
+                deliver(&mut e, ring, &mut idx);
+            }
+            for ring in 0..2 {
+                while idx[ring] < streams[ring].len() {
+                    deliver(&mut e, ring, &mut idx);
+                }
+            }
+            got_extend(&mut got, &e.finish());
+            got
+        };
+        let n = streams[0].len() + streams[1].len();
+        let source_first: Vec<usize> = vec![0; n];
+        let target_first: Vec<usize> = vec![1; n];
+        let alternating: Vec<usize> = (0..n).map(|i| i % 2).collect();
+        let a = replay(&source_first);
+        let b = replay(&target_first);
+        let c = replay(&alternating);
+        assert_eq!(a, vec!["m1", "m2", "m3", "m4"]);
+        assert_eq!(a, b, "target-ring-first arrival changed the order");
+        assert_eq!(a, c, "alternating arrival changed the order");
+    }
+
+    fn got_extend(got: &mut Vec<String>, outs: &[MultiOutput]) {
+        got.extend(messages(outs));
+    }
+
+    #[test]
+    fn partitioned_target_aborts_cleanly_and_source_keeps_serving() {
+        let mut net = Net::new();
+        let outs = net.engines[0].client_join("a", "hot").unwrap();
+        net.apply(0, outs);
+        let outs = net.engines[1].client_join("b", "hot").unwrap();
+        net.apply(1, outs);
+        net.drain();
+        let outs = net.engines[0]
+            .client_multicast_sequenced(
+                "a",
+                &["hot"],
+                Bytes::from_static(b"m1"),
+                Service::Agreed,
+                1,
+            )
+            .unwrap();
+        net.apply(0, outs);
+        net.drain();
+        // The target ring partitions away: nothing submitted to it
+        // arrives, so the readiness barrier can never be met.
+        net.blackhole = Some(RIGHT_RING);
+        let outs = net.engines[0].begin_migration("hot", RIGHT_RING).unwrap();
+        net.apply(0, outs);
+        net.drain();
+        for e in &net.engines {
+            assert!(e.is_frozen(LEFT_RING, "hot"), "fence must be up");
+            assert_eq!(e.migrations_in_flight().len(), 1);
+            assert_eq!(e.migration_counters().committed, 0);
+        }
+        // A send during the fence window is held, not submitted.
+        let outs = net.engines[0]
+            .client_multicast_sequenced(
+                "a",
+                &["hot"],
+                Bytes::from_static(b"m2"),
+                Service::Agreed,
+                2,
+            )
+            .unwrap();
+        assert!(outs.is_empty(), "fenced send must be held");
+        assert_eq!(net.engines[0].migration_counters().redirected, 1);
+        // The runtime's abort escalation fires; the Abort is ordered on
+        // the (still healthy) source ring.
+        let outs = net.engines[0].abort_migration("hot");
+        net.apply(0, outs);
+        net.drain();
+        net.finish();
+        for e in &net.engines {
+            assert!(!e.is_frozen(LEFT_RING, "hot"), "abort must lift the fence");
+            assert!(e.migrations_in_flight().is_empty());
+            let c = e.migration_counters();
+            assert_eq!((c.started, c.committed, c.aborted), (1, 0, 1));
+            assert_eq!(e.ring_of("hot"), LEFT_RING, "source keeps the group");
+        }
+        // The held send flushed back to the source: nothing lost.
+        assert_eq!(net.messages_of(0), vec!["m1", "m2"]);
+        assert_eq!(net.messages_of(1), vec!["m1", "m2"]);
+    }
+
+    #[test]
+    fn first_decision_ordered_on_the_source_wins() {
+        use accelring_daemon::packing::{mig_payload, MigMsg, MigOp};
+        let mig = |op| {
+            mig_payload(&MigMsg {
+                op,
+                group: "hot".to_string(),
+                from: 0,
+                to: 1,
+                sender: 0,
+            })
+        };
+        let run = |decisions: [MigOp; 2]| {
+            let mut e = MultiRingEngine::new(ParticipantId::new(0), mig_shards(), 1);
+            e.client_connect("a").unwrap();
+            e.on_delivery(
+                LEFT_RING,
+                &delivery(1, 0, 1, mig(MigOp::Start), Service::Agreed),
+            );
+            assert!(e.is_frozen(LEFT_RING, "hot"));
+            for (i, d) in decisions.into_iter().enumerate() {
+                e.on_delivery(
+                    LEFT_RING,
+                    &delivery(2 + i as u64, 0, 2 + i as u64, mig(d), Service::Agreed),
+                );
+            }
+            e.migration_counters()
+        };
+        // Commit ordered first: the late abort is ignored.
+        let c = run([MigOp::Commit, MigOp::Abort]);
+        assert_eq!((c.committed, c.aborted), (1, 0));
+        // Abort ordered first: the late commit is ignored.
+        let c = run([MigOp::Abort, MigOp::Commit]);
+        assert_eq!((c.committed, c.aborted), (0, 1));
+    }
+
+    #[test]
+    fn begin_migration_rejects_bad_requests() {
+        let mut e = MultiRingEngine::new(ParticipantId::new(0), mig_shards(), 1);
+        e.client_connect("a").unwrap();
+        // Same ring, nonexistent ring, empty group name.
+        assert!(matches!(
+            e.begin_migration("hot", LEFT_RING),
+            Err(MultiRingError::Migration { .. })
+        ));
+        assert!(matches!(
+            e.begin_migration("hot", RingIdx::new(7)),
+            Err(MultiRingError::Migration { .. })
+        ));
+        assert!(matches!(
+            e.begin_migration("", RIGHT_RING),
+            Err(MultiRingError::Migration { .. })
+        ));
+        // In-flight duplicate.
+        use accelring_daemon::packing::{mig_payload, MigMsg, MigOp};
+        let start = mig_payload(&MigMsg {
+            op: MigOp::Start,
+            group: "hot".to_string(),
+            from: 0,
+            to: 1,
+            sender: 0,
+        });
+        e.on_delivery(LEFT_RING, &delivery(1, 0, 1, start, Service::Agreed));
+        assert!(matches!(
+            e.begin_migration("hot", RIGHT_RING),
+            Err(MultiRingError::Migration { .. })
+        ));
+    }
+
+    #[test]
+    fn source_ring_death_cancels_the_migration_locally() {
+        let mut net = Net::new();
+        let outs = net.engines[0].client_join("a", "hot").unwrap();
+        net.apply(0, outs);
+        net.drain();
+        net.blackhole = Some(RIGHT_RING);
+        let outs = net.engines[0].begin_migration("hot", RIGHT_RING).unwrap();
+        net.apply(0, outs);
+        net.drain();
+        assert_eq!(net.engines[0].migrations_in_flight().len(), 1);
+        // The *source* ring dies mid-migration: the decision stream is
+        // gone, so the migration cancels and the group reshards onto the
+        // survivors.
+        let (_, _outs) = net.engines[0].apply_rebalance(&[RIGHT_RING]);
+        assert!(net.engines[0].migrations_in_flight().is_empty());
+        assert_eq!(net.engines[0].migration_counters().aborted, 1);
+        assert_eq!(net.engines[0].ring_of("hot"), RIGHT_RING);
+        assert!(!net.engines[0].is_frozen(LEFT_RING, "hot"));
     }
 
     #[test]

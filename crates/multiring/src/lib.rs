@@ -34,15 +34,19 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod churn;
 pub mod engine;
 pub mod live;
 pub mod merge;
+pub mod migrate;
 pub mod scaling;
 pub mod shard;
 
 pub use chaos::{run_multiring_chaos, MultiRingChaosConfig, MultiRingReport};
+pub use churn::ChurnCluster;
 pub use engine::{MultiOutput, MultiRingEngine, MultiRingError};
 pub use live::{MultiRingClient, MultiRingDaemon, MultiRingOptions};
 pub use merge::{MergedEntry, Merger};
+pub use migrate::{HeldSend, Migration, MigrationCounters};
 pub use scaling::{run_scaling, ScalingPoint, ScalingSpec};
 pub use shard::{ShardMap, ShardMove};

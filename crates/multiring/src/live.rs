@@ -24,18 +24,19 @@
 //! and a ring that never reformed catches up to a reformed ring's
 //! epoch base.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
-use accelring_core::{ParticipantId, RingIdx, Service};
+use accelring_core::{Backoff, ParticipantId, RingIdx, Service};
 use accelring_daemon::packing::tick_payload_with_epoch;
 use accelring_daemon::{ClientEvent, EngineOptions};
-use accelring_transport::{AppEvent, NodeHandle, TransportProbe, TransportStats};
+use accelring_transport::{AppEvent, NodeHandle, SubmitError, TransportProbe, TransportStats};
 use bytes::Bytes;
 use crossbeam::channel::{bounded, unbounded, Receiver, Select, Sender, TryRecvError};
 
 use crate::engine::{MultiOutput, MultiRingEngine, MultiRingError};
+use crate::migrate::MigrationCounters;
 use crate::shard::ShardMap;
 
 /// How long the pump blocks handing a terminal
@@ -52,6 +53,11 @@ pub struct MultiRingOptions {
     /// How often the tick leader checks for blocking rings and orders a
     /// skip tick on them. Bounds the merge latency an idle ring adds.
     pub tick_interval: Duration,
+    /// How long an in-flight group migration may wait for its readiness
+    /// barrier before this daemon escalates to abort (the Abort is
+    /// ordered on the source ring, so whichever daemon's escalation
+    /// lands first decides for everyone; retries back off with jitter).
+    pub migration_timeout: Duration,
 }
 
 impl Default for MultiRingOptions {
@@ -60,6 +66,7 @@ impl Default for MultiRingOptions {
             engine: EngineOptions::default(),
             lambda: 1,
             tick_interval: Duration::from_millis(25),
+            migration_timeout: Duration::from_secs(3),
         }
     }
 }
@@ -90,6 +97,11 @@ enum Cmd {
     },
     Disconnect {
         name: String,
+    },
+    Migrate {
+        group: String,
+        to: RingIdx,
+        resp: Sender<Result<(), MultiRingError>>,
     },
     Shutdown,
 }
@@ -142,9 +154,10 @@ impl MultiRingDaemon {
         // Taken before the handles move into the pump thread: one probe
         // per ring keeps the transport counters readable from outside.
         let probes: Vec<TransportProbe> = nodes.iter().map(NodeHandle::probe).collect();
+        let probe = probes[0].clone();
         let thread = std::thread::Builder::new()
             .name(format!("multiring-daemon-{pid}"))
-            .spawn(move || pump(nodes, shards, cmd_rx, options))
+            .spawn(move || pump(nodes, shards, cmd_rx, options, probe))
             .expect("spawn multi-ring daemon thread");
         MultiRingDaemon {
             cmd_tx,
@@ -188,6 +201,31 @@ impl MultiRingDaemon {
             event_rx,
             next_seq: AtomicU64::new(0),
         })
+    }
+
+    /// Starts an online migration of `group` onto ring `to`: the
+    /// operator entry point for elastic resharding. Returns as soon as
+    /// the Start fence is accepted for submission on the group's source
+    /// ring; the handoff itself completes (or aborts, after
+    /// [`MultiRingOptions::migration_timeout`]) asynchronously through
+    /// the ordered streams. Progress is visible in the migration
+    /// counters of [`MultiRingDaemon::transport_stats`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MultiRingError::Migration`] for invalid targets or a
+    /// group already migrating.
+    pub fn migrate(&self, group: &str, to: RingIdx) -> Result<(), MultiRingError> {
+        let (resp_tx, resp_rx) = bounded(1);
+        let _ = self.cmd_tx.send(Cmd::Migrate {
+            group: group.to_string(),
+            to,
+            resp: resp_tx,
+        });
+        resp_rx.recv().unwrap_or(Err(MultiRingError::Migration {
+            group: group.to_string(),
+            reason: "daemon stopped".to_string(),
+        }))
     }
 
     /// Stops the daemon thread and every ring node. Connected clients
@@ -333,12 +371,33 @@ enum Exit {
     RingDead { ring: RingIdx, reason: String },
 }
 
+/// Pump-side tracking of one in-flight migration: when to give up and
+/// escalate to abort, with jittered backoff between escalations.
+struct MigrationWatch {
+    started: Instant,
+    deadline: Instant,
+    backoff: Backoff,
+    next_abort: Option<Instant>,
+}
+
 struct Pump {
     engine: MultiRingEngine,
     channels: HashMap<String, Sender<ClientEvent>>,
     /// Highest regular-configuration counter seen on any ring; carried
     /// by skip ticks so lagging rings align to the newest epoch base.
     max_epoch: u64,
+    /// Submissions a ring's bounded queue refused, replayed in FIFO
+    /// order under jittered backoff instead of being dropped — a held
+    /// migration flush must not vanish to backpressure.
+    retries: VecDeque<(RingIdx, Bytes, Service)>,
+    retry_backoff: Backoff,
+    next_retry: Option<Instant>,
+    watches: HashMap<String, MigrationWatch>,
+    /// Engine counters already reported onto the probe.
+    reported: MigrationCounters,
+    /// Ring-0 node's probe doubles as the daemon-level counter sink for
+    /// migration lifecycle stats.
+    probe: TransportProbe,
 }
 
 impl Pump {
@@ -350,7 +409,21 @@ impl Pump {
                     payload,
                     service,
                 } => {
-                    let _ = nodes[ring.as_usize()].submit(payload, service);
+                    // Queue behind any pending retry for the same ring:
+                    // sender FIFO is what orders a daemon's Ready after
+                    // its join replays, so overtaking is not allowed.
+                    if self.retries.iter().any(|(r, _, _)| *r == ring) {
+                        self.retries.push_back((ring, payload, service));
+                        continue;
+                    }
+                    match nodes[ring.as_usize()].submit(payload.clone(), service) {
+                        Ok(()) => {}
+                        Err(SubmitError::Backlogged) => {
+                            self.retries.push_back((ring, payload, service));
+                        }
+                        // Ring dying; its Fault event ends the pump.
+                        Err(SubmitError::Stopped) => {}
+                    }
                 }
                 MultiOutput::Local { client, event } => {
                     if let Some(tx) = self.channels.get(&client) {
@@ -359,6 +432,104 @@ impl Pump {
                 }
             }
         }
+    }
+
+    /// Replays backpressured submissions once their backoff elapses.
+    fn flush_retries(&mut self, nodes: &[NodeHandle]) {
+        if self.retries.is_empty() {
+            return;
+        }
+        if let Some(t) = self.next_retry {
+            if Instant::now() < t {
+                return;
+            }
+        }
+        while let Some((ring, payload, service)) = self.retries.pop_front() {
+            match nodes[ring.as_usize()].submit(payload.clone(), service) {
+                Ok(()) => continue,
+                Err(SubmitError::Backlogged) => {
+                    self.retries.push_front((ring, payload, service));
+                    self.next_retry = Some(Instant::now() + self.retry_backoff.next_delay());
+                    return;
+                }
+                Err(SubmitError::Stopped) => continue,
+            }
+        }
+        self.retry_backoff.reset();
+        self.next_retry = None;
+    }
+
+    /// Drives migration timeouts and mirrors the engine's lifecycle
+    /// counters onto the transport probe.
+    fn service_migrations(&mut self, nodes: &[NodeHandle], timeout: Duration) {
+        let inflight: std::collections::BTreeSet<String> = self
+            .engine
+            .migrations_in_flight()
+            .into_iter()
+            .map(|(g, _, _)| g)
+            .collect();
+        // Decisions that landed: record the fence wait, drop the watch.
+        let finished: Vec<String> = self
+            .watches
+            .keys()
+            .filter(|g| !inflight.contains(*g))
+            .cloned()
+            .collect();
+        for g in finished {
+            if let Some(w) = self.watches.remove(&g) {
+                self.probe.note_fence_wait(w.started.elapsed());
+            }
+        }
+        let now = Instant::now();
+        let pid = nodes[0].pid().as_u16();
+        for g in &inflight {
+            self.watches.entry(g.clone()).or_insert_with(|| {
+                let seed = g.bytes().fold(u64::from(pid), |h, b| {
+                    h.wrapping_mul(31).wrapping_add(u64::from(b))
+                });
+                MigrationWatch {
+                    started: now,
+                    deadline: now + timeout,
+                    backoff: Backoff::new(Duration::from_millis(100), Duration::from_secs(1), seed),
+                    next_abort: None,
+                }
+            });
+        }
+        // Past-deadline migrations: escalate to abort (ordered on the
+        // source ring; first escalation to land decides for everyone),
+        // re-sending under backoff until the decision comes back.
+        let due: Vec<String> = self
+            .watches
+            .iter()
+            .filter(|(g, w)| {
+                inflight.contains(*g) && now >= w.deadline && w.next_abort.is_none_or(|t| now >= t)
+            })
+            .map(|(g, _)| g.clone())
+            .collect();
+        for g in due {
+            let outs = self.engine.abort_migration(&g);
+            self.dispatch(outs, nodes);
+            if let Some(w) = self.watches.get_mut(&g) {
+                w.next_abort = Some(Instant::now() + w.backoff.next_delay());
+            }
+        }
+        let c = self.engine.migration_counters();
+        let d = self.reported;
+        if c.started > d.started {
+            self.probe.note_migrations_started(c.started - d.started);
+        }
+        if c.committed > d.committed {
+            self.probe
+                .note_migrations_committed(c.committed - d.committed);
+        }
+        if c.aborted > d.aborted {
+            self.probe.note_migrations_aborted(c.aborted - d.aborted);
+        }
+        if c.redirected > d.redirected {
+            self.probe
+                .note_submissions_redirected(c.redirected - d.redirected);
+        }
+        self.reported = c;
     }
 
     /// Handles one client command; `true` ends the pump loop.
@@ -399,6 +570,10 @@ impl Pump {
                 }
                 self.channels.remove(&name);
             }
+            Cmd::Migrate { group, to, resp } => {
+                let result = self.engine.begin_migration(&group, to);
+                let _ = resp.send(result.map(|o| self.dispatch(o, nodes)));
+            }
             Cmd::Shutdown => return true,
         }
         false
@@ -421,16 +596,23 @@ fn pump(
     shards: ShardMap,
     cmd_rx: Receiver<Cmd>,
     options: MultiRingOptions,
+    probe: TransportProbe,
 ) {
+    let pid = nodes[0].pid();
     let mut p = Pump {
-        engine: MultiRingEngine::with_options(
-            nodes[0].pid(),
-            shards,
-            options.lambda,
-            options.engine,
-        ),
+        engine: MultiRingEngine::with_options(pid, shards, options.lambda, options.engine),
         channels: HashMap::new(),
         max_epoch: 0,
+        retries: VecDeque::new(),
+        retry_backoff: Backoff::new(
+            Duration::from_millis(2),
+            Duration::from_millis(250),
+            u64::from(pid.as_u16()),
+        ),
+        next_retry: None,
+        watches: HashMap::new(),
+        reported: MigrationCounters::default(),
+        probe,
     };
     // When each ring last delivered anything (ticks included): the
     // idleness clock pacing this daemon's skip ticks.
@@ -492,6 +674,9 @@ fn pump(
                 }
             }
         }
+
+        p.flush_retries(&nodes);
+        p.service_migrations(&nodes, options.migration_timeout);
 
         // Skip ticks, the Multi-Ring Paxos coordinator-skip rule: the
         // participant-0 daemon orders an epoch-carrying no-op on any

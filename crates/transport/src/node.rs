@@ -86,6 +86,11 @@ struct StatsInner {
     submissions: AtomicU64,
     submissions_shed: AtomicU64,
     thread_panics: AtomicU64,
+    migrations_started: AtomicU64,
+    migrations_committed: AtomicU64,
+    migrations_aborted: AtomicU64,
+    submissions_redirected: AtomicU64,
+    fence_wait_ns: AtomicU64,
 }
 
 /// A point-in-time copy of a node's transport counters.
@@ -107,6 +112,19 @@ pub struct TransportStats {
     /// Protocol-thread panics caught at the thread boundary (each one is
     /// terminal for the node and accompanied by an [`AppEvent::Fault`]).
     pub thread_panics: u64,
+    /// Group migrations whose fence this daemon observed start.
+    pub migrations_started: u64,
+    /// Migrations that committed their handoff (group now on the target).
+    pub migrations_committed: u64,
+    /// Migrations that aborted (target unreachable, ring death, timeout).
+    pub migrations_aborted: u64,
+    /// Client submissions caught behind a migration fence and redirected
+    /// (held, then resubmitted to the group's post-fence ring).
+    pub submissions_redirected: u64,
+    /// Total nanoseconds groups spent frozen behind migration fences
+    /// (from fence start to commit/abort, summed over migrations this
+    /// daemon observed).
+    pub fence_wait_ns: u64,
     /// Hot-datapath counters: syscall batching, pool behaviour, copies.
     pub hot: HotPathStats,
 }
@@ -122,6 +140,11 @@ impl StatsInner {
             submissions: self.submissions.load(Ordering::Relaxed),
             submissions_shed: self.submissions_shed.load(Ordering::Relaxed),
             thread_panics: self.thread_panics.load(Ordering::Relaxed),
+            migrations_started: self.migrations_started.load(Ordering::Relaxed),
+            migrations_committed: self.migrations_committed.load(Ordering::Relaxed),
+            migrations_aborted: self.migrations_aborted.load(Ordering::Relaxed),
+            submissions_redirected: self.submissions_redirected.load(Ordering::Relaxed),
+            fence_wait_ns: self.fence_wait_ns.load(Ordering::Relaxed),
             hot: HotPathStats {
                 datagrams_rx,
                 datagrams_tx: self.datagrams_tx.load(Ordering::Relaxed),
@@ -527,6 +550,43 @@ impl TransportProbe {
     /// is a leak.
     pub fn pool_outstanding(&self) -> u64 {
         self.recv_pool.outstanding() + self.send_pool.outstanding()
+    }
+
+    /// Records migration fences observed starting (the multi-ring pump
+    /// calls these — the transport itself has no migration knowledge, it
+    /// just owns the counter fabric every probe reader already polls).
+    pub fn note_migrations_started(&self, n: u64) {
+        self.stats
+            .migrations_started
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records migrations that committed their handoff.
+    pub fn note_migrations_committed(&self, n: u64) {
+        self.stats
+            .migrations_committed
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records migrations that aborted.
+    pub fn note_migrations_aborted(&self, n: u64) {
+        self.stats
+            .migrations_aborted
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records client submissions redirected around a migration fence.
+    pub fn note_submissions_redirected(&self, n: u64) {
+        self.stats
+            .submissions_redirected
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Accumulates time a group spent frozen behind a migration fence.
+    pub fn note_fence_wait(&self, wait: std::time::Duration) {
+        self.stats
+            .fence_wait_ns
+            .fetch_add(wait.as_nanos() as u64, Ordering::Relaxed);
     }
 }
 
