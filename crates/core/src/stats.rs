@@ -126,6 +126,106 @@ impl HotPathStats {
     }
 }
 
+/// Why the session frontend shed an event instead of queueing it.
+///
+/// The reactor never blocks on a client: an event that cannot be queued
+/// is dropped and attributed to exactly one of these causes, so overload
+/// is visible (and attributable) in counters rather than in memory
+/// growth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedCause {
+    /// The session's own bounded event queue was full (one slow client).
+    SlowSession,
+    /// The frontend-wide queued-event budget was exhausted (global
+    /// overload: shedding protects every other session's memory).
+    GlobalBudget,
+    /// The event raced a disconnect: its session closed between the
+    /// engine emitting the event and the reactor routing it.
+    DisconnectRace,
+}
+
+/// Counters for an epoll-driven session frontend (one reactor serving
+/// many client sessions; see DESIGN.md §12).
+///
+/// The `session_scaling` bench derives its headline numbers — events/sec,
+/// shed rate, reactor syscalls per wakeup — from these.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FrontendStats {
+    /// Sessions currently open (remote and in-process adapters).
+    pub sessions_open: u64,
+    /// Highest concurrent session count observed.
+    pub sessions_peak: u64,
+    /// HELLO frames accepted (fresh sessions).
+    pub hellos: u64,
+    /// HELLO frames that resumed an earlier session watermark.
+    pub resumes: u64,
+    /// Sessions closed (BYE, disconnect, or daemon shutdown).
+    pub closes: u64,
+    /// SUBMIT frames accepted and forwarded to the engine.
+    pub submits: u64,
+    /// SUBMIT frames dropped as duplicate retransmissions (session-level
+    /// sequence dedup; ring-wide dedup is counted by the engines).
+    pub submits_duplicate: u64,
+    /// Session frames that failed to parse.
+    pub bad_frames: u64,
+    /// Events enqueued toward sessions (before credit gating).
+    pub events_enqueued: u64,
+    /// Event frames actually handed to sessions (sent or queued to an
+    /// adapter channel).
+    pub events_sent: u64,
+    /// Events shed because one session's bounded queue was full.
+    pub shed_slow_session: u64,
+    /// Events shed because the frontend-wide queue budget was exhausted.
+    pub shed_global_budget: u64,
+    /// Events shed because their session closed while the event was in
+    /// flight.
+    pub shed_disconnect_race: u64,
+    /// CREDIT frames processed (receiver-driven flow control grants).
+    pub credits_granted: u64,
+    /// Reactor wakeups (poll returns, idle ticks included).
+    pub wakeups: u64,
+    /// Syscalls issued on the session socket, both directions.
+    pub syscalls: u64,
+}
+
+impl FrontendStats {
+    /// Total events shed across every cause.
+    pub fn events_shed(&self) -> u64 {
+        self.shed_slow_session + self.shed_global_budget + self.shed_disconnect_race
+    }
+
+    /// Session-socket syscalls per reactor wakeup (the batching win on
+    /// the client-facing side: many frames move per syscall, many
+    /// sessions are served per wakeup).
+    pub fn syscalls_per_wakeup(&self) -> f64 {
+        if self.wakeups == 0 {
+            return 0.0;
+        }
+        self.syscalls as f64 / self.wakeups as f64
+    }
+
+    /// Adds every counter of `other` into `self` (gauges
+    /// `sessions_open`/`sessions_peak` take the max instead).
+    pub fn absorb(&mut self, other: &FrontendStats) {
+        self.sessions_open = self.sessions_open.max(other.sessions_open);
+        self.sessions_peak = self.sessions_peak.max(other.sessions_peak);
+        self.hellos += other.hellos;
+        self.resumes += other.resumes;
+        self.closes += other.closes;
+        self.submits += other.submits;
+        self.submits_duplicate += other.submits_duplicate;
+        self.bad_frames += other.bad_frames;
+        self.events_enqueued += other.events_enqueued;
+        self.events_sent += other.events_sent;
+        self.shed_slow_session += other.shed_slow_session;
+        self.shed_global_budget += other.shed_global_budget;
+        self.shed_disconnect_race += other.shed_disconnect_race;
+        self.credits_granted += other.credits_granted;
+        self.wakeups += other.wakeups;
+        self.syscalls += other.syscalls;
+    }
+}
+
 /// Protocol counters broken out by ring index in a multi-ring
 /// deployment.
 ///
@@ -268,6 +368,32 @@ mod tests {
         sum.absorb(&hp);
         assert_eq!(sum.datagrams_rx, 120);
         assert_eq!(sum.syscalls_tx, 20);
+    }
+
+    #[test]
+    fn frontend_stats_totals_and_ratios() {
+        let fs = FrontendStats {
+            shed_slow_session: 2,
+            shed_global_budget: 3,
+            shed_disconnect_race: 5,
+            wakeups: 4,
+            syscalls: 10,
+            ..FrontendStats::default()
+        };
+        assert_eq!(fs.events_shed(), 10);
+        assert!((fs.syscalls_per_wakeup() - 2.5).abs() < 1e-9);
+        assert_eq!(FrontendStats::default().syscalls_per_wakeup(), 0.0);
+        let mut sum = fs;
+        sum.absorb(&FrontendStats {
+            sessions_open: 7,
+            sessions_peak: 9,
+            submits: 1,
+            ..FrontendStats::default()
+        });
+        assert_eq!(sum.sessions_open, 7);
+        assert_eq!(sum.sessions_peak, 9);
+        assert_eq!(sum.submits, 1);
+        assert_eq!(sum.events_shed(), 10);
     }
 
     #[test]

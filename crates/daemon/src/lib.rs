@@ -55,12 +55,16 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod frontend;
 pub mod groups;
 pub mod packing;
 pub mod proto;
 pub mod runtime;
 
 pub use engine::{ClientEvent, EngineError, EngineOptions, EngineOutput, GroupEngine};
+pub use frontend::{FrontendOptions, Ingress, SessionClient, SessionMux};
 pub use groups::{GroupTable, GroupView};
-pub use proto::{ClientId, GroupAction, GroupMessage, GroupProtoError, MAX_GROUPS, MAX_NAME};
+pub use proto::{
+    ClientId, GroupAction, GroupMessage, GroupProtoError, SessionFrame, MAX_GROUPS, MAX_NAME,
+};
 pub use runtime::{DaemonOptions, DaemonStats, GroupClient, GroupDaemon};

@@ -1,6 +1,15 @@
-//! The runnable group daemon: a [`GroupEngine`] pumped by a thread over a
-//! real UDP transport node, serving in-process clients through channels
-//! (the "IPC" of the paper's daemon prototype).
+//! The runnable group daemon: a [`GroupEngine`] pumped by a reactor
+//! thread over a real UDP transport node, serving in-process clients
+//! through channels and remote clients through the session frontend
+//! ([`crate::frontend`]).
+//!
+//! One thread does everything: it parks on the session socket with
+//! `ppoll` (via [`Poller`]), so a remote SUBMIT wakes it the instant the
+//! datagram lands; in-process command channels and ring events are
+//! drained on every wakeup with a short tick bounding their latency. All
+//! client sessions — channel adapters and remote sessions alike — live in
+//! one slab-indexed [`SessionMux`], sharing fair egress, credit gating,
+//! and per-cause shed accounting.
 //!
 //! The pump supervises its transport node: when the node thread dies
 //! (panic, kill switch, or plain exit) every connected client receives a
@@ -9,30 +18,30 @@
 //! reconnect to a surviving daemon and resubmit in-flight messages with
 //! session sequence numbers; the replicated engines drop the duplicates.
 
-use std::collections::HashMap;
+use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use accelring_core::Service;
-use accelring_transport::{AppEvent, NodeHandle, TransportProbe, TransportStats};
+use accelring_core::{FrontendStats, Service, ShedCause};
+use accelring_transport::{AppEvent, NodeHandle, Poller, TransportProbe, TransportStats};
 use bytes::Bytes;
-use crossbeam::channel::{
-    bounded, unbounded, Receiver, Select, Sender, TryRecvError, TrySendError,
-};
+use crossbeam::channel::{bounded, unbounded, Receiver, Select, Sender, TryRecvError};
 
 use crate::engine::{ClientEvent, EngineError, EngineOptions, EngineOutput, GroupEngine};
-
-/// How long the pump will block handing a terminal
-/// [`ClientEvent::Disconnected`] to a slow client before giving up (the
-/// client still observes termination through channel closure).
-const DISCONNECT_SEND_TIMEOUT: Duration = Duration::from_secs(1);
+use crate::frontend::{FrontendOptions, Ingress, SessionMux};
+use crate::proto::GroupAction;
 
 /// Liveness backstop for the pump's select: everything interesting wakes
 /// the select through a channel, so this only bounds how stale the
 /// exported stats can get.
 const IDLE_TICK: Duration = Duration::from_millis(50);
+
+/// Wait cap when the session socket is open: a datagram wakes the
+/// reactor immediately through `ppoll`; command channels and ring events
+/// (which cannot be polled) are picked up within this tick.
+const REACTOR_TICK: Duration = Duration::from_millis(1);
 
 /// Runtime settings for a [`GroupDaemon`].
 #[derive(Debug, Clone, Copy, Default)]
@@ -47,20 +56,33 @@ pub struct DaemonOptions {
     /// shed — the pump blocks briefly to deliver it, and channel closure
     /// backstops even that.
     pub client_queue: Option<usize>,
+    /// Session-frontend tuning; set
+    /// [`FrontendOptions::session_socket`] to serve remote
+    /// [`crate::frontend::SessionClient`]s over UDP.
+    pub frontend: FrontendOptions,
 }
 
 /// Counters exported by a running [`GroupDaemon`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DaemonStats {
-    /// Client events dropped because a client's bounded queue was full.
+    /// Client events dropped across all causes (the sum of the per-cause
+    /// counters below).
     pub events_shed: u64,
+    /// Events shed because one session's bounded queue was full.
+    pub events_shed_slow: u64,
+    /// Events shed because the frontend-wide queued-event budget was
+    /// exhausted.
+    pub events_shed_budget: u64,
+    /// Events dropped because their session closed while the delivery
+    /// was in flight.
+    pub events_shed_race: u64,
     /// Sequenced messages dropped by this daemon's engine as duplicates.
     pub duplicates_dropped: u64,
 }
 
 #[derive(Debug, Default)]
 struct SharedStats {
-    events_shed: AtomicU64,
+    frontend: Mutex<FrontendStats>,
     duplicates_dropped: AtomicU64,
 }
 
@@ -106,6 +128,7 @@ pub struct GroupDaemon {
     options: DaemonOptions,
     shared: Arc<SharedStats>,
     probe: TransportProbe,
+    session_addr: Option<SocketAddr>,
 }
 
 impl GroupDaemon {
@@ -122,7 +145,7 @@ impl GroupDaemon {
             node,
             DaemonOptions {
                 engine: options,
-                client_queue: None,
+                ..DaemonOptions::default()
             },
         )
     }
@@ -135,9 +158,14 @@ impl GroupDaemon {
         // Taken before the handle moves into the pump thread: the probe
         // keeps the transport counters readable for the daemon's lifetime.
         let probe = node.probe();
+        let pump_probe = probe.clone();
+        // Bound before the thread spawns so the session address is known
+        // the moment this constructor returns.
+        let mux = SessionMux::new(options.frontend).expect("bind session socket");
+        let session_addr = mux.local_addr();
         let thread = std::thread::Builder::new()
             .name(format!("group-daemon-{}", node.pid()))
-            .spawn(move || pump(node, cmd_rx, options.engine, pump_shared))
+            .spawn(move || pump(node, cmd_rx, options.engine, mux, pump_shared, pump_probe))
             .expect("spawn group daemon thread");
         GroupDaemon {
             cmd_tx,
@@ -145,7 +173,20 @@ impl GroupDaemon {
             options,
             shared,
             probe,
+            session_addr,
         }
+    }
+
+    /// The UDP address remote [`crate::frontend::SessionClient`]s dial,
+    /// or `None` when the session socket is disabled.
+    pub fn session_addr(&self) -> Option<SocketAddr> {
+        self.session_addr
+    }
+
+    /// A snapshot of the session frontend's counters (sessions open,
+    /// submits, per-cause sheds, reactor wakeups/syscalls).
+    pub fn frontend_stats(&self) -> FrontendStats {
+        *self.shared.frontend.lock().expect("frontend stats lock")
     }
 
     /// Connects a new local client with no session history (sequenced
@@ -200,8 +241,12 @@ impl GroupDaemon {
 
     /// Current runtime counters.
     pub fn stats(&self) -> DaemonStats {
+        let fs = *self.shared.frontend.lock().expect("frontend stats lock");
         DaemonStats {
-            events_shed: self.shared.events_shed.load(Ordering::Relaxed),
+            events_shed: fs.events_shed(),
+            events_shed_slow: fs.shed_slow_session,
+            events_shed_budget: fs.shed_global_budget,
+            events_shed_race: fs.shed_disconnect_race,
             duplicates_dropped: self.shared.duplicates_dropped.load(Ordering::Relaxed),
         }
     }
@@ -412,8 +457,12 @@ enum Exit {
 
 struct Pump {
     engine: GroupEngine,
-    channels: HashMap<String, Sender<ClientEvent>>,
+    mux: SessionMux,
     shared: Arc<SharedStats>,
+    probe: TransportProbe,
+    /// Frontend counters as of the last export, for delta-mirroring the
+    /// shed counts into the transport probe.
+    reported: FrontendStats,
 }
 
 impl Pump {
@@ -427,10 +476,56 @@ impl Pump {
                     let _ = node.submit(payload, service);
                 }
                 EngineOutput::Local { client, event } => {
-                    if let Some(tx) = self.channels.get(&client) {
-                        if let Err(TrySendError::Full(_)) = tx.try_send(event) {
-                            self.shared.events_shed.fetch_add(1, Ordering::Relaxed);
+                    self.mux.deliver(&client, event);
+                }
+            }
+        }
+    }
+
+    /// Routes the engine-relevant frames surfaced by one ingest burst.
+    fn handle_ingress(&mut self, ingress: &mut Vec<Ingress>, node: &NodeHandle) {
+        for ing in ingress.drain(..) {
+            match ing {
+                Ingress::Hello {
+                    name,
+                    resume_seq,
+                    nonce,
+                    addr,
+                } => {
+                    // Split borrow: the mux decides new-vs-resume, the
+                    // engine registers genuinely new clients.
+                    let engine = &mut self.engine;
+                    let mux = &mut self.mux;
+                    mux.handle_hello(name, resume_seq, nonce, addr, |n| engine.client_connect(n));
+                }
+                Ingress::Submit {
+                    name,
+                    seq,
+                    service,
+                    action,
+                } => {
+                    let result = match action {
+                        GroupAction::Data { groups, payload } => {
+                            let refs: Vec<&str> = groups.iter().map(String::as_str).collect();
+                            self.engine
+                                .client_multicast_sequenced(&name, &refs, payload, service, seq)
                         }
+                        GroupAction::Join { group } => self.engine.client_join(&name, &group),
+                        GroupAction::Leave { group } => self.engine.client_leave(&name, &group),
+                        GroupAction::Disconnect => {
+                            let result = self.engine.client_disconnect(&name);
+                            self.mux.close_name(&name);
+                            result
+                        }
+                    };
+                    match result {
+                        Ok(outputs) => self.dispatch(outputs, node),
+                        Err(_) => self.mux.note_rejected(),
+                    }
+                }
+                Ingress::Bye { name } => {
+                    if let Ok(outputs) = self.engine.client_disconnect(&name) {
+                        self.dispatch(outputs, node);
                     }
                 }
             }
@@ -443,7 +538,7 @@ impl Pump {
             Cmd::Connect { name, events, resp } => {
                 let result = self.engine.client_connect(&name);
                 if result.is_ok() {
-                    self.channels.insert(name, events);
+                    self.mux.open_adapter(&name, events);
                 }
                 let _ = resp.send(result);
             }
@@ -473,7 +568,7 @@ impl Pump {
                 if let Ok(outputs) = self.engine.client_disconnect(&name) {
                     self.dispatch(outputs, node);
                 }
-                self.channels.remove(&name);
+                self.mux.close_name(&name);
             }
             Cmd::Shutdown => return Some(Exit::Immediate),
             Cmd::ShutdownGraceful { drain } => {
@@ -507,44 +602,74 @@ impl Pump {
         }
     }
 
-    /// Sends the terminal event to every connected client, blocking
-    /// briefly per slow client. Channel closure (the pump exiting) covers
-    /// anyone who still missed it.
-    fn broadcast_disconnected(&self, reason: &str) {
-        for tx in self.channels.values() {
-            let _ = tx.send_timeout(
-                ClientEvent::Disconnected {
-                    reason: reason.to_string(),
-                },
-                DISCONNECT_SEND_TIMEOUT,
-            );
-        }
-    }
-
-    fn export_stats(&self) {
+    fn export_stats(&mut self) {
         self.shared
             .duplicates_dropped
             .store(self.engine.duplicates_dropped(), Ordering::Relaxed);
+        let now = self.mux.stats();
+        // Mirror shed deltas into the transport probe so chaos/leak
+        // tooling watching TransportStats sees the frontend's drops too.
+        let d_slow = now.shed_slow_session - self.reported.shed_slow_session;
+        let d_budget = now.shed_global_budget - self.reported.shed_global_budget;
+        let d_race = now.shed_disconnect_race - self.reported.shed_disconnect_race;
+        if d_slow > 0 {
+            self.probe.note_events_shed(ShedCause::SlowSession, d_slow);
+        }
+        if d_budget > 0 {
+            self.probe
+                .note_events_shed(ShedCause::GlobalBudget, d_budget);
+        }
+        if d_race > 0 {
+            self.probe
+                .note_events_shed(ShedCause::DisconnectRace, d_race);
+        }
+        self.reported = now;
+        *self.shared.frontend.lock().expect("frontend stats lock") = now;
     }
 }
 
-fn pump(node: NodeHandle, cmd_rx: Receiver<Cmd>, options: EngineOptions, shared: Arc<SharedStats>) {
+fn pump(
+    node: NodeHandle,
+    cmd_rx: Receiver<Cmd>,
+    options: EngineOptions,
+    mux: SessionMux,
+    shared: Arc<SharedStats>,
+    probe: TransportProbe,
+) {
     let mut p = Pump {
         engine: GroupEngine::with_options(node.pid(), options),
-        channels: HashMap::new(),
+        mux,
         shared,
+        probe,
+        reported: FrontendStats::default(),
     };
+    // With a session socket, the reactor parks on its descriptor: a
+    // datagram wakes it instantly, channel work is drained each tick.
+    // Without one, the old fully channel-driven select blocks until a
+    // command or ring event arrives — no polling at all.
+    let mut poller = Poller::new();
+    let session_fd = p.mux.poll_fd();
+    if let Some(fd) = session_fd {
+        poller.set_fds(&[fd]);
+    }
+    let mut ingress: Vec<Ingress> = Vec::new();
 
-    // Block on whichever channel speaks first — no polling spin. Channel
-    // disconnection (a dead node thread drops its event sender) also wakes
-    // the select, so supervision needs no timeout-based liveness probe.
     let exit = 'pump: loop {
-        {
+        if session_fd.is_some() {
+            // Skip the park entirely while egress is backed up: drain it.
+            let tick = if p.mux.has_pending_egress() {
+                Duration::ZERO
+            } else {
+                REACTOR_TICK
+            };
+            poller.wait(tick);
+        } else {
             let mut sel = Select::new();
             sel.recv(&cmd_rx);
             sel.recv(node.events());
             let _ = sel.ready_timeout(IDLE_TICK);
         }
+        p.mux.note_wakeup();
 
         loop {
             match cmd_rx.try_recv() {
@@ -557,6 +682,12 @@ fn pump(node: NodeHandle, cmd_rx: Receiver<Cmd>, options: EngineOptions, shared:
                 // Every daemon and client handle dropped without Shutdown.
                 Err(TryRecvError::Disconnected) => break 'pump Exit::Immediate,
             }
+        }
+        // Session ingest before the engine flush: submits that just
+        // arrived ride the same flush as this tick's command traffic.
+        p.mux.ingest(&mut ingress);
+        if !ingress.is_empty() {
+            p.handle_ingress(&mut ingress, &node);
         }
         // Close any partially packed payloads so buffered client messages
         // are not held hostage waiting for more traffic.
@@ -573,12 +704,14 @@ fn pump(node: NodeHandle, cmd_rx: Receiver<Cmd>, options: EngineOptions, shared:
                 }
             }
         }
+        p.mux.flush_egress();
         p.export_stats();
     };
 
     match exit {
         Exit::Immediate => {
-            p.broadcast_disconnected("daemon shutdown");
+            p.mux.flush_egress();
+            p.mux.broadcast_disconnected("daemon shutdown");
             node.shutdown();
         }
         Exit::Graceful(drain) => {
@@ -593,21 +726,19 @@ fn pump(node: NodeHandle, cmd_rx: Receiver<Cmd>, options: EngineOptions, shared:
                         let outputs = p.engine.on_delivery(&d);
                         for out in outputs {
                             if let EngineOutput::Local { client, event } = out {
-                                if let Some(tx) = p.channels.get(&client) {
-                                    if let Err(TrySendError::Full(_)) = tx.try_send(event) {
-                                        p.shared.events_shed.fetch_add(1, Ordering::Relaxed);
-                                    }
-                                }
+                                p.mux.deliver(&client, event);
                             }
                         }
                     }
                     AppEvent::Config(_) => {}
                 }
             }
-            p.broadcast_disconnected("daemon shutdown");
+            p.mux.flush_egress();
+            p.mux.broadcast_disconnected("daemon shutdown");
         }
         Exit::NodeDead(reason) => {
-            p.broadcast_disconnected(&reason);
+            p.mux.flush_egress();
+            p.mux.broadcast_disconnected(&reason);
         }
     }
     p.export_stats();

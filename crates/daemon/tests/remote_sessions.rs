@@ -1,0 +1,205 @@
+//! The remote session path end to end: real UDP ring, real session
+//! socket, [`SessionClient`]s speaking the framed wire protocol to the
+//! reactor frontend — joins, ordered delivery, credit-driven event flow,
+//! reconnect-with-resume, and exactly-once resubmits.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use accelring_core::{ParticipantId, ProtocolConfig, Service};
+use accelring_daemon::{ClientEvent, DaemonOptions, FrontendOptions, GroupDaemon, SessionClient};
+use accelring_membership::MembershipConfig;
+use accelring_transport::{AddressBook, BoundNode, NodeAddr};
+use bytes::Bytes;
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn test_membership_config() -> MembershipConfig {
+    MembershipConfig {
+        token_loss_timeout: 300_000_000,
+        token_retransmit_timeout: 80_000_000,
+        join_interval: 30_000_000,
+        consensus_timeout: 250_000_000,
+        commit_timeout: 250_000_000,
+        recovery_timeout: 1_000_000_000,
+        presence_interval: 100_000_000,
+        gather_settle: 60_000_000,
+    }
+}
+
+fn spawn_daemons(n: u16, options: DaemonOptions) -> Vec<GroupDaemon> {
+    let bound: Vec<BoundNode> = (0..n)
+        .map(|i| BoundNode::bind(ParticipantId::new(i), "127.0.0.1").expect("bind"))
+        .collect();
+    let addrs: Vec<NodeAddr> = bound.iter().map(|b| b.addr().expect("addr")).collect();
+    let book = AddressBook::new(addrs);
+    bound
+        .into_iter()
+        .map(|b| {
+            let handle = b
+                .start(
+                    book.clone(),
+                    ProtocolConfig::accelerated(20, 15),
+                    test_membership_config(),
+                )
+                .expect("start node");
+            GroupDaemon::start_with(handle, options)
+        })
+        .collect()
+}
+
+fn remote_options() -> DaemonOptions {
+    DaemonOptions {
+        frontend: FrontendOptions::enabled(),
+        ..DaemonOptions::default()
+    }
+}
+
+/// Waits until the client sees a view of `group` with exactly `n`
+/// members, draining other events along the way.
+fn await_view(client: &mut SessionClient, group: &str, n: usize, deadline: Duration) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < deadline {
+        if let Ok(Some(ClientEvent::View { group: g, members })) =
+            client.recv_event(Duration::from_millis(50))
+        {
+            if g == group && members.len() == n {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Collects message payloads until `deadline`, stopping early after
+/// `want` payloads (0 = drain the whole window).
+fn collect_payloads(client: &mut SessionClient, want: usize, deadline: Duration) -> Vec<Bytes> {
+    let start = Instant::now();
+    let mut got = Vec::new();
+    while start.elapsed() < deadline && (want == 0 || got.len() < want) {
+        if let Ok(Some(ClientEvent::Message { payload, .. })) =
+            client.recv_event(Duration::from_millis(50))
+        {
+            got.push(payload);
+        }
+    }
+    got
+}
+
+#[test]
+fn remote_clients_multicast_and_receive_in_order() {
+    let _serial = serial();
+    let daemons = spawn_daemons(2, remote_options());
+    let addr0 = daemons[0].session_addr().expect("session socket");
+    let addr1 = daemons[1].session_addr().expect("session socket");
+
+    let mut alice = SessionClient::connect(addr0, "alice").expect("connect alice");
+    let mut bob = SessionClient::connect(addr1, "bob").expect("connect bob");
+    alice.join("chat").expect("alice joins");
+    bob.join("chat").expect("bob joins");
+    assert!(
+        await_view(&mut alice, "chat", 2, Duration::from_secs(15)),
+        "alice must see the two-member view"
+    );
+    assert!(
+        await_view(&mut bob, "chat", 2, Duration::from_secs(15)),
+        "bob must see the two-member view"
+    );
+
+    for k in 0..10u32 {
+        alice
+            .multicast(&["chat"], Bytes::from(format!("m{k}")), Service::Agreed)
+            .expect("submit");
+    }
+    let got = collect_payloads(&mut bob, 10, Duration::from_secs(15));
+    let want: Vec<Bytes> = (0..10u32).map(|k| Bytes::from(format!("m{k}"))).collect();
+    assert_eq!(got, want, "remote delivery must be complete and in order");
+
+    let fs = daemons[0].frontend_stats();
+    assert!(fs.sessions_peak >= 1, "frontend must have served alice");
+    assert!(fs.submits >= 11, "joins and multicasts all ride SUBMIT");
+    alice.bye();
+    bob.bye();
+}
+
+#[test]
+fn remote_reconnect_and_resubmit_is_exactly_once() {
+    let _serial = serial();
+    let daemons = spawn_daemons(2, remote_options());
+    let addr0 = daemons[0].session_addr().expect("session socket");
+    let addr1 = daemons[1].session_addr().expect("session socket");
+
+    let mut sender = SessionClient::connect(addr0, "sender").expect("connect sender");
+    let mut watcher = SessionClient::connect(addr1, "watcher").expect("connect watcher");
+    sender.join("g").expect("join");
+    watcher.join("g").expect("join");
+    assert!(await_view(&mut watcher, "g", 2, Duration::from_secs(15)));
+
+    let seq = sender
+        .multicast_sequenced(&["g"], Bytes::from_static(b"in-doubt"), Service::Agreed)
+        .expect("sequenced submit");
+    let first = collect_payloads(&mut watcher, 1, Duration::from_secs(15));
+    assert_eq!(first, vec![Bytes::from_static(b"in-doubt")]);
+
+    // The client loses its daemon connection with the message's fate
+    // unknown: reconnect to the *other* daemon resuming the session, and
+    // resubmit. The ring-wide session dedup must suppress the copy.
+    drop(sender);
+    let mut resumed =
+        SessionClient::connect_session(addr1, "sender", seq).expect("resume elsewhere");
+    resumed
+        .resubmit(
+            seq,
+            &["g"],
+            Bytes::from_static(b"in-doubt"),
+            Service::Agreed,
+        )
+        .expect("resubmit");
+    resumed
+        .multicast_sequenced(&["g"], Bytes::from_static(b"after-resume"), Service::Agreed)
+        .expect("fresh submit");
+
+    let after = collect_payloads(&mut watcher, 2, Duration::from_secs(10));
+    assert_eq!(
+        after,
+        vec![Bytes::from_static(b"after-resume")],
+        "resubmitted message must be suppressed, new message delivered"
+    );
+    resumed.bye();
+    watcher.bye();
+}
+
+#[test]
+fn supersede_moves_a_live_session_to_a_new_socket() {
+    let _serial = serial();
+    let daemons = spawn_daemons(1, remote_options());
+    let addr = daemons[0].session_addr().expect("session socket");
+
+    let mut old = SessionClient::connect(addr, "mover").expect("connect");
+    old.join("room").expect("join");
+    assert!(await_view(&mut old, "room", 1, Duration::from_secs(15)));
+
+    // Reconnect under the same name without saying BYE: the frontend
+    // supersedes the old incarnation in place and the engine-side client
+    // (and its membership) must survive.
+    let mut fresh =
+        SessionClient::connect_session(addr, "mover", old.last_seq()).expect("supersede");
+    fresh
+        .multicast(&["room"], Bytes::from_static(b"still me"), Service::Agreed)
+        .expect("submit on the new socket");
+    let got = collect_payloads(&mut fresh, 1, Duration::from_secs(15));
+    assert_eq!(
+        got,
+        vec![Bytes::from_static(b"still me")],
+        "membership survives the supersede, so the self-delivery arrives"
+    );
+    assert!(
+        daemons[0].frontend_stats().resumes >= 1,
+        "the supersede must be counted as a resume"
+    );
+    fresh.bye();
+}

@@ -214,6 +214,7 @@ fn slow_client_sheds_events_instead_of_wedging() {
     let options = DaemonOptions {
         engine: EngineOptions::default(),
         client_queue: Some(4),
+        ..DaemonOptions::default()
     };
     let (_kills, daemons) = spawn_daemons(1, options);
 

@@ -1,7 +1,11 @@
 //! The runnable multi-ring daemon: a [`MultiRingEngine`] pumped by one
 //! thread over R real UDP transport nodes (one per ring), serving
-//! in-process clients through channels — the multi-ring analogue of
-//! `accelring_daemon::GroupDaemon`.
+//! clients through the session frontend ([`accelring_daemon::frontend`])
+//! — the multi-ring analogue of `accelring_daemon::GroupDaemon`.
+//! In-process clients attach as channel adapters; with
+//! [`FrontendOptions::session_socket`] set the same reactor also serves
+//! remote [`accelring_daemon::SessionClient`]s over UDP, multiplexed in
+//! one slab-indexed session table with fair, credit-gated egress.
 //!
 //! The pump routes every submission to the ring the shard map chose,
 //! feeds each ring's deliveries and configuration changes into the
@@ -25,13 +29,19 @@
 //! epoch base.
 
 use std::collections::{HashMap, VecDeque};
+use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use accelring_core::{Backoff, ParticipantId, RingIdx, Service};
+use accelring_core::{Backoff, FrontendStats, ParticipantId, RingIdx, Service, ShedCause};
 use accelring_daemon::packing::tick_payload_with_epoch;
-use accelring_daemon::{ClientEvent, EngineOptions};
-use accelring_transport::{AppEvent, NodeHandle, SubmitError, TransportProbe, TransportStats};
+use accelring_daemon::{
+    ClientEvent, EngineError, EngineOptions, FrontendOptions, GroupAction, Ingress, SessionMux,
+};
+use accelring_transport::{
+    AppEvent, NodeHandle, Poller, SubmitError, TransportProbe, TransportStats,
+};
 use bytes::Bytes;
 use crossbeam::channel::{bounded, unbounded, Receiver, Select, Sender, TryRecvError};
 
@@ -39,9 +49,10 @@ use crate::engine::{MultiOutput, MultiRingEngine, MultiRingError};
 use crate::migrate::MigrationCounters;
 use crate::shard::ShardMap;
 
-/// How long the pump blocks handing a terminal
-/// [`ClientEvent::Disconnected`] to a slow client before giving up.
-const DISCONNECT_SEND_TIMEOUT: Duration = Duration::from_secs(1);
+/// Wait cap when the session socket is open: a datagram wakes the
+/// reactor immediately through `ppoll`; command channels and ring events
+/// (which cannot be polled) are picked up within this tick.
+const REACTOR_TICK: Duration = Duration::from_millis(1);
 
 /// Runtime settings for a [`MultiRingDaemon`].
 #[derive(Debug, Clone, Copy)]
@@ -58,6 +69,10 @@ pub struct MultiRingOptions {
     /// ordered on the source ring, so whichever daemon's escalation
     /// lands first decides for everyone; retries back off with jitter).
     pub migration_timeout: Duration,
+    /// Session-frontend tuning; set
+    /// [`FrontendOptions::session_socket`] to serve remote
+    /// [`accelring_daemon::SessionClient`]s over UDP.
+    pub frontend: FrontendOptions,
 }
 
 impl Default for MultiRingOptions {
@@ -67,6 +82,7 @@ impl Default for MultiRingOptions {
             lambda: 1,
             tick_interval: Duration::from_millis(25),
             migration_timeout: Duration::from_secs(3),
+            frontend: FrontendOptions::default(),
         }
     }
 }
@@ -113,6 +129,8 @@ pub struct MultiRingDaemon {
     cmd_tx: Sender<Cmd>,
     thread: Option<std::thread::JoinHandle<()>>,
     probes: Vec<TransportProbe>,
+    shared: Arc<Mutex<FrontendStats>>,
+    session_addr: Option<SocketAddr>,
 }
 
 impl MultiRingDaemon {
@@ -155,15 +173,35 @@ impl MultiRingDaemon {
         // per ring keeps the transport counters readable from outside.
         let probes: Vec<TransportProbe> = nodes.iter().map(NodeHandle::probe).collect();
         let probe = probes[0].clone();
+        let shared = Arc::new(Mutex::new(FrontendStats::default()));
+        let pump_shared = shared.clone();
+        // Bound before the thread spawns so the session address is known
+        // the moment this constructor returns.
+        let mux = SessionMux::new(options.frontend).expect("bind session socket");
+        let session_addr = mux.local_addr();
         let thread = std::thread::Builder::new()
             .name(format!("multiring-daemon-{pid}"))
-            .spawn(move || pump(nodes, shards, cmd_rx, options, probe))
+            .spawn(move || pump(nodes, shards, cmd_rx, options, mux, pump_shared, probe))
             .expect("spawn multi-ring daemon thread");
         MultiRingDaemon {
             cmd_tx,
             thread: Some(thread),
             probes,
+            shared,
+            session_addr,
         }
+    }
+
+    /// The UDP address remote [`accelring_daemon::SessionClient`]s dial,
+    /// or `None` when the session socket is disabled.
+    pub fn session_addr(&self) -> Option<SocketAddr> {
+        self.session_addr
+    }
+
+    /// A snapshot of the session frontend's counters (sessions open,
+    /// submits, per-cause sheds, reactor wakeups/syscalls).
+    pub fn frontend_stats(&self) -> FrontendStats {
+        *self.shared.lock().expect("frontend stats lock")
     }
 
     /// Per-ring snapshots of the underlying transport nodes' counters
@@ -382,7 +420,15 @@ struct MigrationWatch {
 
 struct Pump {
     engine: MultiRingEngine,
-    channels: HashMap<String, Sender<ClientEvent>>,
+    /// All client sessions — in-process channel adapters and remote UDP
+    /// sessions alike — behind one slab-indexed mux with shared shed
+    /// accounting and fair egress.
+    mux: SessionMux,
+    /// Frontend snapshot store read by [`MultiRingDaemon::frontend_stats`].
+    shared: Arc<Mutex<FrontendStats>>,
+    /// Frontend counters as of the last export, for delta-mirroring the
+    /// shed counts into the transport probe.
+    reported_frontend: FrontendStats,
     /// Highest regular-configuration counter seen on any ring; carried
     /// by skip ticks so lagging rings align to the newest epoch base.
     max_epoch: u64,
@@ -426,9 +472,7 @@ impl Pump {
                     }
                 }
                 MultiOutput::Local { client, event } => {
-                    if let Some(tx) = self.channels.get(&client) {
-                        let _ = tx.send(event);
-                    }
+                    self.mux.deliver(&client, event);
                 }
             }
         }
@@ -532,13 +576,76 @@ impl Pump {
         self.reported = c;
     }
 
+    /// Routes the engine-relevant frames surfaced by one ingest burst of
+    /// the session socket.
+    fn handle_ingress(&mut self, ingress: &mut Vec<Ingress>, nodes: &[NodeHandle]) {
+        for ing in ingress.drain(..) {
+            match ing {
+                Ingress::Hello {
+                    name,
+                    resume_seq,
+                    nonce,
+                    addr,
+                } => {
+                    // Split borrow: the mux decides new-vs-resume, the
+                    // engine registers genuinely new clients (on every
+                    // ring at once).
+                    let engine = &mut self.engine;
+                    let mux = &mut self.mux;
+                    mux.handle_hello(name, resume_seq, nonce, addr, |n| {
+                        engine.client_connect(n).map_err(|e| match e {
+                            MultiRingError::Engine(e) => e,
+                            // `client_connect` cannot raise the
+                            // multi-ring-only variants; keep the message
+                            // for the ERROR frame if it ever does.
+                            other => EngineError::UnknownClient(other.to_string()),
+                        })
+                    });
+                }
+                Ingress::Submit {
+                    name,
+                    seq,
+                    service,
+                    action,
+                } => {
+                    let result = match action {
+                        GroupAction::Data { groups, payload } => {
+                            let refs: Vec<&str> = groups.iter().map(String::as_str).collect();
+                            self.engine
+                                .client_multicast_sequenced(&name, &refs, payload, service, seq)
+                        }
+                        GroupAction::Join { group } => self.engine.client_join(&name, &group),
+                        GroupAction::Leave { group } => self.engine.client_leave(&name, &group),
+                        GroupAction::Disconnect => {
+                            let result = self.engine.client_disconnect(&name);
+                            self.mux.close_name(&name);
+                            result
+                        }
+                    };
+                    match result {
+                        Ok(outputs) => self.dispatch(outputs, nodes),
+                        // Cross-ring multicasts land here too: the wire
+                        // protocol has no per-submit reply, so a rejected
+                        // remote submit is counted, not answered.
+                        Err(_) => self.mux.note_rejected(),
+                    }
+                }
+                Ingress::Bye { name } => {
+                    if let Ok(outputs) = self.engine.client_disconnect(&name) {
+                        self.dispatch(outputs, nodes);
+                    }
+                }
+            }
+        }
+    }
+
     /// Handles one client command; `true` ends the pump loop.
     fn handle_cmd(&mut self, cmd: Cmd, nodes: &[NodeHandle]) -> bool {
         match cmd {
             Cmd::Connect { name, events, resp } => {
                 let result = self.engine.client_connect(&name);
                 if result.is_ok() {
-                    self.channels.insert(name, events);
+                    self.mux.open_adapter(&name, events);
                 }
                 let _ = resp.send(result);
             }
@@ -568,7 +675,7 @@ impl Pump {
                 if let Ok(outputs) = self.engine.client_disconnect(&name) {
                     self.dispatch(outputs, nodes);
                 }
-                self.channels.remove(&name);
+                self.mux.close_name(&name);
             }
             Cmd::Migrate { group, to, resp } => {
                 let result = self.engine.begin_migration(&group, to);
@@ -579,15 +686,27 @@ impl Pump {
         false
     }
 
-    fn broadcast_disconnected(&self, reason: &str) {
-        for tx in self.channels.values() {
-            let _ = tx.send_timeout(
-                ClientEvent::Disconnected {
-                    reason: reason.to_string(),
-                },
-                DISCONNECT_SEND_TIMEOUT,
-            );
+    /// Publishes frontend counters and mirrors shed deltas into the
+    /// ring-0 transport probe so chaos/leak tooling watching
+    /// [`TransportStats`] sees the frontend's drops too.
+    fn export_frontend_stats(&mut self) {
+        let now = self.mux.stats();
+        let d_slow = now.shed_slow_session - self.reported_frontend.shed_slow_session;
+        let d_budget = now.shed_global_budget - self.reported_frontend.shed_global_budget;
+        let d_race = now.shed_disconnect_race - self.reported_frontend.shed_disconnect_race;
+        if d_slow > 0 {
+            self.probe.note_events_shed(ShedCause::SlowSession, d_slow);
         }
+        if d_budget > 0 {
+            self.probe
+                .note_events_shed(ShedCause::GlobalBudget, d_budget);
+        }
+        if d_race > 0 {
+            self.probe
+                .note_events_shed(ShedCause::DisconnectRace, d_race);
+        }
+        self.reported_frontend = now;
+        *self.shared.lock().expect("frontend stats lock") = now;
     }
 }
 
@@ -596,12 +715,16 @@ fn pump(
     shards: ShardMap,
     cmd_rx: Receiver<Cmd>,
     options: MultiRingOptions,
+    mux: SessionMux,
+    shared: Arc<Mutex<FrontendStats>>,
     probe: TransportProbe,
 ) {
     let pid = nodes[0].pid();
     let mut p = Pump {
         engine: MultiRingEngine::with_options(pid, shards, options.lambda, options.engine),
-        channels: HashMap::new(),
+        mux,
+        shared,
+        reported_frontend: FrontendStats::default(),
         max_epoch: 0,
         retries: VecDeque::new(),
         retry_backoff: Backoff::new(
@@ -617,9 +740,27 @@ fn pump(
     // When each ring last delivered anything (ticks included): the
     // idleness clock pacing this daemon's skip ticks.
     let mut last_delivery = vec![Instant::now(); nodes.len()];
+    // With a session socket, the reactor parks on its descriptor: a
+    // datagram wakes it instantly, channel work is drained each tick.
+    // Without one, the old fully channel-driven select blocks until a
+    // command or ring event arrives (or the tick interval elapses).
+    let mut poller = Poller::new();
+    let session_fd = p.mux.poll_fd();
+    if let Some(fd) = session_fd {
+        poller.set_fds(&[fd]);
+    }
+    let mut ingress: Vec<Ingress> = Vec::new();
 
     let exit = 'pump: loop {
-        {
+        if session_fd.is_some() {
+            // Skip the park entirely while egress is backed up: drain it.
+            let tick = if p.mux.has_pending_egress() {
+                Duration::ZERO
+            } else {
+                REACTOR_TICK
+            };
+            poller.wait(tick);
+        } else {
             let mut sel = Select::new();
             sel.recv(&cmd_rx);
             for node in &nodes {
@@ -627,6 +768,7 @@ fn pump(
             }
             let _ = sel.ready_timeout(options.tick_interval);
         }
+        p.mux.note_wakeup();
 
         loop {
             match cmd_rx.try_recv() {
@@ -639,6 +781,12 @@ fn pump(
                 // Every daemon and client handle dropped without Shutdown.
                 Err(TryRecvError::Disconnected) => break 'pump Exit::Shutdown,
             }
+        }
+        // Session ingest before the engine flush: submits that just
+        // arrived ride the same flush as this tick's command traffic.
+        p.mux.ingest(&mut ingress);
+        if !ingress.is_empty() {
+            p.handle_ingress(&mut ingress, &nodes);
         }
         // Close partially packed payloads so buffered client messages are
         // not held hostage waiting for more traffic.
@@ -699,17 +847,22 @@ fn pump(
                 }
             }
         }
+        p.mux.flush_egress();
+        p.export_frontend_stats();
     };
 
     match exit {
         Exit::Shutdown => {
-            p.broadcast_disconnected("daemon shutdown");
+            p.mux.flush_egress();
+            p.mux.broadcast_disconnected("daemon shutdown");
             for node in nodes {
                 node.shutdown();
             }
         }
         Exit::RingDead { ring, reason } => {
-            p.broadcast_disconnected(&format!("{ring} died: {reason}"));
+            p.mux.flush_egress();
+            p.mux
+                .broadcast_disconnected(&format!("{ring} died: {reason}"));
             for node in nodes {
                 if node.is_alive() {
                     node.shutdown();
@@ -717,4 +870,5 @@ fn pump(
             }
         }
     }
+    p.export_frontend_stats();
 }

@@ -1,0 +1,132 @@
+//! Remote sessions against the multi-ring daemon: the same framed UDP
+//! session protocol that serves `GroupDaemon` also fronts
+//! [`MultiRingDaemon`] — one reactor, adapter and remote sessions in one
+//! mux, submissions sharded across rings and events delivered in the
+//! merged cross-ring total order.
+//!
+//! Real sockets and threads; run with `--test-threads=1`.
+
+use std::time::{Duration, Instant};
+
+use accelring_core::{ProtocolConfig, RingIdx, Service};
+use accelring_daemon::{ClientEvent, FrontendOptions, SessionClient};
+use accelring_membership::MembershipConfig;
+use accelring_multiring::{MultiRingDaemon, MultiRingOptions, ShardMap};
+use accelring_transport::spawn_local_multiring;
+use bytes::Bytes;
+
+const RINGS: u16 = 2;
+const NODES: u16 = 2;
+
+fn shards() -> ShardMap {
+    let mut map = ShardMap::new(RINGS);
+    map.assign("left", RingIdx::new(0));
+    map.assign("right", RingIdx::new(1));
+    map
+}
+
+fn spawn_daemons() -> Vec<MultiRingDaemon> {
+    let handles = spawn_local_multiring(
+        RINGS,
+        NODES,
+        ProtocolConfig::default(),
+        MembershipConfig::for_wall_clock(),
+        &[None, None],
+    )
+    .expect("rings stand up");
+    let mut columns: Vec<Vec<_>> = (0..NODES).map(|_| Vec::new()).collect();
+    for ring in handles {
+        for (i, node) in ring.into_iter().enumerate() {
+            columns[i].push(node);
+        }
+    }
+    let options = MultiRingOptions {
+        frontend: FrontendOptions::enabled(),
+        ..MultiRingOptions::default()
+    };
+    columns
+        .into_iter()
+        .map(|nodes| MultiRingDaemon::start_with(nodes, shards(), options))
+        .collect()
+}
+
+fn await_view(client: &mut SessionClient, group: &str, n: usize, deadline: Duration) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < deadline {
+        if let Ok(Some(ClientEvent::View { group: g, members })) =
+            client.recv_event(Duration::from_millis(50))
+        {
+            if g == group && members.len() == n {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+fn collect_payloads(client: &mut SessionClient, want: usize, deadline: Duration) -> Vec<Bytes> {
+    let start = Instant::now();
+    let mut got = Vec::new();
+    while start.elapsed() < deadline && got.len() < want {
+        if let Ok(Some(ClientEvent::Message { payload, .. })) =
+            client.recv_event(Duration::from_millis(50))
+        {
+            got.push(payload);
+        }
+    }
+    got
+}
+
+#[test]
+fn remote_sessions_span_rings_through_one_frontend() {
+    let daemons = spawn_daemons();
+    let addr0 = daemons[0].session_addr().expect("session socket");
+    let addr1 = daemons[1].session_addr().expect("session socket");
+
+    // Remote sender on daemon 0, remote watcher on daemon 1; the watcher
+    // subscribes to groups sharded onto *different* rings, so its event
+    // stream is the deterministic cross-ring merge.
+    let sender = SessionClient::connect(addr0, "sender").expect("connect sender");
+    let mut watcher = SessionClient::connect(addr1, "watcher").expect("connect watcher");
+    watcher.join("left").expect("join left");
+    watcher.join("right").expect("join right");
+    sender.join("left").expect("join left");
+    assert!(
+        await_view(&mut watcher, "left", 2, Duration::from_secs(20)),
+        "watcher must see sender in the left view"
+    );
+
+    for k in 0..5u32 {
+        sender
+            .multicast(&["left"], Bytes::from(format!("l{k}")), Service::Agreed)
+            .expect("submit left");
+        sender
+            .multicast(&["right"], Bytes::from(format!("r{k}")), Service::Agreed)
+            .expect("submit right (open-group: sender is not a member)");
+    }
+    let got = collect_payloads(&mut watcher, 10, Duration::from_secs(20));
+    assert_eq!(got.len(), 10, "all ten messages arrive: {got:?}");
+    // Per-ring FIFO survives the merge even if the rings interleave.
+    let lefts: Vec<&Bytes> = got.iter().filter(|p| p.starts_with(b"l")).collect();
+    let rights: Vec<&Bytes> = got.iter().filter(|p| p.starts_with(b"r")).collect();
+    assert_eq!(
+        lefts.iter().map(|p| p.as_ref()).collect::<Vec<_>>(),
+        (0..5u32)
+            .map(|k| format!("l{k}").into_bytes())
+            .collect::<Vec<_>>(),
+        "left-ring messages stay ordered"
+    );
+    assert_eq!(
+        rights.iter().map(|p| p.as_ref()).collect::<Vec<_>>(),
+        (0..5u32)
+            .map(|k| format!("r{k}").into_bytes())
+            .collect::<Vec<_>>(),
+        "right-ring messages stay ordered"
+    );
+
+    let fs = daemons[0].frontend_stats();
+    assert!(fs.sessions_peak >= 1, "frontend served the remote sender");
+    assert!(fs.submits >= 11, "joins and multicasts all ride SUBMIT");
+    sender.bye();
+    watcher.bye();
+}

@@ -41,6 +41,7 @@ pub mod fault;
 #[allow(unsafe_code)]
 mod mmsg;
 pub mod node;
+pub mod poller;
 pub mod socket;
 
 pub use addr::{AddressBook, NodeAddr};
@@ -49,19 +50,30 @@ pub use node::{
     AppEvent, BoundNode, Datapath, KillSwitch, NodeHandle, NodeOptions, SubmitError,
     TransportError, TransportProbe, TransportStats,
 };
+pub use poller::Poller;
 pub use socket::{DatagramSocket, RecvOutcome, RecvSlot, SendOutcome};
 
 use std::sync::Arc;
+use std::time::Duration;
 
-use accelring_core::{ParticipantId, ProtocolConfig};
+use accelring_core::{Backoff, ParticipantId, ProtocolConfig};
 use accelring_membership::MembershipConfig;
 
 /// How many times binding one participant's sockets is retried before the
 /// whole ring spawn is failed (ephemeral-port collisions are transient).
 pub const BIND_ATTEMPTS: usize = 3;
 
+/// Base delay of the full-jitter backoff between bind attempts. Restarted
+/// daemons rebinding fixed ports race the kernel releasing them; a jittered
+/// pause desynchronizes simultaneous restarts (the same [`Backoff`] policy
+/// the reconnect and retry paths use) where the old back-to-back retry
+/// burned all its attempts inside the contention window.
+pub const BIND_BACKOFF_BASE: Duration = Duration::from_millis(10);
+/// Cap on the bind backoff delay.
+pub const BIND_BACKOFF_CAP: Duration = Duration::from_millis(200);
+
 /// Binds a node's sockets, retrying transient bind failures a bounded
-/// number of times.
+/// number of times with [`Backoff`] full-jitter pauses in between.
 ///
 /// # Errors
 ///
@@ -69,11 +81,19 @@ pub const BIND_ATTEMPTS: usize = 3;
 /// come up after [`BIND_ATTEMPTS`] tries.
 pub fn bind_with_retry(pid: ParticipantId, ip: &str) -> Result<BoundNode, TransportError> {
     let mut last = None;
-    for _ in 0..BIND_ATTEMPTS {
+    let mut backoff = Backoff::new(
+        BIND_BACKOFF_BASE,
+        BIND_BACKOFF_CAP,
+        0x1bd1 ^ u64::from(pid.as_u16()),
+    );
+    for attempt in 0..BIND_ATTEMPTS {
         match BoundNode::bind(pid, ip) {
             Ok(b) => return Ok(b),
             Err(TransportError::Io(e)) => last = Some(e),
             Err(other) => return Err(other),
+        }
+        if attempt + 1 < BIND_ATTEMPTS {
+            std::thread::sleep(backoff.next_delay());
         }
     }
     Err(TransportError::Bind {

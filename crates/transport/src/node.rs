@@ -22,7 +22,7 @@ use std::time::{Duration, Instant};
 
 use accelring_core::{
     wire, BufLease, BufferPool, Delivery, HotPathStats, ParticipantId, PoolStats, ProtocolConfig,
-    Service,
+    Service, ShedCause,
 };
 use accelring_membership::{
     decode_control, encode_control, ConfigChange, Input, MembershipConfig, MembershipDaemon,
@@ -33,6 +33,7 @@ use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TryRecvError, Try
 
 use crate::addr::{AddressBook, NodeAddr};
 use crate::fault::{FaultPlane, InterposedSocket, SocketClass};
+use crate::poller::Poller;
 use crate::socket::{DatagramSocket, RecvSlot, SendOutcome};
 
 /// Largest datagram the transport accepts (64 KiB UDP limit).
@@ -91,6 +92,9 @@ struct StatsInner {
     migrations_aborted: AtomicU64,
     submissions_redirected: AtomicU64,
     fence_wait_ns: AtomicU64,
+    events_shed_slow: AtomicU64,
+    events_shed_budget: AtomicU64,
+    events_shed_race: AtomicU64,
 }
 
 /// A point-in-time copy of a node's transport counters.
@@ -125,6 +129,16 @@ pub struct TransportStats {
     /// (from fence start to commit/abort, summed over migrations this
     /// daemon observed).
     pub fence_wait_ns: u64,
+    /// Client-bound events shed because one session's egress queue was
+    /// full (the session frontend attributes these; the transport only
+    /// owns the counter fabric).
+    pub events_shed_slow: u64,
+    /// Client-bound events shed because the frontend-wide queued-event
+    /// budget was exhausted.
+    pub events_shed_budget: u64,
+    /// Client-bound events shed because the session closed while the
+    /// event was in flight (disconnect race).
+    pub events_shed_race: u64,
     /// Hot-datapath counters: syscall batching, pool behaviour, copies.
     pub hot: HotPathStats,
 }
@@ -145,6 +159,9 @@ impl StatsInner {
             migrations_aborted: self.migrations_aborted.load(Ordering::Relaxed),
             submissions_redirected: self.submissions_redirected.load(Ordering::Relaxed),
             fence_wait_ns: self.fence_wait_ns.load(Ordering::Relaxed),
+            events_shed_slow: self.events_shed_slow.load(Ordering::Relaxed),
+            events_shed_budget: self.events_shed_budget.load(Ordering::Relaxed),
+            events_shed_race: self.events_shed_race.load(Ordering::Relaxed),
             hot: HotPathStats {
                 datagrams_rx,
                 datagrams_tx: self.datagrams_tx.load(Ordering::Relaxed),
@@ -461,6 +478,10 @@ impl BoundNode {
                     thread_ctx;
                 let mut daemon = MembershipDaemon::new(pid, protocol, membership);
                 daemon.restore_ring_counter(options.restore_ring_counter);
+                let mut poller = Poller::new();
+                if let (Some(data), Some(token)) = (data_socket.poll_fd(), token_socket.poll_fd()) {
+                    poller.set_fds(&[data, token]);
+                }
                 let mut event_loop = EventLoop {
                     pid,
                     data_socket,
@@ -487,6 +508,7 @@ impl BoundNode {
                         Datapath::PerDatagram => vec![0u8; MAX_DATAGRAM],
                         Datapath::Batched => Vec::new(),
                     },
+                    poller,
                 };
                 // The loop must never take the whole process down: a panic
                 // in the protocol stack is caught here, counted, and
@@ -587,6 +609,18 @@ impl TransportProbe {
         self.stats
             .fence_wait_ns
             .fetch_add(wait.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Records client-bound events the session frontend shed, attributed
+    /// to their cause (the frontend calls this the same way the
+    /// multi-ring pump reports migrations).
+    pub fn note_events_shed(&self, cause: ShedCause, n: u64) {
+        let counter = match cause {
+            ShedCause::SlowSession => &self.stats.events_shed_slow,
+            ShedCause::GlobalBudget => &self.stats.events_shed_budget,
+            ShedCause::DisconnectRace => &self.stats.events_shed_race,
+        };
+        counter.fetch_add(n, Ordering::Relaxed);
     }
 }
 
@@ -784,6 +818,9 @@ struct EventLoop {
     token_batch: Vec<(Bytes, SocketAddr)>,
     /// Legacy per-datagram receive buffer (empty on the batched path).
     scratch: Vec<u8>,
+    /// Parks the loop on both socket descriptors when idle (empty — and
+    /// therefore a plain sleep — when either socket cannot expose one).
+    poller: Poller,
 }
 
 impl EventLoop {
@@ -830,16 +867,7 @@ impl EventLoop {
         if let Some((deadline, _)) = self.daemon.next_timer() {
             timeout = timeout.min(Duration::from_nanos(deadline.saturating_sub(self.now_ns())));
         }
-        if timeout.is_zero() {
-            return;
-        }
-        #[cfg(target_os = "linux")]
-        if let (Some(data), Some(token)) = (self.data_socket.poll_fd(), self.token_socket.poll_fd())
-        {
-            crate::mmsg::wait_readable(&[data, token], timeout);
-            return;
-        }
-        std::thread::sleep(timeout);
+        self.poller.wait(timeout);
     }
 
     /// One iteration: client commands (when accepted), one receive batch

@@ -1,54 +1,97 @@
-//! Quickstart: a three-participant Accelerated Ring, totally ordered
-//! delivery of Agreed and Safe messages, in a deterministic in-memory net.
+//! Quickstart: a real three-daemon Accelerated Ring on localhost UDP,
+//! group-messaging clients on top, and totally ordered delivery of
+//! Agreed and Safe messages observed end to end.
 //!
 //! Run with: `cargo run --example quickstart`
 
-use accelring::core::testing::TestNet;
+use std::time::{Duration, Instant};
+
 use accelring::core::{ProtocolConfig, Service};
+use accelring::daemon::{ClientEvent, GroupDaemon};
+use accelring::membership::MembershipConfig;
+use accelring::transport::spawn_local_ring;
 use bytes::Bytes;
 
-fn main() {
-    // The Figure 1 configuration: personal window 5, accelerated window 3.
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The Figure 1 configuration: personal window 5, accelerated window 3,
+    // with wall-clock membership timing suitable for a demo.
     let cfg = ProtocolConfig::accelerated(5, 3);
-    let mut net = TestNet::new(3, cfg);
+    println!("starting 3 daemons on 127.0.0.1 (ephemeral ports)...");
+    let nodes = spawn_local_ring(3, cfg, MembershipConfig::for_wall_clock())?;
+    let daemons: Vec<GroupDaemon> = nodes.into_iter().map(GroupDaemon::start).collect();
 
-    // Three participants submit interleaved updates, mixing service levels.
+    // One client per daemon, all subscribed to #updates.
+    let clients: Vec<_> = daemons
+        .iter()
+        .enumerate()
+        .map(|(i, d)| d.connect(&format!("client-{i}")).expect("connect"))
+        .collect();
+    for c in &clients {
+        c.join("updates")?;
+    }
+
+    // Wait until every client has seen the full view: a join is effective
+    // (and later sends are ordered after it everywhere) only once the
+    // view installing it has been delivered.
+    for (i, c) in clients.iter().enumerate() {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            match c.events().recv_timeout(Duration::from_millis(200)) {
+                Ok(ClientEvent::View { group, members })
+                    if group == "updates" && members.len() == clients.len() =>
+                {
+                    break;
+                }
+                Ok(_) => {}
+                Err(_) if Instant::now() > deadline => {
+                    return Err(format!("client-{i} never saw the full view").into())
+                }
+                Err(_) => {}
+            }
+        }
+    }
+    println!("#updates view complete: {} members", clients.len());
+
+    // Three clients submit interleaved updates, mixing service levels.
     for i in 0..4u32 {
-        net.submit(
-            (i % 3) as usize,
+        clients[(i % 3) as usize].multicast(
+            &["updates"],
             Bytes::from(format!("update-{i}")),
             if i % 2 == 0 {
                 Service::Agreed
             } else {
                 Service::Safe
             },
-        );
+        )?;
     }
 
-    // Let the token circulate a few rounds.
-    net.run_tokens(15);
-
-    // Every participant delivered exactly the same sequence.
-    let orders = net.delivery_orders();
-    println!("total order as delivered by participant 0:");
-    for d in &orders[0] {
-        println!(
-            "  {} from {} ({}): {}",
-            d.seq,
-            d.sender,
-            d.service,
-            String::from_utf8_lossy(&d.payload)
-        );
+    // Every client delivers exactly the same sequence.
+    let mut orders: Vec<Vec<String>> = Vec::new();
+    for (i, c) in clients.iter().enumerate() {
+        let mut got = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while got.len() < 4 && Instant::now() < deadline {
+            if let Ok(ClientEvent::Message {
+                sender, payload, ..
+            }) = c.events().recv_timeout(Duration::from_millis(200))
+            {
+                got.push(format!("{sender}: {}", String::from_utf8_lossy(&payload)));
+            }
+        }
+        assert_eq!(got.len(), 4, "client-{i} must deliver all four updates");
+        orders.push(got);
     }
-    assert_eq!(orders[0], orders[1]);
-    assert_eq!(orders[1], orders[2]);
-    println!("participants 1 and 2 delivered the identical sequence ✓");
+    println!("total order as delivered by client-0:");
+    for line in &orders[0] {
+        println!("  {line}");
+    }
+    for (i, order) in orders.iter().enumerate().skip(1) {
+        assert_eq!(order, &orders[0], "client-{i} diverged from client-0");
+    }
+    println!("all 3 clients delivered the identical sequence ✓");
 
-    let stats = net.stats();
-    println!(
-        "tokens processed: {}, messages sent: {}, retransmissions: {}",
-        stats.iter().map(|s| s.tokens_processed).sum::<u64>(),
-        stats.iter().map(|s| s.messages_sent).sum::<u64>(),
-        stats.iter().map(|s| s.retransmissions_sent).sum::<u64>(),
-    );
+    for d in daemons {
+        d.shutdown();
+    }
+    Ok(())
 }

@@ -2,17 +2,21 @@
 //! classic state-machine-replication use case from the paper's
 //! introduction ("maintaining consistent distributed state").
 //!
-//! Each replica applies the same totally ordered stream of operations to
-//! its local map, so all replicas stay identical without locks or
-//! leader election. Writes use Safe delivery (stability before apply);
-//! reads are local.
+//! Each replica is a client of its local daemon on a real localhost UDP
+//! ring. All replicas apply the same totally ordered stream of
+//! operations to their local maps, so they stay identical without locks
+//! or leader election. Writes use Safe delivery (stability before
+//! apply); reads are local.
 //!
 //! Run with: `cargo run --example replicated_kv`
 
 use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
 
-use accelring::core::testing::TestNet;
-use accelring::core::{Delivery, ProtocolConfig, Service};
+use accelring::core::{ProtocolConfig, Service};
+use accelring::daemon::{ClientEvent, GroupDaemon};
+use accelring::membership::MembershipConfig;
+use accelring::transport::spawn_local_ring;
 use bytes::Bytes;
 
 /// An operation on the store, with a tiny text wire format.
@@ -54,8 +58,8 @@ struct Replica {
 }
 
 impl Replica {
-    fn apply(&mut self, delivery: &Delivery) {
-        let Some(op) = Op::decode(&delivery.payload) else {
+    fn apply(&mut self, payload: &[u8]) {
+        let Some(op) = Op::decode(payload) else {
             return;
         };
         self.applied += 1;
@@ -70,9 +74,42 @@ impl Replica {
     }
 }
 
-fn main() {
-    const REPLICAS: u16 = 5;
-    let mut net = TestNet::new(REPLICAS, ProtocolConfig::accelerated(20, 15));
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    const REPLICAS: usize = 5;
+    println!("starting {REPLICAS} daemons on 127.0.0.1 (ephemeral ports)...");
+    let nodes = spawn_local_ring(
+        REPLICAS as u16,
+        ProtocolConfig::accelerated(20, 15),
+        MembershipConfig::for_wall_clock(),
+    )?;
+    let daemons: Vec<GroupDaemon> = nodes.into_iter().map(GroupDaemon::start).collect();
+    let clients: Vec<_> = daemons
+        .iter()
+        .enumerate()
+        .map(|(i, d)| d.connect(&format!("replica-{i}")).expect("connect"))
+        .collect();
+    for c in &clients {
+        c.join("kv")?;
+    }
+    // A join is effective only once its view is delivered; wait for the
+    // full membership before submitting so no replica misses an op.
+    for (i, c) in clients.iter().enumerate() {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            match c.events().recv_timeout(Duration::from_millis(200)) {
+                Ok(ClientEvent::View { group, members })
+                    if group == "kv" && members.len() == REPLICAS =>
+                {
+                    break;
+                }
+                Ok(_) => {}
+                Err(_) if Instant::now() > deadline => {
+                    return Err(format!("replica-{i} never saw the full view").into())
+                }
+                Err(_) => {}
+            }
+        }
+    }
 
     // Different replicas issue conflicting writes to the same keys — the
     // total order resolves every conflict identically everywhere.
@@ -127,16 +164,25 @@ fn main() {
         ),
     ];
     for (replica, op) in &ops {
-        net.submit(*replica, op.encode(), Service::Safe);
+        clients[*replica].multicast(&["kv"], op.encode(), Service::Safe)?;
     }
-    net.run_tokens(40);
 
-    // Build each replica's state from its delivery stream.
+    // Build each replica's state from its delivered stream.
     let mut replicas: Vec<Replica> = (0..REPLICAS).map(|_| Replica::default()).collect();
-    for (i, replica) in replicas.iter_mut().enumerate() {
-        for d in &net.delivery_orders()[i] {
-            replica.apply(d);
+    for (i, (c, replica)) in clients.iter().zip(replicas.iter_mut()).enumerate() {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while replica.applied < ops.len() as u64 && Instant::now() < deadline {
+            if let Ok(ClientEvent::Message { payload, .. }) =
+                c.events().recv_timeout(Duration::from_millis(200))
+            {
+                replica.apply(&payload);
+            }
         }
+        assert_eq!(
+            replica.applied,
+            ops.len() as u64,
+            "replica-{i} must deliver every op"
+        );
     }
 
     println!("replica 0 state after {} ops:", replicas[0].applied);
@@ -147,5 +193,9 @@ fn main() {
         assert_eq!(r, &replicas[0], "replica {i} diverged");
     }
     println!("all {REPLICAS} replicas identical ✓");
-    assert_eq!(replicas[0].applied, ops.len() as u64);
+
+    for d in daemons {
+        d.shutdown();
+    }
+    Ok(())
 }
