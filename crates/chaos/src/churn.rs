@@ -54,6 +54,16 @@ pub enum ChurnKind {
         /// How long it stays down before rebinding its ports.
         down: Duration,
     },
+    /// A correlated crash: every listed daemon goes down before any
+    /// comes back, so the rejoiners catch up from a minority of live
+    /// peers — the restart-storm dimension of the recovery protocol.
+    RestartStorm {
+        /// The daemons (participant ids) to cycle together; never
+        /// includes daemon 0 (the tick leader).
+        daemons: Vec<u16>,
+        /// How long the storm members all stay down.
+        down: Duration,
+    },
 }
 
 /// One scheduled disturbance: `kind` fires `at` after the workload
@@ -191,6 +201,46 @@ impl ChurnSchedule {
             ],
         }
     }
+
+    /// Generates a restart-storm schedule: `cfg.events` correlated
+    /// crashes, each taking down `storm_size` distinct daemons at once
+    /// (never daemon 0 — the tick leader's downtime stalls every merge
+    /// and tests nothing about recovery). A separate generator rather
+    /// than a [`ChurnSchedule::generate`] arm so the storm dimension
+    /// cannot perturb the draw sequence existing seeds pin down.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= storm_size < cfg.nodes`, i.e. the storm
+    /// leaves at least daemon 0 up as a catch-up source.
+    pub fn restart_storm(seed: u64, cfg: &ChurnConfig, storm_size: u16) -> ChurnSchedule {
+        assert!(
+            storm_size >= 1 && storm_size < cfg.nodes,
+            "storm must cycle at least one daemon and leave survivors"
+        );
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x570_12a3_u64.rotate_left(23));
+        let mut at = cfg.warmup;
+        let mut events = Vec::with_capacity(cfg.events);
+        for _ in 0..cfg.events {
+            let mut pool: Vec<u16> = (1..cfg.nodes).collect();
+            let mut daemons = Vec::with_capacity(storm_size as usize);
+            for _ in 0..storm_size {
+                let pick = rng.random_range(0..pool.len());
+                daemons.push(pool.swap_remove(pick));
+            }
+            daemons.sort_unstable();
+            events.push(ChurnEvent {
+                at,
+                kind: ChurnKind::RestartStorm {
+                    daemons,
+                    down: Duration::from_millis(rng.random_range(200..600u64)),
+                },
+            });
+            let span = cfg.max_gap.saturating_sub(cfg.min_gap);
+            at += cfg.min_gap + span.mul_f64(rng.random::<f64>());
+        }
+        ChurnSchedule { seed, events }
+    }
 }
 
 /// Checks the handoff invariants over observers that stayed subscribed
@@ -265,6 +315,69 @@ pub fn check_churn_handoff(
     v
 }
 
+/// What one daemon restart looked like, for [`check_recovery`]: the
+/// runner records the cluster's live shard-map version and the victim's
+/// dedup watermarks around the cycle, and what the rejoined incarnation
+/// ended up serving with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// The cycled daemon (participant id).
+    pub daemon: u16,
+    /// Live shard-map version at a surviving daemon when the victim
+    /// came back up.
+    pub map_before: u64,
+    /// The rejoined incarnation's shard-map version once it served.
+    pub map_after: u64,
+    /// Per-ring dedup watermarks captured when the victim stopped.
+    pub seqs_before: Vec<Vec<(String, u64)>>,
+    /// The rejoined incarnation's per-ring dedup watermarks.
+    pub seqs_after: Vec<Vec<(String, u64)>>,
+}
+
+/// Checks the recovery invariants over a run's restart reports:
+///
+/// - `recovery-stale-map`: a rejoined daemon served from a shard map
+///   older than what the survivors held when it came back — its routing
+///   and merge would diverge from every other observer's;
+/// - `recovery-dedup-regression`: a watermark the dying incarnation
+///   held is missing or lower in the rejoined one (on the same ring),
+///   so a client resubmission across the restart would deliver twice.
+pub fn check_recovery(reports: &[RecoveryReport]) -> Vec<Violation> {
+    let mut v = Vec::new();
+    for r in reports {
+        if r.map_after < r.map_before {
+            v.push(Violation {
+                invariant: "recovery-stale-map",
+                detail: format!(
+                    "daemon {} rejoined serving map v{} while survivors held v{}",
+                    r.daemon, r.map_after, r.map_before
+                ),
+            });
+        }
+        for (ring, before) in r.seqs_before.iter().enumerate() {
+            for (client, seq) in before {
+                let after = r
+                    .seqs_after
+                    .get(ring)
+                    .and_then(|ws| ws.iter().find(|(c, _)| c == client))
+                    .map(|(_, s)| *s)
+                    .unwrap_or(0);
+                if after < *seq {
+                    v.push(Violation {
+                        invariant: "recovery-dedup-regression",
+                        detail: format!(
+                            "daemon {} ring {ring}: client {client} watermark fell {} -> {after} \
+                             across the restart",
+                            r.daemon, seq
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    v
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -311,6 +424,9 @@ mod tests {
                     ChurnKind::Restart { daemon, .. } => {
                         assert_ne!(*daemon, 0, "seed {seed} cycles the tick leader");
                     }
+                    ChurnKind::RestartStorm { daemons, .. } => {
+                        assert!(!daemons.contains(&0), "seed {seed} storms the tick leader");
+                    }
                     ChurnKind::Migrate { .. } => {}
                 }
             }
@@ -329,6 +445,7 @@ mod tests {
                 ChurnKind::HealLoss { .. } => "heal",
                 ChurnKind::Migrate { .. } => "migrate",
                 ChurnKind::Restart { .. } => "restart",
+                ChurnKind::RestartStorm { .. } => "storm",
             })
             .collect();
         assert_eq!(s.events.len(), 4);
@@ -342,6 +459,80 @@ mod tests {
             "events out of order"
         );
         assert_eq!(ChurnSchedule::smoke(3, "hot", 0, 1, 2), s);
+    }
+
+    #[test]
+    fn restart_storms_are_seed_deterministic_and_spare_the_leader() {
+        let a = ChurnSchedule::restart_storm(11, &cfg(), 2);
+        assert_eq!(a, ChurnSchedule::restart_storm(11, &cfg(), 2));
+        assert_ne!(a, ChurnSchedule::restart_storm(12, &cfg(), 2));
+        for seed in 0..32 {
+            let s = ChurnSchedule::restart_storm(seed, &cfg(), 2);
+            assert_eq!(s.events.len(), cfg().events);
+            for e in &s.events {
+                let ChurnKind::RestartStorm { daemons, .. } = &e.kind else {
+                    panic!("seed {seed}: non-storm event {:?}", e.kind);
+                };
+                assert_eq!(daemons.len(), 2, "seed {seed}: wrong storm size");
+                assert!(!daemons.contains(&0), "seed {seed} storms the tick leader");
+                let distinct: BTreeSet<&u16> = daemons.iter().collect();
+                assert_eq!(distinct.len(), daemons.len(), "seed {seed}: repeat victim");
+            }
+            assert!(
+                s.events.windows(2).all(|w| w[0].at <= w[1].at),
+                "seed {seed}: events out of order"
+            );
+        }
+        // Storms must not disturb the draw sequence of the main
+        // generator — existing seeds pin its schedules down.
+        let before = ChurnSchedule::generate(7, &cfg());
+        let _ = ChurnSchedule::restart_storm(7, &cfg(), 2);
+        assert_eq!(before, ChurnSchedule::generate(7, &cfg()));
+    }
+
+    #[test]
+    fn recovery_checker_passes_clean_reports() {
+        let r = RecoveryReport {
+            daemon: 2,
+            map_before: 3,
+            map_after: 4,
+            seqs_before: vec![vec![("alice".into(), 10)], vec![]],
+            seqs_after: vec![vec![("alice".into(), 10), ("bob".into(), 1)], vec![]],
+        };
+        assert!(check_recovery(&[r]).is_empty());
+        // Degenerate: a daemon with no sessions and no map churn.
+        let empty = RecoveryReport {
+            daemon: 1,
+            map_before: 0,
+            map_after: 0,
+            seqs_before: vec![],
+            seqs_after: vec![],
+        };
+        assert!(check_recovery(&[empty]).is_empty());
+    }
+
+    #[test]
+    fn recovery_checker_catches_stale_map_and_dedup_regression() {
+        let r = RecoveryReport {
+            daemon: 2,
+            map_before: 5,
+            map_after: 4,
+            seqs_before: vec![vec![("alice".into(), 10), ("bob".into(), 3)]],
+            // alice's watermark fell; bob's moved ring (counts as a
+            // regression on ring 0 — watermarks are per-ring).
+            seqs_after: vec![vec![("alice".into(), 9)], vec![("bob".into(), 3)]],
+        };
+        let v = check_recovery(&[r]);
+        let invariants: Vec<&str> = v.iter().map(|x| x.invariant).collect();
+        assert!(invariants.contains(&"recovery-stale-map"), "{v:?}");
+        assert_eq!(
+            invariants
+                .iter()
+                .filter(|i| **i == "recovery-dedup-regression")
+                .count(),
+            2,
+            "{v:?}"
+        );
     }
 
     #[test]

@@ -44,7 +44,10 @@ pub mod runner;
 pub mod schedule;
 
 pub use checker::{check, check_cross_ring_agreement, CheckerInput, MsgId, RingMsg, Violation};
-pub use churn::{check_churn_handoff, ChurnConfig, ChurnEvent, ChurnKind, ChurnSchedule};
+pub use churn::{
+    check_churn_handoff, check_recovery, ChurnConfig, ChurnEvent, ChurnKind, ChurnSchedule,
+    RecoveryReport,
+};
 pub use hook::{ChaosNetHook, NetKnobs};
 pub use live::{live_membership_config, run_live_chaos, LiveChaosConfig};
 pub use runner::{

@@ -216,6 +216,28 @@ impl GroupEngine {
         self.seen_seqs.get(client).copied().unwrap_or(0)
     }
 
+    /// Every per-client dedup watermark this engine holds, sorted by
+    /// client name. This is the dedup half of a recovery snapshot: a
+    /// restarted daemon seeded with it suppresses client resubmissions it
+    /// forgot it already ordered.
+    pub fn export_seqs(&self) -> Vec<(String, u64)> {
+        self.seen_seqs
+            .iter()
+            .map(|(name, seq)| (name.clone(), *seq))
+            .collect()
+    }
+
+    /// Seeds dedup watermarks from a peer's snapshot. Max-merge, so
+    /// seeding is monotone and idempotent: a watermark this engine has
+    /// already advanced past is never regressed, and replaying the same
+    /// snapshot changes nothing.
+    pub fn seed_seqs(&mut self, seqs: &[(String, u64)]) {
+        for (name, seq) in seqs {
+            let entry = self.seen_seqs.entry(name.clone()).or_insert(0);
+            *entry = (*entry).max(*seq);
+        }
+    }
+
     /// Wraps one encoded group message for the ring: fragmenting when too
     /// large, packing when enabled, bare otherwise.
     fn wrap_submit(&mut self, encoded: Bytes, service: Service) -> Vec<EngineOutput> {

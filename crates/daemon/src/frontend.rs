@@ -151,6 +151,30 @@ pub enum Ingress {
         /// The departing client's name.
         name: String,
     },
+    /// A peer daemon asked for recovery state (anti-entropy). The
+    /// runtime answers with a MAP_PUSH via
+    /// [`SessionMux::send_session_frame`].
+    MapPull {
+        /// Echoed so the requester recognizes its response.
+        nonce: u64,
+        /// The requester's highest observed configuration epoch.
+        want_epoch: u64,
+        /// Where the MAP_PUSH reply goes.
+        addr: SocketAddr,
+    },
+    /// A peer daemon pushed recovery state in response to our pull.
+    MapPush {
+        /// Echo of our pull nonce.
+        nonce: u64,
+        /// The responder's highest observed configuration epoch.
+        epoch: u64,
+        /// The responder's delivered merge-slot cursor.
+        slot: u64,
+        /// The responder's shard-map version.
+        map_version: u64,
+        /// The opaque snapshot body (the multi-ring layer decodes it).
+        body: Bytes,
+    },
 }
 
 enum SessionKind {
@@ -362,6 +386,15 @@ impl SessionMux {
             self.stats.syscalls += 1;
             let _ = DatagramSocket::send_to(sock, &encoded, addr);
         }
+    }
+
+    /// Sends one frame to an arbitrary peer address over the session
+    /// socket (a no-op when the socket is disabled). The recovery
+    /// runtime uses this for daemon-to-daemon MAP_PULL requests and
+    /// MAP_PUSH replies, which deliberately bypass the session table and
+    /// its credit machinery.
+    pub fn send_session_frame(&mut self, frame: &SessionFrame, addr: SocketAddr) {
+        self.send_frame(frame, addr);
     }
 
     /// Resolves a HELLO. The `connect` closure performs the engine-side
@@ -629,6 +662,27 @@ impl SessionMux {
                     out.push(Ingress::Bye { name: sess.name });
                 }
             }
+            // Recovery anti-entropy rides the session socket but is
+            // daemon-to-daemon: no session table entry, no credits —
+            // the runtime owns both sides.
+            SessionFrame::MapPull { nonce, want_epoch } => out.push(Ingress::MapPull {
+                nonce,
+                want_epoch,
+                addr,
+            }),
+            SessionFrame::MapPush {
+                nonce,
+                epoch,
+                slot,
+                map_version,
+                body,
+            } => out.push(Ingress::MapPush {
+                nonce,
+                epoch,
+                slot,
+                map_version,
+                body,
+            }),
             // Daemon-to-client frames arriving at the daemon are noise.
             SessionFrame::Welcome { .. }
             | SessionFrame::Event { .. }

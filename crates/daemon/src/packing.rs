@@ -42,6 +42,15 @@ pub const TAG_TICK: u8 = 0xA3;
 /// it. [`unpack`] rejects the tag, so a plain single-ring group engine
 /// drops them silently.
 pub const TAG_MIG: u8 = 0xA4;
+/// Tag byte reserved for multi-ring shard-map announcements.
+///
+/// A shard-map epoch rides a ring's total order so every observer of
+/// that ring adopts the new group→ring assignment at the same point of
+/// the stream — this is the ordered half of the crash-recovery catch-up
+/// protocol (the anti-entropy `MAP_PULL`/`MAP_PUSH` session frames are
+/// the unordered half). [`unpack`] rejects the tag, so map frames can
+/// never surface as client data.
+pub const TAG_MAP: u8 = 0xA5;
 
 /// Phase of the group-migration handshake a [`MigMsg`] drives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -143,6 +152,102 @@ pub fn parse_mig(payload: &[u8]) -> Option<MigMsg> {
         from,
         to,
         sender,
+    })
+}
+
+/// One shard-map announcement, ordered on a ring like any other
+/// payload. Carries the full map (version, ring count, retired rings,
+/// and every non-default placement) so adoption is idempotent and
+/// order-insensitive across rings: observers apply strictly-newer
+/// versions and drop the rest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MapMsg {
+    /// Monotone map version (bumped on every placement change).
+    pub version: u64,
+    /// Total ring count the map hashes over.
+    pub rings: u16,
+    /// Participant id of the daemon that announced this epoch.
+    pub sender: u16,
+    /// Retired (permanently dead) ring indices.
+    pub retired: Vec<u16>,
+    /// Explicit group→ring placements (groups not listed hash to their
+    /// default ring).
+    pub overrides: Vec<(String, u16)>,
+}
+
+/// Encodes a shard-map announcement:
+/// `[TAG_MAP, sender(2 LE), rings(2 LE), version(8 LE),
+///   n_retired(2 LE), retired*2LE,
+///   n_overrides(2 LE), {name_len(2 LE), name, ring(2 LE)}*]`.
+pub fn map_payload(msg: &MapMsg) -> Bytes {
+    let names: usize = msg.overrides.iter().map(|(g, _)| 4 + g.len()).sum();
+    let mut buf = BytesMut::with_capacity(17 + 2 * msg.retired.len() + names);
+    buf.put_u8(TAG_MAP);
+    buf.put_u16_le(msg.sender);
+    buf.put_u16_le(msg.rings);
+    buf.put_u64_le(msg.version);
+    buf.put_u16_le(msg.retired.len() as u16);
+    for r in &msg.retired {
+        buf.put_u16_le(*r);
+    }
+    buf.put_u16_le(msg.overrides.len() as u16);
+    for (group, ring) in &msg.overrides {
+        buf.put_u16_le(group.len() as u16);
+        buf.put_slice(group.as_bytes());
+        buf.put_u16_le(*ring);
+    }
+    buf.freeze()
+}
+
+/// Recognizes a shard-map announcement; `None` for anything else
+/// (including malformed map frames — garbage from a misbehaving peer
+/// degrades to a dropped delivery, never a panic).
+pub fn parse_map(payload: &[u8]) -> Option<MapMsg> {
+    if payload.len() < 17 || payload[0] != TAG_MAP {
+        return None;
+    }
+    let mut buf = &payload[1..];
+    let sender = buf.get_u16_le();
+    let rings = buf.get_u16_le();
+    let version = buf.get_u64_le();
+    let n_retired = buf.get_u16_le() as usize;
+    if buf.remaining() < 2 * n_retired {
+        return None;
+    }
+    let mut retired = Vec::with_capacity(n_retired);
+    for _ in 0..n_retired {
+        retired.push(buf.get_u16_le());
+    }
+    if buf.remaining() < 2 {
+        return None;
+    }
+    let n_overrides = buf.get_u16_le() as usize;
+    let mut overrides = Vec::with_capacity(n_overrides.min(1024));
+    for _ in 0..n_overrides {
+        if buf.remaining() < 2 {
+            return None;
+        }
+        let len = buf.get_u16_le() as usize;
+        if buf.remaining() < len + 2 {
+            return None;
+        }
+        let group = std::str::from_utf8(&buf[..len]).ok()?.to_string();
+        if group.is_empty() {
+            return None;
+        }
+        buf.advance(len);
+        let ring = buf.get_u16_le();
+        overrides.push((group, ring));
+    }
+    if buf.has_remaining() {
+        return None;
+    }
+    Some(MapMsg {
+        version,
+        rings,
+        sender,
+        retired,
+        overrides,
     })
 }
 
@@ -524,6 +629,75 @@ mod tests {
         assert_ne!(TAG_MIG, TAG_PACKED);
         assert_ne!(TAG_MIG, TAG_FRAGMENT);
         assert_ne!(TAG_MIG, TAG_TICK);
+        assert_ne!(TAG_MAP, TAG_BARE);
+        assert_ne!(TAG_MAP, TAG_PACKED);
+        assert_ne!(TAG_MAP, TAG_FRAGMENT);
+        assert_ne!(TAG_MAP, TAG_TICK);
+        assert_ne!(TAG_MAP, TAG_MIG);
+    }
+
+    #[test]
+    fn map_payloads_round_trip_and_stay_unpackable() {
+        for msg in [
+            MapMsg {
+                version: 0,
+                rings: 1,
+                sender: 0,
+                retired: Vec::new(),
+                overrides: Vec::new(),
+            },
+            MapMsg {
+                version: u64::MAX,
+                rings: 4,
+                sender: 2,
+                retired: vec![1, 3],
+                overrides: vec![("hot".to_string(), 0), ("cold-storage".to_string(), 2)],
+            },
+        ] {
+            let payload = map_payload(&msg);
+            assert_eq!(parse_map(&payload), Some(msg));
+            // A plain single-ring group engine must drop map frames
+            // silently, never surface them as client messages.
+            assert!(matches!(
+                unpack(payload),
+                Err(DecodeError::BadKind(TAG_MAP))
+            ));
+        }
+    }
+
+    #[test]
+    fn parse_map_rejects_garbage() {
+        assert_eq!(parse_map(&[]), None);
+        assert_eq!(parse_map(b"plain data"), None);
+        assert_eq!(parse_map(&tick_payload()), None);
+        let good = map_payload(&MapMsg {
+            version: 9,
+            rings: 2,
+            sender: 1,
+            retired: vec![0],
+            overrides: vec![("g".to_string(), 1)],
+        });
+        // Every truncation of a valid frame must be rejected, and so
+        // must a frame with trailing junk.
+        for cut in 0..good.len() {
+            assert_eq!(parse_map(&good[..cut]), None, "cut at {cut}");
+        }
+        let mut padded = good.to_vec();
+        padded.push(0);
+        assert_eq!(parse_map(&padded), None);
+        // Declared counts larger than the body.
+        let mut short = good.to_vec();
+        short[13] = 0xFF; // n_retired low byte
+        assert_eq!(parse_map(&short), None);
+        // Empty group name.
+        let empty_name = map_payload(&MapMsg {
+            version: 1,
+            rings: 2,
+            sender: 0,
+            retired: Vec::new(),
+            overrides: vec![(String::new(), 0)],
+        });
+        assert_eq!(parse_map(&empty_name), None);
     }
 
     #[test]

@@ -261,6 +261,8 @@ pub(crate) const FR_EVENT: u8 = 4;
 const FR_CREDIT: u8 = 5;
 const FR_BYE: u8 = 6;
 const FR_ERROR: u8 = 7;
+const FR_MAP_PULL: u8 = 8;
+const FR_MAP_PUSH: u8 = 9;
 
 const EV_MESSAGE: u8 = 1;
 const EV_VIEW: u8 = 2;
@@ -355,6 +357,37 @@ pub enum SessionFrame {
         /// Human-readable cause, truncated to [`MAX_REASON`].
         reason: String,
     },
+    /// Daemon → daemon: anti-entropy request for recovery state. A
+    /// rejoining (or lagging) daemon asks a peer's frontend for its
+    /// current shard map and state snapshot before it starts serving
+    /// clients.
+    MapPull {
+        /// Requester-chosen value echoed in the push so retried pulls
+        /// recognize their own response.
+        nonce: u64,
+        /// The highest configuration epoch the requester has observed;
+        /// a peer still behind this epoch should not be trusted as a
+        /// catch-up source.
+        want_epoch: u64,
+    },
+    /// Daemon → daemon: anti-entropy response carrying the responder's
+    /// recovery snapshot.
+    MapPush {
+        /// Echo of the pull nonce.
+        nonce: u64,
+        /// The responder's highest observed configuration epoch.
+        epoch: u64,
+        /// The responder's delivered merge-slot cursor (the snapshot
+        /// fence: seeded delivery resumes gap-free after this slot).
+        slot: u64,
+        /// The responder's shard-map version, duplicated out of the body
+        /// so a requester can cheaply pick the freshest of several
+        /// responses before decoding one.
+        map_version: u64,
+        /// The opaque snapshot (the multi-ring layer owns its codec).
+        /// Trailing bytes of the frame, like an EVENT body.
+        body: Bytes,
+    },
 }
 
 fn put_str<B: BufMut>(buf: &mut B, s: &str, cap: usize) {
@@ -446,6 +479,26 @@ pub fn encode_session_frame_into<B: BufMut>(buf: &mut B, frame: &SessionFrame) {
             buf.put_u64_le(*session);
             put_str(buf, reason, MAX_REASON);
         }
+        SessionFrame::MapPull { nonce, want_epoch } => {
+            buf.put_u8(FR_MAP_PULL);
+            buf.put_u64_le(*nonce);
+            buf.put_u64_le(*want_epoch);
+        }
+        SessionFrame::MapPush {
+            nonce,
+            epoch,
+            slot,
+            map_version,
+            body,
+        } => {
+            buf.put_u8(FR_MAP_PUSH);
+            buf.put_u64_le(*nonce);
+            buf.put_u64_le(*epoch);
+            buf.put_u64_le(*slot);
+            buf.put_u64_le(*map_version);
+            // The body is the frame's tail, so it needs no length prefix.
+            buf.put_slice(body);
+        }
     }
 }
 
@@ -514,6 +567,17 @@ pub fn decode_session_frame(buf: &mut Bytes) -> Result<SessionFrame, DecodeError
         FR_ERROR => SessionFrame::Error {
             session: get_u64(buf)?,
             reason: get_str(buf, MAX_REASON)?,
+        },
+        FR_MAP_PULL => SessionFrame::MapPull {
+            nonce: get_u64(buf)?,
+            want_epoch: get_u64(buf)?,
+        },
+        FR_MAP_PUSH => SessionFrame::MapPush {
+            nonce: get_u64(buf)?,
+            epoch: get_u64(buf)?,
+            slot: get_u64(buf)?,
+            map_version: get_u64(buf)?,
+            body: buf.split_to(buf.remaining()),
         },
         other => return Err(DecodeError::BadKind(other)),
     };
@@ -809,6 +873,24 @@ mod tests {
                 session: 0,
                 reason: "unknown session".into(),
             },
+            SessionFrame::MapPull {
+                nonce: 0xFEED,
+                want_epoch: 12,
+            },
+            SessionFrame::MapPush {
+                nonce: 0xFEED,
+                epoch: 12,
+                slot: 99,
+                map_version: 4,
+                body: Bytes::from_static(b"opaque snapshot"),
+            },
+            SessionFrame::MapPush {
+                nonce: 1,
+                epoch: 0,
+                slot: 0,
+                map_version: 0,
+                body: Bytes::new(),
+            },
         ];
         for frame in &frames {
             assert_eq!(&frame_roundtrip(frame), frame);
@@ -902,6 +984,31 @@ mod tests {
     fn unknown_frame_kind_rejected() {
         let mut b = Bytes::from_static(&[99, 0, 0]);
         assert!(decode_session_frame(&mut b).is_err());
+    }
+
+    #[test]
+    fn map_pull_push_truncation_rejected() {
+        // The push body is the frame tail, so only the fixed header can
+        // be truncation-checked — an empty body is a valid frame.
+        let pull = encode_session_frame(&SessionFrame::MapPull {
+            nonce: 3,
+            want_epoch: 4,
+        });
+        for cut in 0..pull.len() {
+            let mut b = pull.slice(..cut);
+            assert!(decode_session_frame(&mut b).is_err(), "pull cut {cut}");
+        }
+        let push = encode_session_frame(&SessionFrame::MapPush {
+            nonce: 3,
+            epoch: 4,
+            slot: 5,
+            map_version: 6,
+            body: Bytes::new(),
+        });
+        for cut in 0..push.len() {
+            let mut b = push.slice(..cut);
+            assert!(decode_session_frame(&mut b).is_err(), "push cut {cut}");
+        }
     }
 
     #[test]

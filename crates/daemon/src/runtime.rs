@@ -528,6 +528,9 @@ impl Pump {
                         self.dispatch(outputs, node);
                     }
                 }
+                // Recovery anti-entropy is a multi-ring concern; the
+                // single-ring daemon has no shard map to serve or adopt.
+                Ingress::MapPull { .. } | Ingress::MapPush { .. } => {}
             }
         }
     }

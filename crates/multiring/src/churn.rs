@@ -24,6 +24,7 @@ use accelring_transport::{
 };
 
 use crate::live::{MultiRingDaemon, MultiRingOptions};
+use crate::recovery::RingSeqs;
 use crate::shard::ShardMap;
 
 /// Ring-counter stride restored per incarnation. The pump thread owns a
@@ -55,6 +56,11 @@ pub struct ChurnCluster {
     planes: Vec<Arc<FaultPlane>>,
     daemons: Vec<Option<MultiRingDaemon>>,
     incarnations: Vec<u64>,
+    /// Per-daemon dedup watermarks captured at the last stop, seeded
+    /// into the next incarnation so a client resubmission across the
+    /// restart stays suppressed (the stable-storage rule for session
+    /// state, played by the supervisor).
+    seqs: Vec<Option<RingSeqs>>,
 }
 
 impl ChurnCluster {
@@ -119,7 +125,13 @@ impl ChurnCluster {
         }
         let daemons = columns
             .into_iter()
-            .map(|column| Some(MultiRingDaemon::start_with(column, shards.clone(), options)))
+            .map(|column| {
+                Some(MultiRingDaemon::start_with(
+                    column,
+                    shards.clone(),
+                    options.clone(),
+                ))
+            })
             .collect();
         Ok(ChurnCluster {
             rings,
@@ -133,6 +145,7 @@ impl ChurnCluster {
             planes,
             daemons,
             incarnations: vec![0; nodes as usize],
+            seqs: vec![None; nodes as usize],
         })
     }
 
@@ -158,18 +171,25 @@ impl ChurnCluster {
     }
 
     /// Gracefully stops daemon `i`: it disconnects its clients and
-    /// leaves every ring (the rings reform without it).
+    /// leaves every ring (the rings reform without it). The daemon's
+    /// dedup watermarks are captured first and carried into the next
+    /// incarnation by [`ChurnCluster::restart_daemon`].
     pub fn stop_daemon(&mut self, i: u16) {
         if let Some(d) = self.daemons[i as usize].take() {
+            if let Some(seqs) = d.export_seqs() {
+                self.seqs[i as usize] = Some(seqs);
+            }
             d.shutdown();
         }
     }
 
     /// Rebinds daemon `i`'s original ports on every ring and starts a
-    /// fresh incarnation. The new daemon starts from the *initial* shard
-    /// map and empty group state — the documented stale-state limitation
-    /// — so live tests host durable clients on daemons that are never
-    /// cycled.
+    /// fresh incarnation, recovered along both paths of the crash
+    /// recovery protocol: the dedup watermarks captured at stop are
+    /// seeded in-process, and (when the session socket is enabled) the
+    /// rejoining daemon pulls a catch-up snapshot — live shard map
+    /// included — from its surviving peers before serving clients.
+    /// Shard-map announces on the rings heal whatever the pull missed.
     ///
     /// # Errors
     ///
@@ -208,10 +228,21 @@ impl ChurnCluster {
             )?;
             column.push(handle);
         }
+        let mut options = self.options.clone();
+        options.recovery_seed = self.seqs[i as usize].clone();
+        // Pull catch-up from every daemon currently up; daemons without
+        // a session socket leave this empty and recover through seeds
+        // and ring-borne map announces alone.
+        options.recovery_peers = self
+            .daemons
+            .iter()
+            .flatten()
+            .filter_map(MultiRingDaemon::session_addr)
+            .collect();
         self.daemons[i as usize] = Some(MultiRingDaemon::start_with(
             column,
             self.shards.clone(),
-            self.options,
+            options,
         ));
         Ok(())
     }
@@ -242,6 +273,20 @@ impl ChurnCluster {
                 self.stop_daemon(*daemon);
                 sleep(*down);
                 self.restart_daemon(*daemon)?;
+            }
+            ChurnKind::RestartStorm { daemons, down } => {
+                // Correlated crash: every storm member goes down before
+                // any comes back, so the survivors reform without them
+                // and the rejoiners must catch up from a minority of
+                // live peers (or, with everyone else down, from the
+                // deadline fallback).
+                for d in daemons {
+                    self.stop_daemon(*d);
+                }
+                sleep(*down);
+                for d in daemons {
+                    self.restart_daemon(*d)?;
+                }
             }
         }
         Ok(())

@@ -13,7 +13,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use accelring_core::{Delivery, ParticipantId, PerRingStats, RingIdx, Service};
-use accelring_daemon::packing::{self, MigMsg, MigOp};
+use accelring_daemon::packing::{self, MapMsg, MigMsg, MigOp};
 use accelring_daemon::proto::decode_group_message;
 use accelring_daemon::{
     ClientEvent, EngineError, EngineOptions, EngineOutput, GroupAction, GroupEngine, GroupMessage,
@@ -128,6 +128,12 @@ pub struct MultiRingEngine {
     pending_ready: BTreeMap<(String, u16, u16), BTreeSet<u16>>,
     counters: MigrationCounters,
     stats: PerRingStats,
+    /// Shard-map epochs adopted from ordered announcements (strictly
+    /// newer than the local map at delivery time).
+    maps_adopted: u64,
+    /// Shard-map announcements this daemon submitted (it was the lowest
+    /// pid of a freshly installed regular configuration).
+    maps_announced: u64,
 }
 
 impl MultiRingEngine {
@@ -158,6 +164,8 @@ impl MultiRingEngine {
             pending_ready: BTreeMap::new(),
             counters: MigrationCounters::default(),
             stats: PerRingStats::new(rings as usize),
+            maps_adopted: 0,
+            maps_announced: 0,
         }
     }
 
@@ -201,6 +209,76 @@ impl MultiRingEngine {
     /// Migration lifecycle counters this engine has accumulated.
     pub fn migration_counters(&self) -> MigrationCounters {
         self.counters
+    }
+
+    /// Shard-map epochs adopted from ordered announcements.
+    pub fn maps_adopted(&self) -> u64 {
+        self.maps_adopted
+    }
+
+    /// Shard-map announcements this daemon submitted.
+    pub fn maps_announced(&self) -> u64 {
+        self.maps_announced
+    }
+
+    /// The highest merge slot released so far — the delivered-slot
+    /// cursor a recovery snapshot is anchored at.
+    pub fn merge_cursor(&self) -> u64 {
+        self.merger.cursor()
+    }
+
+    /// The current shard map as an announce/snapshot message.
+    pub fn map_msg(&self) -> MapMsg {
+        MapMsg {
+            version: self.shards.version(),
+            rings: self.shards.rings(),
+            sender: self.pid().as_u16(),
+            retired: self
+                .shards
+                .retired_rings()
+                .iter()
+                .map(|r| r.as_u16())
+                .collect(),
+            overrides: self
+                .shards
+                .placements()
+                .into_iter()
+                .map(|(g, r)| (g, r.as_u16()))
+                .collect(),
+        }
+    }
+
+    /// Adopts a peer-announced map if strictly newer than the local one
+    /// (see [`ShardMap::adopt`]). Returns whether anything changed.
+    pub fn adopt_map(&mut self, msg: &MapMsg) -> bool {
+        let placements: Vec<(String, RingIdx)> = msg
+            .overrides
+            .iter()
+            .map(|(g, r)| (g.clone(), RingIdx::new(*r)))
+            .collect();
+        let retired: Vec<RingIdx> = msg.retired.iter().map(|r| RingIdx::new(*r)).collect();
+        let adopted = self.shards.adopt(msg.version, &placements, &retired);
+        if adopted {
+            self.maps_adopted += 1;
+        }
+        adopted
+    }
+
+    /// Every ring's per-client dedup watermarks — the dedup half of a
+    /// recovery snapshot. Exported per ring, never max-merged across
+    /// rings: a resubmission legitimately re-ordered on a group's *new*
+    /// home ring must not be suppressed by a watermark its *old* ring
+    /// set, or observers' merged orders would diverge.
+    pub fn export_seqs(&self) -> Vec<Vec<(String, u64)>> {
+        self.engines.iter().map(GroupEngine::export_seqs).collect()
+    }
+
+    /// Seeds per-ring dedup watermarks from a snapshot (max-merge per
+    /// ring; extra rings in the snapshot are ignored).
+    pub fn seed_seqs(&mut self, seqs: &[Vec<(String, u64)>]) {
+        for (engine, ring_seqs) in self.engines.iter_mut().zip(seqs) {
+            engine.seed_seqs(ring_seqs);
+        }
     }
 
     /// The migrations currently in flight: `(group, from, to)` triples.
@@ -558,6 +636,15 @@ impl MultiRingEngine {
             let released = self.merger.advance(ring, delivery.round);
             out.extend(self.release(released));
             return out;
+        }
+        if let Some(map) = packing::parse_map(&delivery.payload) {
+            // A shard-map epoch announcement: adopt-if-strictly-newer at
+            // the same stream position everywhere. Live daemons already
+            // at this version drop it; a rejoined daemon routing from a
+            // stale map converges here without replaying history.
+            self.adopt_map(&map);
+            let released = self.merger.advance(ring, delivery.round);
+            return self.release(released);
         }
         match self.filter_frozen(ring, &delivery.payload, delivery.service) {
             Some((None, mut out)) => {
@@ -947,6 +1034,25 @@ impl MultiRingEngine {
                 .push_fence(ring, change.ring_id.counter(), locals)
         };
         out.extend(self.release(released));
+        if !change.transitional
+            && change.members.iter().min() == Some(&self.pid())
+            && self.shards.version() > 0
+        {
+            // Every freshly installed regular configuration carries one
+            // shard-map announcement, submitted by the lowest member pid
+            // (one announcer per configuration, no storm). A rejoining
+            // daemon triggers a configuration change by merging back in,
+            // so the epoch that catches it up is ordered on the very
+            // stream it rejoined — catch-up needs no side channel.
+            self.maps_announced += 1;
+            let payload = packing::map_payload(&self.map_msg());
+            self.stats.ring_mut(ring).submitted += 1;
+            out.push(MultiOutput::Submit {
+                ring,
+                payload,
+                service: Service::Agreed,
+            });
+        }
         out
     }
 
@@ -1250,11 +1356,17 @@ mod tests {
             transitional: false,
         };
         let out = e.on_config_change(RIGHT_RING, &change);
-        // The fence releases immediately (both rings at slot 0 and ring 1
+        // The fence releases nothing (both rings at slot 0 and ring 1
         // fences after anything ring 0 could still say at slot 0 — but
         // ring 0's floor equals the slot, so the Config event is held
-        // until ring 0 passes slot 0).
-        assert!(out.is_empty());
+        // until ring 0 passes slot 0). The only output is this daemon's
+        // shard-map announce: pid 0 is the lowest member of the reformed
+        // ring, so it submits the map for lagging peers to adopt.
+        assert!(!out.iter().any(|o| matches!(o, MultiOutput::Local { .. })));
+        let subs = submit_payloads(&out);
+        assert_eq!(subs.len(), 1, "one map announce");
+        assert_eq!(subs[0].0, RIGHT_RING);
+        assert!(accelring_daemon::packing::parse_map(&subs[0].1).is_some());
         let out = e.on_delivery(
             LEFT_RING,
             &delivery(
@@ -1275,6 +1387,71 @@ mod tests {
                 ..
             }
         )));
+    }
+
+    #[test]
+    fn map_announce_only_from_lowest_member_on_regular_configs() {
+        let members = vec![ParticipantId::new(0), ParticipantId::new(1)];
+        // Not the lowest member: stays silent (one announcer per
+        // config, not a storm).
+        let mut e = engine(1);
+        let change = ConfigChange {
+            ring_id: accelring_core::RingId::new(ParticipantId::new(0), 1),
+            members: members.clone(),
+            transitional: false,
+        };
+        assert!(submit_payloads(&e.on_config_change(RIGHT_RING, &change)).is_empty());
+        assert_eq!(e.maps_announced(), 0);
+        // Transitional configs carry no announce either.
+        let mut e = engine(0);
+        let transitional = ConfigChange {
+            ring_id: accelring_core::RingId::new(ParticipantId::new(0), 1),
+            members: members.clone(),
+            transitional: true,
+        };
+        assert!(submit_payloads(&e.on_config_change(RIGHT_RING, &transitional)).is_empty());
+        // A version-0 map is pure hash placement — nothing to say.
+        let mut fresh = MultiRingEngine::new(ParticipantId::new(0), ShardMap::new(2), 1);
+        assert!(submit_payloads(&fresh.on_config_change(RIGHT_RING, &change)).is_empty());
+        // Lowest member, regular config, versioned map: announce.
+        let out = e.on_config_change(RIGHT_RING, &change);
+        let subs = submit_payloads(&out);
+        assert_eq!(subs.len(), 1);
+        assert_eq!(subs[0].0, RIGHT_RING);
+        let msg = accelring_daemon::packing::parse_map(&subs[0].1).expect("a map announce");
+        assert_eq!(msg.version, e.shards().version());
+        assert_eq!(e.maps_announced(), 1);
+    }
+
+    #[test]
+    fn stale_observer_converges_through_a_delivered_map_announce() {
+        // A daemon that slept through migrations restarts from the
+        // initial map; a peer's TAG_MAP announce ordered on the ring
+        // brings it to the live placement — and a replayed announce
+        // is a no-op.
+        let mut e = engine(1);
+        assert_eq!(e.ring_of("right"), RIGHT_RING);
+        let live = MapMsg {
+            version: e.shards().version() + 10,
+            rings: 2,
+            sender: 0,
+            retired: Vec::new(),
+            overrides: vec![("left".to_string(), 0), ("right".to_string(), 0)],
+        };
+        let payload = packing::map_payload(&live);
+        let out = e.on_delivery(
+            RIGHT_RING,
+            &delivery(1, 0, 0, payload.clone(), Service::Agreed),
+        );
+        assert!(
+            messages(&out).is_empty(),
+            "a map announce is not client-visible"
+        );
+        assert_eq!(e.shards().version(), live.version);
+        assert_eq!(e.ring_of("right"), LEFT_RING, "stale placement healed");
+        assert_eq!(e.maps_adopted(), 1);
+        e.on_delivery(RIGHT_RING, &delivery(2, 0, 1, payload, Service::Agreed));
+        assert_eq!(e.maps_adopted(), 1, "replay must not re-adopt");
     }
 
     #[test]

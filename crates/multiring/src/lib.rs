@@ -39,14 +39,16 @@ pub mod engine;
 pub mod live;
 pub mod merge;
 pub mod migrate;
+pub mod recovery;
 pub mod scaling;
 pub mod shard;
 
 pub use chaos::{run_multiring_chaos, MultiRingChaosConfig, MultiRingReport};
 pub use churn::ChurnCluster;
 pub use engine::{MultiOutput, MultiRingEngine, MultiRingError};
-pub use live::{MultiRingClient, MultiRingDaemon, MultiRingOptions};
+pub use live::{DaemonInspect, MultiRingClient, MultiRingDaemon, MultiRingOptions};
 pub use merge::{MergedEntry, Merger};
 pub use migrate::{HeldSend, Migration, MigrationCounters};
+pub use recovery::{decode_snapshot, encode_snapshot, RecoverySnapshot, RingSeqs};
 pub use scaling::{run_scaling, ScalingPoint, ScalingSpec};
 pub use shard::{ShardMap, ShardMove};

@@ -36,6 +36,7 @@ use std::time::{Duration, Instant};
 
 use accelring_core::{Backoff, FrontendStats, ParticipantId, RingIdx, Service, ShedCause};
 use accelring_daemon::packing::tick_payload_with_epoch;
+use accelring_daemon::proto::SessionFrame;
 use accelring_daemon::{
     ClientEvent, EngineError, EngineOptions, FrontendOptions, GroupAction, Ingress, SessionMux,
 };
@@ -47,6 +48,7 @@ use crossbeam::channel::{bounded, unbounded, Receiver, Select, Sender, TryRecvEr
 
 use crate::engine::{MultiOutput, MultiRingEngine, MultiRingError};
 use crate::migrate::MigrationCounters;
+use crate::recovery::{decode_snapshot, encode_snapshot, RecoverySnapshot, RingSeqs};
 use crate::shard::ShardMap;
 
 /// Wait cap when the session socket is open: a datagram wakes the
@@ -54,8 +56,14 @@ use crate::shard::ShardMap;
 /// (which cannot be polled) are picked up within this tick.
 const REACTOR_TICK: Duration = Duration::from_millis(1);
 
+/// How long a daemon started with [`MultiRingOptions::recovery_peers`]
+/// keeps its serving gate closed waiting for a catch-up snapshot. Past
+/// the deadline it serves anyway — every peer gone is a fresh cluster,
+/// and refusing forever would deadlock the first daemon back up.
+const CATCHUP_DEADLINE: Duration = Duration::from_secs(5);
+
 /// Runtime settings for a [`MultiRingDaemon`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct MultiRingOptions {
     /// Packing/fragmentation settings for the per-ring engines.
     pub engine: EngineOptions,
@@ -73,6 +81,20 @@ pub struct MultiRingOptions {
     /// [`FrontendOptions::session_socket`] to serve remote
     /// [`accelring_daemon::SessionClient`]s over UDP.
     pub frontend: FrontendOptions,
+    /// Session addresses of live peer daemons to pull a catch-up
+    /// snapshot from before serving clients. When non-empty (and the
+    /// session socket is open) the daemon starts *gated*: HELLO frames
+    /// are silently dropped — the client's retry loop covers the window
+    /// — until a peer's `MAP_PUSH` snapshot is applied or
+    /// [`CATCHUP_DEADLINE`] elapses.
+    pub recovery_peers: Vec<SocketAddr>,
+    /// Per-ring dedup watermarks to seed the engine with at startup —
+    /// the in-process fast path for a supervisor that captured
+    /// [`MultiRingDaemon::export_seqs`] before stopping the previous
+    /// incarnation. `seqs[r]` holds `(client, max_seq)` pairs for ring
+    /// `r`; seeding is monotone, so combining it with a pulled snapshot
+    /// is safe.
+    pub recovery_seed: Option<RingSeqs>,
 }
 
 impl Default for MultiRingOptions {
@@ -83,8 +105,25 @@ impl Default for MultiRingOptions {
             tick_interval: Duration::from_millis(25),
             migration_timeout: Duration::from_secs(3),
             frontend: FrontendOptions::default(),
+            recovery_peers: Vec::new(),
+            recovery_seed: None,
         }
     }
+}
+
+/// A point-in-time probe of a daemon's recovery-relevant state, read
+/// through [`MultiRingDaemon::inspect`]. This is what rejoin benches
+/// and chaos checkers poll to decide "has this daemon converged?".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DaemonInspect {
+    /// The engine's shard-map version.
+    pub map_version: u64,
+    /// Highest merge slot released to clients so far.
+    pub merge_cursor: u64,
+    /// Highest regular-configuration counter seen on any ring.
+    pub max_epoch: u64,
+    /// Whether the serving gate is still closed waiting for catch-up.
+    pub catching_up: bool,
 }
 
 enum Cmd {
@@ -118,6 +157,12 @@ enum Cmd {
         group: String,
         to: RingIdx,
         resp: Sender<Result<(), MultiRingError>>,
+    },
+    ExportSeqs {
+        resp: Sender<RingSeqs>,
+    },
+    Inspect {
+        resp: Sender<DaemonInspect>,
     },
     Shutdown,
 }
@@ -264,6 +309,26 @@ impl MultiRingDaemon {
             group: group.to_string(),
             reason: "daemon stopped".to_string(),
         }))
+    }
+
+    /// The engine's per-ring dedup watermarks: `seqs[r]` holds
+    /// `(client, max_seq)` pairs for ring `r`. A supervisor captures
+    /// this before stopping a daemon and hands it to the next
+    /// incarnation through [`MultiRingOptions::recovery_seed`], so a
+    /// client resubmission across the restart stays suppressed. `None`
+    /// when the daemon already stopped.
+    pub fn export_seqs(&self) -> Option<RingSeqs> {
+        let (resp_tx, resp_rx) = bounded(1);
+        let _ = self.cmd_tx.send(Cmd::ExportSeqs { resp: resp_tx });
+        resp_rx.recv().ok()
+    }
+
+    /// A probe of the daemon's recovery state (shard-map version, merge
+    /// cursor, epoch, serving gate), or `None` when it already stopped.
+    pub fn inspect(&self) -> Option<DaemonInspect> {
+        let (resp_tx, resp_rx) = bounded(1);
+        let _ = self.cmd_tx.send(Cmd::Inspect { resp: resp_tx });
+        resp_rx.recv().ok()
     }
 
     /// Stops the daemon thread and every ring node. Connected clients
@@ -418,6 +483,20 @@ struct MigrationWatch {
     next_abort: Option<Instant>,
 }
 
+/// The serving gate of a daemon that is still catching up: it pulls a
+/// state snapshot from its peers under backoff and drops client HELLOs
+/// until a snapshot lands (or the deadline passes and it serves anyway).
+struct Catchup {
+    peers: Vec<SocketAddr>,
+    /// Nonce stamped on this incarnation's MAP_PULLs; pushes carrying
+    /// any other nonce are someone else's and are ignored.
+    nonce: u64,
+    started: Instant,
+    deadline: Instant,
+    backoff: Backoff,
+    next_pull: Option<Instant>,
+}
+
 struct Pump {
     engine: MultiRingEngine,
     /// All client sessions — in-process channel adapters and remote UDP
@@ -441,6 +520,10 @@ struct Pump {
     watches: HashMap<String, MigrationWatch>,
     /// Engine counters already reported onto the probe.
     reported: MigrationCounters,
+    /// Engine map adoptions already reported onto the probe.
+    reported_maps_adopted: u64,
+    /// `Some` while the serving gate is closed waiting for catch-up.
+    catchup: Option<Catchup>,
     /// Ring-0 node's probe doubles as the daemon-level counter sink for
     /// migration lifecycle stats.
     probe: TransportProbe,
@@ -587,6 +670,15 @@ impl Pump {
                     nonce,
                     addr,
                 } => {
+                    // A daemon still catching up must not welcome
+                    // clients onto a stale shard map or unseeded dedup
+                    // state. The HELLO is dropped *silently* — an ERROR
+                    // reply would make `SessionClient::connect` fail
+                    // immediately, while a timeout keeps it in its
+                    // retry loop, which comfortably outlasts the gate.
+                    if self.catchup.is_some() {
+                        continue;
+                    }
                     // Split borrow: the mux decides new-vs-resume, the
                     // engine registers genuinely new clients (on every
                     // ring at once).
@@ -635,8 +727,95 @@ impl Pump {
                         self.dispatch(outputs, nodes);
                     }
                 }
+                Ingress::MapPull {
+                    nonce,
+                    want_epoch,
+                    addr,
+                } => {
+                    // Serve a state snapshot to a rejoining peer — but
+                    // only from trustworthy state: a daemon that is
+                    // itself gated, or whose view is behind what the
+                    // requester already observed, stays silent and
+                    // lets a fresher peer (or the requester's own
+                    // deadline) answer.
+                    if self.catchup.is_some() || self.max_epoch < want_epoch {
+                        continue;
+                    }
+                    let snap = RecoverySnapshot {
+                        epoch: self.max_epoch,
+                        cursor: self.engine.merge_cursor(),
+                        map: self.engine.map_msg(),
+                        seqs: self.engine.export_seqs(),
+                    };
+                    let frame = SessionFrame::MapPush {
+                        nonce,
+                        epoch: snap.epoch,
+                        slot: snap.cursor,
+                        map_version: snap.map.version,
+                        body: encode_snapshot(&snap),
+                    };
+                    self.mux.send_session_frame(&frame, addr);
+                    self.probe.note_recovery_pushes_served(1);
+                }
+                Ingress::MapPush { nonce, body, .. } => {
+                    // Only a gated daemon consumes pushes, and only for
+                    // the pull nonce it stamped this incarnation; late
+                    // or unsolicited pushes are ignored. A malformed
+                    // body degrades to the next backoff pull — a
+                    // misbehaving peer cannot wedge recovery.
+                    let matches = self.catchup.as_ref().is_some_and(|c| c.nonce == nonce);
+                    if !matches {
+                        continue;
+                    }
+                    let Ok(snap) = decode_snapshot(body) else {
+                        continue;
+                    };
+                    // Both applications are monotone (strictly-newer
+                    // map adoption, max-merged watermarks), so a
+                    // snapshot racing this daemon's own ring traffic
+                    // is safe in either order.
+                    self.engine.adopt_map(&snap.map);
+                    self.engine.seed_seqs(&snap.seqs);
+                    self.max_epoch = self.max_epoch.max(snap.epoch);
+                    self.probe.note_recovery_snapshots_applied(1);
+                    if let Some(c) = self.catchup.take() {
+                        self.probe.note_recovery_catchup_wait(c.started.elapsed());
+                    }
+                }
             }
         }
+    }
+
+    /// Drives the catch-up gate: re-sends MAP_PULLs under backoff and
+    /// opens the gate at the deadline if no snapshot ever landed (every
+    /// peer gone means this daemon *is* the cluster now).
+    fn service_catchup(&mut self) {
+        let Some(c) = self.catchup.as_mut() else {
+            return;
+        };
+        let now = Instant::now();
+        if now >= c.deadline {
+            let c = self.catchup.take().expect("catchup present");
+            self.probe.note_recovery_catchup_wait(c.started.elapsed());
+            return;
+        }
+        if c.next_pull.is_some_and(|t| now < t) {
+            return;
+        }
+        c.next_pull = Some(now + c.backoff.next_delay());
+        let nonce = c.nonce;
+        let peers = c.peers.clone();
+        // Advertise the epoch this daemon has already observed through
+        // its reforming rings: a peer that has not seen that far yet is
+        // not a catch-up source and stays silent.
+        let frame = SessionFrame::MapPull {
+            nonce,
+            want_epoch: self.max_epoch,
+        };
+        for addr in &peers {
+            self.mux.send_session_frame(&frame, *addr);
+        }
+        self.probe.note_recovery_pulls_sent(peers.len() as u64);
     }
 
     /// Handles one client command; `true` ends the pump loop.
@@ -681,6 +860,17 @@ impl Pump {
                 let result = self.engine.begin_migration(&group, to);
                 let _ = resp.send(result.map(|o| self.dispatch(o, nodes)));
             }
+            Cmd::ExportSeqs { resp } => {
+                let _ = resp.send(self.engine.export_seqs());
+            }
+            Cmd::Inspect { resp } => {
+                let _ = resp.send(DaemonInspect {
+                    map_version: self.engine.shards().version(),
+                    merge_cursor: self.engine.merge_cursor(),
+                    max_epoch: self.max_epoch,
+                    catching_up: self.catchup.is_some(),
+                });
+            }
             Cmd::Shutdown => return true,
         }
         false
@@ -708,6 +898,17 @@ impl Pump {
         self.reported_frontend = now;
         *self.shared.lock().expect("frontend stats lock") = now;
     }
+
+    /// Mirrors the engine's shard-map adoption count onto the probe so
+    /// chaos/bench tooling watching [`TransportStats`] sees gossip heal.
+    fn mirror_recovery_counters(&mut self) {
+        let adopted = self.engine.maps_adopted();
+        if adopted > self.reported_maps_adopted {
+            self.probe
+                .note_recovery_maps_adopted(adopted - self.reported_maps_adopted);
+            self.reported_maps_adopted = adopted;
+        }
+    }
 }
 
 fn pump(
@@ -720,8 +921,42 @@ fn pump(
     probe: TransportProbe,
 ) {
     let pid = nodes[0].pid();
+    let mut engine = MultiRingEngine::with_options(pid, shards, options.lambda, options.engine);
+    // In-process seed first (free), network catch-up second: both are
+    // monotone, so layering them can only tighten the dedup watermarks.
+    if let Some(seed) = &options.recovery_seed {
+        engine.seed_seqs(seed);
+    }
+    // The serving gate only arms when there is a socket to pull
+    // through; an adapter-only daemon cannot reach its peers.
+    let catchup = if !options.recovery_peers.is_empty() && mux.local_addr().is_some() {
+        let now = Instant::now();
+        // Wall-clock entropy keeps a restarted incarnation's nonce from
+        // colliding with its predecessor's, so a push answering the old
+        // incarnation's pull is ignored (harmless anyway — application
+        // is monotone — but the counters stay honest).
+        let nonce = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0)
+            ^ (u64::from(pid.as_u16()) << 48);
+        Some(Catchup {
+            peers: options.recovery_peers.clone(),
+            nonce,
+            started: now,
+            deadline: now + CATCHUP_DEADLINE,
+            backoff: Backoff::new(
+                Duration::from_millis(10),
+                Duration::from_millis(250),
+                u64::from(pid.as_u16()),
+            ),
+            next_pull: None,
+        })
+    } else {
+        None
+    };
     let mut p = Pump {
-        engine: MultiRingEngine::with_options(pid, shards, options.lambda, options.engine),
+        engine,
         mux,
         shared,
         reported_frontend: FrontendStats::default(),
@@ -735,6 +970,8 @@ fn pump(
         next_retry: None,
         watches: HashMap::new(),
         reported: MigrationCounters::default(),
+        reported_maps_adopted: 0,
+        catchup,
         probe,
     };
     // When each ring last delivered anything (ticks included): the
@@ -825,6 +1062,8 @@ fn pump(
 
         p.flush_retries(&nodes);
         p.service_migrations(&nodes, options.migration_timeout);
+        p.service_catchup();
+        p.mirror_recovery_counters();
 
         // Skip ticks, the Multi-Ring Paxos coordinator-skip rule: the
         // participant-0 daemon orders an epoch-carrying no-op on any

@@ -117,6 +117,10 @@ impl<T> RingLane<T> {
 #[derive(Debug)]
 pub struct Merger<T> {
     rings: Vec<RingLane<T>>,
+    /// Highest slot released so far (the delivered-slot cursor a state
+    /// snapshot is anchored at: a joiner seeded with this cursor resumes
+    /// gap-free at `cursor + 1`).
+    cursor: u64,
 }
 
 impl<T> Merger<T> {
@@ -132,7 +136,16 @@ impl<T> Merger<T> {
                     retired: false,
                 })
                 .collect(),
+            cursor: 0,
         }
+    }
+
+    /// Highest merge slot released so far (0 before the first release).
+    /// Every observer fed the same per-ring streams computes the same
+    /// cursor after the same releases — it is the snapshot anchor for
+    /// ordered state transfer.
+    pub fn cursor(&self) -> u64 {
+        self.cursor
     }
 
     /// Number of rings being merged.
@@ -287,6 +300,7 @@ impl<T> Merger<T> {
                 break;
             }
             let q = self.rings[ring].queue.pop_front().expect("head exists");
+            self.cursor = self.cursor.max(q.slot);
             let ring = RingIdx::new(ring as u16);
             out.push(if q.fence {
                 MergedEntry::Fence {
@@ -513,6 +527,24 @@ mod tests {
         got.extend(m.retire(R1));
         got.extend(m.finish());
         assert_eq!(labels(&got), vec!["a", "note", "b"]);
+    }
+
+    #[test]
+    fn cursor_tracks_max_released_slot() {
+        let mut m: Merger<&str> = Merger::new(2, 1);
+        assert_eq!(m.cursor(), 0);
+        // Nothing queued releases while ring 1's watermark lags.
+        assert!(m.push(R1, Round::new(3), "late").is_empty());
+        assert_eq!(m.cursor(), 0, "queued-but-unreleased must not move it");
+        let got = m.advance(R0, Round::new(4));
+        assert_eq!(labels(&got), vec!["late"]);
+        assert_eq!(m.cursor(), 3);
+        // The cursor is a pure function of the released prefix: a second
+        // merger fed the same streams lands on the same cursor.
+        let mut m2: Merger<&str> = Merger::new(2, 1);
+        m2.advance(R0, Round::new(4));
+        m2.push(R1, Round::new(3), "late");
+        assert_eq!(m2.cursor(), 3);
     }
 
     #[test]

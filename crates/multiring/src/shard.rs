@@ -138,6 +138,43 @@ impl ShardMap {
             .collect()
     }
 
+    /// The rings rebalances have retired, sorted.
+    pub fn retired_rings(&self) -> Vec<RingIdx> {
+        self.retired.iter().copied().collect()
+    }
+
+    /// Adopts a peer-announced map state if it is strictly newer than
+    /// this one, replacing the explicit placements wholesale and merging
+    /// the retired set monotonically (a ring once declared dead stays
+    /// dead even if the announcer had not heard yet). Returns whether
+    /// anything was adopted.
+    ///
+    /// This is the receive side of shard-map catch-up: announcements ride
+    /// the rings' total order, so same-version announcements are
+    /// identical and stale ones are dropped — adoption is idempotent and
+    /// order-insensitive across rings.
+    pub fn adopt(
+        &mut self,
+        version: u64,
+        placements: &[(String, RingIdx)],
+        retired: &[RingIdx],
+    ) -> bool {
+        if version <= self.version {
+            return false;
+        }
+        self.overrides = placements
+            .iter()
+            .map(|(g, r)| (g.clone(), RingIdx::new(r.as_u16() % self.rings)))
+            .collect();
+        for r in retired {
+            if r.as_u16() < self.rings {
+                self.retired.insert(*r);
+            }
+        }
+        self.version = version;
+        true
+    }
+
     /// Installs a migration's committed placement: `group` is pinned to
     /// `to`. Idempotent — replaying the same commit (every daemon
     /// processes the same ordered commit message) changes nothing the
@@ -389,6 +426,44 @@ mod tests {
         d.rebalance(&groups, &live);
         assert_eq!(c.ring_of("h"), d.ring_of("h"), "h diverged across orders");
         assert!(c.ring_of("h") != RingIdx::new(2));
+    }
+
+    #[test]
+    fn adopt_takes_strictly_newer_maps_only() {
+        let mut live = ShardMap::new(3);
+        live.assign("hot", RingIdx::new(2));
+        live.rebalance(&["x".to_string()], &[RingIdx::new(0), RingIdx::new(2)]);
+        let (v, p, r) = (live.version(), live.placements(), live.retired_rings());
+
+        // A restarted daemon holding the initial map converges in one
+        // adoption.
+        let mut stale = ShardMap::new(3);
+        assert!(stale.adopt(v, &p, &r));
+        assert_eq!(stale.version(), v);
+        assert_eq!(stale.ring_of("hot"), RingIdx::new(2));
+        assert!(stale.is_retired(RingIdx::new(1)));
+
+        // Replay and older announcements are no-ops.
+        assert!(!stale.adopt(v, &p, &r), "same version must not re-adopt");
+        assert!(!stale.adopt(v - 1, &[], &[]), "older must be dropped");
+        assert_eq!(stale.ring_of("hot"), RingIdx::new(2));
+
+        // Adoption replaces placements wholesale: an override the stale
+        // map had that the live map dropped must not survive.
+        let mut diverged = ShardMap::new(3);
+        diverged.assign("ghost", RingIdx::new(0));
+        assert!(diverged.adopt(v, &p, &r));
+        assert_eq!(diverged.placements(), p, "placements replaced wholesale");
+
+        // Retirement stays monotone even when the announcer lags on it.
+        let mut knows_death = ShardMap::new(3);
+        knows_death.rebalance(&[], &[RingIdx::new(0), RingIdx::new(2)]);
+        assert!(knows_death.is_retired(RingIdx::new(1)));
+        assert!(knows_death.adopt(v + 10, &p, &[]));
+        assert!(
+            knows_death.is_retired(RingIdx::new(1)),
+            "a known ring death must survive adoption"
+        );
     }
 
     #[test]

@@ -1,0 +1,169 @@
+//! Large-ring stress: one ring shared by many daemons, under seeded
+//! restart storms, with the handoff checker over the surviving
+//! observer's stream. The ring protocol's token rotation cost grows
+//! with membership, and every storm forces a full EVS reformation of a
+//! wide ring plus catch-up pulls from the rejoiners — the regime where
+//! recovery bugs that a 3-daemon test can't see (overlapping
+//! reformations, pull fan-in on one survivor) actually show up.
+//!
+//! The CI variant keeps the ring small enough to stay in the smoke
+//! budget; the 32-daemon soak is `#[ignore]`d and run on demand:
+//!
+//! ```text
+//! cargo test --release --test large_ring -- --ignored --test-threads=1
+//! ```
+//!
+//! Real sockets and threads; run with `--test-threads=1`.
+
+use std::collections::BTreeSet;
+use std::time::{Duration, Instant};
+
+use accelring_chaos::churn::{check_churn_handoff, ChurnConfig, ChurnSchedule};
+use accelring_chaos::MsgId;
+use accelring_core::{Backoff, Service};
+use accelring_daemon::{ClientEvent, FrontendOptions};
+use accelring_multiring::{ChurnCluster, MultiRingClient, MultiRingOptions, ShardMap};
+use bytes::Bytes;
+
+const HOT_SENDER: u16 = 77;
+
+fn await_view_members(client: &MultiRingClient, group: &str, min_members: usize) {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while Instant::now() < deadline {
+        match client.events().recv_timeout(Duration::from_millis(200)) {
+            Ok(ClientEvent::View { group: g, members }) if g == group => {
+                if members.len() >= min_members {
+                    return;
+                }
+            }
+            Ok(ClientEvent::Disconnected { reason }) => {
+                panic!("client {} disconnected: {reason}", client.name())
+            }
+            Ok(_) | Err(_) => {}
+        }
+    }
+    panic!(
+        "client {} never saw a view for {group} with {min_members}+ members",
+        client.name()
+    );
+}
+
+fn send_id(sender: &MultiRingClient, id: MsgId) {
+    let mut backoff = Backoff::new(
+        Duration::from_millis(10),
+        Duration::from_millis(200),
+        id.counter,
+    );
+    loop {
+        match sender.multicast_sequenced(&["hot"], Bytes::from(id.payload()), Service::Agreed) {
+            Ok(_) => return,
+            Err(e) if backoff.attempts() >= 20 => panic!("send {id} failed for good: {e}"),
+            Err(_) => std::thread::sleep(backoff.next_delay()),
+        }
+    }
+}
+
+fn collect_ids(client: &MultiRingClient, want: usize, deadline: Duration) -> Vec<MsgId> {
+    let start = Instant::now();
+    let mut got = Vec::new();
+    while got.len() < want && start.elapsed() < deadline {
+        match client.events().recv_timeout(Duration::from_millis(200)) {
+            Ok(ClientEvent::Message { payload, .. }) => {
+                if let Some(id) = MsgId::parse(&payload) {
+                    got.push(id);
+                }
+            }
+            Ok(ClientEvent::Disconnected { reason }) => {
+                panic!("client {} disconnected: {reason}", client.name())
+            }
+            Ok(_) | Err(_) => {}
+        }
+    }
+    got
+}
+
+/// One ring of `nodes` daemons, `storms` correlated crashes of
+/// `storm_size` daemons each, steady hot-group traffic throughout, and
+/// the gap-free/exactly-once/order check at the end.
+fn run_large_ring(nodes: u16, seed: u64, storms: usize, storm_size: u16) {
+    let options = MultiRingOptions {
+        frontend: FrontendOptions::enabled(),
+        ..MultiRingOptions::default()
+    };
+    let mut cluster =
+        ChurnCluster::start(1, nodes, seed, ShardMap::new(1), options).expect("cluster up");
+
+    let observer = cluster.daemon(0).connect("obs").expect("connect");
+    let sender = cluster.daemon(0).connect("src").expect("connect");
+    observer.join("hot").expect("join hot");
+    await_view_members(&observer, "hot", 1);
+
+    let cfg = ChurnConfig {
+        rings: 1,
+        nodes,
+        groups: vec!["hot".to_string()],
+        events: storms,
+        min_gap: Duration::from_millis(900),
+        max_gap: Duration::from_millis(1500),
+        warmup: Duration::from_millis(500),
+    };
+    let schedule = ChurnSchedule::restart_storm(seed, &cfg, storm_size);
+    let last_event = schedule.events.last().expect("non-empty").at;
+
+    let mut sent: BTreeSet<MsgId> = BTreeSet::new();
+    let mut fired = 0;
+    let start = Instant::now();
+    let mut counter = 0;
+    while start.elapsed() < last_event + Duration::from_millis(800) || counter < 20 {
+        let id = MsgId {
+            sender: HOT_SENDER,
+            counter,
+        };
+        send_id(&sender, id);
+        sent.insert(id);
+        counter += 1;
+        cluster
+            .apply_due(&schedule, start, &mut fired)
+            .expect("storm applies");
+        std::thread::sleep(Duration::from_millis(40));
+    }
+    while fired < schedule.events.len() {
+        cluster
+            .apply_due(&schedule, start, &mut fired)
+            .expect("storm applies");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    let want = sent.len();
+    let got = collect_ids(&observer, want, Duration::from_secs(90));
+    let violations = check_churn_handoff(&sent, &[(0, got)]);
+    assert!(
+        violations.is_empty(),
+        "seed {seed}, {nodes} daemons: violations:\n{}",
+        violations
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+
+    // Pool-leak gate: every buffer lease the daemons took must be back.
+    let probes: Vec<_> = (0..nodes)
+        .flat_map(|d| cluster.daemon(d).transport_probes())
+        .collect();
+    cluster.shutdown();
+    for p in &probes {
+        assert_eq!(p.pool_outstanding(), 0, "leaked buffer leases");
+    }
+}
+
+#[test]
+fn large_ring_smoke_eight_daemons_one_storm() {
+    run_large_ring(8, 5, 1, 2);
+}
+
+#[test]
+#[ignore = "soak: a 32-daemon ring under repeated 4-daemon restart storms"]
+fn large_ring_soak_thirty_two_daemons() {
+    run_large_ring(32, 6, 3, 4);
+}

@@ -122,9 +122,9 @@ fn smoke_schedule_commits_migration_with_identical_gap_free_orders() {
             .expect("cluster up");
 
     // Observers on the two daemons that are never cycled; the smoke
-    // schedule restarts daemon 2 (restarted daemons come back with the
-    // initial shard map and empty group state — the documented
-    // limitation — so durable clients live elsewhere).
+    // schedule restarts daemon 2, which comes back through the crash
+    // recovery path — seeded dedup watermarks plus ring-borne map
+    // announces — while the durable clients live elsewhere.
     let obs_a = cluster.daemon(0).connect("obs-a").expect("connect");
     let obs_b = cluster.daemon(1).connect("obs-b").expect("connect");
     let sender = cluster.daemon(0).connect("src").expect("connect");

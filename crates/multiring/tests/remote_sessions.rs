@@ -46,7 +46,7 @@ fn spawn_daemons() -> Vec<MultiRingDaemon> {
     };
     columns
         .into_iter()
-        .map(|nodes| MultiRingDaemon::start_with(nodes, shards(), options))
+        .map(|nodes| MultiRingDaemon::start_with(nodes, shards(), options.clone()))
         .collect()
 }
 

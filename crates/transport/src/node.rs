@@ -95,6 +95,11 @@ struct StatsInner {
     events_shed_slow: AtomicU64,
     events_shed_budget: AtomicU64,
     events_shed_race: AtomicU64,
+    recovery_pulls_sent: AtomicU64,
+    recovery_pushes_served: AtomicU64,
+    recovery_snapshots_applied: AtomicU64,
+    recovery_maps_adopted: AtomicU64,
+    recovery_catchup_wait_ns: AtomicU64,
 }
 
 /// A point-in-time copy of a node's transport counters.
@@ -139,6 +144,19 @@ pub struct TransportStats {
     /// Client-bound events shed because the session closed while the
     /// event was in flight (disconnect race).
     pub events_shed_race: u64,
+    /// Anti-entropy MAP_PULL requests this daemon sent while catching up
+    /// after a (re)start (the multi-ring recovery path owns these, like
+    /// the migration counters).
+    pub recovery_pulls_sent: u64,
+    /// MAP_PUSH snapshots this daemon served to catching-up peers.
+    pub recovery_pushes_served: u64,
+    /// Peer snapshots applied (map adopted and dedup watermarks seeded).
+    pub recovery_snapshots_applied: u64,
+    /// Shard-map epochs adopted from the rings' ordered announcements.
+    pub recovery_maps_adopted: u64,
+    /// Total nanoseconds spent gated (not serving sessions) between
+    /// (re)start and catch-up completion.
+    pub recovery_catchup_wait_ns: u64,
     /// Hot-datapath counters: syscall batching, pool behaviour, copies.
     pub hot: HotPathStats,
 }
@@ -162,6 +180,11 @@ impl StatsInner {
             events_shed_slow: self.events_shed_slow.load(Ordering::Relaxed),
             events_shed_budget: self.events_shed_budget.load(Ordering::Relaxed),
             events_shed_race: self.events_shed_race.load(Ordering::Relaxed),
+            recovery_pulls_sent: self.recovery_pulls_sent.load(Ordering::Relaxed),
+            recovery_pushes_served: self.recovery_pushes_served.load(Ordering::Relaxed),
+            recovery_snapshots_applied: self.recovery_snapshots_applied.load(Ordering::Relaxed),
+            recovery_maps_adopted: self.recovery_maps_adopted.load(Ordering::Relaxed),
+            recovery_catchup_wait_ns: self.recovery_catchup_wait_ns.load(Ordering::Relaxed),
             hot: HotPathStats {
                 datagrams_rx,
                 datagrams_tx: self.datagrams_tx.load(Ordering::Relaxed),
@@ -608,6 +631,41 @@ impl TransportProbe {
     pub fn note_fence_wait(&self, wait: std::time::Duration) {
         self.stats
             .fence_wait_ns
+            .fetch_add(wait.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Records anti-entropy MAP_PULL requests sent while catching up.
+    pub fn note_recovery_pulls_sent(&self, n: u64) {
+        self.stats
+            .recovery_pulls_sent
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records MAP_PUSH snapshots served to catching-up peers.
+    pub fn note_recovery_pushes_served(&self, n: u64) {
+        self.stats
+            .recovery_pushes_served
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records peer snapshots applied during catch-up.
+    pub fn note_recovery_snapshots_applied(&self, n: u64) {
+        self.stats
+            .recovery_snapshots_applied
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records shard-map epochs adopted from ordered announcements.
+    pub fn note_recovery_maps_adopted(&self, n: u64) {
+        self.stats
+            .recovery_maps_adopted
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Accumulates time spent gated between (re)start and catch-up.
+    pub fn note_recovery_catchup_wait(&self, wait: std::time::Duration) {
+        self.stats
+            .recovery_catchup_wait_ns
             .fetch_add(wait.as_nanos() as u64, Ordering::Relaxed);
     }
 
