@@ -35,6 +35,13 @@
 //! - `cross-ring-order` — observers merging the same set of rings see
 //!   their commonly delivered messages in the same relative order, even
 //!   when those messages were ordered on different rings.
+//!
+//! Replicated-state-machine runs (the KV store) additionally use
+//! [`check_state_beacons`]:
+//!
+//! - `kv-divergence` — replicas applying the same merged order emit
+//!   `(position, state_hash)` beacons; any two beacons at the same
+//!   position must carry the same hash.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
@@ -518,6 +525,46 @@ pub fn check_cross_ring_agreement(observers: &[(usize, Vec<RingMsg>)]) -> Vec<Vi
     v
 }
 
+/// One state-hash beacon a replicated state machine emitted: `(position,
+/// state_hash)`, where `position` is the machine's deterministic
+/// position clock (fragments consumed from the merged order) and the
+/// hash digests the full replica state at that position.
+pub type Beacon = (u64, u64);
+
+/// `kv-divergence`: replicas applying the same merged order must pass
+/// through identical states — any two beacons at the *same position*
+/// must carry the same hash, across replicas and within one replica's
+/// own stream. Positions only one replica reached (it lagged, restarted,
+/// or sampled a different cadence) are not comparable and are skipped.
+///
+/// `replicas` is one beacon stream per replica, labelled with the
+/// replica's node index for diagnostics.
+pub fn check_state_beacons(replicas: &[(usize, Vec<Beacon>)]) -> Vec<Violation> {
+    let mut v = Vec::new();
+    // position -> first (node, hash) seen there.
+    let mut canon: BTreeMap<u64, (usize, u64)> = BTreeMap::new();
+    for (node, stream) in replicas {
+        for (position, hash) in stream {
+            match canon.get(position) {
+                None => {
+                    canon.insert(*position, (*node, *hash));
+                }
+                Some((first, expected)) if expected != hash => {
+                    v.push(Violation {
+                        invariant: "kv-divergence",
+                        detail: format!(
+                            "replicas {first} and {node} disagree at position {position}: \
+                             state hash {expected:#x} vs {hash:#x}"
+                        ),
+                    });
+                }
+                Some(_) => {}
+            }
+        }
+    }
+    v
+}
+
 /// `self-delivery`: every post-quiescence probe reaches every node.
 fn check_self_delivery(input: &CheckerInput, parsed: &Parsed, v: &mut Vec<Violation>) {
     for node in 0..input.nodes {
@@ -556,5 +603,37 @@ fn check_reconvergence(input: &CheckerInput, v: &mut Vec<Violation>) {
                 ),
             });
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matching_beacons_are_clean() {
+        let a = (0usize, vec![(10, 0xabc), (20, 0xdef)]);
+        let b = (1usize, vec![(10, 0xabc), (30, 0x123)]);
+        // Positions 20 and 30 are each known to one replica only —
+        // lagging is not divergence.
+        assert!(check_state_beacons(&[a, b]).is_empty());
+    }
+
+    #[test]
+    fn divergent_beacons_are_caught() {
+        let a = (0usize, vec![(10, 0xabc), (20, 0xdef)]);
+        let b = (2usize, vec![(20, 0xbad)]);
+        let v = check_state_beacons(&[a, b]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].invariant, "kv-divergence");
+        assert!(v[0].detail.contains("position 20"), "{}", v[0].detail);
+    }
+
+    #[test]
+    fn self_disagreement_is_caught() {
+        // One replica re-emitting a position with a different hash is a
+        // determinism bug too (e.g. a bad snapshot install).
+        let a = (0usize, vec![(10, 0x1), (10, 0x2)]);
+        assert_eq!(check_state_beacons(&[a]).len(), 1);
     }
 }

@@ -43,7 +43,10 @@ pub mod live;
 pub mod runner;
 pub mod schedule;
 
-pub use checker::{check, check_cross_ring_agreement, CheckerInput, MsgId, RingMsg, Violation};
+pub use checker::{
+    check, check_cross_ring_agreement, check_state_beacons, Beacon, CheckerInput, MsgId, RingMsg,
+    Violation,
+};
 pub use churn::{
     check_churn_handoff, check_recovery, ChurnConfig, ChurnEvent, ChurnKind, ChurnSchedule,
     RecoveryReport,

@@ -186,6 +186,9 @@ pub struct FrontendStats {
     pub wakeups: u64,
     /// Syscalls issued on the session socket, both directions.
     pub syscalls: u64,
+    /// Local-service query frames (SVC_QUERY) answered outside the
+    /// ordered path — the KV read path rides these.
+    pub svc_queries: u64,
 }
 
 impl FrontendStats {

@@ -55,6 +55,10 @@ pub enum ClientEvent {
     Message {
         /// The sending client.
         sender: ClientId,
+        /// The sender's client-session sequence (`0` = unsequenced).
+        /// Replicated state machines key exactly-once application and
+        /// cross-ring fragment reassembly on `(sender.name, seq)`.
+        seq: u64,
         /// The groups it was addressed to.
         groups: Vec<String>,
         /// Application payload.
@@ -496,6 +500,7 @@ impl GroupEngine {
                         client,
                         event: ClientEvent::Message {
                             sender: msg.sender.clone(),
+                            seq: msg.seq,
                             groups: groups.clone(),
                             payload: payload.clone(),
                             service,

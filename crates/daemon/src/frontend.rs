@@ -175,6 +175,18 @@ pub enum Ingress {
         /// The opaque snapshot body (the multi-ring layer decodes it).
         body: Bytes,
     },
+    /// A local-service query (no session, no credits). The runtime
+    /// answers with an SVC_REPLY via
+    /// [`SessionMux::send_session_frame`], or stays silent when no
+    /// service is mounted — the requester owns retries.
+    SvcQuery {
+        /// Echoed so the requester recognizes its response.
+        nonce: u64,
+        /// The opaque query body (the mounted service decodes it).
+        body: Bytes,
+        /// Where the SVC_REPLY goes.
+        addr: SocketAddr,
+    },
 }
 
 enum SessionKind {
@@ -683,6 +695,13 @@ impl SessionMux {
                 map_version,
                 body,
             }),
+            SessionFrame::SvcQuery { nonce, body } => {
+                self.stats.svc_queries += 1;
+                out.push(Ingress::SvcQuery { nonce, body, addr });
+            }
+            // A reply reaching the daemon socket answers nothing here:
+            // requesters receive replies on their own sockets.
+            SessionFrame::SvcReply { .. } => {}
             // Daemon-to-client frames arriving at the daemon are noise.
             SessionFrame::Welcome { .. }
             | SessionFrame::Event { .. }
@@ -1188,6 +1207,7 @@ mod tests {
                 daemon: ParticipantId::new(0),
                 name: "s".to_string(),
             },
+            seq: 0,
             groups: vec!["g".to_string()],
             payload: Bytes::from_static(payload),
             service: Service::Agreed,

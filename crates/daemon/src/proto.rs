@@ -263,6 +263,8 @@ const FR_BYE: u8 = 6;
 const FR_ERROR: u8 = 7;
 const FR_MAP_PULL: u8 = 8;
 const FR_MAP_PUSH: u8 = 9;
+const FR_SVC_QUERY: u8 = 10;
+const FR_SVC_REPLY: u8 = 11;
 
 const EV_MESSAGE: u8 = 1;
 const EV_VIEW: u8 = 2;
@@ -388,6 +390,26 @@ pub enum SessionFrame {
         /// Trailing bytes of the frame, like an EVENT body.
         body: Bytes,
     },
+    /// Anyone → daemon: a query against a local service the daemon
+    /// hosts, answered outside the ordered path (no session, no
+    /// credits — the requester owns retries). The body is opaque here:
+    /// the service layered on the daemon owns its codec, exactly as
+    /// the multi-ring layer owns the MAP_PUSH body. The replicated KV
+    /// store's local reads and snapshot pulls ride these frames.
+    SvcQuery {
+        /// Requester-chosen value echoed in the reply so retried
+        /// queries recognize their own response.
+        nonce: u64,
+        /// The opaque query (trailing bytes of the frame).
+        body: Bytes,
+    },
+    /// Daemon → requester: the local service's answer.
+    SvcReply {
+        /// Echo of the query nonce.
+        nonce: u64,
+        /// The opaque reply (trailing bytes of the frame).
+        body: Bytes,
+    },
 }
 
 fn put_str<B: BufMut>(buf: &mut B, s: &str, cap: usize) {
@@ -499,6 +521,16 @@ pub fn encode_session_frame_into<B: BufMut>(buf: &mut B, frame: &SessionFrame) {
             // The body is the frame's tail, so it needs no length prefix.
             buf.put_slice(body);
         }
+        SessionFrame::SvcQuery { nonce, body } => {
+            buf.put_u8(FR_SVC_QUERY);
+            buf.put_u64_le(*nonce);
+            buf.put_slice(body);
+        }
+        SessionFrame::SvcReply { nonce, body } => {
+            buf.put_u8(FR_SVC_REPLY);
+            buf.put_u64_le(*nonce);
+            buf.put_slice(body);
+        }
     }
 }
 
@@ -579,6 +611,14 @@ pub fn decode_session_frame(buf: &mut Bytes) -> Result<SessionFrame, DecodeError
             map_version: get_u64(buf)?,
             body: buf.split_to(buf.remaining()),
         },
+        FR_SVC_QUERY => SessionFrame::SvcQuery {
+            nonce: get_u64(buf)?,
+            body: buf.split_to(buf.remaining()),
+        },
+        FR_SVC_REPLY => SessionFrame::SvcReply {
+            nonce: get_u64(buf)?,
+            body: buf.split_to(buf.remaining()),
+        },
         other => return Err(DecodeError::BadKind(other)),
     };
     Ok(frame)
@@ -591,6 +631,7 @@ pub fn encode_event_body(event: &ClientEvent) -> Bytes {
     match event {
         ClientEvent::Message {
             sender,
+            seq,
             groups,
             payload,
             service,
@@ -598,6 +639,7 @@ pub fn encode_event_body(event: &ClientEvent) -> Bytes {
             buf.put_u8(EV_MESSAGE);
             buf.put_u16_le(sender.daemon.as_u16());
             put_name(&mut buf, &sender.name);
+            buf.put_u64_le(*seq);
             buf.put_u8(groups.len().min(MAX_GROUPS) as u8);
             for g in groups.iter().take(MAX_GROUPS) {
                 put_name(&mut buf, g);
@@ -650,9 +692,10 @@ pub fn decode_event_body(buf: &mut Bytes) -> Result<ClientEvent, DecodeError> {
             }
             let daemon = ParticipantId::new(buf.get_u16_le());
             let name = get_name(buf)?;
-            if buf.remaining() < 1 {
+            if buf.remaining() < 9 {
                 return Err(DecodeError::Truncated);
             }
+            let seq = buf.get_u64_le();
             let n = buf.get_u8() as usize;
             if n > MAX_GROUPS {
                 return Err(DecodeError::BadLength {
@@ -678,6 +721,7 @@ pub fn decode_event_body(buf: &mut Bytes) -> Result<ClientEvent, DecodeError> {
             }
             ClientEvent::Message {
                 sender: ClientId { daemon, name },
+                seq,
                 groups,
                 payload: buf.split_to(len),
                 service,
@@ -891,6 +935,18 @@ mod tests {
                 map_version: 0,
                 body: Bytes::new(),
             },
+            SessionFrame::SvcQuery {
+                nonce: 0xBEEF,
+                body: Bytes::from_static(b"opaque query"),
+            },
+            SessionFrame::SvcReply {
+                nonce: 0xBEEF,
+                body: Bytes::from_static(b"opaque reply"),
+            },
+            SessionFrame::SvcReply {
+                nonce: 2,
+                body: Bytes::new(),
+            },
         ];
         for frame in &frames {
             assert_eq!(&frame_roundtrip(frame), frame);
@@ -902,6 +958,7 @@ mod tests {
         let events = [
             ClientEvent::Message {
                 sender: client(2, "alice"),
+                seq: 7,
                 groups: vec!["g1".into(), "g2".into()],
                 payload: Bytes::from_static(b"payload"),
                 service: Service::Agreed,
@@ -928,6 +985,7 @@ mod tests {
     fn event_frame_body_is_opaque_passthrough() {
         let event = ClientEvent::Message {
             sender: client(0, "a"),
+            seq: 0,
             groups: vec!["g".into()],
             payload: Bytes::from_static(b"x"),
             service: Service::Agreed,
@@ -1008,6 +1066,20 @@ mod tests {
         for cut in 0..push.len() {
             let mut b = push.slice(..cut);
             assert!(decode_session_frame(&mut b).is_err(), "push cut {cut}");
+        }
+    }
+
+    #[test]
+    fn svc_query_truncation_rejected() {
+        // Like MAP_PUSH, the body is the frame tail: only the nonce
+        // header can be truncation-checked.
+        let query = encode_session_frame(&SessionFrame::SvcQuery {
+            nonce: 7,
+            body: Bytes::new(),
+        });
+        for cut in 0..query.len() {
+            let mut b = query.slice(..cut);
+            assert!(decode_session_frame(&mut b).is_err(), "query cut {cut}");
         }
     }
 

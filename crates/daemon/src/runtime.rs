@@ -528,9 +528,10 @@ impl Pump {
                         self.dispatch(outputs, node);
                     }
                 }
-                // Recovery anti-entropy is a multi-ring concern; the
-                // single-ring daemon has no shard map to serve or adopt.
-                Ingress::MapPull { .. } | Ingress::MapPush { .. } => {}
+                // Recovery anti-entropy and local services are
+                // multi-ring concerns; the single-ring daemon has no
+                // shard map to serve or adopt and mounts no application.
+                Ingress::MapPull { .. } | Ingress::MapPush { .. } | Ingress::SvcQuery { .. } => {}
             }
         }
     }

@@ -1,0 +1,286 @@
+//! Live replicated KV: two real localhost UDP rings of three daemons,
+//! a replica on every daemon, and remote [`KvClient`]s exercising the
+//! full contract — confirmed single-key writes, CAS atomicity, a
+//! cross-ring transaction, read-your-writes and linearizable reads
+//! from a second client on a different daemon, exactly-once semantics
+//! through a reconnect-and-resubmit via a *different* daemon, and
+//! byte-identical replica state at equal positions.
+//!
+//! Real sockets and threads; run with `--test-threads=1`.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use accelring_core::{ProtocolConfig, RingIdx, Service};
+use accelring_daemon::{FrontendOptions, SessionClient};
+use accelring_kv::{
+    encode_op, partition_of, KvClient, KvConfig, KvOp, KvShared, KvStore, KvWrite, ReadMode,
+};
+use accelring_membership::MembershipConfig;
+use accelring_multiring::{MultiRingDaemon, MultiRingOptions, ShardMap};
+use accelring_transport::spawn_local_multiring;
+use bytes::Bytes;
+
+const RINGS: u16 = 2;
+const NODES: u16 = 3;
+const PARTS: u16 = 4;
+const LONG: Duration = Duration::from_secs(40);
+
+/// Pin the four partitions across the two rings so every even partition
+/// orders on ring 0 and every odd one on ring 1 — cross-partition
+/// transactions are then provably cross-*ring* too.
+fn shards() -> ShardMap {
+    let mut map = ShardMap::new(RINGS);
+    for p in 0..PARTS {
+        map.assign(&format!("kv.{p}"), RingIdx::new(p % RINGS));
+    }
+    map
+}
+
+/// Spawns the transport and one daemon per participant, each with its
+/// replica's shared state mounted for local-service queries.
+fn spawn_daemons(shareds: &[Arc<KvShared>]) -> Vec<MultiRingDaemon> {
+    let handles = spawn_local_multiring(
+        RINGS,
+        NODES,
+        ProtocolConfig::default(),
+        MembershipConfig::for_wall_clock(),
+        &[],
+    )
+    .expect("rings stand up");
+    let mut columns: Vec<Vec<_>> = (0..NODES).map(|_| Vec::new()).collect();
+    for ring in handles {
+        for (i, node) in ring.into_iter().enumerate() {
+            columns[i].push(node);
+        }
+    }
+    columns
+        .into_iter()
+        .zip(shareds)
+        .map(|(nodes, shared)| {
+            let options = MultiRingOptions {
+                frontend: FrontendOptions::enabled(),
+                app_state: Some(shared.clone()),
+                ..MultiRingOptions::default()
+            };
+            MultiRingDaemon::start_with(nodes, shards(), options)
+        })
+        .collect()
+}
+
+/// Brute-forces a key that hashes into `part` under the test's split.
+fn key_in(tag: &str, part: &str) -> String {
+    for i in 0..10_000u32 {
+        let k = format!("{tag}-{i}");
+        if partition_of(&k, PARTS) == part {
+            return k;
+        }
+    }
+    panic!("no key for partition {part}")
+}
+
+/// Blocks until every replica opened its serving gate.
+fn await_all_serving(shareds: &[Arc<KvShared>]) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while Instant::now() < deadline {
+        if shareds.iter().all(|s| s.serving()) {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    panic!("replicas never all started serving");
+}
+
+/// Blocks until every replica sits at the same *stable* position (equal
+/// across replicas and unchanged over a settle window), returning it.
+fn await_convergence(shareds: &[Arc<KvShared>]) -> u64 {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while Instant::now() < deadline {
+        let p: Vec<u64> = shareds.iter().map(|s| s.position()).collect();
+        if p.iter().all(|&x| x == p[0]) {
+            std::thread::sleep(Duration::from_millis(300));
+            let q: Vec<u64> = shareds.iter().map(|s| s.position()).collect();
+            if q == p {
+                return p[0];
+            }
+        } else {
+            std::thread::sleep(Duration::from_millis(100));
+        }
+    }
+    panic!("replica positions never converged");
+}
+
+#[test]
+fn replicated_kv_end_to_end() {
+    let shareds: Vec<Arc<KvShared>> = (0..NODES).map(|_| KvShared::new(PARTS)).collect();
+    let daemons = spawn_daemons(&shareds);
+    let stores: Vec<KvStore> = (0..NODES as usize)
+        .map(|i| {
+            KvStore::start(
+                &daemons[i],
+                shareds[i].clone(),
+                KvConfig {
+                    partitions: PARTS,
+                    name: format!("replica-{i}"),
+                    ..KvConfig::default()
+                },
+            )
+            .expect("replica starts")
+        })
+        .collect();
+    await_all_serving(&shareds);
+
+    let addr0 = daemons[0].session_addr().expect("session socket");
+    let addr1 = daemons[1].session_addr().expect("session socket");
+    let mut a = KvClient::connect(addr0, "client-a", PARTS).expect("connect a");
+    a.wait_serving(Duration::from_secs(30))
+        .expect("replica 0 serves");
+
+    // Partitions on distinct rings: kv.0 orders on ring 0, kv.1 on ring 1.
+    let k_r0 = key_in("alpha", "kv.0");
+    let k_r1 = key_in("beta", "kv.1");
+
+    // Confirmed put, then read-your-writes.
+    let put_seq = a.put(&k_r0, "v1").expect("put");
+    a.confirm(&k_r0, put_seq, LONG).expect("confirm put");
+    let got = a
+        .get(&k_r0, ReadMode::ReadYourWrites, LONG)
+        .expect("ryw read");
+    assert_eq!(
+        got.value.as_deref(),
+        Some(b"v1".as_ref()),
+        "ryw sees own put"
+    );
+
+    // CAS with a holding guard swaps the value.
+    let seq = a
+        .cas(&k_r0, Some(Bytes::from("v1")), "v2")
+        .expect("cas submit");
+    a.confirm(&k_r0, seq, LONG).expect("confirm cas");
+    let got = a.get(&k_r0, ReadMode::ReadYourWrites, LONG).expect("read");
+    assert_eq!(got.value.as_deref(), Some(b"v2".as_ref()), "cas applied");
+
+    // A transaction spanning both rings commits atomically at the merged
+    // position of its last fragment.
+    let txn_seq = a
+        .txn(vec![
+            KvWrite::Put {
+                key: k_r0.clone(),
+                value: Bytes::from("both-0"),
+            },
+            KvWrite::Put {
+                key: k_r1.clone(),
+                value: Bytes::from("both-1"),
+            },
+        ])
+        .expect("cross-ring txn");
+    a.confirm(&k_r1, txn_seq, LONG).expect("confirm txn");
+
+    // A second client on a different daemon: linearizable reads must
+    // observe the confirmed transaction, whoever wrote it.
+    let mut b = KvClient::connect(addr1, "client-b", PARTS).expect("connect b");
+    b.wait_serving(Duration::from_secs(30))
+        .expect("replica 1 serves");
+    let got = b
+        .get(&k_r0, ReadMode::Linearizable, LONG)
+        .expect("linearizable read r0");
+    assert_eq!(got.value.as_deref(), Some(b"both-0".as_ref()));
+    let got = b
+        .get(&k_r1, ReadMode::Linearizable, LONG)
+        .expect("linearizable read r1");
+    assert_eq!(got.value.as_deref(), Some(b"both-1".as_ref()));
+
+    // A failing CAS aborts the whole batch — even across rings: the put
+    // riding along must not land.
+    let k3_r1 = key_in("delta", "kv.3");
+    let seq = a
+        .txn(vec![
+            KvWrite::Cas {
+                key: k_r0.clone(),
+                expect: Some(Bytes::from("wrong")),
+                value: Bytes::from("clobbered"),
+            },
+            KvWrite::Put {
+                key: k3_r1.clone(),
+                value: Bytes::from("should-not-land"),
+            },
+        ])
+        .expect("aborting txn");
+    a.confirm(&k3_r1, seq, LONG)
+        .expect("aborted txn still commits a position");
+    let got = a
+        .get(&k_r0, ReadMode::Local, LONG)
+        .expect("read after abort");
+    assert_eq!(
+        got.value.as_deref(),
+        Some(b"both-0".as_ref()),
+        "failed CAS must not clobber"
+    );
+    let got = a.get(&k3_r1, ReadMode::Local, LONG).expect("read rider");
+    assert_eq!(got.value, None, "rider of a failed CAS must not land");
+
+    // Quiesce, then attack exactly-once: reconnect as client-a through a
+    // *different* daemon and resubmit the long-committed first put. The
+    // delivery-side dedup must drop it at every replica — the value must
+    // not revert to "v1" and no replica may apply an extra op beyond the
+    // sentinel barrier write.
+    let pos = await_convergence(&shareds);
+    assert!(pos > 0, "replicas consumed nothing");
+    let before: Vec<u64> = shareds.iter().map(|s| s.stats().applied_ops).collect();
+    let last = a.last_seq();
+    a.close();
+    let dup = SessionClient::connect_session(addr1, "client-a", last).expect("reconnect");
+    let payload = encode_op(&KvOp::Write {
+        writes: vec![KvWrite::Put {
+            key: k_r0.clone(),
+            value: Bytes::from("v1"),
+        }],
+    });
+    let part = partition_of(&k_r0, PARTS);
+    dup.resubmit(put_seq, &[part.as_str()], payload, Service::Agreed)
+        .expect("resubmit");
+    // Barrier: a fresh confirmed write ordered after the duplicate.
+    let sentinel = key_in("omega", "kv.2");
+    let seq = b.put(&sentinel, "done").expect("sentinel put");
+    b.confirm(&sentinel, seq, LONG).expect("confirm sentinel");
+    dup.bye();
+
+    await_convergence(&shareds);
+    for (i, s) in shareds.iter().enumerate() {
+        assert_eq!(
+            s.read(&k_r0).as_deref(),
+            Some(b"both-0".as_ref()),
+            "replica {i}: duplicate resubmit reverted the value"
+        );
+        let stats = s.stats();
+        assert_eq!(
+            stats.applied_ops,
+            before[i] + 1,
+            "replica {i}: duplicate slipped past dedup"
+        );
+        assert_eq!(stats.foreign_payloads, 0, "replica {i}: foreign payloads");
+        assert_eq!(stats.replay_skipped, 0, "replica {i}: unexpected replays");
+        assert_eq!(stats.txns_expired, 0, "replica {i}: expired transactions");
+    }
+
+    // Convergence is byte-deep: equal positions, equal hashes, equal
+    // machines.
+    let hashes: Vec<u64> = shareds.iter().map(|s| s.state_hash()).collect();
+    assert!(
+        hashes.iter().all(|&h| h == hashes[0]),
+        "state hashes diverge: {hashes:x?}"
+    );
+    shareds[0].with_machine(|m0| {
+        for s in &shareds[1..] {
+            s.with_machine(|m| assert_eq!(m0, m, "replica machines diverge"));
+        }
+    });
+
+    b.close();
+    for s in stores {
+        s.shutdown();
+    }
+    for d in daemons {
+        d.shutdown();
+    }
+}

@@ -48,7 +48,9 @@ pub struct ChurnCluster {
     nodes: u16,
     protocol: ProtocolConfig,
     membership: MembershipConfig,
-    options: MultiRingOptions,
+    /// Per-daemon options: daemon `i` starts (and restarts) with
+    /// `options[i]`, so tests can mount per-daemon application state.
+    options: Vec<MultiRingOptions>,
     shards: ShardMap,
     /// `addrs[ring][node]`: the fixed ports every incarnation binds.
     addrs: Vec<Vec<NodeAddr>>,
@@ -79,7 +81,35 @@ impl ChurnCluster {
         shards: ShardMap,
         options: MultiRingOptions,
     ) -> Result<ChurnCluster, TransportError> {
+        let options = (0..nodes).map(|_| options.clone()).collect();
+        ChurnCluster::start_each(rings, nodes, seed, shards, options)
+    }
+
+    /// Like [`ChurnCluster::start`], but with distinct options per
+    /// daemon — how a replicated application mounts each daemon's own
+    /// [`app_state`](MultiRingOptions::app_state) from the first
+    /// incarnation on.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first bind or spawn failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `options` has exactly one entry per daemon.
+    pub fn start_each(
+        rings: u16,
+        nodes: u16,
+        seed: u64,
+        shards: ShardMap,
+        options: Vec<MultiRingOptions>,
+    ) -> Result<ChurnCluster, TransportError> {
         assert_eq!(rings, shards.rings(), "one ring per shard-map ring");
+        assert_eq!(
+            options.len(),
+            nodes as usize,
+            "one options entry per daemon"
+        );
         let protocol = ProtocolConfig::default();
         let membership = MembershipConfig::for_wall_clock();
         let mut addrs = Vec::with_capacity(rings as usize);
@@ -125,11 +155,12 @@ impl ChurnCluster {
         }
         let daemons = columns
             .into_iter()
-            .map(|column| {
+            .zip(&options)
+            .map(|(column, opts)| {
                 Some(MultiRingDaemon::start_with(
                     column,
                     shards.clone(),
-                    options.clone(),
+                    opts.clone(),
                 ))
             })
             .collect();
@@ -163,6 +194,13 @@ impl ChurnCluster {
         self.daemons[i as usize]
             .as_ref()
             .expect("daemon is currently down")
+    }
+
+    /// Replaces the options daemon `i`'s *next* incarnation starts with
+    /// (the running incarnation, if any, is untouched). Tests use this
+    /// to mount fresh application state before a restart.
+    pub fn set_options(&mut self, i: u16, options: MultiRingOptions) {
+        self.options[i as usize] = options;
     }
 
     /// Ring `k`'s fault plane.
@@ -228,7 +266,7 @@ impl ChurnCluster {
             )?;
             column.push(handle);
         }
-        let mut options = self.options.clone();
+        let mut options = self.options[i as usize].clone();
         options.recovery_seed = self.seqs[i as usize].clone();
         // Pull catch-up from every daemon currently up; daemons without
         // a session socket leave this empty and recover through seeds

@@ -582,6 +582,60 @@ impl MultiRingEngine {
         Ok(self.submits(ring, outputs))
     }
 
+    /// Multicasts `payload` to groups that may span rings by splitting
+    /// the send into one fragment per ring, each targeting that ring's
+    /// subset of the groups (same payload, same sequence). A receiver
+    /// subscribed across the span observes one fragment per ring in the
+    /// merged order; state machines that need atomicity (the KV store's
+    /// cross-shard transactions) buffer fragments by `(sender, seq)`
+    /// and commit when every involved group has been covered — the
+    /// commit point, the merged position of the last fragment, is a
+    /// pure function of the merged stream and therefore identical at
+    /// every replica. Per-ring dedup watermarks stay sound: a sender's
+    /// sequences remain strictly increasing within each ring because
+    /// fragment routing is deterministic in the shard map.
+    ///
+    /// Groups on one ring degrade to a plain
+    /// [`MultiRingEngine::client_multicast_sequenced`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the per-ring engine's error (unknown client, invalid
+    /// group name). An error on a later ring does not retract fragments
+    /// already produced for earlier rings — the caller treats the send
+    /// as in-doubt and may resubmit under the same sequence.
+    pub fn client_multicast_spanning(
+        &mut self,
+        name: &str,
+        groups: &[&str],
+        payload: Bytes,
+        service: Service,
+        seq: u64,
+    ) -> Result<Vec<MultiOutput>, MultiRingError> {
+        let mut by_ring: std::collections::BTreeMap<RingIdx, Vec<&str>> =
+            std::collections::BTreeMap::new();
+        for g in groups {
+            by_ring.entry(self.shards.ring_of(g)).or_default().push(g);
+        }
+        if by_ring.len() <= 1 {
+            return self.client_multicast_sequenced(name, groups, payload, service, seq);
+        }
+        let mut out = Vec::new();
+        for subset in by_ring.into_values() {
+            // Each fragment re-routes through the sequenced path so a
+            // subset whose group is mid-migration is held and flushed
+            // exactly like a single-ring send.
+            out.extend(self.client_multicast_sequenced(
+                name,
+                &subset,
+                payload.clone(),
+                service,
+                seq,
+            )?);
+        }
+        Ok(out)
+    }
+
     /// Closes partially filled packed payloads on every ring.
     pub fn flush(&mut self) -> Vec<MultiOutput> {
         let mut out = Vec::new();

@@ -62,8 +62,27 @@ const REACTOR_TICK: Duration = Duration::from_millis(1);
 /// and refusing forever would deadlock the first daemon back up.
 const CATCHUP_DEADLINE: Duration = Duration::from_secs(5);
 
+/// Replicated application state mounted on a daemon — the hook through
+/// which the pump serves local-service queries ([`SessionFrame::SvcQuery`])
+/// outside the ordered path and piggybacks application snapshots on the
+/// recovery pull path (the `app` section of
+/// [`RecoverySnapshot`](crate::recovery::RecoverySnapshot)). The
+/// replicated KV store mounts its machine here; the multi-ring layer
+/// carries every body blind — the application owns its codecs.
+pub trait AppState: Send + Sync {
+    /// Answers one opaque local-service query, or `None` to stay silent
+    /// (no reply frame is sent; the requester owns retries).
+    fn query(&self, body: &Bytes) -> Option<Bytes>;
+    /// The application snapshot to piggyback on a recovery push; empty
+    /// means "nothing to carry".
+    fn snapshot(&self) -> Bytes;
+    /// Accepts the application section of a recovery snapshot pulled
+    /// from a peer during catch-up. Empty bodies are not delivered.
+    fn install(&self, body: &Bytes);
+}
+
 /// Runtime settings for a [`MultiRingDaemon`].
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct MultiRingOptions {
     /// Packing/fragmentation settings for the per-ring engines.
     pub engine: EngineOptions,
@@ -95,6 +114,26 @@ pub struct MultiRingOptions {
     /// `r`; seeding is monotone, so combining it with a pulled snapshot
     /// is safe.
     pub recovery_seed: Option<RingSeqs>,
+    /// Replicated application state mounted on this daemon: serves
+    /// local-service queries and rides the recovery pull path. `None`
+    /// means no application — queries go unanswered and snapshots carry
+    /// an empty `app` section.
+    pub app_state: Option<Arc<dyn AppState>>,
+}
+
+impl std::fmt::Debug for MultiRingOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MultiRingOptions")
+            .field("engine", &self.engine)
+            .field("lambda", &self.lambda)
+            .field("tick_interval", &self.tick_interval)
+            .field("migration_timeout", &self.migration_timeout)
+            .field("frontend", &self.frontend)
+            .field("recovery_peers", &self.recovery_peers)
+            .field("recovery_seed", &self.recovery_seed)
+            .field("app_state", &self.app_state.as_ref().map(|_| "mounted"))
+            .finish()
+    }
 }
 
 impl Default for MultiRingOptions {
@@ -107,6 +146,7 @@ impl Default for MultiRingOptions {
             frontend: FrontendOptions::default(),
             recovery_peers: Vec::new(),
             recovery_seed: None,
+            app_state: None,
         }
     }
 }
@@ -148,6 +188,10 @@ enum Cmd {
         payload: Bytes,
         service: Service,
         seq: u64,
+        /// Split a cross-ring group set into per-ring fragments instead
+        /// of rejecting it (see
+        /// [`MultiRingEngine::client_multicast_spanning`]).
+        spanning: bool,
         resp: Sender<Result<(), MultiRingError>>,
     },
     Disconnect {
@@ -423,7 +467,7 @@ impl MultiRingClient {
         payload: Bytes,
         service: Service,
     ) -> Result<(), MultiRingError> {
-        self.send_with_seq(groups, payload, service, 0)
+        self.send_with_seq(groups, payload, service, 0, false)
     }
 
     /// Like [`MultiRingClient::multicast`] with the session's next
@@ -439,7 +483,28 @@ impl MultiRingClient {
         service: Service,
     ) -> Result<u64, MultiRingError> {
         let seq = self.next_seq.fetch_add(1, Ordering::Relaxed) + 1;
-        self.send_with_seq(groups, payload, service, seq)?;
+        self.send_with_seq(groups, payload, service, seq, false)?;
+        Ok(seq)
+    }
+
+    /// Sequenced multicast to groups that may span rings: the send is
+    /// split into one fragment per ring (same payload, same sequence),
+    /// each covering that ring's subset of the groups. See
+    /// [`MultiRingEngine::client_multicast_spanning`] for the commit
+    /// rule consumers apply. Returns the stamped sequence.
+    ///
+    /// # Errors
+    ///
+    /// As [`MultiRingClient::multicast`], except cross-ring group sets
+    /// are accepted.
+    pub fn multicast_spanning(
+        &self,
+        groups: &[&str],
+        payload: Bytes,
+        service: Service,
+    ) -> Result<u64, MultiRingError> {
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        self.send_with_seq(groups, payload, service, seq, true)?;
         Ok(seq)
     }
 
@@ -449,6 +514,7 @@ impl MultiRingClient {
         payload: Bytes,
         service: Service,
         seq: u64,
+        spanning: bool,
     ) -> Result<(), MultiRingError> {
         self.call(|resp| Cmd::Multicast {
             name: self.name.clone(),
@@ -456,6 +522,7 @@ impl MultiRingClient {
             payload,
             service,
             seq,
+            spanning,
             resp,
         })
     }
@@ -524,6 +591,9 @@ struct Pump {
     reported_maps_adopted: u64,
     /// `Some` while the serving gate is closed waiting for catch-up.
     catchup: Option<Catchup>,
+    /// Application state mounted on this daemon (serves SVC_QUERY
+    /// frames, rides the recovery pull path).
+    app: Option<Arc<dyn AppState>>,
     /// Ring-0 node's probe doubles as the daemon-level counter sink for
     /// migration lifecycle stats.
     probe: TransportProbe,
@@ -703,8 +773,23 @@ impl Pump {
                     let result = match action {
                         GroupAction::Data { groups, payload } => {
                             let refs: Vec<&str> = groups.iter().map(String::as_str).collect();
-                            self.engine
-                                .client_multicast_sequenced(&name, &refs, payload, service, seq)
+                            // The wire protocol has no spanning flag, so
+                            // a remote cross-ring multicast degrades to
+                            // the split-per-ring path instead of being
+                            // silently counted away — remote KV clients
+                            // reach cross-shard transactions this way.
+                            match self.engine.client_multicast_sequenced(
+                                &name,
+                                &refs,
+                                payload.clone(),
+                                service,
+                                seq,
+                            ) {
+                                Err(MultiRingError::CrossRing { .. }) => self
+                                    .engine
+                                    .client_multicast_spanning(&name, &refs, payload, service, seq),
+                                other => other,
+                            }
                         }
                         GroupAction::Join { group } => self.engine.client_join(&name, &group),
                         GroupAction::Leave { group } => self.engine.client_leave(&name, &group),
@@ -746,6 +831,7 @@ impl Pump {
                         cursor: self.engine.merge_cursor(),
                         map: self.engine.map_msg(),
                         seqs: self.engine.export_seqs(),
+                        app: self.app.as_ref().map(|a| a.snapshot()).unwrap_or_default(),
                     };
                     let frame = SessionFrame::MapPush {
                         nonce,
@@ -776,10 +862,28 @@ impl Pump {
                     // is safe in either order.
                     self.engine.adopt_map(&snap.map);
                     self.engine.seed_seqs(&snap.seqs);
+                    if !snap.app.is_empty() {
+                        if let Some(app) = &self.app {
+                            app.install(&snap.app);
+                        }
+                    }
                     self.max_epoch = self.max_epoch.max(snap.epoch);
                     self.probe.note_recovery_snapshots_applied(1);
                     if let Some(c) = self.catchup.take() {
                         self.probe.note_recovery_catchup_wait(c.started.elapsed());
+                    }
+                }
+                Ingress::SvcQuery { nonce, body, addr } => {
+                    // Answered outside the ordered path — but never from
+                    // behind the serving gate: a catching-up daemon's
+                    // application state is as stale as its shard map.
+                    if self.catchup.is_some() {
+                        continue;
+                    }
+                    let reply = self.app.as_ref().and_then(|a| a.query(&body));
+                    if let Some(body) = reply {
+                        let frame = SessionFrame::SvcReply { nonce, body };
+                        self.mux.send_session_frame(&frame, addr);
                     }
                 }
             }
@@ -842,12 +946,17 @@ impl Pump {
                 payload,
                 service,
                 seq,
+                spanning,
                 resp,
             } => {
                 let refs: Vec<&str> = groups.iter().map(String::as_str).collect();
-                let result = self
-                    .engine
-                    .client_multicast_sequenced(&name, &refs, payload, service, seq);
+                let result = if spanning {
+                    self.engine
+                        .client_multicast_spanning(&name, &refs, payload, service, seq)
+                } else {
+                    self.engine
+                        .client_multicast_sequenced(&name, &refs, payload, service, seq)
+                };
                 let _ = resp.send(result.map(|o| self.dispatch(o, nodes)));
             }
             Cmd::Disconnect { name } => {
@@ -972,6 +1081,7 @@ fn pump(
         reported: MigrationCounters::default(),
         reported_maps_adopted: 0,
         catchup,
+        app: options.app_state.clone(),
         probe,
     };
     // When each ring last delivered anything (ticks included): the

@@ -1,201 +1,178 @@
 //! A replicated key-value store built on totally ordered multicast — the
 //! classic state-machine-replication use case from the paper's
-//! introduction ("maintaining consistent distributed state").
+//! introduction ("maintaining consistent distributed state"), now served
+//! by the `accelring-kv` crate instead of a hand-rolled apply loop.
 //!
-//! Each replica is a client of its local daemon on a real localhost UDP
-//! ring. All replicas apply the same totally ordered stream of
-//! operations to their local maps, so they stay identical without locks
-//! or leader election. Writes use Safe delivery (stability before
-//! apply); reads are local.
+//! The deployment below runs two rings and three daemons on localhost
+//! UDP. The key space is split into four partition groups pinned
+//! alternately to the rings; every daemon mounts a deterministic
+//! [`KvMachine`](accelring::kv::KvMachine) replica that consumes the
+//! merged total order. Clients talk to any daemon and get ordered
+//! writes, exactly-once retries, atomic cross-ring transactions, and
+//! three read-consistency modes.
 //!
 //! Run with: `cargo run --example replicated_kv`
 
-use std::collections::BTreeMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use accelring::core::{ProtocolConfig, Service};
-use accelring::daemon::{ClientEvent, GroupDaemon};
+use accelring::core::{ProtocolConfig, RingIdx};
+use accelring::daemon::FrontendOptions;
+use accelring::kv::{KvClient, KvConfig, KvShared, KvStore, KvValue, KvWrite, ReadMode};
 use accelring::membership::MembershipConfig;
-use accelring::transport::spawn_local_ring;
+use accelring::multiring::{MultiRingDaemon, MultiRingOptions, ShardMap};
+use accelring::transport::spawn_local_multiring;
 use bytes::Bytes;
 
-/// An operation on the store, with a tiny text wire format.
-#[derive(Debug)]
-enum Op {
-    Put { key: String, value: String },
-    Delete { key: String },
-}
-
-impl Op {
-    fn encode(&self) -> Bytes {
-        match self {
-            Op::Put { key, value } => Bytes::from(format!("PUT {key} {value}")),
-            Op::Delete { key } => Bytes::from(format!("DEL {key}")),
-        }
-    }
-
-    fn decode(payload: &[u8]) -> Option<Op> {
-        let text = std::str::from_utf8(payload).ok()?;
-        let mut parts = text.splitn(3, ' ');
-        match parts.next()? {
-            "PUT" => Some(Op::Put {
-                key: parts.next()?.to_string(),
-                value: parts.next()?.to_string(),
-            }),
-            "DEL" => Some(Op::Delete {
-                key: parts.next()?.to_string(),
-            }),
-            _ => None,
-        }
-    }
-}
-
-/// One replica: a map maintained purely by applying delivered operations.
-#[derive(Debug, Default, PartialEq, Eq)]
-struct Replica {
-    data: BTreeMap<String, String>,
-    applied: u64,
-}
-
-impl Replica {
-    fn apply(&mut self, payload: &[u8]) {
-        let Some(op) = Op::decode(payload) else {
-            return;
-        };
-        self.applied += 1;
-        match op {
-            Op::Put { key, value } => {
-                self.data.insert(key, value);
-            }
-            Op::Delete { key } => {
-                self.data.remove(&key);
-            }
-        }
-    }
-}
+const RINGS: u16 = 2;
+const NODES: u16 = 3;
+const PARTS: u16 = 4;
+const WAIT: Duration = Duration::from_secs(10);
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    const REPLICAS: usize = 5;
-    println!("starting {REPLICAS} daemons on 127.0.0.1 (ephemeral ports)...");
-    let nodes = spawn_local_ring(
-        REPLICAS as u16,
-        ProtocolConfig::accelerated(20, 15),
+    println!("starting {RINGS} rings x {NODES} daemons on 127.0.0.1 (ephemeral ports)...");
+    let handles = spawn_local_multiring(
+        RINGS,
+        NODES,
+        ProtocolConfig::default(),
         MembershipConfig::for_wall_clock(),
+        &[],
     )?;
-    let daemons: Vec<GroupDaemon> = nodes.into_iter().map(GroupDaemon::start).collect();
-    let clients: Vec<_> = daemons
-        .iter()
-        .enumerate()
-        .map(|(i, d)| d.connect(&format!("replica-{i}")).expect("connect"))
+    // Transpose ring-major handles into per-daemon columns: daemon i
+    // owns one node on every ring.
+    let mut columns: Vec<Vec<_>> = (0..NODES).map(|_| Vec::new()).collect();
+    for ring in handles {
+        for (i, node) in ring.into_iter().enumerate() {
+            columns[i].push(node);
+        }
+    }
+    // Pin partition `kv.N` to ring `N % RINGS` so transactions can span
+    // rings — the merged order still commits them atomically.
+    let mut shards = ShardMap::new(RINGS);
+    for p in 0..PARTS {
+        shards.assign(&format!("kv.{p}"), RingIdx::new(p % RINGS));
+    }
+    let shareds: Vec<Arc<KvShared>> = (0..NODES).map(|_| KvShared::new(PARTS)).collect();
+    let daemons: Vec<MultiRingDaemon> = columns
+        .into_iter()
+        .zip(&shareds)
+        .map(|(nodes, shared)| {
+            MultiRingDaemon::start_with(
+                nodes,
+                shards.clone(),
+                MultiRingOptions {
+                    frontend: FrontendOptions::enabled(),
+                    app_state: Some(shared.clone()),
+                    ..MultiRingOptions::default()
+                },
+            )
+        })
         .collect();
-    for c in &clients {
-        c.join("kv")?;
-    }
-    // A join is effective only once its view is delivered; wait for the
-    // full membership before submitting so no replica misses an op.
-    for (i, c) in clients.iter().enumerate() {
-        let deadline = Instant::now() + Duration::from_secs(10);
-        loop {
-            match c.events().recv_timeout(Duration::from_millis(200)) {
-                Ok(ClientEvent::View { group, members })
-                    if group == "kv" && members.len() == REPLICAS =>
-                {
-                    break;
-                }
-                Ok(_) => {}
-                Err(_) if Instant::now() > deadline => {
-                    return Err(format!("replica-{i} never saw the full view").into())
-                }
-                Err(_) => {}
-            }
+    let stores: Vec<KvStore> = daemons
+        .iter()
+        .zip(&shareds)
+        .enumerate()
+        .map(|(i, (daemon, shared))| {
+            KvStore::start(
+                daemon,
+                shared.clone(),
+                KvConfig {
+                    partitions: PARTS,
+                    name: format!("replica-{i}"),
+                    ..KvConfig::default()
+                },
+            )
+            .expect("replica starts")
+        })
+        .collect();
+
+    // Two clients on two different daemons — the total order makes the
+    // daemons interchangeable.
+    let addr0 = daemons[0].session_addr().expect("session socket");
+    let addr1 = daemons[1].session_addr().expect("session socket");
+    let mut alice = KvClient::connect(addr0, "alice", PARTS)?;
+    let mut bob = KvClient::connect(addr1, "bob", PARTS)?;
+    alice.wait_serving(WAIT)?;
+    bob.wait_serving(WAIT)?;
+
+    // Ordered writes with exactly-once confirmation: `confirm` resubmits
+    // the in-doubt op until the replica's consumption watermark covers
+    // it, and the per-sender dedup at ordered delivery makes retries
+    // harmless.
+    let seq = alice.put("user:1", "alice@example.com")?;
+    alice.confirm("user:1", seq, WAIT)?;
+    let seq = alice.put("balance", "100")?;
+    alice.confirm("balance", seq, WAIT)?;
+
+    // Read-your-writes: gated on alice's own watermark, served locally.
+    let v = alice.get("user:1", ReadMode::ReadYourWrites, WAIT)?;
+    println!("alice reads user:1 = {}", text(&v));
+
+    // Compare-and-swap, resolved identically at every replica by the
+    // total order.
+    let seq = alice.cas("balance", Some(Bytes::from("100")), "250")?;
+    alice.confirm("balance", seq, WAIT)?;
+
+    // A cross-partition (and here cross-ring) transaction: the op is
+    // split into per-ring fragments carrying the same (client, seq);
+    // every replica buffers them and commits once at the merged
+    // position of the last fragment — atomically, everywhere.
+    let seq = alice.txn(vec![
+        KvWrite::Put {
+            key: "user:1".to_string(),
+            value: Bytes::from("alice@dc2.example.com"),
+        },
+        KvWrite::Put {
+            key: "audit:user:1".to_string(),
+            value: Bytes::from("moved to dc2"),
+        },
+    ])?;
+    alice.confirm("audit:user:1", seq, WAIT)?;
+
+    // Linearizable read from the *other* daemon: bob's read is gated on
+    // a fresh fence ordered through the key's partition, so it observes
+    // everything committed before it — including alice's transaction.
+    let v = bob.get("user:1", ReadMode::Linearizable, WAIT)?;
+    println!(
+        "bob reads   user:1 = {} (linearizable, via daemon 1)",
+        text(&v)
+    );
+    let v = bob.get("balance", ReadMode::Linearizable, WAIT)?;
+    println!("bob reads  balance = {} (after alice's CAS)", text(&v));
+
+    alice.close();
+    bob.close();
+
+    // Every replica converged to the same machine: equal order
+    // positions, equal state hashes.
+    let deadline = Instant::now() + WAIT;
+    loop {
+        let positions: Vec<u64> = shareds.iter().map(|s| s.position()).collect();
+        if positions.iter().all(|&p| p == positions[0]) {
+            break;
         }
-    }
-
-    // Different replicas issue conflicting writes to the same keys — the
-    // total order resolves every conflict identically everywhere.
-    let ops = [
-        (
-            0,
-            Op::Put {
-                key: "user:1".into(),
-                value: "alice".into(),
-            },
-        ),
-        (
-            1,
-            Op::Put {
-                key: "user:1".into(),
-                value: "bob".into(),
-            },
-        ),
-        (
-            2,
-            Op::Put {
-                key: "balance".into(),
-                value: "100".into(),
-            },
-        ),
-        (
-            3,
-            Op::Put {
-                key: "balance".into(),
-                value: "250".into(),
-            },
-        ),
-        (
-            4,
-            Op::Delete {
-                key: "user:1".into(),
-            },
-        ),
-        (
-            0,
-            Op::Put {
-                key: "user:2".into(),
-                value: "carol".into(),
-            },
-        ),
-        (
-            2,
-            Op::Put {
-                key: "user:1".into(),
-                value: "dave".into(),
-            },
-        ),
-    ];
-    for (replica, op) in &ops {
-        clients[*replica].multicast(&["kv"], op.encode(), Service::Safe)?;
-    }
-
-    // Build each replica's state from its delivered stream.
-    let mut replicas: Vec<Replica> = (0..REPLICAS).map(|_| Replica::default()).collect();
-    for (i, (c, replica)) in clients.iter().zip(replicas.iter_mut()).enumerate() {
-        let deadline = Instant::now() + Duration::from_secs(10);
-        while replica.applied < ops.len() as u64 && Instant::now() < deadline {
-            if let Ok(ClientEvent::Message { payload, .. }) =
-                c.events().recv_timeout(Duration::from_millis(200))
-            {
-                replica.apply(&payload);
-            }
+        if Instant::now() > deadline {
+            return Err("replicas never converged".into());
         }
-        assert_eq!(
-            replica.applied,
-            ops.len() as u64,
-            "replica-{i} must deliver every op"
-        );
+        std::thread::sleep(Duration::from_millis(50));
     }
+    let hashes: Vec<u64> = shareds.iter().map(|s| s.state_hash()).collect();
+    println!("replica state hashes: {hashes:x?}");
+    assert!(hashes.iter().all(|&h| h == hashes[0]), "replicas diverged");
+    println!("all {NODES} replicas identical ✓");
 
-    println!("replica 0 state after {} ops:", replicas[0].applied);
-    for (k, v) in &replicas[0].data {
-        println!("  {k} = {v}");
+    for s in stores {
+        s.shutdown();
     }
-    for (i, r) in replicas.iter().enumerate().skip(1) {
-        assert_eq!(r, &replicas[0], "replica {i} diverged");
-    }
-    println!("all {REPLICAS} replicas identical ✓");
-
     for d in daemons {
         d.shutdown();
     }
     Ok(())
+}
+
+fn text(v: &KvValue) -> String {
+    match &v.value {
+        Some(b) => String::from_utf8_lossy(b).into_owned(),
+        None => "<absent>".to_string(),
+    }
 }

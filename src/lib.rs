@@ -12,6 +12,8 @@
 //! | Membership | [`membership`] | Totem-style membership with Extended Virtual Synchrony configuration delivery |
 //! | Transport | [`transport`] | Single-threaded UDP daemon runtime (separate token/data sockets) |
 //! | Groups | [`daemon`] | Client–daemon layer: named groups, open-group semantics, multi-group multicast |
+//! | Multi-ring | [`multiring`] | Sharded deployments: shard map, λ-clock merger, elastic resharding, crash recovery |
+//! | Replicated KV | [`kv`] | State-machine KV store consuming the total order: cross-shard transactions, exactly-once retries, read-consistency modes |
 //! | Simulator | [`sim`] | Deterministic network simulator + the harness regenerating every figure of the paper |
 //!
 //! ## Quickstart
@@ -36,6 +38,8 @@
 
 pub use accelring_core as core;
 pub use accelring_daemon as daemon;
+pub use accelring_kv as kv;
 pub use accelring_membership as membership;
+pub use accelring_multiring as multiring;
 pub use accelring_sim as sim;
 pub use accelring_transport as transport;
