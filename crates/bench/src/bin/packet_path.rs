@@ -1,6 +1,10 @@
-//! Hot-datapath microbenchmark: the batched (`recvmmsg`/`sendmmsg`,
-//! pooled, encode-once) packet path against the legacy one-syscall-per-
-//! datagram path, on a real localhost UDP ring under saturating senders.
+//! Hot-datapath microbenchmark: three packet paths on a real localhost
+//! ring under saturating senders —
+//!
+//! - `per_datagram`: legacy one-syscall-per-datagram UDP,
+//! - `batched`: `recvmmsg`/`sendmmsg`, pooled, encode-once UDP,
+//! - `shm`: the shared-memory SPSC ring backend (zero syscalls on the
+//!   datagram path; the doorbell eventfd only fires on sleep edges).
 //!
 //! ```text
 //! cargo run --release --bin packet_path
@@ -8,8 +12,9 @@
 //! ```
 //!
 //! Reports datagrams/sec, syscalls/datagram, average batch size, and pool
-//! hit rate per path, prints the speedup, and writes the whole run as
-//! `BENCH_packet_path.json`. Exits non-zero if either path saw wire
+//! hit rate per path (plus ring/doorbell counters for the shm path),
+//! prints the speedups, and writes the whole run as
+//! `BENCH_packet_path.json`. Exits non-zero if any path saw wire
 //! decode errors or leaked pooled buffers — the CI smoke gate.
 //! Honors `ACCELRING_BENCH_QUALITY` (`quick`/`full`) for the default
 //! measurement window.
@@ -19,11 +24,11 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use accelring_bench::Quality;
-use accelring_core::{ParticipantId, ProtocolConfig, Service};
+use accelring_core::{ParticipantId, ProtocolConfig, Service, ShmPathStats};
 use accelring_membership::{MembershipConfig, StateKind};
 use accelring_transport::{
-    bind_with_retry, AddressBook, AppEvent, BoundNode, Datapath, NodeAddr, NodeHandle, NodeOptions,
-    SubmitError, TransportError,
+    bind_with_retry_on, AddressBook, AppEvent, BoundNode, Datapath, NodeAddr, NodeHandle,
+    NodeOptions, SubmitError, Transport, TransportError,
 };
 use bytes::Bytes;
 
@@ -94,6 +99,8 @@ struct PathResult {
     token_retransmits: u64,
     rings_reformed: u64,
     submissions_shed: u64,
+    /// Shared-memory ring counter deltas; all-zero on the UDP paths.
+    shm: ShmPathStats,
 }
 
 impl PathResult {
@@ -124,14 +131,14 @@ impl PathResult {
     }
 
     fn json(&self) -> String {
-        format!(
+        let mut out = format!(
             "{{\"datagrams\": {}, \"syscalls\": {}, \"elapsed_secs\": {:.3}, \
              \"datagrams_per_sec\": {:.1}, \"syscalls_per_datagram\": {:.4}, \
              \"avg_batch\": {:.2}, \"delivered\": {}, \"decode_failures\": {}, \
              \"send_errors\": {}, \"pool_hits\": {}, \"pool_misses\": {}, \
              \"pool_hit_rate\": {:.4}, \"pool_outstanding\": {}, \
              \"token_retransmits\": {}, \"rings_reformed\": {}, \
-             \"submissions_shed\": {}}}",
+             \"submissions_shed\": {}",
             self.datagrams,
             self.syscalls,
             self.elapsed_secs,
@@ -148,14 +155,164 @@ impl PathResult {
             self.token_retransmits,
             self.rings_reformed,
             self.submissions_shed,
+        );
+        if self.shm.active() {
+            out.push_str(&format!(
+                ", \"shm_slots_published\": {}, \"shm_slots_consumed\": {}, \
+                 \"shm_datagrams_published\": {}, \"shm_datagrams_consumed\": {}, \
+                 \"shm_doorbell_rings\": {}, \"shm_doorbell_wakeups\": {}, \
+                 \"shm_datagrams_per_wakeup\": {:.1}, \"shm_ring_full_drops\": {}",
+                self.shm.slots_published,
+                self.shm.slots_consumed,
+                self.shm.datagrams_published,
+                self.shm.datagrams_consumed,
+                self.shm.doorbell_rings,
+                self.shm.doorbell_wakeups,
+                self.shm.datagrams_per_wakeup(),
+                self.shm.ring_full_drops,
+            ));
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// How the link-level flood moves datagrams.
+#[derive(Clone, Copy)]
+enum LinkMode {
+    UdpPerDatagram,
+    UdpBatched,
+    Shm,
+}
+
+/// Raw link-level numbers for one backend: a single thread ping-pongs
+/// fixed-size batches between two endpoints with no protocol on top,
+/// measuring the packet path in isolation. The full-ring runs above are
+/// CPU-bound on ordering work on small machines, which caps how much a
+/// transport swap can show there; this is the transport itself.
+struct LinkResult {
+    label: &'static str,
+    datagrams: u64,
+    syscalls: u64,
+    elapsed_secs: f64,
+}
+
+impl LinkResult {
+    fn datagrams_per_sec(&self) -> f64 {
+        if self.elapsed_secs == 0.0 {
+            return 0.0;
+        }
+        self.datagrams as f64 / self.elapsed_secs
+    }
+
+    fn syscalls_per_datagram(&self) -> f64 {
+        if self.datagrams == 0 {
+            return 0.0;
+        }
+        self.syscalls as f64 / self.datagrams as f64
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"datagrams\": {}, \"syscalls\": {}, \"elapsed_secs\": {:.3}, \
+             \"datagrams_per_sec\": {:.1}, \"syscalls_per_datagram\": {:.4}}}",
+            self.datagrams,
+            self.syscalls,
+            self.elapsed_secs,
+            self.datagrams_per_sec(),
+            self.syscalls_per_datagram(),
         )
     }
 }
 
-/// Spawns a fully meshed localhost ring running the given datapath.
-fn spawn_ring(n: u16, window: u32, datapath: Datapath) -> Result<Vec<NodeHandle>, TransportError> {
+/// Datagrams per link-flood batch; matches the event loop's receive batch.
+const LINK_BATCH: usize = 32;
+
+/// Floods `PAYLOAD_LEN`-byte datagrams from one endpoint to another for
+/// `secs`, draining after every batch so nothing is lost to full socket
+/// buffers, and returns the datagram and syscall counts.
+fn run_link(label: &'static str, mode: LinkMode, secs: f64) -> Result<LinkResult, String> {
+    use accelring_transport::{DatagramSocket, RecvSlot, ShmCounters, ShmSocket};
+
+    let err = |e: std::io::Error| format!("link {label}: {e}");
+    let (a, b, dest): (Box<dyn DatagramSocket>, Box<dyn DatagramSocket>, _) = match mode {
+        LinkMode::UdpPerDatagram | LinkMode::UdpBatched => {
+            let a = std::net::UdpSocket::bind("127.0.0.1:0").map_err(err)?;
+            let b = std::net::UdpSocket::bind("127.0.0.1:0").map_err(err)?;
+            a.set_nonblocking(true).map_err(err)?;
+            b.set_nonblocking(true).map_err(err)?;
+            let dest = b.local_addr().map_err(err)?;
+            (Box::new(a), Box::new(b), dest)
+        }
+        LinkMode::Shm => {
+            let counters = ShmCounters::new();
+            let a = ShmSocket::bind_ephemeral(counters.clone()).map_err(err)?;
+            let b = ShmSocket::bind_ephemeral(counters).map_err(err)?;
+            let dest = b.local_addr();
+            (Box::new(a), Box::new(b), dest)
+        }
+    };
+
+    let payload = Bytes::from(vec![0x5au8; PAYLOAD_LEN]);
+    let batch: Vec<(Bytes, std::net::SocketAddr)> =
+        (0..LINK_BATCH).map(|_| (payload.clone(), dest)).collect();
+    let mut bufs = vec![[0u8; 2048]; LINK_BATCH];
+
+    let mut datagrams = 0u64;
+    let mut syscalls = 0u64;
+    let start = Instant::now();
+    let deadline = start + Duration::from_secs_f64(secs);
+    while Instant::now() < deadline {
+        match mode {
+            LinkMode::UdpPerDatagram => {
+                for (buf, addr) in &batch {
+                    syscalls += 1;
+                    let _ = a.send_to(buf, *addr);
+                }
+                let mut buf = [0u8; 2048];
+                loop {
+                    syscalls += 1;
+                    match b.recv_from(&mut buf) {
+                        Ok(_) => datagrams += 1,
+                        Err(_) => break,
+                    }
+                }
+            }
+            LinkMode::UdpBatched | LinkMode::Shm => {
+                let out = a.send_batch(&batch);
+                syscalls += out.syscalls;
+                loop {
+                    let mut slots: Vec<RecvSlot<'_>> =
+                        bufs.iter_mut().map(|b| RecvSlot::new(b)).collect();
+                    let out = b.recv_batch(&mut slots).map_err(err)?;
+                    syscalls += out.syscalls;
+                    datagrams += out.received as u64;
+                    if out.received == 0 {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    Ok(LinkResult {
+        label,
+        datagrams,
+        syscalls,
+        elapsed_secs: start.elapsed().as_secs_f64(),
+    })
+}
+
+/// Spawns a fully meshed localhost ring running the given datapath over
+/// the given transport.
+fn spawn_ring(
+    n: u16,
+    window: u32,
+    datapath: Datapath,
+    transport: Transport,
+) -> Result<Vec<NodeHandle>, TransportError> {
     let bound: Vec<BoundNode> = (0..n)
-        .map(|i| bind_with_retry(ParticipantId::new(i), "127.0.0.1"))
+        .map(|i| bind_with_retry_on(transport, ParticipantId::new(i), "127.0.0.1"))
         .collect::<Result<_, _>>()?;
     let addrs: Vec<NodeAddr> = bound
         .iter()
@@ -195,9 +352,14 @@ fn await_operational(handles: &[NodeHandle]) -> Result<(), String> {
 /// Runs one path: forms a ring, saturates it from every node for `secs`
 /// of wall clock while draining deliveries, and returns the hot-path
 /// counter deltas over the measurement window.
-fn run_path(label: &'static str, args: &Args, datapath: Datapath) -> Result<PathResult, String> {
-    let handles =
-        spawn_ring(args.nodes, args.window, datapath).map_err(|e| format!("spawn: {e}"))?;
+fn run_path(
+    label: &'static str,
+    args: &Args,
+    datapath: Datapath,
+    transport: Transport,
+) -> Result<PathResult, String> {
+    let handles = spawn_ring(args.nodes, args.window, datapath, transport)
+        .map_err(|e| format!("spawn: {e}"))?;
     await_operational(&handles)?;
     let probes: Vec<_> = handles.iter().map(NodeHandle::probe).collect();
 
@@ -271,6 +433,7 @@ fn run_path(label: &'static str, args: &Args, datapath: Datapath) -> Result<Path
     let mut pool_hits = 0u64;
     let mut pool_misses = 0u64;
     let mut submissions_shed = 0u64;
+    let mut shm = ShmPathStats::default();
     for (a, b) in start_stats.iter().zip(&end_stats) {
         submissions_shed += b.submissions_shed - a.submissions_shed;
         datagrams +=
@@ -281,6 +444,15 @@ fn run_path(label: &'static str, args: &Args, datapath: Datapath) -> Result<Path
         send_errors += b.send_errors - a.send_errors;
         pool_hits += b.hot.pool_hits - a.hot.pool_hits;
         pool_misses += b.hot.pool_misses - a.hot.pool_misses;
+        shm.absorb(&ShmPathStats {
+            slots_published: b.shm.slots_published - a.shm.slots_published,
+            slots_consumed: b.shm.slots_consumed - a.shm.slots_consumed,
+            datagrams_published: b.shm.datagrams_published - a.shm.datagrams_published,
+            datagrams_consumed: b.shm.datagrams_consumed - a.shm.datagrams_consumed,
+            doorbell_rings: b.shm.doorbell_rings - a.shm.doorbell_rings,
+            doorbell_wakeups: b.shm.doorbell_wakeups - a.shm.doorbell_wakeups,
+            ring_full_drops: b.shm.ring_full_drops - a.shm.ring_full_drops,
+        });
     }
     let delivered_count = delivered.load(Ordering::Relaxed);
     let token_retransmits = handles
@@ -320,6 +492,7 @@ fn run_path(label: &'static str, args: &Args, datapath: Datapath) -> Result<Path
         token_retransmits,
         rings_reformed,
         submissions_shed,
+        shm,
     })
 }
 
@@ -353,7 +526,7 @@ fn main() -> ExitCode {
         args.nodes, args.window, PAYLOAD_LEN, args.secs
     );
 
-    let old = match run_path("per_datagram", &args, Datapath::PerDatagram) {
+    let old = match run_path("per_datagram", &args, Datapath::PerDatagram, Transport::Udp) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("packet_path: per-datagram path: {e}");
@@ -361,7 +534,7 @@ fn main() -> ExitCode {
         }
     };
     print_row(&old);
-    let new = match run_path("batched", &args, Datapath::Batched) {
+    let new = match run_path("batched", &args, Datapath::Batched, Transport::Udp) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("packet_path: batched path: {e}");
@@ -369,9 +542,59 @@ fn main() -> ExitCode {
         }
     };
     print_row(&new);
+    let shm = match run_path("shm", &args, Datapath::Batched, Transport::Shm) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("packet_path: shm path: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print_row(&shm);
+
+    // Transport-isolated link floods: same payload, no protocol on top.
+    let link_secs = args.secs.min(2.0);
+    let link_old = match run_link("link_per_datagram", LinkMode::UdpPerDatagram, link_secs) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("packet_path: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let link_new = match run_link("link_batched", LinkMode::UdpBatched, link_secs) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("packet_path: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let link_shm = match run_link("link_shm", LinkMode::Shm, link_secs) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("packet_path: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for r in [&link_old, &link_new, &link_shm] {
+        println!(
+            "{:>17}  {:>12.0} dgrams/s  {:>7.4} syscalls/dgram",
+            r.label,
+            r.datagrams_per_sec(),
+            r.syscalls_per_datagram(),
+        );
+    }
 
     let speedup = if old.datagrams_per_sec() > 0.0 {
         new.datagrams_per_sec() / old.datagrams_per_sec()
+    } else {
+        0.0
+    };
+    let shm_speedup = if new.datagrams_per_sec() > 0.0 {
+        shm.datagrams_per_sec() / new.datagrams_per_sec()
+    } else {
+        0.0
+    };
+    let link_shm_speedup = if link_new.datagrams_per_sec() > 0.0 {
+        link_shm.datagrams_per_sec() / link_new.datagrams_per_sec()
     } else {
         0.0
     };
@@ -380,19 +603,44 @@ fn main() -> ExitCode {
         old.syscalls_per_datagram(),
         new.syscalls_per_datagram(),
     );
+    println!(
+        "shm speedup: {shm_speedup:.2}x datagrams/sec over batched udp \
+         ({:.4} -> {:.4} syscalls/datagram, {:.0} datagrams/doorbell wakeup, \
+         {} ring-full drops)",
+        new.syscalls_per_datagram(),
+        shm.syscalls_per_datagram(),
+        shm.shm.datagrams_per_wakeup(),
+        shm.shm.ring_full_drops,
+    );
+    println!(
+        "link shm speedup: {link_shm_speedup:.2}x datagrams/sec over batched udp \
+         ({:.4} -> {:.4} syscalls/datagram, transport isolated)",
+        link_new.syscalls_per_datagram(),
+        link_shm.syscalls_per_datagram(),
+    );
 
     let json = format!(
         "{{\n  \"bench\": \"packet_path\",\n  \"nodes\": {},\n  \"window\": {},\n  \
          \"payload_len\": {},\n  \
          \"measure_secs\": {:.1},\n  \"per_datagram\": {},\n  \"batched\": {},\n  \
-         \"speedup_datagrams_per_sec\": {:.3}\n}}\n",
+         \"shm\": {},\n  \
+         \"link_per_datagram\": {},\n  \"link_batched\": {},\n  \"link_shm\": {},\n  \
+         \"speedup_datagrams_per_sec\": {:.3},\n  \
+         \"speedup_shm_vs_batched\": {:.3},\n  \
+         \"link_speedup_shm_vs_batched\": {:.3}\n}}\n",
         args.nodes,
         args.window,
         PAYLOAD_LEN,
         args.secs,
         old.json(),
         new.json(),
+        shm.json(),
+        link_old.json(),
+        link_new.json(),
+        link_shm.json(),
         speedup,
+        shm_speedup,
+        link_shm_speedup,
     );
     if let Err(e) = std::fs::write("BENCH_packet_path.json", &json) {
         eprintln!("packet_path: writing BENCH_packet_path.json: {e}");
@@ -402,7 +650,7 @@ fn main() -> ExitCode {
     // CI smoke gate: a decode error means the zero-copy parse corrupted
     // the wire; a leaked lease means a pooled buffer never came home.
     let mut failed = false;
-    for r in [&old, &new] {
+    for r in [&old, &new, &shm] {
         if r.decode_failures > 0 {
             eprintln!(
                 "packet_path: {} path saw {} wire decode errors",
@@ -418,9 +666,18 @@ fn main() -> ExitCode {
             failed = true;
         }
     }
+    // The shm packet path must be syscall-free: the link flood never
+    // sleeps, so a single syscall means the ring fell back to the kernel.
+    if link_shm.syscalls != 0 {
+        eprintln!(
+            "packet_path: shm link flood issued {} syscalls (expected 0)",
+            link_shm.syscalls
+        );
+        failed = true;
+    }
     if failed {
         return ExitCode::FAILURE;
     }
-    println!("packet_path: clean (no decode errors, no pool leaks)");
+    println!("packet_path: clean (no decode errors, no pool leaks, syscall-free shm path)");
     ExitCode::SUCCESS
 }

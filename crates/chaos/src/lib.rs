@@ -52,7 +52,9 @@ pub use churn::{
     RecoveryReport,
 };
 pub use hook::{ChaosNetHook, NetKnobs};
-pub use live::{live_membership_config, run_live_chaos, LiveChaosConfig};
+pub use live::{
+    live_membership_config, run_live_chaos, run_live_chaos_with_orders, LiveChaosConfig,
+};
 pub use runner::{
     run_chaos, run_schedule_to_input, run_to_input, ChaosConfig, ChaosReport, ChaosStats,
 };

@@ -23,8 +23,8 @@ use accelring_core::{Backoff, ParticipantId, ProtocolConfig, Service};
 use accelring_membership::testing::NodeEvent;
 use accelring_membership::{MembershipConfig, StateKind};
 use accelring_transport::{
-    bind_with_retry, AddressBook, AppEvent, BoundNode, FaultPlane, NodeAddr, NodeHandle,
-    NodeOptions, TransportError,
+    bind_with_retry_on, AddressBook, AppEvent, BoundNode, FaultPlane, NodeAddr, NodeHandle,
+    NodeOptions, Transport, TransportError,
 };
 use bytes::Bytes;
 use crossbeam::channel::Receiver;
@@ -55,6 +55,10 @@ pub struct LiveChaosConfig {
     pub protocol: ProtocolConfig,
     /// Membership timers (wall-clock scale).
     pub membership: MembershipConfig,
+    /// Datagram backend the ring runs on. Every suite built on this
+    /// config runs unchanged over UDP loopback or shared-memory rings;
+    /// [`LiveChaosConfig::smoke`] defaults it from `ACCELRING_TRANSPORT`.
+    pub transport: Transport,
 }
 
 impl LiveChaosConfig {
@@ -77,6 +81,7 @@ impl LiveChaosConfig {
             settle: Duration::from_millis(1500),
             protocol: ProtocolConfig::accelerated(20, 15),
             membership: live_membership_config(),
+            transport: Transport::from_env(),
         }
     }
 
@@ -131,6 +136,7 @@ struct LiveRun {
     plane: Arc<FaultPlane>,
     protocol: ProtocolConfig,
     membership: MembershipConfig,
+    transport: Transport,
     slots: Vec<Slot>,
     journals: Vec<Vec<NodeEvent>>,
     marks: Vec<Vec<usize>>,
@@ -140,7 +146,7 @@ impl LiveRun {
     fn start(cfg: &LiveChaosConfig) -> Result<LiveRun, TransportError> {
         let n = cfg.nodes as usize;
         let bound: Vec<BoundNode> = (0..cfg.nodes)
-            .map(|i| bind_with_retry(ParticipantId::new(i), "127.0.0.1"))
+            .map(|i| bind_with_retry_on(cfg.transport, ParticipantId::new(i), "127.0.0.1"))
             .collect::<Result<_, _>>()?;
         let addrs: Vec<NodeAddr> = bound
             .iter()
@@ -174,6 +180,7 @@ impl LiveRun {
             plane,
             protocol: cfg.protocol,
             membership: cfg.membership,
+            transport: cfg.transport,
             slots,
             journals: vec![Vec::new(); n],
             marks: vec![Vec::new(); n],
@@ -229,8 +236,9 @@ impl LiveRun {
         self.marks[i].push(self.journals[i].len());
         let addr = self.addrs[i];
         // The old sockets close when the killed thread drops them; the
-        // ports can take a beat to come free again. Jittered backoff
-        // keeps simultaneous restarts from hammering the same instant.
+        // ports (or shm names) can take a beat to come free again.
+        // Jittered backoff keeps simultaneous restarts from hammering
+        // the same instant.
         let mut bound = None;
         let mut backoff = Backoff::new(
             Duration::from_millis(5),
@@ -238,7 +246,7 @@ impl LiveRun {
             u64::from(addr.pid.as_u16()),
         );
         while backoff.attempts() < 50 {
-            match BoundNode::bind_addrs(addr.pid, addr.data, addr.token) {
+            match BoundNode::bind_addrs_on(self.transport, addr.pid, addr.data, addr.token) {
                 Ok(b) => {
                     bound = Some(b);
                     break;
@@ -405,6 +413,24 @@ fn submit_one(
 /// Panics if a live slot vanishes outside the crash path (internal
 /// invariant).
 pub fn run_live_chaos(cfg: LiveChaosConfig) -> Result<ChaosReport, TransportError> {
+    run_live_chaos_with_orders(cfg).map(|(report, _)| report)
+}
+
+/// [`run_live_chaos`] that additionally returns each node's delivered
+/// workload sequence (probe and workload [`MsgId`]s in delivery order,
+/// per node) — the raw material for cross-run comparisons, e.g. the
+/// shm-vs-UDP transport equivalence test.
+///
+/// # Errors
+///
+/// As [`run_live_chaos`].
+///
+/// # Panics
+///
+/// As [`run_live_chaos`].
+pub fn run_live_chaos_with_orders(
+    cfg: LiveChaosConfig,
+) -> Result<(ChaosReport, Vec<Vec<MsgId>>), TransportError> {
     let n = cfg.nodes as usize;
     let schedule = FaultSchedule::generate(cfg.seed, cfg.schedule);
     let mut run = LiveRun::start(&cfg)?;
@@ -533,12 +559,28 @@ pub fn run_live_chaos(cfg: LiveChaosConfig) -> Result<ChaosReport, TransportErro
         final_rings: (0..n).map(|i| run.final_ring(i)).collect(),
     };
     let violations = checker::check(&input);
-    Ok(ChaosReport {
-        seed: cfg.seed,
-        schedule,
-        violations,
-        stats,
-    })
+    let orders: Vec<Vec<MsgId>> = run
+        .journals
+        .iter()
+        .map(|journal| {
+            journal
+                .iter()
+                .filter_map(|e| match e {
+                    NodeEvent::Delivered(d) => MsgId::parse(&d.payload),
+                    NodeEvent::Config(_) => None,
+                })
+                .collect()
+        })
+        .collect();
+    Ok((
+        ChaosReport {
+            seed: cfg.seed,
+            schedule,
+            violations,
+            stats,
+        },
+        orders,
+    ))
 }
 
 fn sleep_until(origin: Instant, offset: Duration) {

@@ -1,0 +1,129 @@
+//! Live chaos over the shared-memory transport: the same seeded smoke
+//! schedule (packet loss, a partition, heals) replayed on a real
+//! localhost ring twice — once over `Transport::Shm`, once over
+//! `Transport::Udp` — with the EVS checker run over both and the
+//! delivered orders compared across the two transports.
+//!
+//! What "identical order" can soundly mean across two *live* runs: the
+//! fault distribution is seeded but real threads make packet fates and
+//! token interleavings nondeterministic run to run, so two executions
+//! form different rings and their total orders are legitimately
+//! different permutations (see the determinism caveat in
+//! `accelring_chaos::live`). What must hold regardless of transport is
+//! per-sender order: every message a node delivered from sender `s` in
+//! both runs must appear in the same relative order in both — the
+//! transport may drop traffic under chaos but may never reorder a
+//! sender's accepted stream. That is exactly the property a bytes-level
+//! transport swap could break, so that is what this test pins, on top of
+//! the full EVS invariant suite per run.
+//!
+//! Like the other live tests, run single-threaded (`--test-threads=1`).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use accelring_chaos::{
+    run_live_chaos_with_orders, FaultKind, FaultSchedule, LiveChaosConfig, MsgId,
+};
+use accelring_transport::Transport;
+
+/// Pinned seed: `shm_seed_schedule_has_loss_partition_and_heal` below
+/// fails if a generator change ever makes this schedule weaker.
+const SHM_SEED: u64 = 3;
+
+#[test]
+fn shm_seed_schedule_has_loss_partition_and_heal() {
+    let cfg = LiveChaosConfig::smoke(SHM_SEED);
+    let schedule = FaultSchedule::generate(cfg.seed, cfg.schedule);
+    let has = |pred: &dyn Fn(&FaultKind) -> bool| schedule.events.iter().any(|e| pred(&e.kind));
+    assert!(
+        has(&|k| matches!(k, FaultKind::SetLoss { .. })),
+        "schedule lacks packet loss"
+    );
+    assert!(
+        has(&|k| matches!(k, FaultKind::Partition(_))),
+        "schedule lacks a partition"
+    );
+    assert!(
+        has(&|k| matches!(k, FaultKind::Heal)),
+        "schedule lacks a heal"
+    );
+}
+
+/// Splits one node's delivered sequence into per-sender counter streams.
+fn per_sender(order: &[MsgId]) -> BTreeMap<u16, Vec<u64>> {
+    let mut map: BTreeMap<u16, Vec<u64>> = BTreeMap::new();
+    for id in order {
+        map.entry(id.sender).or_default().push(id.counter);
+    }
+    map
+}
+
+#[test]
+fn shm_live_chaos_is_evs_clean_and_order_matches_udp() {
+    let mut cfg = LiveChaosConfig::smoke(SHM_SEED);
+
+    cfg.transport = Transport::Shm;
+    let (shm_report, shm_orders) = run_live_chaos_with_orders(cfg).expect("shm ring stands up");
+    assert!(
+        shm_report.ok(),
+        "shm run of seed {SHM_SEED} violated EVS invariants:\n{}",
+        shm_report.render()
+    );
+    assert!(shm_report.stats.events_applied > 0, "no faults applied");
+    assert!(shm_report.stats.delivered > 0, "shm run delivered nothing");
+
+    cfg.transport = Transport::Udp;
+    let (udp_report, udp_orders) = run_live_chaos_with_orders(cfg).expect("udp ring stands up");
+    assert!(
+        udp_report.ok(),
+        "udp run of seed {SHM_SEED} violated EVS invariants:\n{}",
+        udp_report.render()
+    );
+    assert!(udp_report.stats.delivered > 0, "udp run delivered nothing");
+
+    // Cross-transport order comparison: for every node pair and every
+    // sender, the messages delivered in both runs must appear in the
+    // same relative order. Per-sender streams are totally ordered by
+    // submission counter, so "same relative order" means both delivered
+    // subsequences are increasing — any transport-level reordering of a
+    // sender's accepted stream would break monotonicity in one of them.
+    let mut compared = 0usize;
+    for (node, shm_order) in shm_orders.iter().enumerate() {
+        let shm_senders = per_sender(shm_order);
+        for udp_order in &udp_orders {
+            let udp_senders = per_sender(udp_order);
+            for (sender, shm_counters) in &shm_senders {
+                let Some(udp_counters) = udp_senders.get(sender) else {
+                    continue;
+                };
+                let common: BTreeSet<u64> = shm_counters
+                    .iter()
+                    .copied()
+                    .collect::<BTreeSet<_>>()
+                    .intersection(&udp_counters.iter().copied().collect())
+                    .copied()
+                    .collect();
+                let shm_common: Vec<u64> = shm_counters
+                    .iter()
+                    .copied()
+                    .filter(|c| common.contains(c))
+                    .collect();
+                let udp_common: Vec<u64> = udp_counters
+                    .iter()
+                    .copied()
+                    .filter(|c| common.contains(c))
+                    .collect();
+                assert_eq!(
+                    shm_common, udp_common,
+                    "node {node} sender {sender}: messages delivered under both \
+                     transports must arrive in the same relative order"
+                );
+                compared += common.len();
+            }
+        }
+    }
+    assert!(
+        compared > 0,
+        "the two runs share no delivered messages — comparison is vacuous"
+    );
+}

@@ -126,6 +126,67 @@ impl HotPathStats {
     }
 }
 
+/// Counters for the shared-memory intra-host datapath (the `ShmSocket`
+/// lock-free SPSC ring backend; see DESIGN.md §15).
+///
+/// All zero when a node runs over UDP. Slots are the fixed-size ring
+/// cells datagrams are published into; a datagram spanning `k` slots
+/// counts `k` slots and one datagram. Doorbell counters track the
+/// eventfd wakeup protocol: `doorbell_rings` is producer-side eventfd
+/// writes (only issued when the consumer armed its wait), and
+/// `doorbell_wakeups` is consumer-side drains that found a pending ring
+/// — their ratio against `datagrams_consumed` is the shm analogue of
+/// datagrams-per-syscall.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShmPathStats {
+    /// Ring slots published by the send side (data + pad slots).
+    pub slots_published: u64,
+    /// Ring slots released by the receive side (data + pad slots).
+    pub slots_consumed: u64,
+    /// Datagrams published into rings.
+    pub datagrams_published: u64,
+    /// Datagrams drained out of rings.
+    pub datagrams_consumed: u64,
+    /// Producer-side eventfd writes (doorbell rung because the consumer
+    /// had armed its idle wait).
+    pub doorbell_rings: u64,
+    /// Consumer-side wait preparations that drained a rung doorbell.
+    pub doorbell_wakeups: u64,
+    /// Datagrams dropped because the destination ring was full
+    /// (backpressure surfaces as UDP-like loss, never as blocking).
+    pub ring_full_drops: u64,
+}
+
+impl ShmPathStats {
+    /// Datagrams drained per doorbell wakeup (batching achieved by the
+    /// doorbell protocol; 0.0 when no wakeup occurred, e.g. a saturated
+    /// consumer that never slept).
+    pub fn datagrams_per_wakeup(&self) -> f64 {
+        if self.doorbell_wakeups == 0 {
+            return 0.0;
+        }
+        self.datagrams_consumed as f64 / self.doorbell_wakeups as f64
+    }
+
+    /// True when any shm traffic moved (distinguishes a UDP node's
+    /// all-zero struct from an idle shm node's).
+    pub fn active(&self) -> bool {
+        self.datagrams_published != 0 || self.datagrams_consumed != 0 || self.ring_full_drops != 0
+    }
+
+    /// Adds every counter of `other` into `self` (aggregation across the
+    /// nodes of a ring or the rings of a deployment).
+    pub fn absorb(&mut self, other: &ShmPathStats) {
+        self.slots_published += other.slots_published;
+        self.slots_consumed += other.slots_consumed;
+        self.datagrams_published += other.datagrams_published;
+        self.datagrams_consumed += other.datagrams_consumed;
+        self.doorbell_rings += other.doorbell_rings;
+        self.doorbell_wakeups += other.doorbell_wakeups;
+        self.ring_full_drops += other.ring_full_drops;
+    }
+}
+
 /// Why the session frontend shed an event instead of queueing it.
 ///
 /// The reactor never blocks on a client: an event that cannot be queued
@@ -367,10 +428,41 @@ mod tests {
         assert!((hp.datagrams_per_syscall() - 4.0).abs() < 1e-9);
         assert_eq!(HotPathStats::default().syscalls_per_datagram(), 0.0);
         assert_eq!(HotPathStats::default().datagrams_per_syscall(), 0.0);
+        // The shm steady state: datagrams flow with zero syscalls. Both
+        // ratios must report 0, never NaN.
+        let shm_shaped = HotPathStats {
+            datagrams_rx: 500,
+            datagrams_tx: 500,
+            ..HotPathStats::default()
+        };
+        assert_eq!(shm_shaped.syscalls_per_datagram(), 0.0);
+        assert_eq!(shm_shaped.datagrams_per_syscall(), 0.0);
         let mut sum = hp;
         sum.absorb(&hp);
         assert_eq!(sum.datagrams_rx, 120);
         assert_eq!(sum.syscalls_tx, 20);
+    }
+
+    #[test]
+    fn shm_path_ratios() {
+        let shm = ShmPathStats {
+            slots_published: 130,
+            slots_consumed: 130,
+            datagrams_published: 100,
+            datagrams_consumed: 100,
+            doorbell_rings: 25,
+            doorbell_wakeups: 25,
+            ring_full_drops: 2,
+        };
+        assert!((shm.datagrams_per_wakeup() - 4.0).abs() < 1e-9);
+        assert!(shm.active());
+        assert_eq!(ShmPathStats::default().datagrams_per_wakeup(), 0.0);
+        assert!(!ShmPathStats::default().active());
+        let mut sum = shm;
+        sum.absorb(&shm);
+        assert_eq!(sum.datagrams_consumed, 200);
+        assert_eq!(sum.ring_full_drops, 4);
+        assert_eq!(sum.doorbell_rings, 50);
     }
 
     #[test]

@@ -393,30 +393,35 @@ struct HeldQueue {
     seq: u64,
 }
 
-/// A UDP socket filtered through a [`FaultPlane`].
+/// A datagram socket filtered through a [`FaultPlane`].
+///
+/// Generic over the underlying [`DatagramSocket`], so the same interposer
+/// (and therefore every chaos suite) runs over kernel UDP sockets and the
+/// shared-memory ring backend alike — for shm, fates are applied at
+/// slot-publish time, before the datagram ever reaches a ring.
 ///
 /// Delayed copies are queued inside the socket and released (from the real
 /// socket, so the source address stays correct) the next time the event
 /// loop touches this socket — the loop polls every few hundred
 /// microseconds, which bounds the delay granularity.
 #[derive(Debug)]
-pub struct InterposedSocket {
-    inner: UdpSocket,
+pub struct InterposedSocket<S: DatagramSocket = UdpSocket> {
+    inner: S,
     from: u16,
     class: SocketClass,
     plane: Arc<FaultPlane>,
     held: Mutex<HeldQueue>,
 }
 
-impl InterposedSocket {
+impl<S: DatagramSocket> InterposedSocket<S> {
     /// Wraps `inner` (already non-blocking) as `from`'s socket of the
     /// given class.
     pub fn new(
-        inner: UdpSocket,
+        inner: S,
         from: ParticipantId,
         class: SocketClass,
         plane: Arc<FaultPlane>,
-    ) -> InterposedSocket {
+    ) -> InterposedSocket<S> {
         InterposedSocket {
             inner,
             from: from.as_u16(),
@@ -450,7 +455,7 @@ impl InterposedSocket {
     }
 }
 
-impl DatagramSocket for InterposedSocket {
+impl<S: DatagramSocket> DatagramSocket for InterposedSocket<S> {
     fn send_to(&self, buf: &[u8], addr: SocketAddr) -> std::io::Result<usize> {
         self.release_due();
         let fate = self.plane.fate(self.from, addr, self.class);
@@ -510,6 +515,10 @@ impl DatagramSocket for InterposedSocket {
     /// longer than the fixed-quantum doze it replaces.
     fn poll_fd(&self) -> Option<i32> {
         self.inner.poll_fd()
+    }
+
+    fn prepare_wait(&self) -> bool {
+        self.inner.prepare_wait()
     }
 }
 

@@ -30,8 +30,9 @@
 //! # }
 //! ```
 
-// Unsafe is denied everywhere except the `mmsg` syscall shim, which opts
-// back in module-wide (and is the only unsafe code in the workspace).
+// Unsafe is denied everywhere except the `mmsg` syscall shim and the
+// `shm` ring backend, which opt back in module-wide — together they are
+// the only unsafe code in the workspace.
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -42,6 +43,8 @@ pub mod fault;
 mod mmsg;
 pub mod node;
 pub mod poller;
+#[allow(unsafe_code)]
+pub mod shm;
 pub mod socket;
 
 pub use addr::{AddressBook, NodeAddr};
@@ -51,6 +54,7 @@ pub use node::{
     TransportError, TransportProbe, TransportStats,
 };
 pub use poller::Poller;
+pub use shm::{ShmCounters, ShmSocket};
 pub use socket::{DatagramSocket, RecvOutcome, RecvSlot, SendOutcome};
 
 use std::sync::Arc;
@@ -58,6 +62,35 @@ use std::time::Duration;
 
 use accelring_core::{Backoff, ParticipantId, ProtocolConfig};
 use accelring_membership::MembershipConfig;
+
+/// Which datagram backend a node's sockets run on.
+///
+/// Every harness binds through [`BoundNode::bind`]/
+/// [`BoundNode::bind_addrs`], which consult [`Transport::from_env`] — so
+/// `ACCELRING_TRANSPORT=shm` flips an entire test suite or bench onto the
+/// shared-memory backend with zero call-site changes. The `_on` variants
+/// ([`bind_with_retry_on`], [`spawn_local_ring_on`],
+/// [`spawn_local_multiring_on`]) select a backend explicitly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Transport {
+    /// Kernel UDP sockets (the default; required between hosts).
+    #[default]
+    Udp,
+    /// In-process shared-memory SPSC rings (see [`shm`]): zero syscalls
+    /// on the datagram path for colocated daemons.
+    Shm,
+}
+
+impl Transport {
+    /// Reads the backend from `ACCELRING_TRANSPORT` (`"shm"` selects the
+    /// shared-memory backend; anything else, or unset, selects UDP).
+    pub fn from_env() -> Transport {
+        match std::env::var("ACCELRING_TRANSPORT") {
+            Ok(v) if v.eq_ignore_ascii_case("shm") => Transport::Shm,
+            _ => Transport::Udp,
+        }
+    }
+}
 
 /// How many times binding one participant's sockets is retried before the
 /// whole ring spawn is failed (ephemeral-port collisions are transient).
@@ -80,6 +113,21 @@ pub const BIND_BACKOFF_CAP: Duration = Duration::from_millis(200);
 /// Returns [`TransportError::Bind`] naming the participant that could not
 /// come up after [`BIND_ATTEMPTS`] tries.
 pub fn bind_with_retry(pid: ParticipantId, ip: &str) -> Result<BoundNode, TransportError> {
+    bind_with_retry_on(Transport::from_env(), pid, ip)
+}
+
+/// [`bind_with_retry`] with an explicit backend instead of the
+/// environment default.
+///
+/// # Errors
+///
+/// Returns [`TransportError::Bind`] naming the participant that could not
+/// come up after [`BIND_ATTEMPTS`] tries.
+pub fn bind_with_retry_on(
+    transport: Transport,
+    pid: ParticipantId,
+    ip: &str,
+) -> Result<BoundNode, TransportError> {
     let mut last = None;
     let mut backoff = Backoff::new(
         BIND_BACKOFF_BASE,
@@ -87,7 +135,7 @@ pub fn bind_with_retry(pid: ParticipantId, ip: &str) -> Result<BoundNode, Transp
         0x1bd1 ^ u64::from(pid.as_u16()),
     );
     for attempt in 0..BIND_ATTEMPTS {
-        match BoundNode::bind(pid, ip) {
+        match BoundNode::bind_on(transport, pid, ip) {
             Ok(b) => return Ok(b),
             Err(TransportError::Io(e)) => last = Some(e),
             Err(other) => return Err(other),
@@ -132,8 +180,25 @@ pub fn spawn_local_ring_with(
     membership: MembershipConfig,
     plane: Option<Arc<FaultPlane>>,
 ) -> Result<Vec<NodeHandle>, TransportError> {
+    spawn_local_ring_on(Transport::from_env(), n, protocol, membership, plane)
+}
+
+/// [`spawn_local_ring_with`] on an explicit [`Transport`] backend — the
+/// switch the chaos suites and benches use to run the same ring over UDP
+/// loopback or shared-memory rings.
+///
+/// # Errors
+///
+/// Returns [`TransportError`] if any socket operation fails.
+pub fn spawn_local_ring_on(
+    transport: Transport,
+    n: u16,
+    protocol: ProtocolConfig,
+    membership: MembershipConfig,
+    plane: Option<Arc<FaultPlane>>,
+) -> Result<Vec<NodeHandle>, TransportError> {
     let bound: Vec<BoundNode> = (0..n)
-        .map(|i| bind_with_retry(ParticipantId::new(i), "127.0.0.1"))
+        .map(|i| bind_with_retry_on(transport, ParticipantId::new(i), "127.0.0.1"))
         .collect::<Result<_, _>>()?;
     let addrs: Vec<NodeAddr> = bound
         .iter()
@@ -180,10 +245,35 @@ pub fn spawn_local_multiring(
     membership: MembershipConfig,
     planes: &[Option<Arc<FaultPlane>>],
 ) -> Result<Vec<Vec<NodeHandle>>, TransportError> {
+    spawn_local_multiring_on(
+        Transport::from_env(),
+        rings,
+        n,
+        protocol,
+        membership,
+        planes,
+    )
+}
+
+/// [`spawn_local_multiring`] on an explicit [`Transport`] backend.
+///
+/// # Errors
+///
+/// Returns [`TransportError`] if any socket operation fails;
+/// [`TransportError::Bind`] identifies the participant whose sockets
+/// could not be bound.
+pub fn spawn_local_multiring_on(
+    transport: Transport,
+    rings: u16,
+    n: u16,
+    protocol: ProtocolConfig,
+    membership: MembershipConfig,
+    planes: &[Option<Arc<FaultPlane>>],
+) -> Result<Vec<Vec<NodeHandle>>, TransportError> {
     (0..rings)
         .map(|k| {
             let plane = planes.get(k as usize).cloned().flatten();
-            spawn_local_ring_with(n, protocol, membership, plane)
+            spawn_local_ring_on(transport, n, protocol, membership, plane)
         })
         .collect()
 }

@@ -3,7 +3,8 @@
 //! The container deliberately carries no `libc` crate, so the handful of
 //! kernel ABI types the two syscalls need (`iovec`, `msghdr`, `mmsghdr`,
 //! `sockaddr_in[6]`) are declared here by hand, `#[repr(C)]`, matching the
-//! x86-64/aarch64 Linux layouts. This is the only unsafe code in the
+//! x86-64/aarch64 Linux layouts. Together with the shared-memory ring
+//! backend in [`crate::shm`] this is the only unsafe code in the
 //! workspace; everything above the [`crate::socket::DatagramSocket`] trait
 //! stays safe.
 //!

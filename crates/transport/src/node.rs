@@ -22,7 +22,7 @@ use std::time::{Duration, Instant};
 
 use accelring_core::{
     wire, BufLease, BufferPool, Delivery, HotPathStats, ParticipantId, PoolStats, ProtocolConfig,
-    Service, ShedCause,
+    Service, ShedCause, ShmPathStats,
 };
 use accelring_membership::{
     decode_control, encode_control, ConfigChange, Input, MembershipConfig, MembershipDaemon,
@@ -34,7 +34,9 @@ use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TryRecvError, Try
 use crate::addr::{AddressBook, NodeAddr};
 use crate::fault::{FaultPlane, InterposedSocket, SocketClass};
 use crate::poller::Poller;
+use crate::shm::{ShmCounters, ShmSocket};
 use crate::socket::{DatagramSocket, RecvSlot, SendOutcome};
+use crate::Transport;
 
 /// Largest datagram the transport accepts (64 KiB UDP limit).
 const MAX_DATAGRAM: usize = 65_536;
@@ -159,6 +161,8 @@ pub struct TransportStats {
     pub recovery_catchup_wait_ns: u64,
     /// Hot-datapath counters: syscall batching, pool behaviour, copies.
     pub hot: HotPathStats,
+    /// Shared-memory datapath counters (all zero on a UDP node).
+    pub shm: ShmPathStats,
 }
 
 impl StatsInner {
@@ -194,6 +198,7 @@ impl StatsInner {
                 pool_misses: 0, // that hold the pool handles
                 bytes_copied: self.bytes_copied.load(Ordering::Relaxed),
             },
+            shm: ShmPathStats::default(), // filled from the ShmCounters
         }
     }
 }
@@ -356,34 +361,79 @@ pub struct NodeOptions {
     pub datapath: Datapath,
 }
 
+/// The bound socket pair of one daemon, on either backend. The token and
+/// data sockets always share a backend: a node is entirely on UDP or
+/// entirely on shm (peers on the *other* end of each link may differ —
+/// addressing, not the socket type, routes a datagram).
+// One BoundNode exists per daemon for the instant between bind and
+// start, so the shm variant's inline ring handles are not worth boxing.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+enum BoundSockets {
+    Udp {
+        data: UdpSocket,
+        token: UdpSocket,
+    },
+    Shm {
+        data: ShmSocket,
+        token: ShmSocket,
+        counters: Arc<ShmCounters>,
+    },
+}
+
 /// A daemon with bound sockets whose addresses can be shared with peers
 /// before the event loop starts (two-phase startup so tests can allocate
 /// ephemeral ports).
 #[derive(Debug)]
 pub struct BoundNode {
     pid: ParticipantId,
-    data_socket: UdpSocket,
-    token_socket: UdpSocket,
+    sockets: BoundSockets,
 }
 
 impl BoundNode {
-    /// Binds the two sockets on `ip` with ephemeral ports.
+    /// Binds the two sockets on `ip` with ephemeral ports, on the backend
+    /// selected by `ACCELRING_TRANSPORT` (see [`Transport::from_env`]).
     ///
     /// # Errors
     ///
     /// Returns [`TransportError::Io`] if binding fails.
     pub fn bind(pid: ParticipantId, ip: &str) -> Result<BoundNode, TransportError> {
-        let data_socket = UdpSocket::bind((ip, 0))?;
-        let token_socket = UdpSocket::bind((ip, 0))?;
-        Ok(BoundNode {
-            pid,
-            data_socket,
-            token_socket,
-        })
+        Self::bind_on(Transport::from_env(), pid, ip)
+    }
+
+    /// Binds the two sockets with ephemeral addresses on an explicit
+    /// backend. The shm backend synthesizes its own addresses and ignores
+    /// `ip` (shm endpoints live in a process-wide namespace, not an
+    /// interface).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError::Io`] if binding fails.
+    pub fn bind_on(
+        transport: Transport,
+        pid: ParticipantId,
+        ip: &str,
+    ) -> Result<BoundNode, TransportError> {
+        let sockets = match transport {
+            Transport::Udp => BoundSockets::Udp {
+                data: UdpSocket::bind((ip, 0))?,
+                token: UdpSocket::bind((ip, 0))?,
+            },
+            Transport::Shm => {
+                let counters = ShmCounters::new();
+                BoundSockets::Shm {
+                    data: ShmSocket::bind_ephemeral(Arc::clone(&counters))?,
+                    token: ShmSocket::bind_ephemeral(Arc::clone(&counters))?,
+                    counters,
+                }
+            }
+        };
+        Ok(BoundNode { pid, sockets })
     }
 
     /// Binds the two sockets to explicit addresses (production daemons use
-    /// fixed ports published in the address book).
+    /// fixed ports published in the address book), on the backend selected
+    /// by `ACCELRING_TRANSPORT`.
     ///
     /// # Errors
     ///
@@ -393,13 +443,39 @@ impl BoundNode {
         data: SocketAddr,
         token: SocketAddr,
     ) -> Result<BoundNode, TransportError> {
-        let data_socket = UdpSocket::bind(data)?;
-        let token_socket = UdpSocket::bind(token)?;
-        Ok(BoundNode {
-            pid,
-            data_socket,
-            token_socket,
-        })
+        Self::bind_addrs_on(Transport::from_env(), pid, data, token)
+    }
+
+    /// [`BoundNode::bind_addrs`] on an explicit backend — the restart
+    /// path: a daemon rebinding its published addresses after a crash.
+    /// On shm the old incarnation's socket must be gone first (the name
+    /// frees when it drops), surfacing the same transient `AddrInUse` the
+    /// kernel produces, which the callers' retry loops already handle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError::Io`] if either bind fails.
+    pub fn bind_addrs_on(
+        transport: Transport,
+        pid: ParticipantId,
+        data: SocketAddr,
+        token: SocketAddr,
+    ) -> Result<BoundNode, TransportError> {
+        let sockets = match transport {
+            Transport::Udp => BoundSockets::Udp {
+                data: UdpSocket::bind(data)?,
+                token: UdpSocket::bind(token)?,
+            },
+            Transport::Shm => {
+                let counters = ShmCounters::new();
+                BoundSockets::Shm {
+                    data: ShmSocket::bind(data, Arc::clone(&counters))?,
+                    token: ShmSocket::bind(token, Arc::clone(&counters))?,
+                    counters,
+                }
+            }
+        };
+        Ok(BoundNode { pid, sockets })
     }
 
     /// This node's address-book entry.
@@ -408,10 +484,14 @@ impl BoundNode {
     ///
     /// Returns [`TransportError::Io`] if the local addresses cannot be read.
     pub fn addr(&self) -> Result<NodeAddr, TransportError> {
+        let (data, token) = match &self.sockets {
+            BoundSockets::Udp { data, token } => (data.local_addr()?, token.local_addr()?),
+            BoundSockets::Shm { data, token, .. } => (data.local_addr(), token.local_addr()),
+        };
         Ok(NodeAddr {
             pid: self.pid,
-            data: self.data_socket.local_addr()?,
-            token: self.token_socket.local_addr()?,
+            data,
+            token,
         })
     }
 
@@ -447,33 +527,57 @@ impl BoundNode {
         if book.get(self.pid).is_none() {
             return Err(TransportError::NotInAddressBook(self.pid));
         }
-        // Gathered bursts need kernel buffers deep enough to absorb a
-        // whole fanout at once; the legacy datapath keeps the kernel
-        // defaults it was designed around.
-        if options.datapath == Datapath::Batched {
-            deepen_socket_buffers(&self.data_socket, &self.token_socket);
-        }
-        self.data_socket.set_nonblocking(true)?;
-        self.token_socket.set_nonblocking(true)?;
         let pid = self.pid;
-        let (data_socket, token_socket): (Box<dyn DatagramSocket>, Box<dyn DatagramSocket>) =
-            match &options.plane {
+        // Boxes either backend's socket pair, fault-interposed or bare —
+        // the interposer is generic over the socket, so per-link fates
+        // apply at slot-publish time on shm exactly as they apply at
+        // send time on UDP.
+        fn boxed<S: DatagramSocket + 'static>(
+            data: S,
+            token: S,
+            pid: ParticipantId,
+            plane: &Option<Arc<FaultPlane>>,
+        ) -> (Box<dyn DatagramSocket>, Box<dyn DatagramSocket>) {
+            match plane {
                 Some(plane) => (
                     Box::new(InterposedSocket::new(
-                        self.data_socket,
+                        data,
                         pid,
                         SocketClass::Data,
                         Arc::clone(plane),
                     )),
                     Box::new(InterposedSocket::new(
-                        self.token_socket,
+                        token,
                         pid,
                         SocketClass::Token,
                         Arc::clone(plane),
                     )),
                 ),
-                None => (Box::new(self.data_socket), Box::new(self.token_socket)),
-            };
+                None => (Box::new(data), Box::new(token)),
+            }
+        }
+        let mut shm_counters = None;
+        let (data_socket, token_socket) = match self.sockets {
+            BoundSockets::Udp { data, token } => {
+                // Gathered bursts need kernel buffers deep enough to
+                // absorb a whole fanout at once; the legacy datapath
+                // keeps the kernel defaults it was designed around.
+                if options.datapath == Datapath::Batched {
+                    deepen_socket_buffers(&data, &token);
+                }
+                data.set_nonblocking(true)?;
+                token.set_nonblocking(true)?;
+                boxed(data, token, pid, &options.plane)
+            }
+            BoundSockets::Shm {
+                data,
+                token,
+                counters,
+            } => {
+                shm_counters = Some(counters);
+                boxed(data, token, pid, &options.plane)
+            }
+        };
         let (cmd_tx, cmd_rx) = bounded(COMMAND_QUEUE_CAPACITY);
         let (event_tx, event_rx) = unbounded();
         let stop = Arc::new(AtomicBool::new(false));
@@ -559,6 +663,7 @@ impl BoundNode {
             ring_info,
             recv_pool,
             send_pool,
+            shm_counters,
             thread: Some(thread),
         })
     }
@@ -572,6 +677,7 @@ pub struct TransportProbe {
     stats: Arc<StatsInner>,
     recv_pool: BufferPool,
     send_pool: BufferPool,
+    shm_counters: Option<Arc<ShmCounters>>,
 }
 
 impl TransportProbe {
@@ -582,6 +688,9 @@ impl TransportProbe {
         let (recv, send) = (self.recv_pool.stats(), self.send_pool.stats());
         s.hot.pool_hits = recv.hits + send.hits;
         s.hot.pool_misses = recv.misses + send.misses;
+        if let Some(shm) = &self.shm_counters {
+            s.shm = shm.snapshot();
+        }
         s
     }
 
@@ -716,6 +825,7 @@ pub struct NodeHandle {
     ring_info: Arc<RingInfoInner>,
     recv_pool: BufferPool,
     send_pool: BufferPool,
+    shm_counters: Option<Arc<ShmCounters>>,
     thread: Option<JoinHandle<()>>,
 }
 
@@ -731,6 +841,7 @@ impl NodeHandle {
             stats: Arc::clone(&self.stats),
             recv_pool: self.recv_pool.clone(),
             send_pool: self.send_pool.clone(),
+            shm_counters: self.shm_counters.clone(),
         }
     }
 
@@ -916,14 +1027,26 @@ impl EventLoop {
     /// the descriptors wakes the loop the moment the token lands.
     ///
     /// The legacy baseline keeps the original fixed-quantum doze.
+    ///
+    /// Both sockets get a [`DatagramSocket::prepare_wait`] call right
+    /// before the park (non-short-circuiting, so both always arm): a
+    /// userspace transport uses it to arm its doorbell and re-check for
+    /// datagrams that raced the idle decision; kernel sockets return
+    /// false and rely on `ppoll` level-triggering.
     fn idle_wait(&self) {
         if self.datapath == Datapath::PerDatagram {
+            if self.data_socket.prepare_wait() | self.token_socket.prepare_wait() {
+                return;
+            }
             std::thread::sleep(IDLE_SLEEP);
             return;
         }
         let mut timeout = IDLE_SLEEP;
         if let Some((deadline, _)) = self.daemon.next_timer() {
             timeout = timeout.min(Duration::from_nanos(deadline.saturating_sub(self.now_ns())));
+        }
+        if self.data_socket.prepare_wait() | self.token_socket.prepare_wait() {
+            return;
         }
         self.poller.wait(timeout);
     }

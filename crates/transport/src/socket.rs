@@ -143,6 +143,20 @@ pub trait DatagramSocket: Send + std::fmt::Debug {
     fn poll_fd(&self) -> Option<i32> {
         None
     }
+
+    /// Called by the event loop immediately before parking on
+    /// [`poll_fd`](DatagramSocket::poll_fd). Returns `true` when data is
+    /// already pending — the loop must skip the sleep and poll again.
+    ///
+    /// Kernel sockets return `false` unconditionally: their readiness is
+    /// level-triggered, so `ppoll` on the fd cannot miss a datagram that
+    /// arrived before the park. Userspace transports (the shm ring
+    /// backend) use this hook to arm their doorbell and close the
+    /// check-then-sleep race: arm, re-check the rings, and only let the
+    /// loop sleep when the rings were empty *after* arming.
+    fn prepare_wait(&self) -> bool {
+        false
+    }
 }
 
 impl DatagramSocket for UdpSocket {

@@ -140,12 +140,14 @@ fn udp_ring_original_protocol_also_works() {
 #[test]
 fn udp_ring_survives_garbage_datagrams() {
     use accelring_core::ParticipantId;
-    use accelring_transport::{AddressBook, BoundNode, NodeAddr};
+    use accelring_transport::{AddressBook, BoundNode, NodeAddr, Transport};
     use std::net::UdpSocket;
 
-    // Build the ring manually so we know the addresses to attack.
+    // Build the ring manually so we know the addresses to attack. Pinned
+    // to UDP regardless of ACCELRING_TRANSPORT: the attack below needs a
+    // kernel socket that can actually reach the ring's addresses.
     let bound: Vec<BoundNode> = (0..3)
-        .map(|i| BoundNode::bind(ParticipantId::new(i), "127.0.0.1").unwrap())
+        .map(|i| BoundNode::bind_on(Transport::Udp, ParticipantId::new(i), "127.0.0.1").unwrap())
         .collect();
     let addrs: Vec<NodeAddr> = bound.iter().map(|b| b.addr().unwrap()).collect();
     let book = AddressBook::new(addrs.clone());
